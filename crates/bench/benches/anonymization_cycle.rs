@@ -1,0 +1,62 @@
+//! Criterion benchmarks for the anonymization cycle's moving parts:
+//! maybe-match group statistics with growing null counts, local
+//! suppression steps, and the heuristics ablation (tuple ordering).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vadalog::Value;
+use vadasa_bench::{paper_cycle_config, run_paper_cycle};
+use vadasa_core::cycle::TupleOrder;
+use vadasa_core::maybe_match::{group_stats, NullSemantics};
+use vadasa_core::prelude::*;
+use vadasa_datagen::generator::{generate, DatasetSpec, Regime};
+
+fn bench_group_stats_with_nulls(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maybe-match/group-stats");
+    group.sample_size(10);
+    let n = 20_000usize;
+    for nulled in [0usize, 100, 1_000] {
+        let mut rows: Vec<Vec<Value>> = (0..n)
+            .map(|i| {
+                vec![
+                    Value::Int((i % 50) as i64),
+                    Value::Int((i % 20) as i64),
+                    Value::Int((i % 7) as i64),
+                ]
+            })
+            .collect();
+        for (j, row) in rows.iter_mut().take(nulled).enumerate() {
+            row[j % 3] = Value::Null(j as u64);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(nulled), &nulled, |b, _| {
+            b.iter(|| group_stats(&rows, None, NullSemantics::MaybeMatch))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tuple_ordering_ablation(c: &mut Criterion) {
+    let spec = DatasetSpec::new(4_000, 4, Regime::U);
+    let (db, dict) = generate(&spec, 5);
+    let mut group = c.benchmark_group("cycle/tuple-order");
+    group.sample_size(10);
+    for (name, order) in [
+        ("less-significant-first", TupleOrder::LessSignificantFirst),
+        ("most-risky-first", TupleOrder::MostRiskyFirst),
+        ("fifo", TupleOrder::Fifo),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            let risk = KAnonymity::new(2);
+            let mut config = paper_cycle_config();
+            config.tuple_order = order;
+            b.iter(|| run_paper_cycle(&db, &dict, &risk, config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_group_stats_with_nulls,
+    bench_tuple_ordering_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Quantifies the engine-vs-native substitution documented in DESIGN.md:
+//! the declarative k-anonymity program (Algorithm 2 reification +
+//! Algorithm 4) against the native kernel on identical inputs. The
+//! declarative path carries the reasoning overhead (reification into
+//! set-valued facts, fixpoint machinery); the native path is the scalable
+//! kernel the figures run on. Their *results* are equal by the
+//! equivalence test suite — this bench shows the cost ratio.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vadasa_core::maybe_match::NullSemantics;
+use vadasa_core::prelude::*;
+use vadasa_core::programs::{alg4_kanonymity, run_risk_program};
+use vadasa_datagen::generator::{generate, DatasetSpec, Regime};
+
+fn bench_declarative_vs_native(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kanonymity/declarative-vs-native");
+    group.sample_size(10);
+    for n in [200usize, 500, 1_000] {
+        let (db, dict) = generate(&DatasetSpec::new(n, 4, Regime::U), 5);
+        group.bench_with_input(BenchmarkId::new("declarative", n), &n, |b, _| {
+            b.iter(|| run_risk_program(&alg4_kanonymity(2), &db, &dict).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("native", n), &n, |b, _| {
+            let view =
+                MicrodataView::from_db_with(&db, &dict, NullSemantics::Standard, None).unwrap();
+            b.iter(|| KAnonymity::new(2).evaluate(&view).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_declarative_vs_native);
+criterion_main!(benches);

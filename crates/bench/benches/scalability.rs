@@ -1,0 +1,43 @@
+//! Criterion version of the Figure 7e/7f sweeps at CI-friendly sizes:
+//! full-cycle cost by dataset size (7e) and by quasi-identifier count
+//! (7f). The printed binaries `fig7e_scal_size` / `fig7f_scal_attrs`
+//! regenerate the paper-scale series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vadasa_bench::{paper_cycle_config, run_paper_cycle};
+use vadasa_core::prelude::*;
+use vadasa_datagen::generator::{generate, DatasetSpec, Regime};
+
+fn bench_by_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7e/cycle-by-size");
+    group.sample_size(10);
+    for n in [2_000usize, 4_000, 8_000] {
+        let spec = DatasetSpec::new(n, 4, Regime::U);
+        let (db, dict) = generate(&spec, 20210323);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let risk = KAnonymity::new(2);
+            b.iter(|| run_paper_cycle(&db, &dict, &risk, paper_cycle_config()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_by_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7f/cycle-by-width");
+    group.sample_size(10);
+    for w in [4usize, 6, 9] {
+        let spec = DatasetSpec::new(4_000, w, Regime::W);
+        let (db, dict) = generate(&spec, 20210323);
+        group.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, _| {
+            let risk = Suda {
+                msu_threshold: 3,
+                max_msu_size: Some(3),
+            };
+            b.iter(|| run_paper_cycle(&db, &dict, &risk, paper_cycle_config()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_by_size, bench_by_width);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Regenerates **Figure 1**: the Inflation & Growth microdata fragment,
+//! with the per-tuple re-identification risks discussed in §2.2.
+
+use vadasa_bench::render_table;
+use vadasa_core::maybe_match::NullSemantics;
+use vadasa_core::risk::{MicrodataView, ReIdentification, RiskMeasure};
+use vadasa_datagen::fixtures::inflation_growth_fig1;
+
+fn main() {
+    let (db, dict) = inflation_growth_fig1();
+    let view = MicrodataView::from_db_with(&db, &dict, NullSemantics::Standard, None)
+        .expect("fixture view");
+    let report = ReIdentification.evaluate(&view).expect("risk evaluation");
+
+    let headers = [
+        "#",
+        "Id",
+        "Area",
+        "Sector",
+        "Employees",
+        "Res.Rev",
+        "Exp.Rev",
+        "ExpDE",
+        "Growth",
+        "W",
+        "re-id risk",
+    ];
+    let mut rows = Vec::new();
+    for i in 0..db.len() {
+        let r = db.row(i).unwrap();
+        let mut cells: Vec<String> = vec![(i + 1).to_string()];
+        cells.extend(r.iter().map(|v| match v.as_str() {
+            Some(s) => s.to_string(),
+            None => v.to_string(),
+        }));
+        cells.push(format!("{:.4}", report.risks[i]));
+        rows.push(cells);
+    }
+    println!("Figure 1 — Microdata DB about inflation and growth\n");
+    println!("{}", render_table(&headers, &rows));
+    let max = report
+        .risks
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .unwrap();
+    let min = report
+        .risks
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .unwrap();
+    println!(
+        "highest re-identification risk: tuple {} ({:.3});  lowest: tuple {} ({:.4})",
+        max.0 + 1,
+        max.1,
+        min.0 + 1,
+        min.1
+    );
+    println!(
+        "(paper §2.2: highest tuple 15 ≈ 0.03, lowest tuple 7 ≈ 0.003, tuple 4 = 1/60 ≈ 0.016)"
+    );
+}

@@ -1,0 +1,31 @@
+//! Regenerates **Figure 7a**: number of labelled nulls injected by the
+//! anonymization cycle as the k-anonymity threshold grows from 2 to 5, on
+//! the R25A4W / R25A4U / R25A4V datasets (k-anonymity risk, T = 0.5,
+//! local suppression, "less significant first").
+
+use vadasa_bench::{paper_cycle_config, render_table, run_paper_cycle};
+use vadasa_core::prelude::KAnonymity;
+use vadasa_datagen::catalog::by_name;
+
+fn main() {
+    let datasets = ["R25A4W", "R25A4U", "R25A4V"];
+    let ks = [2usize, 3, 4, 5];
+    println!("Figure 7a — nulls injected by k-anonymity threshold (T = 0.5, local suppression, less-significant-first)\n");
+    let mut rows = Vec::new();
+    for name in datasets {
+        let (db, dict) = by_name(name).expect("catalogue dataset");
+        let mut cells = vec![name.to_string()];
+        for k in ks {
+            let risk = KAnonymity::new(k);
+            let out = run_paper_cycle(&db, &dict, &risk, paper_cycle_config());
+            cells.push(out.nulls_injected.to_string());
+        }
+        rows.push(cells);
+    }
+    println!(
+        "{}",
+        render_table(&["dataset", "k=2", "k=3", "k=4", "k=5"], &rows)
+    );
+    println!("expected shape (paper): monotone growth in k; W < U < V at every k;");
+    println!("W stays below ~50 nulls for 25k tuples at k=5.");
+}

@@ -1,0 +1,31 @@
+//! Regenerates **Figure 7b**: information loss (injected nulls over the
+//! theoretically removable quasi-identifier values of the initially risky
+//! tuples) by k-anonymity threshold, for R25A4W / R25A4U / R25A4V.
+
+use vadasa_bench::{paper_cycle_config, render_table, run_paper_cycle};
+use vadasa_core::prelude::KAnonymity;
+use vadasa_datagen::catalog::by_name;
+
+fn main() {
+    let datasets = ["R25A4W", "R25A4U", "R25A4V"];
+    let ks = [2usize, 3, 4, 5];
+    println!("Figure 7b — information loss by k-anonymity threshold (T = 0.5)\n");
+    let mut rows = Vec::new();
+    for name in datasets {
+        let (db, dict) = by_name(name).expect("catalogue dataset");
+        let mut cells = vec![name.to_string()];
+        for k in ks {
+            let risk = KAnonymity::new(k);
+            let out = run_paper_cycle(&db, &dict, &risk, paper_cycle_config());
+            cells.push(format!("{:.1}%", out.information_loss * 100.0));
+        }
+        rows.push(cells);
+    }
+    println!(
+        "{}",
+        render_table(&["dataset", "k=2", "k=3", "k=4", "k=5"], &rows)
+    );
+    println!("expected shape (paper): W and U roughly flat in the 12–17% band;");
+    println!("V highest overall, dropping towards the W/U band at low k because");
+    println!("risky tuples collapse together once nulls start maybe-matching.");
+}

@@ -1,0 +1,49 @@
+//! Regenerates **Figure 7d**: nulls injected as the number of inferred
+//! control relationships grows (0 → 400), with risk propagated across
+//! company clusters per Algorithm 9 (k-anonymity, k = 2, T = 0.5).
+
+use vadasa_bench::{paper_cycle_config, render_table, synthetic_ownership_focused};
+use vadasa_core::business::{ClusterMap, ClusterRisk};
+use vadasa_core::cycle::AnonymizationCycle;
+use vadasa_core::prelude::*;
+use vadasa_datagen::catalog::by_name;
+
+fn main() {
+    let datasets = ["R25A4W", "R25A4U", "R25A4V"];
+    let relationship_counts = [0usize, 100, 200, 300, 400];
+    println!(
+        "Figure 7d — nulls injected by number of control relationships (k-anonymity, k=2, T=0.5)\n"
+    );
+    let mut rows = Vec::new();
+    for name in datasets {
+        let (db, dict) = by_name(name).expect("catalogue dataset");
+        // one endpoint in ~4% of the edges is a risky firm: inferred
+        // control relationships concentrate on the statistically unusual
+        // companies (holding structures), which drives the propagation
+        let view = MicrodataView::from_db(&db, &dict).expect("view");
+        let baseline = KAnonymity::new(2).evaluate(&view).expect("risk");
+        let risky_rows = baseline.risky_tuples(0.5);
+        let mut cells = vec![name.to_string()];
+        for rels in relationship_counts {
+            let graph = synthetic_ownership_focused(&db, "Id", rels, 77, &risky_rows, 0.04);
+            let clusters = ClusterMap::from_graph(&graph, &db, "Id").expect("id column");
+            let base = KAnonymity::new(2);
+            let risk = ClusterRisk::new(&base, clusters);
+            let anonymizer = LocalSuppression::default();
+            let cycle = AnonymizationCycle::new(&risk, &anonymizer, paper_cycle_config());
+            let out = cycle.run(&db, &dict).expect("cycle converges");
+            cells.push(out.nulls_injected.to_string());
+        }
+        rows.push(cells);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["dataset", "rels=0", "rels=100", "rels=200", "rels=300", "rels=400"],
+            &rows
+        )
+    );
+    println!("expected shape (paper): null counts grow with the number of relationships;");
+    println!("the more unbalanced the dataset, the stronger the propagation effect");
+    println!("(risk of outliers spreads through their clusters).");
+}

@@ -1,0 +1,70 @@
+//! Regenerates **Figure 7f**: elapsed time by number of quasi-identifiers
+//! (R50A4W → R50A9W, 50k tuples each) for the three risk techniques.
+//! Individual risk and k-anonymity group only on the *full* combination so
+//! they are nearly flat in the QI count; SUDA inspects attribute subsets,
+//! but minimality pruning keeps the growth tame (the paper's "no
+//! combinatorial blowup appears").
+//!
+//! Pass `--quick` to run on 5k-row variants.
+
+use vadasa_bench::{paper_cycle_config, render_table, run_paper_cycle, time_it};
+use vadasa_core::prelude::{IndividualRisk, IrEstimator, KAnonymity, RiskMeasure, Suda};
+use vadasa_datagen::generator::{generate, DatasetSpec, Regime};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rows_per_dataset = if quick { 5_000 } else { 50_000 };
+    let widths = [4usize, 5, 6, 8, 9];
+
+    println!("Figure 7f — execution time by number of quasi-identifiers ('W' distribution, {rows_per_dataset} tuples; seconds)\n");
+
+    let mut rows = Vec::new();
+    for &w in &widths {
+        let spec = DatasetSpec::new(rows_per_dataset, w, Regime::W);
+        let (db, dict) = generate(&spec, 20210323);
+        let measures: Vec<(&str, Box<dyn RiskMeasure>)> = vec![
+            (
+                "individual risk",
+                Box::new(IndividualRisk::new(IrEstimator::PosteriorMean)),
+            ),
+            ("k-anonymity", Box::new(KAnonymity::new(2))),
+            (
+                "SUDA",
+                Box::new(Suda {
+                    msu_threshold: 3,
+                    max_msu_size: Some(3),
+                }),
+            ),
+        ];
+        for (label, risk) in measures {
+            let (out, total) =
+                time_it(|| run_paper_cycle(&db, &dict, risk.as_ref(), paper_cycle_config()));
+            rows.push(vec![
+                spec.name.clone(),
+                w.to_string(),
+                label.to_string(),
+                format!("{total:.2}"),
+                format!("{:.2}", out.risk_eval_seconds),
+                out.nulls_injected.to_string(),
+            ]);
+            eprintln!("done: {} / {label}", spec.name);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "dataset",
+                "#QI",
+                "technique",
+                "cycle s",
+                "risk-eval s",
+                "nulls"
+            ],
+            &rows
+        )
+    );
+    println!("expected shape (paper): individual risk and k-anonymity only marginally");
+    println!("affected by the QI count; SUDA grows with it but without combinatorial");
+    println!("blowup thanks to minimality pruning.");
+}

@@ -1,0 +1,52 @@
+//! Risk–utility frontier: the trade-off at the heart of SDC ("minimize the
+//! risk while maximizing the statistical utility", §1). Sweeping the
+//! threshold `T` of the re-identification measure over R25A4U traces how
+//! much information each extra notch of confidentiality costs, and where
+//! the frontier bends.
+
+use vadasa_bench::{paper_cycle_config, render_table, run_paper_cycle};
+use vadasa_core::metrics::{class_entropy, suppression_ratio};
+use vadasa_core::prelude::*;
+use vadasa_core::report::dataset_risk;
+use vadasa_datagen::catalog::by_name;
+
+fn main() {
+    let (db, dict) = by_name("R25A4U").expect("catalogue dataset");
+    let risk = ReIdentification;
+
+    println!("Risk–utility frontier — R25A4U, re-identification risk, local suppression\n");
+    let mut rows = Vec::new();
+    for t in [0.5, 0.2, 0.1, 0.05, 0.02] {
+        let mut config = paper_cycle_config();
+        config.threshold = t;
+        let out = run_paper_cycle(&db, &dict, &risk, config);
+        let view = MicrodataView::from_db(&out.db, &dict).expect("view");
+        let report = risk.evaluate(&view).expect("risk");
+        let global = dataset_risk(&view, &report, t);
+        rows.push(vec![
+            format!("{t}"),
+            out.nulls_injected.to_string(),
+            format!("{:.2}%", suppression_ratio(&view.qi_rows) * 100.0),
+            format!("{:.3}", class_entropy(&view.qi_rows)),
+            format!("{:.2}", global.expected_reidentifications),
+            format!("{:.4}", global.max_risk),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "threshold T",
+                "nulls",
+                "suppressed cells",
+                "class entropy",
+                "E[re-idents]",
+                "max risk"
+            ],
+            &rows
+        )
+    );
+    println!("tightening T monotonically lowers the expected re-identifications and");
+    println!("the residual max risk, paid for in suppressed cells and lost entropy —");
+    println!("the curve analysts read before picking the exchange threshold.");
+}

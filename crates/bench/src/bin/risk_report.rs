@@ -1,0 +1,44 @@
+//! Prints the pre-exchange confidentiality summary (desideratum iii) for a
+//! catalogue dataset under every off-the-shelf risk measure — the report
+//! an RDC analyst reviews before approving a share.
+//!
+//! Usage: `risk_report [DATASET]` (default R25A4U).
+
+use vadasa_core::maybe_match::NullSemantics;
+use vadasa_core::prelude::*;
+use vadasa_core::report::render_summary;
+use vadasa_datagen::catalog::by_name;
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "R25A4U".to_string());
+    let Some((db, dict)) = by_name(&name) else {
+        eprintln!("unknown catalogue dataset '{name}' (try R25A4W / R25A4U / R25A4V)");
+        std::process::exit(2);
+    };
+    let view = MicrodataView::from_db_with(&db, &dict, NullSemantics::Standard, None)
+        .expect("view builds");
+
+    let measures: Vec<(Box<dyn RiskMeasure>, f64)> = vec![
+        (Box::new(ReIdentification), 0.1),
+        (Box::new(KAnonymity::new(2)), 0.5),
+        (
+            Box::new(IndividualRisk::new(IrEstimator::PosteriorMean)),
+            0.5,
+        ),
+        (
+            Box::new(Suda {
+                msu_threshold: 3,
+                max_msu_size: Some(3),
+            }),
+            0.5,
+        ),
+        (Box::new(PresenceRisk), 0.5),
+    ];
+    println!("=== pre-exchange screening of {name} ===\n");
+    for (measure, threshold) in measures {
+        let report = measure.evaluate(&view).expect("measure evaluates");
+        println!("{}", render_summary(&view, &report, threshold, 3));
+    }
+}

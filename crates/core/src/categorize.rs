@@ -1,0 +1,432 @@
+//! Attribute categorization by recursive application of experience
+//! (paper §4.1, Algorithm 1).
+//!
+//! Before a microdata DB enters the anonymization cycle, each attribute
+//! must be categorized as identifier / quasi-identifier / non-identifying /
+//! weight. Vada-SA borrows categories from an *experience base* of
+//! previously categorized attribute names through pluggable similarity
+//! functions, feeds confirmed decisions back into the base (Rule 3), and
+//! guards single-category assignment with an EGD (Rule 4) whose violations
+//! are surfaced for human inspection.
+
+use crate::dictionary::{Category, MetadataDictionary};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A pluggable attribute-name similarity (the `∼` of Algorithm 1, Rule 2).
+pub trait Similarity {
+    /// Name for diagnostics.
+    fn name(&self) -> &str;
+    /// Similarity in `[0, 1]`.
+    fn score(&self, a: &str, b: &str) -> f64;
+}
+
+/// Case-sensitive exact match.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ExactMatch;
+
+impl Similarity for ExactMatch {
+    fn name(&self) -> &str {
+        "exact"
+    }
+    fn score(&self, a: &str, b: &str) -> f64 {
+        if a == b {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Case- and punctuation-insensitive match ("Residential Rev." ~
+/// "residential_rev").
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NormalizedMatch;
+
+fn normalize(s: &str) -> String {
+    s.chars()
+        .filter(|c| c.is_alphanumeric())
+        .flat_map(|c| c.to_lowercase())
+        .collect()
+}
+
+impl Similarity for NormalizedMatch {
+    fn name(&self) -> &str {
+        "normalized"
+    }
+    fn score(&self, a: &str, b: &str) -> f64 {
+        if normalize(a) == normalize(b) {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Levenshtein similarity `1 − d(a, b) / max(|a|, |b|)` over normalized
+/// names.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LevenshteinSimilarity;
+
+/// Edit distance between two strings (classic DP, O(|a|·|b|)).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j + 1] + 1).min(cur[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+impl Similarity for LevenshteinSimilarity {
+    fn name(&self) -> &str {
+        "levenshtein"
+    }
+    fn score(&self, a: &str, b: &str) -> f64 {
+        let (a, b) = (normalize(a), normalize(b));
+        let m = a.chars().count().max(b.chars().count());
+        if m == 0 {
+            return 1.0;
+        }
+        1.0 - levenshtein(&a, &b) as f64 / m as f64
+    }
+}
+
+/// Token-set Jaccard similarity over words split on whitespace, `_`, `-`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TokenJaccard;
+
+impl Similarity for TokenJaccard {
+    fn name(&self) -> &str {
+        "token-jaccard"
+    }
+    fn score(&self, a: &str, b: &str) -> f64 {
+        use std::collections::HashSet;
+        let tokens = |s: &str| -> HashSet<String> {
+            s.split(|c: char| c.is_whitespace() || c == '_' || c == '-' || c == '.')
+                .filter(|t| !t.is_empty())
+                .map(|t| t.to_lowercase())
+                .collect()
+        };
+        let ta = tokens(a);
+        let tb = tokens(b);
+        if ta.is_empty() && tb.is_empty() {
+            return 1.0;
+        }
+        let inter = ta.intersection(&tb).count() as f64;
+        let union = ta.union(&tb).count() as f64;
+        inter / union
+    }
+}
+
+/// The experience base: attribute names with known categories
+/// (`ExpBase(A, C)` facts).
+#[derive(Debug, Clone, Default)]
+pub struct ExperienceBase {
+    entries: Vec<(String, Category)>,
+}
+
+impl ExperienceBase {
+    /// Empty base.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that attribute name `attr` has category `cat`.
+    pub fn add(&mut self, attr: impl Into<String>, cat: Category) {
+        self.entries.push((attr.into(), cat));
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[(String, Category)] {
+        &self.entries
+    }
+
+    /// A reasonable seed base for financial survey data.
+    pub fn financial_defaults() -> Self {
+        let mut base = Self::new();
+        for (a, c) in [
+            ("id", Category::Identifier),
+            ("fiscal code", Category::Identifier),
+            ("ssn", Category::Identifier),
+            ("vat number", Category::Identifier),
+            ("company identifier", Category::Identifier),
+            ("area", Category::QuasiIdentifier),
+            ("region", Category::QuasiIdentifier),
+            ("sector", Category::QuasiIdentifier),
+            ("employees", Category::QuasiIdentifier),
+            ("age", Category::QuasiIdentifier),
+            ("revenue", Category::QuasiIdentifier),
+            ("growth", Category::NonIdentifying),
+            ("notes", Category::NonIdentifying),
+            ("weight", Category::Weight),
+            ("sampling weight", Category::Weight),
+        ] {
+            base.add(a, c);
+        }
+        base
+    }
+}
+
+/// A categorization conflict: two experience entries matched one attribute
+/// with different categories (the EGD of Rule 4 fired on constants).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CategorizationConflict {
+    /// The attribute being categorized.
+    pub attr: String,
+    /// First candidate with its similarity score and source entry.
+    pub first: (Category, f64, String),
+    /// Second candidate.
+    pub second: (Category, f64, String),
+}
+
+impl fmt::Display for CategorizationConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "attribute '{}' matches '{}' as {} (score {:.2}) but '{}' as {} (score {:.2})",
+            self.attr,
+            self.first.2,
+            self.first.0,
+            self.first.1,
+            self.second.2,
+            self.second.0,
+            self.second.1
+        )
+    }
+}
+
+/// Outcome of a categorization pass.
+#[derive(Debug, Clone)]
+pub struct CategorizationReport {
+    /// Per-attribute assigned category with the matched experience entry
+    /// and score (None if nothing matched).
+    pub assignments: HashMap<String, Option<(Category, String, f64)>>,
+    /// EGD-style conflicts needing human inspection.
+    pub conflicts: Vec<CategorizationConflict>,
+}
+
+/// The categorizer: experience base + similarity functions + threshold.
+pub struct Categorizer {
+    /// Experience base (grows via Rule 3 feedback when `consolidate`).
+    pub experience: ExperienceBase,
+    /// Similarity functions tried in order; the max score wins.
+    pub similarities: Vec<Box<dyn Similarity>>,
+    /// Minimum similarity for Rule 2 to fire.
+    pub threshold: f64,
+    /// Feed confirmed decisions back into the experience base (Rule 3).
+    pub consolidate: bool,
+}
+
+impl Categorizer {
+    /// Categorizer with the default similarity stack (exact, normalized,
+    /// Levenshtein, token-Jaccard) and threshold 0.75.
+    pub fn new(experience: ExperienceBase) -> Self {
+        Categorizer {
+            experience,
+            similarities: vec![
+                Box::new(ExactMatch),
+                Box::new(NormalizedMatch),
+                Box::new(LevenshteinSimilarity),
+                Box::new(TokenJaccard),
+            ],
+            threshold: 0.75,
+            consolidate: true,
+        }
+    }
+
+    fn best_score(&self, a: &str, b: &str) -> f64 {
+        self.similarities
+            .iter()
+            .map(|s| s.score(a, b))
+            .fold(0.0, f64::max)
+    }
+
+    /// Categorize every registered attribute of `db_name` in the
+    /// dictionary, writing winning categories back (Rule 2) and returning
+    /// the report. Attributes already categorized are left alone.
+    pub fn categorize(
+        &mut self,
+        dict: &mut MetadataDictionary,
+        db_name: &str,
+    ) -> Result<CategorizationReport, crate::dictionary::DictionaryError> {
+        let attrs: Vec<String> = dict
+            .attrs(db_name)?
+            .iter()
+            .filter(|(_, m)| m.category.is_none())
+            .map(|(a, _)| a.clone())
+            .collect();
+
+        let mut assignments = HashMap::new();
+        let mut conflicts = Vec::new();
+
+        for attr in attrs {
+            // score every experience entry
+            let mut best: Option<(Category, f64, String)> = None;
+            let mut conflicting: Option<(Category, f64, String)> = None;
+            for (exp_attr, exp_cat) in self.experience.entries() {
+                let score = self.best_score(&attr, exp_attr);
+                if score < self.threshold {
+                    continue;
+                }
+                match &best {
+                    None => best = Some((*exp_cat, score, exp_attr.clone())),
+                    Some((cat, s, _)) => {
+                        if *exp_cat != *cat {
+                            // EGD: two different categories for one attribute
+                            if score > *s {
+                                conflicting = Some(best.clone().map(|b| b).unwrap());
+                                best = Some((*exp_cat, score, exp_attr.clone()));
+                            } else {
+                                conflicting = Some((*exp_cat, score, exp_attr.clone()));
+                            }
+                        } else if score > *s {
+                            best = Some((*exp_cat, score, exp_attr.clone()));
+                        }
+                    }
+                }
+            }
+            if let (Some(b), Some(c)) = (&best, &conflicting) {
+                conflicts.push(CategorizationConflict {
+                    attr: attr.clone(),
+                    first: (b.0, b.1, b.2.clone()),
+                    second: (c.0, c.1, c.2.clone()),
+                });
+            }
+            match &best {
+                Some((cat, score, source)) => {
+                    dict.set_category(db_name, &attr, *cat)?;
+                    if self.consolidate {
+                        // Rule 3: recursive feedback into the experience base
+                        self.experience.add(attr.clone(), *cat);
+                    }
+                    assignments.insert(attr.clone(), Some((*cat, source.clone(), *score)));
+                }
+                None => {
+                    assignments.insert(attr.clone(), None);
+                }
+            }
+        }
+        Ok(CategorizationReport {
+            assignments,
+            conflicts,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("area", "area"), 0);
+    }
+
+    #[test]
+    fn similarity_functions_score_sensibly() {
+        assert_eq!(ExactMatch.score("Area", "Area"), 1.0);
+        assert_eq!(ExactMatch.score("Area", "area"), 0.0);
+        assert_eq!(
+            NormalizedMatch.score("Residential Rev.", "residential_rev"),
+            1.0
+        );
+        assert!(LevenshteinSimilarity.score("employees", "employee") > 0.85);
+        assert!(TokenJaccard.score("sampling weight", "weight") > 0.4);
+        assert_eq!(TokenJaccard.score("a b", "a b"), 1.0);
+    }
+
+    #[test]
+    fn categorization_borrows_from_experience() {
+        let mut dict = MetadataDictionary::new();
+        for a in ["Id", "Area", "Sector", "Weight"] {
+            dict.register_attr("I&G", a, "");
+        }
+        let mut cat = Categorizer::new(ExperienceBase::financial_defaults());
+        let report = cat.categorize(&mut dict, "I&G").unwrap();
+        assert!(report.conflicts.is_empty());
+        assert_eq!(
+            dict.category("I&G", "Id").unwrap(),
+            Some(Category::Identifier)
+        );
+        assert_eq!(
+            dict.category("I&G", "Area").unwrap(),
+            Some(Category::QuasiIdentifier)
+        );
+        assert_eq!(
+            dict.category("I&G", "Weight").unwrap(),
+            Some(Category::Weight)
+        );
+    }
+
+    #[test]
+    fn unmatched_attribute_stays_uncategorized() {
+        let mut dict = MetadataDictionary::new();
+        dict.register_attr("m", "zzqqy", "");
+        let mut cat = Categorizer::new(ExperienceBase::financial_defaults());
+        let report = cat.categorize(&mut dict, "m").unwrap();
+        assert_eq!(report.assignments["zzqqy"], None);
+        assert_eq!(dict.category("m", "zzqqy").unwrap(), None);
+    }
+
+    #[test]
+    fn consolidation_feeds_experience_back() {
+        // Rule 3: once "Area" is categorized, "AreaCode" can borrow from it
+        let mut dict = MetadataDictionary::new();
+        dict.register_attr("m1", "Geographic Area", "");
+        let mut cat = Categorizer::new(ExperienceBase::financial_defaults());
+        cat.threshold = 0.4;
+        cat.categorize(&mut dict, "m1").unwrap();
+        let grew = cat
+            .experience
+            .entries()
+            .iter()
+            .any(|(a, _)| a == "Geographic Area");
+        assert!(grew, "experience base should have absorbed the decision");
+    }
+
+    #[test]
+    fn conflicting_experience_is_reported() {
+        let mut base = ExperienceBase::new();
+        base.add("code", Category::Identifier);
+        base.add("code", Category::QuasiIdentifier);
+        let mut dict = MetadataDictionary::new();
+        dict.register_attr("m", "code", "");
+        let mut cat = Categorizer::new(base);
+        let report = cat.categorize(&mut dict, "m").unwrap();
+        assert_eq!(report.conflicts.len(), 1);
+        let text = report.conflicts[0].to_string();
+        assert!(text.contains("code"));
+    }
+
+    #[test]
+    fn already_categorized_attributes_are_skipped() {
+        let mut dict = MetadataDictionary::new();
+        dict.register_attr("m", "area", "");
+        dict.set_category("m", "area", Category::NonIdentifying)
+            .unwrap();
+        let mut cat = Categorizer::new(ExperienceBase::financial_defaults());
+        cat.categorize(&mut dict, "m").unwrap();
+        // manual decision not overwritten by experience
+        assert_eq!(
+            dict.category("m", "area").unwrap(),
+            Some(Category::NonIdentifying)
+        );
+    }
+}

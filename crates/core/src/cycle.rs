@@ -1,0 +1,581 @@
+//! The anonymization cycle (paper §4.1, Algorithms 2 and 9).
+//!
+//! Risk evaluation and anonymization alternate until every tuple's
+//! disclosure risk is at or below the threshold `T`:
+//!
+//! ```text
+//! Tuple(M, I, VSet), #risk(I, R), R > T → #anonymize(I)
+//! Tuple(M, I, VSet), #risk(I, R), R ≤ T → TupleA(M, I, VSet)
+//! ```
+//!
+//! Both `risk` and `anonymize` are *polymorphic* plug-ins: any
+//! [`RiskMeasure`] and any [`Anonymizer`] can be combined. Each iteration
+//! applies one minimal anonymization step per violating tuple and
+//! re-evaluates, so the cycle is preemptive (risk is scored before
+//! sharing), active (it rewrites the data only when the threshold is
+//! violated) and statistics-preserving (it stops as soon as the threshold
+//! holds). Every decision lands in the [`AuditLog`] for full
+//! explainability.
+
+use crate::anonymize::{AnonymizationAction, AnonymizeError, Anonymizer};
+use crate::dictionary::MetadataDictionary;
+use crate::explain::{AuditLog, Decision};
+use crate::maybe_match::NullSemantics;
+use crate::metrics::information_loss;
+use crate::model::MicrodataDb;
+use crate::risk::{MicrodataView, RiskError, RiskMeasure, RiskReport};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Which violating tuples to anonymize first (paper §4.4).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum TupleOrder {
+    /// "Less significant first": ascending sampling weight, so the cycle
+    /// spends information loss on tuples that matter least statistically.
+    #[default]
+    LessSignificantFirst,
+    /// "Most risky first": descending risk score.
+    MostRiskyFirst,
+    /// Row order (no heuristic) — the ablation baseline.
+    Fifo,
+}
+
+/// How much work one cycle iteration performs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum StepGranularity {
+    /// One anonymization step for *every* violating tuple, then re-evaluate.
+    /// Converges in few iterations; the default for large tables.
+    #[default]
+    AllRiskyPerIteration,
+    /// One step for the single highest-priority tuple, then re-evaluate.
+    /// Maximally greedy (closest to the paper's per-binding activation):
+    /// each step sees the effect of the previous one, at the price of one
+    /// risk evaluation per step.
+    OneTuplePerIteration,
+}
+
+/// Cycle configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CycleConfig {
+    /// Risk threshold `T ∈ [0, 1]` (Algorithm 2).
+    pub threshold: f64,
+    /// Tuple prioritization heuristic.
+    pub tuple_order: TupleOrder,
+    /// Iteration granularity.
+    pub granularity: StepGranularity,
+    /// Null semantics used for risk-group formation.
+    pub semantics: NullSemantics,
+    /// Hard cap on cycle iterations.
+    pub max_iterations: usize,
+    /// Record the audit trail (cheap; on by default).
+    pub audit: bool,
+}
+
+impl Default for CycleConfig {
+    fn default() -> Self {
+        CycleConfig {
+            threshold: 0.5,
+            tuple_order: TupleOrder::default(),
+            granularity: StepGranularity::default(),
+            semantics: NullSemantics::MaybeMatch,
+            max_iterations: 10_000,
+            audit: true,
+        }
+    }
+}
+
+/// Cycle failure.
+#[derive(Debug)]
+pub enum CycleError {
+    /// Risk evaluation failed.
+    Risk(RiskError),
+    /// Anonymization failed.
+    Anonymize(AnonymizeError),
+    /// The iteration cap was hit before convergence.
+    DidNotConverge {
+        /// Iterations performed.
+        iterations: usize,
+        /// Tuples still violating the threshold.
+        still_risky: usize,
+    },
+}
+
+impl fmt::Display for CycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CycleError::Risk(e) => write!(f, "{e}"),
+            CycleError::Anonymize(e) => write!(f, "{e}"),
+            CycleError::DidNotConverge {
+                iterations,
+                still_risky,
+            } => write!(
+                f,
+                "anonymization cycle did not converge after {iterations} iterations ({still_risky} tuples still risky)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CycleError {}
+
+impl From<RiskError> for CycleError {
+    fn from(e: RiskError) -> Self {
+        CycleError::Risk(e)
+    }
+}
+impl From<AnonymizeError> for CycleError {
+    fn from(e: AnonymizeError) -> Self {
+        CycleError::Anonymize(e)
+    }
+}
+
+/// Outcome of a completed cycle.
+#[derive(Debug)]
+pub struct CycleOutcome {
+    /// The anonymized microdata DB (`TupleA` of Algorithm 2).
+    pub db: MicrodataDb,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Labelled nulls injected by suppression steps.
+    pub nulls_injected: usize,
+    /// Global recodings applied.
+    pub recodings: usize,
+    /// Tuples violating the threshold before the first step.
+    pub initial_risky: usize,
+    /// Tuples that remain over the threshold (only possible when the
+    /// anonymizer exhausted its options on them).
+    pub final_risky: usize,
+    /// Information loss per the paper's Figure 7b definition.
+    pub information_loss: f64,
+    /// Final risk report over the anonymized table.
+    pub final_report: RiskReport,
+    /// The decision-by-decision audit trail.
+    pub audit: AuditLog,
+    /// Wall-clock seconds spent inside risk evaluation (the dotted lines
+    /// of Figures 7e/7f).
+    pub risk_eval_seconds: f64,
+}
+
+/// The anonymization cycle: a risk measure, an anonymizer, a threshold.
+pub struct AnonymizationCycle<'a> {
+    risk: &'a dyn RiskMeasure,
+    anonymizer: &'a dyn Anonymizer,
+    /// Configuration knobs.
+    pub config: CycleConfig,
+}
+
+impl<'a> AnonymizationCycle<'a> {
+    /// Build a cycle from plug-ins and configuration.
+    pub fn new(
+        risk: &'a dyn RiskMeasure,
+        anonymizer: &'a dyn Anonymizer,
+        config: CycleConfig,
+    ) -> Self {
+        AnonymizationCycle {
+            risk,
+            anonymizer,
+            config,
+        }
+    }
+
+    /// Run the cycle on a copy of `db`; the input table is untouched.
+    pub fn run(
+        &self,
+        db: &MicrodataDb,
+        dict: &MetadataDictionary,
+    ) -> Result<CycleOutcome, CycleError> {
+        let mut work = db.clone();
+        let mut audit = AuditLog::default();
+        let mut nulls_injected = 0usize;
+        let mut recodings = 0usize;
+        let mut exhausted: HashSet<usize> = HashSet::new();
+        let mut initial_risky = 0usize;
+        let mut iterations = 0usize;
+        let mut risk_eval_seconds = 0.0f64;
+        let t = self.config.threshold;
+
+        let qi_count = dict
+            .quasi_identifiers(&work.name)
+            .map(|v| v.len())
+            .unwrap_or(0);
+
+        let report = loop {
+            let mut view = MicrodataView::from_db_with(&work, dict, self.config.semantics, None)?;
+            let t0 = std::time::Instant::now();
+            let report = self.risk.evaluate(&view)?;
+            risk_eval_seconds += t0.elapsed().as_secs_f64();
+
+            let mut risky: Vec<usize> = report
+                .risky_tuples(t)
+                .into_iter()
+                .filter(|r| !exhausted.contains(r))
+                .collect();
+            if iterations == 0 {
+                initial_risky = risky.len() + exhausted.len();
+            }
+            if risky.is_empty() {
+                break report;
+            }
+            if iterations >= self.config.max_iterations {
+                return Err(CycleError::DidNotConverge {
+                    iterations,
+                    still_risky: risky.len(),
+                });
+            }
+
+            self.order_tuples(&mut risky, &report, &view);
+            if self.config.granularity == StepGranularity::OneTuplePerIteration {
+                risky.truncate(1);
+            }
+
+            for row in risky {
+                // Monotonic-aggregation semantics (§4.3): suppressions made
+                // earlier in this iteration already count. If this tuple's
+                // risk has been defused by a neighbour's labelled null, skip
+                // it rather than remove more information.
+                let t1 = std::time::Instant::now();
+                let current = self.risk.evaluate_tuple(&view, row);
+                risk_eval_seconds += t1.elapsed().as_secs_f64();
+                if let Some(r) = current {
+                    if r <= t {
+                        continue;
+                    }
+                }
+                let action = self.anonymizer.anonymize_step(&mut work, dict, row)?;
+                match &action {
+                    AnonymizationAction::Suppress { .. } => nulls_injected += 1,
+                    AnonymizationAction::Recode { .. } => recodings += 1,
+                    AnonymizationAction::Exhausted { .. } => {
+                        exhausted.insert(row);
+                    }
+                }
+                self.patch_view(&mut view, &work, &action);
+                if self.config.audit {
+                    audit.record(Decision {
+                        iteration: iterations,
+                        row,
+                        measure: report.measure.clone(),
+                        risk: report.risks[row],
+                        threshold: t,
+                        action,
+                    });
+                }
+            }
+            iterations += 1;
+        };
+
+        let final_risky = report
+            .risky_tuples(t)
+            .into_iter()
+            .filter(|r| exhausted.contains(r))
+            .count();
+        Ok(CycleOutcome {
+            db: work,
+            iterations,
+            nulls_injected,
+            recodings,
+            initial_risky,
+            final_risky,
+            information_loss: information_loss(nulls_injected, initial_risky, qi_count),
+            final_report: report,
+            audit,
+            risk_eval_seconds,
+        })
+    }
+
+    /// Reflect an anonymization action into the live view so that
+    /// `evaluate_tuple` rechecks see the current state of the iteration.
+    fn patch_view(
+        &self,
+        view: &mut MicrodataView,
+        work: &MicrodataDb,
+        action: &AnonymizationAction,
+    ) {
+        match action {
+            AnonymizationAction::Suppress { row, attr, .. } => {
+                if let Some(col) = view.qi_names.iter().position(|q| q == attr) {
+                    if let Ok(v) = work.value(*row, attr) {
+                        view.qi_rows[*row][col] = v.clone();
+                    }
+                }
+            }
+            AnonymizationAction::Recode { attr, from, to, .. } => {
+                if let Some(col) = view.qi_names.iter().position(|q| q == attr) {
+                    for r in view.qi_rows.iter_mut() {
+                        if r[col] == *from {
+                            r[col] = to.clone();
+                        }
+                    }
+                }
+            }
+            AnonymizationAction::Exhausted { .. } => {}
+        }
+    }
+
+    fn order_tuples(&self, risky: &mut [usize], report: &RiskReport, view: &MicrodataView) {
+        match self.config.tuple_order {
+            TupleOrder::Fifo => {}
+            TupleOrder::MostRiskyFirst => {
+                risky.sort_by(|&a, &b| report.risks[b].total_cmp(&report.risks[a]));
+            }
+            TupleOrder::LessSignificantFirst => {
+                if let Some(w) = &view.weights {
+                    risky.sort_by(|&a, &b| w[a].total_cmp(&w[b]));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anonymize::{AttributeOrder, LocalSuppression};
+    use crate::dictionary::Category;
+    use crate::risk::{KAnonymity, ReIdentification};
+    use vadalog::Value;
+
+    fn fig5_db() -> (MicrodataDb, MetadataDictionary) {
+        let mut db =
+            MicrodataDb::new("fig5", ["Id", "Area", "Sector", "Employees", "ResRev", "W"]).unwrap();
+        let rows = [
+            ("099876", "Roma", "Textiles", "1000+", "0-30", 10),
+            ("765389", "Roma", "Commerce", "1000+", "0-30", 20),
+            ("231654", "Roma", "Commerce", "1000+", "0-30", 20),
+            ("097302", "Roma", "Financial", "1000+", "0-30", 30),
+            ("120967", "Roma", "Financial", "1000+", "0-30", 30),
+            ("232498", "Milano", "Construction", "0-200", "60-90", 5),
+            ("340901", "Torino", "Construction", "0-200", "60-90", 5),
+        ];
+        for (id, a, s, e, r, w) in rows {
+            db.push_row(vec![
+                Value::str(id),
+                Value::str(a),
+                Value::str(s),
+                Value::str(e),
+                Value::str(r),
+                Value::Int(w),
+            ])
+            .unwrap();
+        }
+        let mut dict = MetadataDictionary::new();
+        for a in ["Id", "Area", "Sector", "Employees", "ResRev", "W"] {
+            dict.register_attr("fig5", a, "");
+        }
+        dict.set_category("fig5", "Id", Category::Identifier)
+            .unwrap();
+        for a in ["Area", "Sector", "Employees", "ResRev"] {
+            dict.set_category("fig5", a, Category::QuasiIdentifier)
+                .unwrap();
+        }
+        dict.set_category("fig5", "W", Category::Weight).unwrap();
+        (db, dict)
+    }
+
+    #[test]
+    fn cycle_reaches_2_anonymity_on_figure5() {
+        let (db, dict) = fig5_db();
+        let risk = KAnonymity::new(2);
+        let anon = LocalSuppression::new(AttributeOrder::MostSelectiveFirst);
+        let cycle = AnonymizationCycle::new(&risk, &anon, CycleConfig::default());
+        let out = cycle.run(&db, &dict).unwrap();
+        assert_eq!(out.final_risky, 0);
+        assert!(out.nulls_injected >= 1);
+        assert_eq!(out.final_report.risky_tuples(0.5).len(), 0);
+        // the input table is untouched
+        assert_eq!(db.null_cells(&[]), 0);
+        assert!(out.db.null_cells(&[]) >= 1);
+        // explainability: every suppression is audited
+        assert_eq!(out.audit.suppressions(), out.nulls_injected);
+    }
+
+    #[test]
+    fn greedy_suppression_on_figure5_tuple1_needs_one_null() {
+        // With OneTuplePerIteration and most-selective-first, tuple 1's
+        // Sector is suppressed first, which simultaneously fixes tuple 1
+        // (frequency 5) — the paper's §4.4 worked example.
+        let (db, dict) = fig5_db();
+        let risk = KAnonymity::new(2);
+        let anon = LocalSuppression::new(AttributeOrder::MostSelectiveFirst);
+        let mut config = CycleConfig {
+            granularity: StepGranularity::OneTuplePerIteration,
+            tuple_order: TupleOrder::Fifo,
+            ..CycleConfig::default()
+        };
+        config.audit = true;
+        let cycle = AnonymizationCycle::new(&risk, &anon, config);
+        let out = cycle.run(&db, &dict).unwrap();
+        // tuples 0 (Textiles), 5 (Milano) and 6 (Torino) are risky at k=2;
+        // tuple 0 needs exactly one null, 5 and 6 need work too.
+        let t0_decisions = out.audit.for_tuple(0);
+        assert_eq!(t0_decisions.len(), 1);
+        assert!(out.final_risky == 0);
+    }
+
+    #[test]
+    fn zero_threshold_converges_or_exhausts() {
+        // T = 0 forces anonymization of everything until groups are huge or
+        // tuples exhaust; the cycle must terminate either way.
+        let (db, dict) = fig5_db();
+        let risk = ReIdentification;
+        let anon = LocalSuppression::default();
+        let cycle = AnonymizationCycle::new(
+            &risk,
+            &anon,
+            CycleConfig {
+                threshold: 0.0,
+                ..CycleConfig::default()
+            },
+        );
+        let out = cycle.run(&db, &dict).unwrap();
+        assert!(out.iterations <= 10_000);
+    }
+
+    #[test]
+    fn already_safe_table_is_untouched() {
+        let (db, dict) = fig5_db();
+        // k = 1: every tuple trivially safe
+        let risk = KAnonymity::new(1);
+        let anon = LocalSuppression::default();
+        let cycle = AnonymizationCycle::new(&risk, &anon, CycleConfig::default());
+        let out = cycle.run(&db, &dict).unwrap();
+        assert_eq!(out.nulls_injected, 0);
+        assert_eq!(out.iterations, 0);
+        assert_eq!(out.initial_risky, 0);
+        assert_eq!(out.information_loss, 0.0);
+    }
+
+    #[test]
+    fn higher_k_injects_more_nulls() {
+        let (db, dict) = fig5_db();
+        let anon = LocalSuppression::default();
+        let mut previous = 0usize;
+        for k in [2usize, 3, 4] {
+            let risk = KAnonymity::new(k);
+            let cycle = AnonymizationCycle::new(&risk, &anon, CycleConfig::default());
+            let out = cycle.run(&db, &dict).unwrap();
+            assert!(
+                out.nulls_injected >= previous,
+                "k={k}: {} < {previous}",
+                out.nulls_injected
+            );
+            previous = out.nulls_injected;
+        }
+    }
+
+    #[test]
+    fn information_loss_is_bounded() {
+        let (db, dict) = fig5_db();
+        let risk = KAnonymity::new(3);
+        let anon = LocalSuppression::default();
+        let cycle = AnonymizationCycle::new(&risk, &anon, CycleConfig::default());
+        let out = cycle.run(&db, &dict).unwrap();
+        assert!(out.information_loss >= 0.0 && out.information_loss <= 1.0);
+    }
+
+    #[test]
+    fn iteration_cap_reports_non_convergence() {
+        let (db, dict) = fig5_db();
+        let risk = KAnonymity::new(2);
+        let anon = LocalSuppression::default();
+        let cycle = AnonymizationCycle::new(
+            &risk,
+            &anon,
+            CycleConfig {
+                max_iterations: 0,
+                ..CycleConfig::default()
+            },
+        );
+        match cycle.run(&db, &dict) {
+            Err(CycleError::DidNotConverge { still_risky, .. }) => assert!(still_risky > 0),
+            other => panic!("expected DidNotConverge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn most_risky_first_with_one_tuple_granularity() {
+        let (db, dict) = fig5_db();
+        let risk = ReIdentification;
+        let anon = LocalSuppression::default();
+        let cycle = AnonymizationCycle::new(
+            &risk,
+            &anon,
+            CycleConfig {
+                granularity: StepGranularity::OneTuplePerIteration,
+                tuple_order: TupleOrder::MostRiskyFirst,
+                threshold: 0.05,
+                ..CycleConfig::default()
+            },
+        );
+        let out = cycle.run(&db, &dict).unwrap();
+        // the first decision must target the highest-risk binding
+        let first = &out.audit.decisions[0];
+        let view = MicrodataView::from_db(&db, &dict).unwrap();
+        let initial = ReIdentification.evaluate(&view).unwrap();
+        let max_risk = initial.risks.iter().copied().fold(0.0f64, f64::max);
+        assert!((initial.risks[first.row] - max_risk).abs() < 1e-12);
+        assert_eq!(out.final_report.risky_tuples(0.05).len(), out.final_risky);
+    }
+
+    #[test]
+    fn incremental_recheck_skips_defused_tuples() {
+        // two rows that defuse each other: suppressing one lifts both, so
+        // the second must be skipped within the same iteration
+        let mut db = MicrodataDb::new("pair", ["id", "a", "b", "w"]).unwrap();
+        db.push_row(vec![
+            Value::Int(1),
+            Value::str("x"),
+            Value::str("p"),
+            Value::Int(5),
+        ])
+        .unwrap();
+        db.push_row(vec![
+            Value::Int(2),
+            Value::str("x"),
+            Value::str("q"),
+            Value::Int(5),
+        ])
+        .unwrap();
+        let mut dict = MetadataDictionary::new();
+        for a in ["id", "a", "b", "w"] {
+            dict.register_attr("pair", a, "");
+        }
+        dict.set_category("pair", "id", Category::Identifier)
+            .unwrap();
+        dict.set_category("pair", "a", Category::QuasiIdentifier)
+            .unwrap();
+        dict.set_category("pair", "b", Category::QuasiIdentifier)
+            .unwrap();
+        dict.set_category("pair", "w", Category::Weight).unwrap();
+
+        let risk = KAnonymity::new(2);
+        let anon = LocalSuppression::default();
+        let cycle = AnonymizationCycle::new(&risk, &anon, CycleConfig::default());
+        let out = cycle.run(&db, &dict).unwrap();
+        assert_eq!(
+            out.nulls_injected, 1,
+            "one suppression lifts both rows; the recheck must spare the second"
+        );
+        assert_eq!(out.final_risky, 0);
+    }
+
+    #[test]
+    fn less_significant_first_hits_low_weight_tuples() {
+        let (db, dict) = fig5_db();
+        let risk = KAnonymity::new(2);
+        let anon = LocalSuppression::default();
+        let cycle = AnonymizationCycle::new(
+            &risk,
+            &anon,
+            CycleConfig {
+                granularity: StepGranularity::OneTuplePerIteration,
+                tuple_order: TupleOrder::LessSignificantFirst,
+                ..CycleConfig::default()
+            },
+        );
+        let out = cycle.run(&db, &dict).unwrap();
+        // first decision must target one of the weight-5 tuples (5 or 6)
+        let first = &out.audit.decisions[0];
+        assert!(first.row == 5 || first.row == 6, "row {}", first.row);
+    }
+}

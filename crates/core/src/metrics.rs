@@ -1,0 +1,129 @@
+//! Utility and information-loss metrics (paper §5.1).
+//!
+//! Figure 7a counts the labelled nulls injected by local suppression;
+//! Figure 7b normalizes them into an *information loss* measure: injected
+//! nulls divided by the maximum number of values that could theoretically
+//! be removed — the quasi-identifier cells of the tuples that were risky
+//! w.r.t. the threshold before anonymization started.
+
+use crate::maybe_match::{group_stats, NullSemantics};
+use vadalog::Value;
+
+/// Information loss per the paper's Figure 7b definition.
+///
+/// * `nulls_injected` — suppressions performed by the cycle;
+/// * `initial_risky_tuples` — tuples over the threshold before the run;
+/// * `qi_count` — number of quasi-identifier attributes.
+///
+/// Returns a ratio in `[0, 1]`; `0` when nothing was risky.
+pub fn information_loss(
+    nulls_injected: usize,
+    initial_risky_tuples: usize,
+    qi_count: usize,
+) -> f64 {
+    let denom = initial_risky_tuples * qi_count;
+    if denom == 0 {
+        0.0
+    } else {
+        (nulls_injected as f64 / denom as f64).min(1.0)
+    }
+}
+
+/// Fraction of suppressed quasi-identifier cells over all QI cells.
+pub fn suppression_ratio(qi_rows: &[Vec<Value>]) -> f64 {
+    let total: usize = qi_rows.iter().map(|r| r.len()).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let nulls: usize = qi_rows
+        .iter()
+        .map(|r| r.iter().filter(|v| v.is_null()).count())
+        .sum();
+    nulls as f64 / total as f64
+}
+
+/// Discernibility metric (Bayardo & Agrawal): sum over tuples of their
+/// equivalence-class size. Smaller is better for utility; suppression
+/// inflates it because maybe-matching enlarges classes.
+pub fn discernibility(qi_rows: &[Vec<Value>], sem: NullSemantics) -> u64 {
+    let stats = group_stats(qi_rows, None, sem);
+    stats.count.iter().map(|&c| c as u64).sum()
+}
+
+/// Average equivalence-class size `n / #classes` computed under the
+/// *standard* semantics (classes partition the table only there).
+pub fn average_class_size(qi_rows: &[Vec<Value>]) -> f64 {
+    if qi_rows.is_empty() {
+        return 0.0;
+    }
+    use std::collections::HashSet;
+    let classes: HashSet<&[Value]> = qi_rows.iter().map(|r| r.as_slice()).collect();
+    qi_rows.len() as f64 / classes.len() as f64
+}
+
+/// Shannon entropy (bits) of the equivalence-class distribution under the
+/// standard semantics. Anonymization lowers it: coarser data, less spread.
+pub fn class_entropy(qi_rows: &[Vec<Value>]) -> f64 {
+    if qi_rows.is_empty() {
+        return 0.0;
+    }
+    use std::collections::HashMap;
+    let mut counts: HashMap<&[Value], usize> = HashMap::new();
+    for r in qi_rows {
+        *counts.entry(r.as_slice()).or_insert(0) += 1;
+    }
+    let n = qi_rows.len() as f64;
+    counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(x: &str) -> Value {
+        Value::str(x)
+    }
+
+    #[test]
+    fn information_loss_basics() {
+        assert_eq!(information_loss(0, 10, 4), 0.0);
+        assert_eq!(information_loss(10, 0, 4), 0.0);
+        assert!((information_loss(8, 10, 4) - 0.2).abs() < 1e-12);
+        // clamped at 1
+        assert_eq!(information_loss(100, 2, 4), 1.0);
+    }
+
+    #[test]
+    fn suppression_ratio_counts_nulls() {
+        let rows = vec![vec![s("a"), Value::Null(0)], vec![s("b"), s("c")]];
+        assert!((suppression_ratio(&rows) - 0.25).abs() < 1e-12);
+        assert_eq!(suppression_ratio(&[]), 0.0);
+    }
+
+    #[test]
+    fn discernibility_grows_with_suppression() {
+        let before = vec![vec![s("a")], vec![s("b")]];
+        let after = vec![vec![Value::Null(0)], vec![s("b")]];
+        let d0 = discernibility(&before, NullSemantics::MaybeMatch);
+        let d1 = discernibility(&after, NullSemantics::MaybeMatch);
+        assert_eq!(d0, 2);
+        assert_eq!(d1, 4); // both rows now match each other
+        assert!(d1 > d0);
+    }
+
+    #[test]
+    fn average_class_size_and_entropy() {
+        let rows = vec![vec![s("a")], vec![s("a")], vec![s("b")], vec![s("c")]];
+        assert!((average_class_size(&rows) - 4.0 / 3.0).abs() < 1e-12);
+        // entropy of {1/2, 1/4, 1/4} = 1.5 bits
+        assert!((class_entropy(&rows) - 1.5).abs() < 1e-12);
+        assert_eq!(class_entropy(&[]), 0.0);
+        assert_eq!(average_class_size(&[]), 0.0);
+    }
+}

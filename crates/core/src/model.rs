@@ -1,0 +1,304 @@
+//! The microdata model: schema-independent tables whose cells are engine
+//! values (constants or labelled nulls).
+//!
+//! A *microdata DB* (paper §2.1) is a relation `M(i, q, a, W)` where `i`
+//! are direct identifiers, `q` quasi-identifiers, `a` non-identifying
+//! attributes and `W` a sampling weight. Which column plays which role is
+//! *not* part of this struct — it lives in the
+//! [`MetadataDictionary`](crate::dictionary::MetadataDictionary), keeping
+//! the framework schema-independent: all algorithms reason over attribute
+//! *names* drawn from the dictionary, never over fixed positions.
+
+use std::collections::HashMap;
+use std::fmt;
+use vadalog::Value;
+
+/// A schema-independent microdata table.
+#[derive(Debug, Clone)]
+pub struct MicrodataDb {
+    /// Logical name (e.g. `"I&G"`).
+    pub name: String,
+    /// Column names, in declaration order.
+    attributes: Vec<String>,
+    /// Column name → position.
+    attr_index: HashMap<String, usize>,
+    /// Row-major cell storage.
+    rows: Vec<Vec<Value>>,
+    /// Labelled-null counter for suppression.
+    next_null: u64,
+}
+
+/// Errors raised by microdata construction and mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A row's arity does not match the schema.
+    ArityMismatch {
+        /// Expected number of cells.
+        expected: usize,
+        /// Provided number of cells.
+        got: usize,
+    },
+    /// Referenced attribute does not exist.
+    UnknownAttribute(String),
+    /// Referenced row index is out of bounds.
+    RowOutOfBounds(usize),
+    /// Duplicate attribute name in the schema.
+    DuplicateAttribute(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::ArityMismatch { expected, got } => {
+                write!(f, "row has {got} cells, schema expects {expected}")
+            }
+            ModelError::UnknownAttribute(a) => write!(f, "unknown attribute '{a}'"),
+            ModelError::RowOutOfBounds(i) => write!(f, "row index {i} out of bounds"),
+            ModelError::DuplicateAttribute(a) => write!(f, "duplicate attribute '{a}'"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl MicrodataDb {
+    /// Create an empty microdata DB with the given schema.
+    pub fn new(
+        name: impl Into<String>,
+        attributes: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Result<Self, ModelError> {
+        let attributes: Vec<String> = attributes.into_iter().map(Into::into).collect();
+        let mut attr_index = HashMap::with_capacity(attributes.len());
+        for (i, a) in attributes.iter().enumerate() {
+            if attr_index.insert(a.clone(), i).is_some() {
+                return Err(ModelError::DuplicateAttribute(a.clone()));
+            }
+        }
+        Ok(MicrodataDb {
+            name: name.into(),
+            attributes,
+            attr_index,
+            rows: Vec::new(),
+            next_null: 0,
+        })
+    }
+
+    /// Attribute names in schema order.
+    pub fn attributes(&self) -> &[String] {
+        &self.attributes
+    }
+
+    /// Position of an attribute.
+    pub fn attr_position(&self, name: &str) -> Result<usize, ModelError> {
+        self.attr_index
+            .get(name)
+            .copied()
+            .ok_or_else(|| ModelError::UnknownAttribute(name.to_string()))
+    }
+
+    /// Append a row.
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<usize, ModelError> {
+        if row.len() != self.attributes.len() {
+            return Err(ModelError::ArityMismatch {
+                expected: self.attributes.len(),
+                got: row.len(),
+            });
+        }
+        for v in &row {
+            if let Value::Null(n) = v {
+                if *n >= self.next_null {
+                    self.next_null = n + 1;
+                }
+            }
+        }
+        self.rows.push(row);
+        Ok(self.rows.len() - 1)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Borrow a row.
+    pub fn row(&self, idx: usize) -> Result<&[Value], ModelError> {
+        self.rows
+            .get(idx)
+            .map(|r| r.as_slice())
+            .ok_or(ModelError::RowOutOfBounds(idx))
+    }
+
+    /// Iterate rows.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[Value]> {
+        self.rows.iter().map(|r| r.as_slice())
+    }
+
+    /// Cell value by row index and attribute name.
+    pub fn value(&self, row: usize, attr: &str) -> Result<&Value, ModelError> {
+        let col = self.attr_position(attr)?;
+        self.rows
+            .get(row)
+            .map(|r| &r[col])
+            .ok_or(ModelError::RowOutOfBounds(row))
+    }
+
+    /// Overwrite a cell.
+    pub fn set_value(&mut self, row: usize, attr: &str, v: Value) -> Result<(), ModelError> {
+        let col = self.attr_position(attr)?;
+        let r = self
+            .rows
+            .get_mut(row)
+            .ok_or(ModelError::RowOutOfBounds(row))?;
+        if let Value::Null(n) = &v {
+            if *n >= self.next_null {
+                self.next_null = n + 1;
+            }
+        }
+        r[col] = v;
+        Ok(())
+    }
+
+    /// Mint a fresh labelled null (unique within this table's lifetime).
+    pub fn fresh_null(&mut self) -> Value {
+        let id = self.next_null;
+        self.next_null += 1;
+        Value::Null(id)
+    }
+
+    /// How many labelled nulls have been minted or imported.
+    pub fn nulls_minted(&self) -> u64 {
+        self.next_null
+    }
+
+    /// Count of null cells across the listed attributes (all if empty).
+    pub fn null_cells(&self, attrs: &[String]) -> usize {
+        let cols: Vec<usize> = if attrs.is_empty() {
+            (0..self.attributes.len()).collect()
+        } else {
+            attrs
+                .iter()
+                .filter_map(|a| self.attr_index.get(a).copied())
+                .collect()
+        };
+        self.rows
+            .iter()
+            .map(|r| cols.iter().filter(|&&c| r[c].is_null()).count())
+            .sum()
+    }
+
+    /// Extract an entire column by attribute name.
+    pub fn column(&self, attr: &str) -> Result<Vec<Value>, ModelError> {
+        let col = self.attr_position(attr)?;
+        Ok(self.rows.iter().map(|r| r[col].clone()).collect())
+    }
+
+    /// Project the listed attributes into a row-major matrix.
+    pub fn project(&self, attrs: &[String]) -> Result<Vec<Vec<Value>>, ModelError> {
+        let cols: Vec<usize> = attrs
+            .iter()
+            .map(|a| self.attr_position(a))
+            .collect::<Result<_, _>>()?;
+        Ok(self
+            .rows
+            .iter()
+            .map(|r| cols.iter().map(|&c| r[c].clone()).collect())
+            .collect())
+    }
+
+    /// Numeric view of a column (errors on the first non-numeric cell).
+    pub fn numeric_column(&self, attr: &str) -> Result<Vec<f64>, ModelError> {
+        let col = self.attr_position(attr)?;
+        self.rows
+            .iter()
+            .map(|r| {
+                r[col].as_f64().ok_or_else(|| {
+                    ModelError::UnknownAttribute(format!(
+                        "attribute '{attr}' holds non-numeric value {}",
+                        r[col]
+                    ))
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MicrodataDb {
+        let mut db = MicrodataDb::new("t", ["id", "area", "w"]).unwrap();
+        db.push_row(vec![Value::Int(1), Value::str("North"), Value::Int(10)])
+            .unwrap();
+        db.push_row(vec![Value::Int(2), Value::str("South"), Value::Int(20)])
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let db = sample();
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.value(0, "area").unwrap(), &Value::str("North"));
+        assert_eq!(db.attr_position("w").unwrap(), 2);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut db = sample();
+        assert!(matches!(
+            db.push_row(vec![Value::Int(3)]),
+            Err(ModelError::ArityMismatch {
+                expected: 3,
+                got: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        assert!(matches!(
+            MicrodataDb::new("t", ["a", "a"]),
+            Err(ModelError::DuplicateAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_attribute_rejected() {
+        let db = sample();
+        assert!(db.value(0, "zz").is_err());
+        assert!(db.column("zz").is_err());
+    }
+
+    #[test]
+    fn fresh_nulls_are_distinct_and_tracked() {
+        let mut db = sample();
+        let n1 = db.fresh_null();
+        let n2 = db.fresh_null();
+        assert_ne!(n1, n2);
+        db.set_value(0, "area", n1).unwrap();
+        assert_eq!(db.null_cells(&["area".to_string()]), 1);
+        assert_eq!(db.null_cells(&[]), 1);
+    }
+
+    #[test]
+    fn imported_nulls_advance_counter() {
+        let mut db = MicrodataDb::new("t", ["a"]).unwrap();
+        db.push_row(vec![Value::Null(5)]).unwrap();
+        assert_eq!(db.fresh_null(), Value::Null(6));
+    }
+
+    #[test]
+    fn projection_and_numeric_column() {
+        let db = sample();
+        let proj = db.project(&["area".to_string(), "id".to_string()]).unwrap();
+        assert_eq!(proj[1], vec![Value::str("South"), Value::Int(2)]);
+        assert_eq!(db.numeric_column("w").unwrap(), vec![10.0, 20.0]);
+        assert!(db.numeric_column("area").is_err());
+    }
+}

@@ -1,0 +1,201 @@
+//! Dataset-level confidentiality reporting (desiderata iii and vi).
+//!
+//! Vada-SA is *preemptive*: before a microdata DB is shared, analysts see
+//! a confidentiality score for the whole dataset, not just per-tuple
+//! flags. This module aggregates any [`RiskReport`] into the global
+//! indicators used in SDC practice and renders them — together with the
+//! most exposed tuples and their explanations — as a plain-text summary
+//! suitable for an RDC review meeting.
+
+use crate::maybe_match::{group_stats, NullSemantics};
+use crate::risk::{MicrodataView, RiskReport};
+use std::fmt::Write;
+
+/// Global disclosure indicators for one (dataset, measure) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetRisk {
+    /// Measure that produced the underlying per-tuple risks.
+    pub measure: String,
+    /// Number of tuples.
+    pub tuples: usize,
+    /// Expected number of re-identifications `Σ ρ_t` (the standard global
+    /// risk indicator of Benedetti–Franconi practice).
+    pub expected_reidentifications: f64,
+    /// Share of tuples above the threshold.
+    pub risky_share: f64,
+    /// Maximum per-tuple risk.
+    pub max_risk: f64,
+    /// Mean per-tuple risk.
+    pub mean_risk: f64,
+    /// Sample uniques on the full quasi-identifier combination.
+    pub sample_uniques: usize,
+    /// Histogram of equivalence-class sizes: `(upper bound, tuples)`
+    /// buckets 1, 2, 3–5, 6–10, >10.
+    pub class_histogram: [(usize, usize); 5],
+}
+
+/// Compute the dataset-level indicators from a view and a risk report.
+pub fn dataset_risk(view: &MicrodataView, report: &RiskReport, threshold: f64) -> DatasetRisk {
+    let stats = group_stats(&view.qi_rows, None, NullSemantics::Standard);
+    let sample_uniques = stats.count.iter().filter(|&&c| c == 1).count();
+    let mut histogram = [(1usize, 0usize), (2, 0), (5, 0), (10, 0), (usize::MAX, 0)];
+    for &c in &stats.count {
+        let bucket = match c {
+            1 => 0,
+            2 => 1,
+            3..=5 => 2,
+            6..=10 => 3,
+            _ => 4,
+        };
+        histogram[bucket].1 += 1;
+    }
+    DatasetRisk {
+        measure: report.measure.clone(),
+        tuples: view.len(),
+        expected_reidentifications: report.risks.iter().sum(),
+        risky_share: if view.is_empty() {
+            0.0
+        } else {
+            report.risky_tuples(threshold).len() as f64 / view.len() as f64
+        },
+        max_risk: report.max_risk(),
+        mean_risk: report.mean_risk(),
+        sample_uniques,
+        class_histogram: histogram,
+    }
+}
+
+/// Render a full pre-exchange summary: global indicators plus the `top_n`
+/// most exposed tuples with the per-tuple diagnostics of the measure.
+pub fn render_summary(
+    view: &MicrodataView,
+    report: &RiskReport,
+    threshold: f64,
+    top_n: usize,
+) -> String {
+    let global = dataset_risk(view, report, threshold);
+    let mut out = String::new();
+    let _ = writeln!(out, "confidentiality summary — measure: {}", global.measure);
+    let _ = writeln!(
+        out,
+        "  tuples: {}   quasi-identifiers: {}   threshold T: {threshold}",
+        global.tuples,
+        view.width()
+    );
+    let _ = writeln!(
+        out,
+        "  expected re-identifications Σρ: {:.2}   mean risk: {:.4}   max risk: {:.4}",
+        global.expected_reidentifications, global.mean_risk, global.max_risk
+    );
+    let _ = writeln!(
+        out,
+        "  risky share: {:.2}%   sample uniques: {}",
+        global.risky_share * 100.0,
+        global.sample_uniques
+    );
+    let labels = ["1", "2", "3-5", "6-10", ">10"];
+    let _ = write!(out, "  class sizes: ");
+    for (label, (_, n)) in labels.iter().zip(global.class_histogram.iter()) {
+        let _ = write!(out, "[{label}]={n} ");
+    }
+    out.push('\n');
+
+    // top-n riskiest tuples with explanations
+    let mut order: Vec<usize> = (0..report.risks.len()).collect();
+    order.sort_by(|&a, &b| report.risks[b].total_cmp(&report.risks[a]));
+    let shown = order
+        .into_iter()
+        .take(top_n)
+        .filter(|&i| report.risks[i] > 0.0)
+        .collect::<Vec<_>>();
+    if !shown.is_empty() {
+        let _ = writeln!(out, "  most exposed tuples:");
+        for i in shown {
+            let d = &report.details[i];
+            let _ = writeln!(
+                out,
+                "    tuple {:>5}: risk {:.4}  (class size {}, weight sum {:.1}{}{})",
+                i,
+                report.risks[i],
+                d.frequency,
+                d.weight_sum,
+                if d.note.is_empty() { "" } else { " — " },
+                d.note
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::risk::test_support::view_of;
+    use crate::risk::{KAnonymity, ReIdentification, RiskMeasure};
+
+    fn sample_view() -> MicrodataView {
+        view_of(
+            vec![
+                vec!["a"],
+                vec!["a"],
+                vec!["a"],
+                vec!["b"],
+                vec!["b"],
+                vec!["solo"],
+            ],
+            Some(vec![30.0, 30.0, 30.0, 60.0, 60.0, 4.0]),
+        )
+    }
+
+    #[test]
+    fn indicators_are_computed() {
+        let view = sample_view();
+        let report = ReIdentification.evaluate(&view).unwrap();
+        let g = dataset_risk(&view, &report, 0.1);
+        assert_eq!(g.tuples, 6);
+        assert_eq!(g.sample_uniques, 1);
+        // Σρ = 3×(1/90) + 2×(1/120) + 1/4
+        let expected = 3.0 / 90.0 + 2.0 / 120.0 + 0.25;
+        assert!((g.expected_reidentifications - expected).abs() < 1e-9);
+        assert!((g.max_risk - 0.25).abs() < 1e-12);
+        assert!((g.risky_share - 1.0 / 6.0).abs() < 1e-12);
+        // histogram: class sizes 3,3,3,2,2,1 → [1]=1, [2]=2, [3-5]=3
+        assert_eq!(g.class_histogram[0].1, 1);
+        assert_eq!(g.class_histogram[1].1, 2);
+        assert_eq!(g.class_histogram[2].1, 3);
+    }
+
+    #[test]
+    fn summary_text_names_the_worst_tuple() {
+        let view = sample_view();
+        let report = ReIdentification.evaluate(&view).unwrap();
+        let text = render_summary(&view, &report, 0.1, 3);
+        assert!(text.contains("expected re-identifications"));
+        assert!(text.contains("tuple     5: risk 0.2500"));
+        assert!(text.contains("[1]=1"));
+    }
+
+    #[test]
+    fn kanonymity_summary_counts_risky_share() {
+        let view = sample_view();
+        let report = KAnonymity::new(2).evaluate(&view).unwrap();
+        let g = dataset_risk(&view, &report, 0.5);
+        assert!((g.risky_share - 1.0 / 6.0).abs() < 1e-12);
+        assert_eq!(g.expected_reidentifications, 1.0);
+    }
+
+    #[test]
+    fn empty_view_is_handled() {
+        let view = view_of(vec![], None);
+        let report = RiskReport {
+            measure: "test".into(),
+            risks: vec![],
+            details: vec![],
+        };
+        let g = dataset_risk(&view, &report, 0.5);
+        assert_eq!(g.tuples, 0);
+        assert_eq!(g.risky_share, 0.0);
+        let text = render_summary(&view, &report, 0.5, 5);
+        assert!(text.contains("tuples: 0"));
+    }
+}

@@ -1,0 +1,343 @@
+//! Statistical disclosure risk estimation (paper §4.2).
+//!
+//! All measures implement [`RiskMeasure`] over a [`MicrodataView`] — the
+//! projection of a microdata DB onto its quasi-identifiers plus the
+//! sampling weights, with a chosen null semantics. The `risk` atom of the
+//! anonymization cycle (Algorithm 2) is *polymorphic*; the cycle accepts
+//! any `dyn RiskMeasure`, mirroring Vada-SA's plug-in mechanism.
+//!
+//! Off-the-shelf measures, as in the paper:
+//!
+//! - [`ReIdentification`] — Algorithm 3: `ρ = 1 / Σ weights of the group`;
+//! - [`KAnonymity`] — Algorithm 4: `1` iff the equivalence class is
+//!   smaller than `k`;
+//! - [`IndividualRisk`] — Algorithm 5: Benedetti–Franconi style posterior
+//!   estimation of `1/F_k` from sample frequency and weight sum;
+//! - [`Suda`] — Algorithm 6: minimal sample uniques.
+
+mod individual;
+mod kanon;
+mod ldiversity;
+mod presence;
+mod reident;
+mod suda;
+mod tcloseness;
+
+pub use individual::{bf_posterior_mean, IndividualRisk, IrEstimator};
+pub use kanon::KAnonymity;
+pub use ldiversity::LDiversity;
+pub use presence::PresenceRisk;
+pub use reident::ReIdentification;
+pub use suda::{dis_scores, minimal_sample_uniques, MsuSet, Suda};
+pub use tcloseness::TCloseness;
+
+use crate::dictionary::{Category, DictionaryError, MetadataDictionary};
+use crate::maybe_match::NullSemantics;
+use crate::model::{MicrodataDb, ModelError};
+use std::fmt;
+use vadalog::Value;
+
+/// Errors building a view or evaluating risk.
+#[derive(Debug)]
+pub enum RiskError {
+    /// Dictionary lookup failed.
+    Dictionary(DictionaryError),
+    /// Microdata access failed.
+    Model(ModelError),
+    /// The view is unusable for this measure (e.g. missing weights).
+    View(String),
+}
+
+impl fmt::Display for RiskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RiskError::Dictionary(e) => write!(f, "{e}"),
+            RiskError::Model(e) => write!(f, "{e}"),
+            RiskError::View(m) => write!(f, "invalid view: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RiskError {}
+
+impl From<DictionaryError> for RiskError {
+    fn from(e: DictionaryError) -> Self {
+        RiskError::Dictionary(e)
+    }
+}
+impl From<ModelError> for RiskError {
+    fn from(e: ModelError) -> Self {
+        RiskError::Model(e)
+    }
+}
+
+/// The projection of a microdata DB a risk measure works on: QI columns,
+/// optional sampling weights and the null semantics for group formation.
+#[derive(Debug, Clone)]
+pub struct MicrodataView {
+    /// Names of the projected quasi-identifier attributes.
+    pub qi_names: Vec<String>,
+    /// Row-major QI cells (same row order as the source table).
+    pub qi_rows: Vec<Vec<Value>>,
+    /// Sampling weights, if a weight column is categorized.
+    pub weights: Option<Vec<f64>>,
+    /// Null semantics used to form equivalence groups.
+    pub semantics: NullSemantics,
+}
+
+impl MicrodataView {
+    /// Build the view of `db` according to the dictionary's categories:
+    /// quasi-identifiers are projected, the weight column (if any) is read
+    /// numerically, identifiers and non-identifying attributes are dropped
+    /// (Algorithm 2, Rule 1).
+    pub fn from_db(db: &MicrodataDb, dict: &MetadataDictionary) -> Result<Self, RiskError> {
+        Self::from_db_with(db, dict, NullSemantics::MaybeMatch, None)
+    }
+
+    /// Like [`MicrodataView::from_db`], choosing the semantics and
+    /// optionally restricting to a subset `q̂ ⊆ q` of quasi-identifiers
+    /// (the paper's `AnonSet`).
+    pub fn from_db_with(
+        db: &MicrodataDb,
+        dict: &MetadataDictionary,
+        semantics: NullSemantics,
+        restrict_to: Option<&[String]>,
+    ) -> Result<Self, RiskError> {
+        let mut qi_names = dict.quasi_identifiers(&db.name)?;
+        if let Some(subset) = restrict_to {
+            qi_names.retain(|q| subset.contains(q));
+            if qi_names.is_empty() {
+                return Err(RiskError::View(
+                    "the restriction removed every quasi-identifier".into(),
+                ));
+            }
+        }
+        if qi_names.is_empty() {
+            return Err(RiskError::View(format!(
+                "microdata DB '{}' has no categorized quasi-identifiers",
+                db.name
+            )));
+        }
+        let qi_rows = db.project(&qi_names)?;
+        let weights = match dict
+            .attrs_with_category(&db.name, Category::Weight)?
+            .first()
+        {
+            Some(w) => Some(db.numeric_column(w)?),
+            None => None,
+        };
+        Ok(MicrodataView {
+            qi_names,
+            qi_rows,
+            weights,
+            semantics,
+        })
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.qi_rows.len()
+    }
+
+    /// Is the view empty?
+    pub fn is_empty(&self) -> bool {
+        self.qi_rows.is_empty()
+    }
+
+    /// Number of quasi-identifier columns.
+    pub fn width(&self) -> usize {
+        self.qi_names.len()
+    }
+}
+
+/// Per-tuple diagnostic detail accompanying a risk score.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TupleRiskDetail {
+    /// Size of the tuple's equivalence group under the view's semantics.
+    pub frequency: usize,
+    /// Sum of sampling weights over the group (frequency if unweighted).
+    pub weight_sum: f64,
+    /// Measure-specific annotation (e.g. MSU sizes for SUDA).
+    pub note: String,
+}
+
+/// The outcome of evaluating a risk measure over a view.
+#[derive(Debug, Clone)]
+pub struct RiskReport {
+    /// Name of the measure that produced this report.
+    pub measure: String,
+    /// Per-tuple risk in `[0, 1]`, same order as the view rows.
+    pub risks: Vec<f64>,
+    /// Per-tuple diagnostics (same order).
+    pub details: Vec<TupleRiskDetail>,
+}
+
+impl RiskReport {
+    /// Indices of tuples whose risk strictly exceeds the threshold `t`
+    /// (Algorithm 2, Rule 2: `R > T → anonymize`).
+    pub fn risky_tuples(&self, t: f64) -> Vec<usize> {
+        self.risks
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| r > t)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Maximum risk over all tuples (0.0 for an empty view).
+    pub fn max_risk(&self) -> f64 {
+        self.risks.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Mean risk (0.0 for an empty view).
+    pub fn mean_risk(&self) -> f64 {
+        if self.risks.is_empty() {
+            0.0
+        } else {
+            self.risks.iter().sum::<f64>() / self.risks.len() as f64
+        }
+    }
+}
+
+/// A pluggable statistical disclosure risk measure.
+pub trait RiskMeasure {
+    /// Name used in reports and audit logs.
+    fn name(&self) -> &str;
+    /// Evaluate per-tuple risk over a view.
+    fn evaluate(&self, view: &MicrodataView) -> Result<RiskReport, RiskError>;
+
+    /// Fast single-tuple re-evaluation against a (possibly partially
+    /// anonymized) view, used by the cycle to honour the monotonic-
+    /// aggregation semantics of §4.3: a tuple whose risk has already been
+    /// defused by *someone else's* suppression in the current iteration is
+    /// skipped, so no information is removed needlessly. Measures without
+    /// a cheap incremental form return `None` and are re-checked only at
+    /// the next full evaluation.
+    fn evaluate_tuple(&self, _view: &MicrodataView, _row: usize) -> Option<f64> {
+        None
+    }
+}
+
+/// Count the rows of `view` matching `row` on every quasi-identifier under
+/// the view's null semantics, and their weight sum. Shared by the
+/// incremental fast paths.
+pub(crate) fn tuple_group(view: &MicrodataView, row: usize) -> (usize, f64) {
+    use crate::maybe_match::rows_match;
+    let target = &view.qi_rows[row];
+    let mut count = 0usize;
+    let mut wsum = 0.0f64;
+    for (i, r) in view.qi_rows.iter().enumerate() {
+        if rows_match(target, r, view.semantics) {
+            count += 1;
+            wsum += view.weights.as_ref().map(|w| w[i]).unwrap_or(1.0);
+        }
+    }
+    (count, wsum)
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+
+    /// A small helper building a view directly from string rows.
+    pub fn view_of(rows: Vec<Vec<&str>>, weights: Option<Vec<f64>>) -> MicrodataView {
+        let width = rows.first().map(|r| r.len()).unwrap_or(0);
+        MicrodataView {
+            qi_names: (0..width).map(|i| format!("q{i}")).collect(),
+            qi_rows: rows
+                .into_iter()
+                .map(|r| r.into_iter().map(Value::str).collect())
+                .collect(),
+            weights,
+            semantics: NullSemantics::MaybeMatch,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::view_of;
+    use super::*;
+    use crate::dictionary::Category;
+
+    #[test]
+    fn view_from_db_projects_qis_and_weights() {
+        let mut db = MicrodataDb::new("m", ["id", "area", "w", "note"]).unwrap();
+        db.push_row(vec![
+            Value::Int(1),
+            Value::str("North"),
+            Value::Int(10),
+            Value::str("x"),
+        ])
+        .unwrap();
+        let mut dict = MetadataDictionary::new();
+        for a in ["id", "area", "w", "note"] {
+            dict.register_attr("m", a, "");
+        }
+        dict.set_category("m", "id", Category::Identifier).unwrap();
+        dict.set_category("m", "area", Category::QuasiIdentifier)
+            .unwrap();
+        dict.set_category("m", "w", Category::Weight).unwrap();
+        dict.set_category("m", "note", Category::NonIdentifying)
+            .unwrap();
+
+        let view = MicrodataView::from_db(&db, &dict).unwrap();
+        assert_eq!(view.qi_names, vec!["area"]);
+        assert_eq!(view.qi_rows[0], vec![Value::str("North")]);
+        assert_eq!(view.weights, Some(vec![10.0]));
+    }
+
+    #[test]
+    fn restriction_to_subset() {
+        let mut db = MicrodataDb::new("m", ["a", "b"]).unwrap();
+        db.push_row(vec![Value::str("x"), Value::str("y")]).unwrap();
+        let mut dict = MetadataDictionary::new();
+        dict.register_attr("m", "a", "");
+        dict.register_attr("m", "b", "");
+        dict.set_category("m", "a", Category::QuasiIdentifier)
+            .unwrap();
+        dict.set_category("m", "b", Category::QuasiIdentifier)
+            .unwrap();
+        let restricted = ["b".to_string()];
+        let view =
+            MicrodataView::from_db_with(&db, &dict, NullSemantics::MaybeMatch, Some(&restricted))
+                .unwrap();
+        assert_eq!(view.qi_names, vec!["b"]);
+        // restricting away everything is an error
+        let none: [String; 0] = [];
+        assert!(
+            MicrodataView::from_db_with(&db, &dict, NullSemantics::MaybeMatch, Some(&none))
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn risky_tuples_thresholding() {
+        let report = RiskReport {
+            measure: "test".into(),
+            risks: vec![0.1, 0.6, 0.5, 1.0],
+            details: vec![TupleRiskDetail::default(); 4],
+        };
+        assert_eq!(report.risky_tuples(0.5), vec![1, 3]);
+        assert_eq!(report.max_risk(), 1.0);
+        assert!((report.mean_risk() - 0.55).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_quasi_identifiers_is_an_error() {
+        let mut db = MicrodataDb::new("m", ["a"]).unwrap();
+        db.push_row(vec![Value::str("x")]).unwrap();
+        let mut dict = MetadataDictionary::new();
+        dict.register_attr("m", "a", "");
+        dict.set_category("m", "a", Category::NonIdentifying)
+            .unwrap();
+        assert!(MicrodataView::from_db(&db, &dict).is_err());
+    }
+
+    #[test]
+    fn helper_builds_views() {
+        let v = view_of(vec![vec!["a", "b"], vec!["a", "c"]], None);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.width(), 2);
+    }
+}

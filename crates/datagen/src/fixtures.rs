@@ -1,0 +1,299 @@
+//! Exact fixtures transcribed from the paper: the Figure 1 microdata
+//! fragment (Inflation & Growth survey) and the Figure 5a local-suppression
+//! example.
+
+use vadalog::Value;
+use vadasa_core::dictionary::{Category, MetadataDictionary};
+use vadasa_core::model::MicrodataDb;
+
+/// The 20-row Inflation & Growth fragment of Figure 1, with the paper's
+/// categorization: `Id` identifier; `Area`, `Sector`, `Employees`,
+/// `ResidentialRev`, `ExportRev` quasi-identifiers; `ExportToDE`,
+/// `Growth6mos` non-identifying; `Weight` sampling weight.
+pub fn inflation_growth_fig1() -> (MicrodataDb, MetadataDictionary) {
+    let attrs = [
+        "Id",
+        "Area",
+        "Sector",
+        "Employees",
+        "ResidentialRev",
+        "ExportRev",
+        "ExportToDE",
+        "Growth6mos",
+        "Weight",
+    ];
+    let mut db = MicrodataDb::new("I&G", attrs).expect("unique attrs");
+
+    // (Id, Area, Sector, Employees, ResRev, ExpRev, ExpToDE, Growth, Weight)
+    let rows: [(&str, &str, &str, &str, &str, &str, &str, i64, i64); 20] = [
+        (
+            "612276",
+            "North",
+            "Public Service",
+            "50-200",
+            "0-30",
+            "0-30",
+            "30-60",
+            2,
+            230,
+        ),
+        (
+            "737536", "South", "Commerce", "201-1000", "0-30", "90+", "0-30", -1, 190,
+        ),
+        (
+            "971906", "Center", "Commerce", "1000+", "0-30", "30-60", "0-30", 4, 70,
+        ),
+        (
+            "589681", "North", "Textiles", "1000+", "90+", "0-30", "0-30", 30, 60,
+        ),
+        (
+            "419410",
+            "North",
+            "Construction",
+            "1000+",
+            "90+",
+            "0-30",
+            "0-30",
+            300,
+            50,
+        ),
+        (
+            "972915", "North", "Other", "1000+", "0-30", "0-30", "30-60", 50, 70,
+        ),
+        (
+            "501118", "North", "Other", "201-1000", "60-90", "90+", "90+", -20, 300,
+        ),
+        (
+            "815363", "North", "Textiles", "201-1000", "60-90", "30-60", "90+", 2, 230,
+        ),
+        (
+            "490065",
+            "South",
+            "Public Service",
+            "50-200",
+            "0-30",
+            "0-30",
+            "0-30",
+            12,
+            123,
+        ),
+        (
+            "415487", "South", "Commerce", "1000+", "0-30", "0-30", "90+", 3, 145,
+        ),
+        (
+            "399087", "South", "Commerce", "50-200", "30-60", "0-30", "30-60", 2, 70,
+        ),
+        (
+            "170034", "Center", "Commerce", "1000+", "60-90", "0-30", "0-30", 45, 90,
+        ),
+        (
+            "724905",
+            "Center",
+            "Construction",
+            "201-1000",
+            "0-30",
+            "30-60",
+            "0-30",
+            2,
+            200,
+        ),
+        (
+            "554475", "Center", "Other", "50-200", "0-30", "90+", "0-30", 0, 104,
+        ),
+        (
+            "946251",
+            "Center",
+            "Public Service",
+            "201-1000",
+            "30-60",
+            "90+",
+            "90+",
+            150,
+            30,
+        ),
+        (
+            "581077", "North", "Textiles", "50-200", "0-30", "60-90", "30-60", -20, 160,
+        ),
+        (
+            "765562", "South", "Textiles", "50-200", "0-30", "60-90", "0-30", -7, 200,
+        ),
+        (
+            "154840", "Center", "Commerce", "201-1000", "0-30", "60-90", "0-30", 4, 220,
+        ),
+        (
+            "600837",
+            "Center",
+            "Construction",
+            "50-200",
+            "0-30",
+            "60-90",
+            "0-30",
+            20,
+            190,
+        ),
+        (
+            "220712",
+            "Center",
+            "Financial",
+            "1000+",
+            "30-60",
+            "60-90",
+            "30-60",
+            -30,
+            90,
+        ),
+    ];
+    for (id, area, sector, emp, res, exp, de, growth, w) in rows {
+        db.push_row(vec![
+            Value::str(id),
+            Value::str(area),
+            Value::str(sector),
+            Value::str(emp),
+            Value::str(res),
+            Value::str(exp),
+            Value::str(de),
+            Value::Int(growth),
+            Value::Int(w),
+        ])
+        .expect("arity");
+    }
+
+    let mut dict = MetadataDictionary::new();
+    let descriptions = [
+        ("Id", "Company Identifier"),
+        ("Area", "Geographic Area"),
+        ("Sector", "Product Sector"),
+        ("Employees", "Num. of employees"),
+        ("ResidentialRev", "Rev. from internal market"),
+        ("ExportRev", "Rev. from external market"),
+        ("ExportToDE", "Rev. from DE market"),
+        ("Growth6mos", "Rev. growth last 6 mths"),
+        ("Weight", "Sampling Weight"),
+    ];
+    for (a, d) in descriptions {
+        dict.register_attr("I&G", a, d);
+    }
+    dict.set_category("I&G", "Id", Category::Identifier)
+        .unwrap();
+    for a in ["Area", "Sector", "Employees", "ResidentialRev", "ExportRev"] {
+        dict.set_category("I&G", a, Category::QuasiIdentifier)
+            .unwrap();
+    }
+    for a in ["ExportToDE", "Growth6mos"] {
+        dict.set_category("I&G", a, Category::NonIdentifying)
+            .unwrap();
+    }
+    dict.set_category("I&G", "Weight", Category::Weight)
+        .unwrap();
+    (db, dict)
+}
+
+/// The 7-row Figure 5a table (all four attributes quasi-identifiers; the
+/// paper omits the weight, so a unit weight column is added for measures
+/// that need one).
+pub fn local_suppression_fig5a() -> (MicrodataDb, MetadataDictionary) {
+    let attrs = [
+        "Id",
+        "Area",
+        "Sector",
+        "Employees",
+        "ResidentialRev",
+        "Weight",
+    ];
+    let mut db = MicrodataDb::new("fig5", attrs).expect("unique attrs");
+    let rows: [(&str, &str, &str, &str, &str); 7] = [
+        ("099876", "Roma", "Textiles", "1000+", "0-30"),
+        ("765389", "Roma", "Commerce", "1000+", "0-30"),
+        ("231654", "Roma", "Commerce", "1000+", "0-30"),
+        ("097302", "Roma", "Financial", "1000+", "0-30"),
+        ("120967", "Roma", "Financial", "1000+", "0-30"),
+        ("232498", "Milano", "Construction", "0-200", "60-90"),
+        ("340901", "Torino", "Construction", "0-200", "60-90"),
+    ];
+    for (id, area, sector, emp, res) in rows {
+        db.push_row(vec![
+            Value::str(id),
+            Value::str(area),
+            Value::str(sector),
+            Value::str(emp),
+            Value::str(res),
+            Value::Int(1),
+        ])
+        .expect("arity");
+    }
+    let mut dict = MetadataDictionary::new();
+    for a in attrs {
+        dict.register_attr("fig5", a, "");
+    }
+    dict.set_category("fig5", "Id", Category::Identifier)
+        .unwrap();
+    for a in ["Area", "Sector", "Employees", "ResidentialRev"] {
+        dict.set_category("fig5", a, Category::QuasiIdentifier)
+            .unwrap();
+    }
+    dict.set_category("fig5", "Weight", Category::Weight)
+        .unwrap();
+    (db, dict)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vadasa_core::maybe_match::NullSemantics;
+    use vadasa_core::risk::{MicrodataView, ReIdentification, RiskMeasure};
+
+    #[test]
+    fn figure1_has_twenty_rows_and_paper_categories() {
+        let (db, dict) = inflation_growth_fig1();
+        assert_eq!(db.len(), 20);
+        assert_eq!(dict.quasi_identifiers("I&G").unwrap().len(), 5);
+        assert_eq!(dict.weight_attr("I&G").unwrap(), "Weight");
+    }
+
+    #[test]
+    fn figure1_extreme_risks_match_paper() {
+        // §2.2: "Re-identification risk is highest for tuple 15 (0.03) and
+        // lowest for tuple 7 (0.003)" — 1/30 ≈ 0.033 and 1/300 ≈ 0.0033.
+        let (db, dict) = inflation_growth_fig1();
+        let view = MicrodataView::from_db_with(&db, &dict, NullSemantics::Standard, None).unwrap();
+        let report = ReIdentification.evaluate(&view).unwrap();
+        let max_at = report
+            .risks
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        let min_at = report
+            .risks
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(max_at, 14, "tuple 15 (index 14) should be riskiest");
+        assert_eq!(min_at, 6, "tuple 7 (index 6) should be safest");
+        assert!((report.risks[14] - 1.0 / 30.0).abs() < 1e-9);
+        assert!((report.risks[6] - 1.0 / 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure1_tuple4_risk_is_one_sixtieth() {
+        // §2.2: tuple 4 is the only North/Textiles/1000+ company → 1/60.
+        let (db, dict) = inflation_growth_fig1();
+        let view = MicrodataView::from_db_with(&db, &dict, NullSemantics::Standard, None).unwrap();
+        let report = ReIdentification.evaluate(&view).unwrap();
+        assert_eq!(report.details[3].frequency, 1);
+        assert!((report.risks[3] - 1.0 / 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure5a_frequencies_match_paper() {
+        use vadasa_core::maybe_match::group_stats;
+        let (db, dict) = local_suppression_fig5a();
+        let view =
+            MicrodataView::from_db_with(&db, &dict, NullSemantics::MaybeMatch, None).unwrap();
+        let stats = group_stats(&view.qi_rows, None, NullSemantics::MaybeMatch);
+        assert_eq!(stats.count, vec![1, 2, 2, 2, 2, 1, 1]);
+    }
+}

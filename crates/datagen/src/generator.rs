@@ -1,0 +1,384 @@
+//! Synthetic microdata generation for the three distribution regimes of
+//! the paper's evaluation (Figure 6).
+//!
+//! Every experiment of Section 5 depends only on the *frequency spectrum*
+//! of quasi-identifier combinations and on the sampling weights, so the
+//! generator uses a mixture model that controls that spectrum directly:
+//!
+//! - with probability `1 − p_rare`, a row instantiates one of `K`
+//!   *prototype* combinations (Zipf-weighted), producing the large
+//!   equivalence classes of real survey data;
+//! - with probability `p_rare`, a row is an *outlier*: every
+//!   quasi-identifier is drawn independently and uniformly, making the
+//!   combination almost surely (near-)unique — a risky tuple.
+//!
+//! A third mixture component, *minor rows*, perturbs one attribute of a
+//! major prototype: these form the small equivalence classes (size 1-6)
+//! that become risky as the k-anonymity threshold grows, and their shared
+//! structure is what lets one suppression defuse several of them (the
+//! sub-linear information loss of Figure 7b). The regimes differ in the
+//! outlier and minor rates and in the prototype count:
+//!
+//! | regime | meaning          | outliers | minors | prototypes |
+//! |--------|------------------|----------|--------|------------|
+//! | `W`    | real-world-like  | 0.0003   | 0.0035 | 60         |
+//! | `U`    | unbalanced       | 0.0025   | 0.015  | 120        |
+//! | `V`    | very unbalanced  | 0.008    | 0.05   | 240        |
+//!
+//! Sampling weights follow the paper's §2.1 definition: the weight of a
+//! tuple estimates how many population entities share its combination, so
+//! prototype rows (frequent, well-represented) receive large weights and
+//! outliers small ones — which is what makes the "less significant first"
+//! heuristic meaningful.
+
+use crate::domains::{MAX_QI, QI_COLUMNS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vadalog::Value;
+use vadasa_core::dictionary::{Category, MetadataDictionary};
+use vadasa_core::model::MicrodataDb;
+
+/// The three distribution regimes of Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Regime {
+    /// Real-world-like ("W"): few risky tuples.
+    W,
+    /// Unbalanced ("U"): many selective combinations.
+    U,
+    /// Very unbalanced ("V"): heavy-tailed, many sample uniques.
+    V,
+}
+
+impl Regime {
+    /// Regime letter as used in dataset names.
+    pub fn letter(&self) -> char {
+        match self {
+            Regime::W => 'W',
+            Regime::U => 'U',
+            Regime::V => 'V',
+        }
+    }
+
+    /// Outlier probability of the mixture (rows that are almost surely
+    /// sample-unique).
+    pub fn outlier_rate(&self) -> f64 {
+        match self {
+            Regime::W => 0.0003,
+            Regime::U => 0.0025,
+            Regime::V => 0.008,
+        }
+    }
+
+    /// Minor-row probability: rows that perturb one attribute of a major
+    /// prototype, forming the small equivalence classes (size 1–6) that
+    /// become risky as the k-anonymity threshold grows.
+    pub fn minor_rate(&self) -> f64 {
+        match self {
+            Regime::W => 0.0035,
+            Regime::U => 0.015,
+            Regime::V => 0.05,
+        }
+    }
+
+    /// Number of prototype combinations.
+    pub fn prototypes(&self) -> usize {
+        match self {
+            Regime::W => 60,
+            Regime::U => 120,
+            Regime::V => 240,
+        }
+    }
+}
+
+/// A dataset specification (one row of Figure 6).
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    /// Catalogue name, e.g. `"R25A4W"`.
+    pub name: String,
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of quasi-identifier attributes (4–9).
+    pub qi_count: usize,
+    /// Distribution regime.
+    pub regime: Regime,
+}
+
+impl DatasetSpec {
+    /// Parse a Figure 6 style name (`R25A4W` → 25k rows, 4 QIs, regime W),
+    /// accepting arbitrary sizes and widths beyond the fixed catalogue.
+    pub fn parse(name: &str) -> Option<Self> {
+        let rest = name.strip_prefix('R')?;
+        let a_pos = rest.find('A')?;
+        let rows_k: usize = rest[..a_pos].parse().ok()?;
+        let tail = &rest[a_pos + 1..];
+        if tail.len() < 2 {
+            return None;
+        }
+        let (qi_str, regime_str) = tail.split_at(tail.len() - 1);
+        let qi_count: usize = qi_str.parse().ok()?;
+        if !(1..=MAX_QI).contains(&qi_count) || rows_k == 0 {
+            return None;
+        }
+        let regime = match regime_str {
+            "W" => Regime::W,
+            "U" => Regime::U,
+            "V" => Regime::V,
+            _ => return None,
+        };
+        Some(DatasetSpec::new(rows_k * 1000, qi_count, regime))
+    }
+
+    /// Build a spec; the name is derived as `R{rows/1000}A{qi}{regime}`.
+    pub fn new(rows: usize, qi_count: usize, regime: Regime) -> Self {
+        assert!(
+            (1..=MAX_QI).contains(&qi_count),
+            "qi_count must be between 1 and {MAX_QI}"
+        );
+        DatasetSpec {
+            name: format!("R{}A{}{}", rows / 1000, qi_count, regime.letter()),
+            rows,
+            qi_count,
+            regime,
+        }
+    }
+}
+
+/// Deterministically generate a microdata DB and its categorized
+/// dictionary from a spec and a seed.
+pub fn generate(spec: &DatasetSpec, seed: u64) -> (MicrodataDb, MetadataDictionary) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDA7A_6E6E);
+    let qis: Vec<(&str, &[&str])> = QI_COLUMNS[..spec.qi_count].to_vec();
+
+    // --- prototypes: Zipf-weighted common combinations ---
+    let proto_count = spec.regime.prototypes();
+    let mut prototypes: Vec<Vec<usize>> = Vec::with_capacity(proto_count);
+    for _ in 0..proto_count {
+        prototypes.push(
+            qis.iter()
+                .map(|(_, domain)| rng.gen_range(0..domain.len()))
+                .collect(),
+        );
+    }
+    // Zipf-ish prototype mass: p_i ∝ 1 / (i + 1)
+    let zipf: Vec<f64> = (0..proto_count).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+    let zipf_total: f64 = zipf.iter().sum();
+
+    // --- schema: Id | QIs... | Growth (non-identifying) | Weight ---
+    let mut attrs: Vec<String> = vec!["Id".to_string()];
+    attrs.extend(qis.iter().map(|(n, _)| n.to_string()));
+    attrs.push("Growth".to_string());
+    attrs.push("Weight".to_string());
+    let mut db = MicrodataDb::new(&spec.name, attrs.clone()).expect("unique attr names");
+
+    // scale factor between sample and (synthetic) population
+    let pop_scale = 10.0;
+
+    // Outliers need a combination space far larger than the cross product
+    // of the base domains, otherwise they collide with each other at scale
+    // and stop being risky. Each column gets a pool of `RARE_PER_COLUMN`
+    // synthetic rare variants ("Textiles·r17"-style specializations) that
+    // prototypes never use; outlier rows mix base values and rare variants
+    // so their combinations are unique with overwhelming probability.
+    const RARE_PER_COLUMN: usize = 40;
+    let pick_prototype = |rng: &mut StdRng| -> usize {
+        let mut u = rng.gen_range(0.0..zipf_total);
+        for (i, z) in zipf.iter().enumerate() {
+            if u < *z {
+                return i;
+            }
+            u -= z;
+        }
+        0
+    };
+    let mut combos: Vec<Vec<usize>> = Vec::with_capacity(spec.rows);
+    let mut is_outlier: Vec<bool> = Vec::with_capacity(spec.rows);
+    for _ in 0..spec.rows {
+        let dice: f64 = rng.gen_range(0.0..1.0);
+        is_outlier.push(dice < spec.regime.outlier_rate());
+        if dice < spec.regime.outlier_rate() {
+            // outlier: each attribute is either a uniform base value or a
+            // rare variant (encoded as index ≥ domain.len()); the combo
+            // space is huge, so outliers are almost surely unique
+            combos.push(
+                qis.iter()
+                    .map(|(_, domain)| {
+                        if rng.gen_bool(0.5) {
+                            rng.gen_range(0..domain.len())
+                        } else {
+                            domain.len() + rng.gen_range(0..RARE_PER_COLUMN)
+                        }
+                    })
+                    .collect(),
+            );
+        } else if dice < spec.regime.outlier_rate() + spec.regime.minor_rate() {
+            // minor row: a major prototype with ONE attribute flipped to a
+            // different base value. Minor rows sharing (prototype, column)
+            // agree on every other attribute, so suppressing the flipped
+            // column of one lifts its siblings — the structure behind the
+            // paper's sub-linear information loss (Figure 7b).
+            let p = pick_prototype(&mut rng);
+            let mut combo = prototypes[p].clone();
+            let j = rng.gen_range(0..combo.len());
+            let domain_len = qis[j].1.len();
+            if domain_len > 1 {
+                let mut v = rng.gen_range(0..domain_len);
+                while v == prototypes[p][j] {
+                    v = rng.gen_range(0..domain_len);
+                }
+                combo[j] = v;
+            }
+            combos.push(combo);
+        } else {
+            combos.push(prototypes[pick_prototype(&mut rng)].clone());
+        }
+    }
+
+    // sample frequency of each combination → weight synthesis
+    use std::collections::HashMap;
+    let mut freq: HashMap<&[usize], usize> = HashMap::new();
+    for c in &combos {
+        *freq.entry(c.as_slice()).or_insert(0) += 1;
+    }
+
+    for (i, combo) in combos.iter().enumerate() {
+        let mut row: Vec<Value> = Vec::with_capacity(attrs.len());
+        row.push(Value::Int(100_000 + i as i64)); // Id
+        for ((_, domain), &vi) in qis.iter().zip(combo.iter()) {
+            if vi < domain.len() {
+                row.push(Value::str(domain[vi]));
+            } else {
+                // rare variant: a specialization of a base value
+                let base = domain[vi % domain.len()];
+                row.push(Value::str(format!("{base}·r{}", vi - domain.len())));
+            }
+        }
+        // Growth: non-identifying numeric payload
+        row.push(Value::Int(rng.gen_range(-30..300)));
+        // Weight: population look-alikes. Regular rows: sample frequency ×
+        // scale with multiplicative noise. Outliers: their combination is
+        // rare in the *population* too, so the weight is 1–2 — which is
+        // what makes them dangerous under the individual-risk posterior
+        // (p̂ = f/Σw near 1).
+        let w = if is_outlier[i] {
+            rng.gen_range(1..=2) as f64
+        } else {
+            let f = freq[combo.as_slice()] as f64;
+            let noise = 0.5 + rng.gen_range(0.0..1.0);
+            (f * pop_scale * noise).round().max(2.0)
+        };
+        row.push(Value::Int(w as i64));
+        db.push_row(row).expect("arity matches schema");
+    }
+
+    // --- dictionary ---
+    let mut dict = MetadataDictionary::new();
+    dict.register_attr(&spec.name, "Id", "Synthetic company identifier");
+    dict.set_category(&spec.name, "Id", Category::Identifier)
+        .expect("registered");
+    for (n, _) in &qis {
+        dict.register_attr(&spec.name, *n, "Synthetic survey attribute");
+        dict.set_category(&spec.name, n, Category::QuasiIdentifier)
+            .expect("registered");
+    }
+    dict.register_attr(&spec.name, "Growth", "Revenue growth, last 6 months");
+    dict.set_category(&spec.name, "Growth", Category::NonIdentifying)
+        .expect("registered");
+    dict.register_attr(&spec.name, "Weight", "Sampling weight");
+    dict.set_category(&spec.name, "Weight", Category::Weight)
+        .expect("registered");
+
+    (db, dict)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vadasa_core::maybe_match::{group_stats, NullSemantics};
+    use vadasa_core::risk::MicrodataView;
+
+    fn uniques(db: &MicrodataDb, dict: &MetadataDictionary) -> usize {
+        let view = MicrodataView::from_db_with(db, dict, NullSemantics::Standard, None).unwrap();
+        let stats = group_stats(&view.qi_rows, None, NullSemantics::Standard);
+        stats.count.iter().filter(|&&c| c == 1).count()
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = DatasetSpec::new(2000, 4, Regime::U);
+        let (a, _) = generate(&spec, 7);
+        let (b, _) = generate(&spec, 7);
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            assert_eq!(a.row(i).unwrap(), b.row(i).unwrap());
+        }
+        let (c, _) = generate(&spec, 8);
+        let differs = (0..a.len()).any(|i| a.row(i).unwrap() != c.row(i).unwrap());
+        assert!(differs, "different seeds must differ");
+    }
+
+    #[test]
+    fn spec_parse_roundtrips_names() {
+        for name in ["R6A4U", "R25A4W", "R50A9W", "R100A4U", "R3A2V"] {
+            let spec = DatasetSpec::parse(name).unwrap();
+            assert_eq!(spec.name, name);
+        }
+        for bad in ["X25A4W", "R25A4Z", "R25B4W", "RA4W", "R25A99W", "R0A4W", ""] {
+            assert!(DatasetSpec::parse(bad).is_none(), "{bad} should not parse");
+        }
+    }
+
+    #[test]
+    fn spec_names_follow_figure6_convention() {
+        assert_eq!(DatasetSpec::new(25_000, 4, Regime::W).name, "R25A4W");
+        assert_eq!(DatasetSpec::new(100_000, 4, Regime::U).name, "R100A4U");
+        assert_eq!(DatasetSpec::new(50_000, 9, Regime::W).name, "R50A9W");
+    }
+
+    #[test]
+    fn regimes_order_risky_tuples() {
+        // more unbalanced ⇒ more sample uniques, at equal size
+        let n = 5000;
+        let w = {
+            let (db, dict) = generate(&DatasetSpec::new(n, 4, Regime::W), 42);
+            uniques(&db, &dict)
+        };
+        let u = {
+            let (db, dict) = generate(&DatasetSpec::new(n, 4, Regime::U), 42);
+            uniques(&db, &dict)
+        };
+        let v = {
+            let (db, dict) = generate(&DatasetSpec::new(n, 4, Regime::V), 42);
+            uniques(&db, &dict)
+        };
+        assert!(w < u, "W={w} should have fewer uniques than U={u}");
+        assert!(u < v, "U={u} should have fewer uniques than V={v}");
+        // and W is genuinely mild
+        assert!(w <= n / 100, "W regime too risky: {w} uniques in {n}");
+    }
+
+    #[test]
+    fn weights_are_positive_and_weight_column_numeric() {
+        let (db, dict) = generate(&DatasetSpec::new(1000, 5, Regime::V), 3);
+        let w = db.numeric_column("Weight").unwrap();
+        assert!(w.iter().all(|&x| x >= 1.0));
+        // non-outlier rows keep the >= 2 floor, so some weights are larger
+        assert!(w.iter().any(|&x| x >= 2.0));
+        assert_eq!(dict.weight_attr(&db.name).unwrap(), "Weight");
+        assert_eq!(dict.quasi_identifiers(&db.name).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn qi_width_matches_spec() {
+        for width in [4usize, 6, 9] {
+            let (db, dict) = generate(&DatasetSpec::new(500, width, Regime::W), 1);
+            assert_eq!(dict.quasi_identifiers(&db.name).unwrap().len(), width);
+            assert_eq!(db.attributes().len(), width + 3); // Id, Growth, Weight
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "qi_count")]
+    fn too_many_qis_panics() {
+        DatasetSpec::new(10, 99, Regime::W);
+    }
+}

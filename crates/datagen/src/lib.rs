@@ -1,0 +1,30 @@
+//! # vadasa-datagen — synthetic microdata for the Vada-SA reproduction
+//!
+//! The paper evaluates Vada-SA on Bank of Italy survey data (proprietary)
+//! plus synthetic datasets. This crate substitutes both with controlled
+//! synthesis (see DESIGN.md):
+//!
+//! - [`fixtures`] — the exact Figure 1 (Inflation & Growth fragment) and
+//!   Figure 5a tables transcribed from the paper;
+//! - [`generator`] — the W/U/V distribution regimes, a mixture model over
+//!   quasi-identifier combination frequencies;
+//! - [`catalog`] — the twelve named datasets of Figure 6 (`R6A4U` …
+//!   `R100A4U`), deterministically seeded;
+//! - [`oracle`] — identity-oracle simulation honouring sampling weights,
+//!   for the record-linkage attack experiments;
+//! - [`domains`] — the survey attribute vocabulary.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod domains;
+pub mod fixtures;
+pub mod generator;
+pub mod households;
+pub mod oracle;
+
+pub use catalog::{by_name, figure6_specs, CATALOG_SEED};
+pub use fixtures::{inflation_growth_fig1, local_suppression_fig5a};
+pub use generator::{generate, DatasetSpec, Regime};
+pub use households::{generate_households, HouseholdSurvey};
+pub use oracle::{IdentityOracle, OracleRecord};

@@ -1,0 +1,124 @@
+//! Blocking: restrict the cohort of candidate matches (paper §2.2, step 1
+//! of the attack strategy).
+//!
+//! Given a target tuple from the (possibly anonymized) microdata DB, the
+//! attacker filters the identity oracle down to the records that agree
+//! with the target on every quasi-identifier. A labelled null in the
+//! target matches anything — precisely why local suppression makes
+//! blocking ineffective: the candidate cluster blows up, and "with large
+//! clusters, exhaustive comparison is both computationally expensive and
+//! yields an overly uncertain result".
+
+use std::collections::HashMap;
+use vadalog::Value;
+use vadasa_datagen::oracle::IdentityOracle;
+
+/// An index over the oracle for fast candidate retrieval.
+pub struct BlockingIndex<'a> {
+    oracle: &'a IdentityOracle,
+    /// per null-mask index: constant positions → (key → record indices)
+    masked: HashMap<u64, HashMap<Vec<Value>, Vec<usize>>>,
+    width: usize,
+}
+
+impl<'a> BlockingIndex<'a> {
+    /// Build an (initially empty) index over the oracle.
+    pub fn new(oracle: &'a IdentityOracle) -> Self {
+        let width = oracle.qi_names.len();
+        BlockingIndex {
+            oracle,
+            masked: HashMap::new(),
+            width,
+        }
+    }
+
+    /// Candidate record indices matching `target` on its non-null
+    /// quasi-identifiers. An all-null target matches the whole oracle.
+    pub fn candidates(&mut self, target: &[Value]) -> Vec<usize> {
+        assert_eq!(target.len(), self.width, "target arity mismatch");
+        let mut mask = 0u64;
+        for (c, v) in target.iter().enumerate() {
+            if v.is_null() {
+                mask |= 1 << c;
+            }
+        }
+        if mask == (1u64 << self.width) - 1 && self.width > 0 {
+            return (0..self.oracle.len()).collect();
+        }
+        let width = self.width;
+        let oracle = self.oracle;
+        let index = self.masked.entry(mask).or_insert_with(|| {
+            let const_cols: Vec<usize> = (0..width).filter(|c| mask & (1 << c) == 0).collect();
+            let mut idx: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+            for (i, rec) in oracle.records.iter().enumerate() {
+                let key: Vec<Value> = const_cols.iter().map(|&c| rec.qi[c].clone()).collect();
+                idx.entry(key).or_default().push(i);
+            }
+            idx
+        });
+        let const_cols: Vec<usize> = (0..width).filter(|c| mask & (1 << c) == 0).collect();
+        let key: Vec<Value> = const_cols.iter().map(|&c| target[c].clone()).collect();
+        index.get(&key).cloned().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vadasa_datagen::oracle::OracleRecord;
+
+    fn oracle() -> IdentityOracle {
+        let mk = |id: i64, qi: &[&str], ident: &str| OracleRecord {
+            id: Value::Int(id),
+            qi: qi.iter().map(Value::str).collect(),
+            identity: ident.to_string(),
+        };
+        IdentityOracle {
+            records: vec![
+                mk(1, &["North", "Textiles"], "A"),
+                mk(2, &["North", "Commerce"], "B"),
+                mk(3, &["North", "Commerce"], "C"),
+                mk(4, &["South", "Textiles"], "D"),
+            ],
+            qi_names: vec!["Area".into(), "Sector".into()],
+        }
+    }
+
+    #[test]
+    fn exact_blocking_selects_matching_records() {
+        let o = oracle();
+        let mut idx = BlockingIndex::new(&o);
+        let c = idx.candidates(&[Value::str("North"), Value::str("Commerce")]);
+        assert_eq!(c.len(), 2);
+        let c = idx.candidates(&[Value::str("North"), Value::str("Textiles")]);
+        assert_eq!(c.len(), 1);
+        let c = idx.candidates(&[Value::str("East"), Value::str("Textiles")]);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn null_in_target_widens_the_block() {
+        let o = oracle();
+        let mut idx = BlockingIndex::new(&o);
+        let c = idx.candidates(&[Value::str("North"), Value::Null(0)]);
+        assert_eq!(c.len(), 3);
+        let c = idx.candidates(&[Value::Null(0), Value::str("Textiles")]);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn all_null_target_matches_everything() {
+        let o = oracle();
+        let mut idx = BlockingIndex::new(&o);
+        let c = idx.candidates(&[Value::Null(0), Value::Null(1)]);
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let o = oracle();
+        let mut idx = BlockingIndex::new(&o);
+        idx.candidates(&[Value::str("North")]);
+    }
+}

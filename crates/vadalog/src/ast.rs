@@ -1,0 +1,507 @@
+//! Abstract syntax for Vadalog-style programs.
+//!
+//! The fragment implemented here is the one the Vada-SA paper's nine
+//! algorithm listings need: Datalog with existential quantification in rule
+//! heads (Datalog±), stratified negation, monotonic aggregation with
+//! explicit contributors, equality-generating dependencies (EGDs), and an
+//! expression language (arithmetic, comparisons, `case … then … else`, set
+//! indexing and membership).
+
+use crate::value::Value;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A term in an atom: either a ground constant or a variable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// Ground constant.
+    Const(Value),
+    /// Named variable (conventionally capitalized).
+    Var(String),
+}
+
+impl Term {
+    /// Variable name, if this term is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Const(v) => write!(f, "{v}"),
+            Term::Var(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A predicate applied to terms, e.g. `cat(M, A, C)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// Predicate name.
+    pub pred: String,
+    /// Argument terms.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Build an atom from a predicate name and terms.
+    pub fn new(pred: impl Into<String>, args: Vec<Term>) -> Self {
+        Atom {
+            pred: pred.into(),
+            args,
+        }
+    }
+
+    /// All variable names occurring in the atom.
+    pub fn vars(&self) -> impl Iterator<Item = &str> {
+        self.args.iter().filter_map(|t| t.as_var())
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.pred)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Binary operators of the expression language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // arithmetic / comparison operators are self-describing
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+    /// Set / tuple membership: `X in S`.
+    In,
+    /// Strict subset test between set values: `A subset B`.
+    Subset,
+    /// Set union of two set values.
+    Union,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Boolean negation.
+    Not,
+}
+
+/// Expressions evaluated against a variable binding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A ground constant.
+    Const(Value),
+    /// A variable reference.
+    Var(String),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// `case COND then A else B` — three-way conditional.
+    Case {
+        /// Condition expression (must evaluate to a boolean).
+        cond: Box<Expr>,
+        /// Value when the condition holds.
+        then: Box<Expr>,
+        /// Value otherwise.
+        otherwise: Box<Expr>,
+    },
+    /// Indexing into a set of pairs: `VSet[K]` retrieves the value paired
+    /// with key `K`; with a set-valued key it retrieves the set of pairs
+    /// whose keys belong to the key set (the paper's `VSet[AnonSet]`).
+    Index(Box<Expr>, Box<Expr>),
+    /// Built-in function call, e.g. `size(S)`, `pair(A, B)`, `first(P)`.
+    Call(String, Vec<Expr>),
+}
+
+impl Expr {
+    /// Convenience: constant expression.
+    pub fn val(v: impl Into<Value>) -> Self {
+        Expr::Const(v.into())
+    }
+
+    /// Convenience: variable expression.
+    pub fn var(name: impl Into<String>) -> Self {
+        Expr::Var(name.into())
+    }
+
+    /// Collect variable names referenced by this expression.
+    pub fn collect_vars(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Var(v) => {
+                out.insert(v.clone());
+            }
+            Expr::Binary(_, a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Expr::Unary(_, a) => a.collect_vars(out),
+            Expr::Case {
+                cond,
+                then,
+                otherwise,
+            } => {
+                cond.collect_vars(out);
+                then.collect_vars(out);
+                otherwise.collect_vars(out);
+            }
+            Expr::Index(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.collect_vars(out);
+                }
+            }
+        }
+    }
+}
+
+/// Monotonic aggregation functions (paper §3, §4.3).
+///
+/// Per the monotonic-aggregation semantics of Vadalog, multiple
+/// contributions from the *same contributor* within a group collapse to the
+/// extremal one, so replacing a tuple with a "more anonymous version" (same
+/// contributor id) updates the aggregate instead of double counting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// Monotonic sum.
+    MSum,
+    /// Monotonic count of distinct contributors.
+    MCount,
+    /// Monotonic product.
+    MProd,
+    /// Monotonic minimum.
+    MMin,
+    /// Monotonic maximum.
+    MMax,
+    /// Monotonic union: collects values into a set.
+    MUnion,
+}
+
+impl AggFunc {
+    /// Parse an aggregate name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "msum" => AggFunc::MSum,
+            "mcount" => AggFunc::MCount,
+            "mprod" => AggFunc::MProd,
+            "mmin" => AggFunc::MMin,
+            "mmax" => AggFunc::MMax,
+            "munion" => AggFunc::MUnion,
+            _ => return None,
+        })
+    }
+
+    /// Canonical textual name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggFunc::MSum => "msum",
+            AggFunc::MCount => "mcount",
+            AggFunc::MProd => "mprod",
+            AggFunc::MMin => "mmin",
+            AggFunc::MMax => "mmax",
+            AggFunc::MUnion => "munion",
+        }
+    }
+}
+
+/// A single body literal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Positive atom to be joined.
+    Pos(Atom),
+    /// Negated atom (`not p(X)`); stratified semantics.
+    Neg(Atom),
+    /// Boolean condition over bound variables, e.g. `R > T`.
+    Cond(Expr),
+    /// Assignment `X = expr` binding a fresh variable.
+    Let {
+        /// Variable being bound.
+        var: String,
+        /// Expression computed from previously bound variables.
+        expr: Expr,
+    },
+    /// Monotonic aggregation `X = f(expr, <contributors>)`.
+    Agg {
+        /// Variable receiving the aggregate result.
+        var: String,
+        /// Aggregation function.
+        func: AggFunc,
+        /// Contribution expression.
+        arg: Expr,
+        /// Contributor expressions (`⟨I⟩` in the paper).
+        contributors: Vec<Expr>,
+    },
+}
+
+impl Literal {
+    /// Variables *required* to be bound before this literal can evaluate
+    /// (for safety checking).
+    pub fn required_vars(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        match self {
+            Literal::Pos(_) => {}
+            Literal::Neg(a) => {
+                for v in a.vars() {
+                    out.insert(v.to_string());
+                }
+            }
+            Literal::Cond(e) => e.collect_vars(&mut out),
+            Literal::Let { expr, .. } => expr.collect_vars(&mut out),
+            Literal::Agg {
+                arg, contributors, ..
+            } => {
+                arg.collect_vars(&mut out);
+                for c in contributors {
+                    c.collect_vars(&mut out);
+                }
+            }
+        }
+        out
+    }
+
+    /// Variables newly bound by this literal.
+    pub fn bound_vars(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        match self {
+            Literal::Pos(a) => {
+                for v in a.vars() {
+                    out.insert(v.to_string());
+                }
+            }
+            Literal::Neg(_) | Literal::Cond(_) => {}
+            Literal::Let { var, .. } | Literal::Agg { var, .. } => {
+                out.insert(var.clone());
+            }
+        }
+        out
+    }
+}
+
+/// Rule head: ordinary atoms (TGD) or a term equation (EGD).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Head {
+    /// One or more head atoms derived together.
+    Atoms(Vec<Atom>),
+    /// Equality-generating dependency `t1 = t2`.
+    Equality(Term, Term),
+}
+
+/// A rule: `head :- body.`
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Head of the rule.
+    pub head: Head,
+    /// Ordered body literals.
+    pub body: Vec<Literal>,
+    /// Optional label for diagnostics / provenance.
+    pub label: Option<String>,
+}
+
+impl Rule {
+    /// Head variables that never occur bound in the body: these are the
+    /// existentially quantified variables (`∃Z` in the paper listings).
+    pub fn existential_vars(&self) -> BTreeSet<String> {
+        let mut body_vars: BTreeSet<String> = BTreeSet::new();
+        for lit in &self.body {
+            body_vars.extend(lit.bound_vars());
+        }
+        let mut out = BTreeSet::new();
+        if let Head::Atoms(atoms) = &self.head {
+            for a in atoms {
+                for v in a.vars() {
+                    if !body_vars.contains(v) {
+                        out.insert(v.to_string());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Head predicates (empty for EGDs).
+    pub fn head_preds(&self) -> Vec<&str> {
+        match &self.head {
+            Head::Atoms(atoms) => atoms.iter().map(|a| a.pred.as_str()).collect(),
+            Head::Equality(_, _) => vec![],
+        }
+    }
+
+    /// Body predicates with the polarity of their occurrence.
+    /// The boolean is `true` for positive occurrences.
+    pub fn body_preds(&self) -> Vec<(&str, bool)> {
+        self.body
+            .iter()
+            .filter_map(|l| match l {
+                Literal::Pos(a) => Some((a.pred.as_str(), true)),
+                Literal::Neg(a) => Some((a.pred.as_str(), false)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Does this rule contain an aggregation literal?
+    pub fn has_aggregate(&self) -> bool {
+        self.body.iter().any(|l| matches!(l, Literal::Agg { .. }))
+    }
+}
+
+/// A fact: predicate plus ground values.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Fact {
+    /// Predicate name.
+    pub pred: String,
+    /// Ground argument values.
+    pub args: Vec<Value>,
+}
+
+impl Fact {
+    /// Build a fact.
+    pub fn new(pred: impl Into<String>, args: Vec<Value>) -> Self {
+        Fact {
+            pred: pred.into(),
+            args,
+        }
+    }
+}
+
+impl fmt::Display for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.pred)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A parsed program: rules plus inline facts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// All rules (TGDs and EGDs) in source order.
+    pub rules: Vec<Rule>,
+    /// Ground facts stated inline in the program text.
+    pub facts: Vec<Fact>,
+}
+
+impl Program {
+    /// Create an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merge another program into this one.
+    pub fn extend(&mut self, other: Program) {
+        self.rules.extend(other.rules);
+        self.facts.extend(other.facts);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atom(p: &str, vars: &[&str]) -> Atom {
+        Atom::new(p, vars.iter().map(|v| Term::Var(v.to_string())).collect())
+    }
+
+    #[test]
+    fn existential_detection() {
+        // comb(Z, I) :- tuple(M, I, V).   — Z is existential
+        let rule = Rule {
+            head: Head::Atoms(vec![atom("comb", &["Z", "I"])]),
+            body: vec![Literal::Pos(atom("tuple", &["M", "I", "V"]))],
+            label: None,
+        };
+        let ex = rule.existential_vars();
+        assert!(ex.contains("Z"));
+        assert!(!ex.contains("I"));
+    }
+
+    #[test]
+    fn let_binds_head_var_so_not_existential() {
+        let rule = Rule {
+            head: Head::Atoms(vec![atom("out", &["R"])]),
+            body: vec![
+                Literal::Pos(atom("t", &["X"])),
+                Literal::Let {
+                    var: "R".into(),
+                    expr: Expr::var("X"),
+                },
+            ],
+            label: None,
+        };
+        assert!(rule.existential_vars().is_empty());
+    }
+
+    #[test]
+    fn body_preds_polarity() {
+        let rule = Rule {
+            head: Head::Atoms(vec![atom("h", &["X"])]),
+            body: vec![
+                Literal::Pos(atom("p", &["X"])),
+                Literal::Neg(atom("q", &["X"])),
+            ],
+            label: None,
+        };
+        assert_eq!(rule.body_preds(), vec![("p", true), ("q", false)]);
+    }
+
+    #[test]
+    fn aggregate_literal_reports_vars() {
+        let lit = Literal::Agg {
+            var: "R".into(),
+            func: AggFunc::MSum,
+            arg: Expr::var("W"),
+            contributors: vec![Expr::var("I")],
+        };
+        assert!(lit.required_vars().contains("W"));
+        assert!(lit.required_vars().contains("I"));
+        assert!(lit.bound_vars().contains("R"));
+    }
+
+    #[test]
+    fn agg_func_roundtrip() {
+        for f in [
+            AggFunc::MSum,
+            AggFunc::MCount,
+            AggFunc::MProd,
+            AggFunc::MMin,
+            AggFunc::MMax,
+            AggFunc::MUnion,
+        ] {
+            assert_eq!(AggFunc::from_name(f.name()), Some(f));
+        }
+        assert_eq!(AggFunc::from_name("sum"), None);
+    }
+}

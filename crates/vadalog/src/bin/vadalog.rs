@@ -1,0 +1,163 @@
+//! A small command-line front end for the vadalog engine.
+//!
+//! ```text
+//! vadalog PROGRAM.vada [FACTS.vada ...] [options]
+//!
+//!   --output PRED     print only this predicate (repeatable; default: all
+//!                     predicates derived by rule heads)
+//!   --trace           print provenance for every derived fact
+//!   --warded          run the wardedness analysis and report violations
+//!   --stats           print evaluation statistics
+//! ```
+//!
+//! Programs and fact files share one syntax (see the crate docs); fact
+//! files typically contain only ground atoms. Example:
+//!
+//! ```text
+//! $ cat tc.vada
+//! edge(1, 2). edge(2, 3).
+//! path(X, Y) :- edge(X, Y).
+//! path(X, Y) :- edge(X, Z), path(Z, Y).
+//! $ vadalog tc.vada --output path
+//! path(1, 2)
+//! path(1, 3)
+//! path(2, 3)
+//! ```
+
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+use vadalog::{parse_program, warded_analyze, Database, Engine, EngineConfig, Fact, Head};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: vadalog PROGRAM.vada [FACTS.vada ...] [--output PRED]... [--trace] [--warded] [--stats]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut files: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut trace = false;
+    let mut warded = false;
+    let mut stats = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--output" => match args.next() {
+                Some(p) => outputs.push(p),
+                None => usage(),
+            },
+            "--trace" => trace = true,
+            "--warded" => warded = true,
+            "--stats" => stats = true,
+            "--help" | "-h" => usage(),
+            other if other.starts_with("--") => {
+                eprintln!("unknown option {other}");
+                usage();
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    if files.is_empty() {
+        usage();
+    }
+
+    // first file is the program; the rest contribute facts (and may also
+    // contain rules — they are merged)
+    let mut program = vadalog::Program::new();
+    for (i, path) in files.iter().enumerate() {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match parse_program(&text) {
+            Ok(p) => program.extend(p),
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if i == 0 && program.rules.is_empty() {
+            eprintln!("warning: {path} contains no rules");
+        }
+    }
+
+    if warded {
+        let report = warded_analyze(&program);
+        if report.is_warded() {
+            println!("% program is warded");
+        } else {
+            for (rule, why) in &report.violations {
+                println!("% wardedness violation in rule {rule}: {why}");
+            }
+        }
+    }
+
+    let engine = Engine::with_config(EngineConfig {
+        trace,
+        ..Default::default()
+    });
+    let result = match engine.run(&program, Database::new()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("evaluation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // default outputs: all head predicates
+    let outputs: BTreeSet<String> = if outputs.is_empty() {
+        program
+            .rules
+            .iter()
+            .filter_map(|r| match &r.head {
+                Head::Atoms(atoms) => Some(atoms.iter().map(|a| a.pred.clone())),
+                Head::Equality(_, _) => None,
+            })
+            .flatten()
+            .collect()
+    } else {
+        outputs.into_iter().collect()
+    };
+
+    for pred in &outputs {
+        let mut rows = result.db.rows(pred);
+        rows.sort();
+        for row in rows {
+            println!("{}", Fact::new(pred.clone(), row));
+        }
+    }
+
+    if trace {
+        println!("% --- provenance ---");
+        for t in &result.trace {
+            println!("% {} ⟵ [{}]", t.fact, t.rule);
+        }
+    }
+    for v in &result.violations {
+        println!(
+            "% EGD violation{}: {} ≠ {}",
+            v.rule_label
+                .as_ref()
+                .map(|l| format!(" [{l}]"))
+                .unwrap_or_default(),
+            v.left,
+            v.right
+        );
+    }
+    if stats {
+        println!(
+            "% {} facts derived, {} iterations, {} nulls, {} unifications",
+            result.stats.facts_derived,
+            result.stats.iterations,
+            result.stats.nulls_created,
+            result.stats.unifications
+        );
+    }
+    ExitCode::SUCCESS
+}

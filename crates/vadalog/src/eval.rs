@@ -1,0 +1,1399 @@
+//! Stratified semi-naive evaluation with chase-style existentials,
+//! monotonic aggregation and EGD enforcement.
+//!
+//! Evaluation proceeds stratum by stratum (see [`crate::stratify`]). Within
+//! a stratum:
+//!
+//! 1. Rules *without* aggregates run to a semi-naive fixpoint. Existential
+//!    head variables are satisfied by minting fresh labelled nulls; firings
+//!    are memoized on (rule, frontier binding) — a Skolem-style restricted
+//!    chase — so warded programs terminate.
+//! 2. Rules *with* aggregates run once per stratum pass: stratification
+//!    guarantees their inputs are complete. Monotonic contributor semantics
+//!    collapse multiple contributions of the same contributor to the
+//!    extremal one (paper §4.3).
+//! 3. EGDs are then enforced: bindings whose head terms differ either unify
+//!    a labelled null with the other term (the database is rewritten) or —
+//!    when both sides are distinct constants — produce a *violation* which
+//!    is collected for human inspection rather than failing hard.
+//!
+//! Steps repeat until the stratum is stable, then evaluation moves up.
+
+use crate::ast::{AggFunc, Atom, Expr, Fact, Head, Literal, Program, Rule, Term};
+use crate::builtins::{eval_expr, Binding, EvalError};
+use crate::routing::Router;
+use crate::storage::Database;
+use crate::stratify::{check_safety, stratify, StratifyError};
+use crate::value::Value;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::sync::Arc;
+
+/// What to do when an EGD equates two distinct constants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EgdPolicy {
+    /// Record the violation and keep reasoning — the paper's
+    /// human-in-the-loop stance (Algorithm 1's "violations of EGD 4 …
+    /// allow for manual inspection of doubtful cases").
+    #[default]
+    Collect,
+    /// Abort the reasoning task on the first violation.
+    FailFast,
+}
+
+/// Engine configuration.
+pub struct EngineConfig {
+    /// Hard cap on fixpoint iterations per stratum (guards non-terminating
+    /// chases outside the warded fragment).
+    pub max_iterations: usize,
+    /// Hard cap on total derived facts.
+    pub max_facts: usize,
+    /// Record provenance for every derived fact (costly; off by default).
+    pub trace: bool,
+    /// Optional routing strategy ordering rule bindings before application.
+    pub router: Option<Box<dyn Router>>,
+    /// Behaviour on EGD constant clashes.
+    pub egd_policy: EgdPolicy,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_iterations: 100_000,
+            max_facts: 50_000_000,
+            trace: false,
+            router: None,
+            egd_policy: EgdPolicy::default(),
+        }
+    }
+}
+
+impl fmt::Debug for EngineConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EngineConfig")
+            .field("max_iterations", &self.max_iterations)
+            .field("max_facts", &self.max_facts)
+            .field("trace", &self.trace)
+            .field("router", &self.router.as_ref().map(|r| r.name()))
+            .field("egd_policy", &self.egd_policy)
+            .finish()
+    }
+}
+
+/// Reasoning failure.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The program could not be stratified.
+    Stratify(StratifyError),
+    /// A rule is unsafe (unbound variable where a bound one is required).
+    Unsafe {
+        /// Index of the offending rule.
+        rule: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// A type error surfaced while evaluating an expression.
+    Eval {
+        /// Rule that was being evaluated.
+        rule: usize,
+        /// The underlying expression error.
+        error: EvalError,
+    },
+    /// Resource limits exceeded (iterations or derived facts).
+    ResourceLimit(String),
+    /// Aggregates may only be followed by conditions/assignments.
+    MalformedAggregateRule {
+        /// Index of the offending rule.
+        rule: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// An EGD equated two distinct constants under [`EgdPolicy::FailFast`].
+    EgdViolation(EgdViolation),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Stratify(e) => write!(f, "{e}"),
+            EngineError::Unsafe { rule, message } => {
+                write!(f, "rule {rule} is unsafe: {message}")
+            }
+            EngineError::Eval { rule, error } => {
+                write!(f, "evaluation error in rule {rule}: {error}")
+            }
+            EngineError::ResourceLimit(m) => write!(f, "resource limit exceeded: {m}"),
+            EngineError::MalformedAggregateRule { rule, message } => {
+                write!(f, "rule {rule} misuses aggregation: {message}")
+            }
+            EngineError::EgdViolation(v) => write!(
+                f,
+                "EGD violation{}: {} ≠ {}",
+                v.rule_label
+                    .as_ref()
+                    .map(|l| format!(" [{l}]"))
+                    .unwrap_or_default(),
+                v.left,
+                v.right
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<StratifyError> for EngineError {
+    fn from(e: StratifyError) -> Self {
+        EngineError::Stratify(e)
+    }
+}
+
+/// An EGD binding that equated two distinct constants: flagged for
+/// human-in-the-loop inspection (paper §4.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EgdViolation {
+    /// Label of the EGD rule, if any.
+    pub rule_label: Option<String>,
+    /// Left-hand value.
+    pub left: Value,
+    /// Right-hand value.
+    pub right: Value,
+}
+
+/// Provenance record for one derived fact.
+#[derive(Debug, Clone)]
+pub struct TraceEntry {
+    /// The derived fact.
+    pub fact: Fact,
+    /// Label of the deriving rule (or its index as a string).
+    pub rule: String,
+    /// The body binding that fired the rule.
+    pub binding: Vec<(String, Value)>,
+}
+
+/// Statistics of a reasoning run.
+#[derive(Debug, Clone, Default)]
+pub struct EvalStats {
+    /// Total fixpoint iterations across strata.
+    pub iterations: usize,
+    /// Facts derived (insertions that were new).
+    pub facts_derived: usize,
+    /// Labelled nulls minted by existential rules.
+    pub nulls_created: u64,
+    /// Number of EGD-driven null unifications performed.
+    pub unifications: usize,
+}
+
+/// Result of running a program.
+#[derive(Debug)]
+pub struct ReasoningResult {
+    /// The saturated database (input ∪ derived).
+    pub db: Database,
+    /// EGD violations (distinct constants equated).
+    pub violations: Vec<EgdViolation>,
+    /// Run statistics.
+    pub stats: EvalStats,
+    /// Provenance (only populated when `trace` is enabled).
+    pub trace: Vec<TraceEntry>,
+}
+
+/// The reasoning engine.
+#[derive(Debug, Default)]
+pub struct Engine {
+    /// Configuration knobs.
+    pub config: EngineConfig,
+}
+
+impl Engine {
+    /// Engine with default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Engine with the given configuration.
+    pub fn with_config(config: EngineConfig) -> Self {
+        Engine { config }
+    }
+
+    /// Run `program` over `input`, returning the saturated database.
+    pub fn run(&self, program: &Program, mut db: Database) -> Result<ReasoningResult, EngineError> {
+        for (i, rule) in program.rules.iter().enumerate() {
+            check_safety(rule).map_err(|m| EngineError::Unsafe {
+                rule: i,
+                message: m,
+            })?;
+            validate_aggregate_shape(rule, i)?;
+        }
+        let strat = stratify(program)?;
+
+        for fact in &program.facts {
+            db.insert_fact(fact.clone());
+        }
+
+        let mut stats = EvalStats::default();
+        let mut violations = Vec::new();
+        let mut trace = Vec::new();
+        let nulls_before = db.nulls_minted();
+
+        for stratum in &strat.strata {
+            let rules: Vec<(usize, &Rule)> =
+                stratum.iter().map(|&i| (i, &program.rules[i])).collect();
+            let plain: Vec<(usize, &Rule)> = rules
+                .iter()
+                .filter(|(_, r)| !r.has_aggregate() && matches!(r.head, Head::Atoms(_)))
+                .copied()
+                .collect();
+            let agg: Vec<(usize, &Rule)> = rules
+                .iter()
+                .filter(|(_, r)| r.has_aggregate() && matches!(r.head, Head::Atoms(_)))
+                .copied()
+                .collect();
+            let egds: Vec<(usize, &Rule)> = rules
+                .iter()
+                .filter(|(_, r)| matches!(r.head, Head::Equality(_, _)))
+                .copied()
+                .collect();
+
+            // Chase memoization table, per stratum: (rule idx, frontier
+            // binding) → invented nulls for the rule's existential vars.
+            let mut skolem: HashMap<(usize, Vec<Value>), HashMap<String, Value>> = HashMap::new();
+
+            loop {
+                // 1. plain rules to fixpoint (semi-naive)
+                self.fixpoint_plain(
+                    &plain,
+                    &mut db,
+                    &mut skolem,
+                    &mut stats,
+                    &mut trace,
+                    program,
+                )?;
+
+                // 2. aggregate rules, one pass
+                let mut changed = false;
+                for &(idx, rule) in &agg {
+                    changed |=
+                        self.apply_aggregate_rule(idx, rule, &mut db, &mut stats, &mut trace)?;
+                }
+
+                // 3. EGDs. Substitutions must also rewrite the skolem memo
+                // table, otherwise plain rules would re-mint the replaced
+                // null on the next pass and the stratum would never settle.
+                for &(idx, rule) in &egds {
+                    let subs = self.apply_egd(idx, rule, &mut db, &mut stats, &mut violations)?;
+                    if !subs.is_empty() {
+                        changed = true;
+                        for (from, to) in &subs {
+                            for nulls in skolem.values_mut() {
+                                for v in nulls.values_mut() {
+                                    if let Value::Null(n) = v {
+                                        if n == from {
+                                            *v = to.clone();
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+
+                if !changed {
+                    break;
+                }
+                stats.iterations += 1;
+                if stats.iterations > self.config.max_iterations {
+                    return Err(EngineError::ResourceLimit(format!(
+                        "more than {} fixpoint iterations",
+                        self.config.max_iterations
+                    )));
+                }
+            }
+        }
+
+        stats.nulls_created = db.nulls_minted() - nulls_before;
+        Ok(ReasoningResult {
+            db,
+            violations,
+            stats,
+            trace,
+        })
+    }
+
+    /// Semi-naive fixpoint over plain (non-aggregate, non-EGD) rules.
+    fn fixpoint_plain(
+        &self,
+        rules: &[(usize, &Rule)],
+        db: &mut Database,
+        skolem: &mut HashMap<(usize, Vec<Value>), HashMap<String, Value>>,
+        stats: &mut EvalStats,
+        trace: &mut Vec<TraceEntry>,
+        program: &Program,
+    ) -> Result<(), EngineError> {
+        // Delta tracking: predicate → set of rows added in the previous round.
+        // First round: treat everything as delta (full evaluation).
+        let mut delta: Option<HashMap<String, Vec<Vec<Value>>>> = None;
+
+        loop {
+            let mut new_facts: Vec<(usize, Fact, Binding)> = Vec::new();
+
+            for &(idx, rule) in rules {
+                let bindings = match &delta {
+                    None => self.rule_bindings(rule, db, None, idx)?,
+                    Some(d) => {
+                        // one pass per positive literal restricted to delta
+                        let pos_count = rule
+                            .body
+                            .iter()
+                            .filter(|l| matches!(l, Literal::Pos(_)))
+                            .count();
+                        let mut all = Vec::new();
+                        for focus in 0..pos_count {
+                            all.extend(self.rule_bindings(rule, db, Some((focus, d)), idx)?);
+                        }
+                        all
+                    }
+                };
+                let mut bindings = bindings;
+                if let Some(router) = &self.config.router {
+                    router.order_bindings(rule, &mut bindings);
+                }
+                for b in bindings {
+                    self.head_facts(idx, rule, &b, db, skolem, &mut new_facts)?;
+                }
+            }
+
+            let mut next_delta: HashMap<String, Vec<Vec<Value>>> = HashMap::new();
+            let mut inserted_any = false;
+            for (idx, fact, binding) in new_facts {
+                if db.insert(&fact.pred, fact.args.clone()) {
+                    inserted_any = true;
+                    stats.facts_derived += 1;
+                    if stats.facts_derived > self.config.max_facts {
+                        return Err(EngineError::ResourceLimit(format!(
+                            "more than {} derived facts",
+                            self.config.max_facts
+                        )));
+                    }
+                    next_delta
+                        .entry(fact.pred.clone())
+                        .or_default()
+                        .push(fact.args.clone());
+                    if self.config.trace {
+                        let label = program.rules[idx]
+                            .label
+                            .clone()
+                            .unwrap_or_else(|| format!("rule#{idx}"));
+                        trace.push(TraceEntry {
+                            fact,
+                            rule: label,
+                            binding: binding.into_iter().collect(),
+                        });
+                    }
+                }
+            }
+
+            stats.iterations += 1;
+            if stats.iterations > self.config.max_iterations {
+                return Err(EngineError::ResourceLimit(format!(
+                    "more than {} fixpoint iterations",
+                    self.config.max_iterations
+                )));
+            }
+            if !inserted_any {
+                return Ok(());
+            }
+            delta = Some(next_delta);
+        }
+    }
+
+    /// Enumerate all body bindings for a rule. When `focus` is given, the
+    /// `focus.0`-th positive literal is restricted to the delta rows.
+    fn rule_bindings(
+        &self,
+        rule: &Rule,
+        db: &Database,
+        focus: Option<(usize, &HashMap<String, Vec<Vec<Value>>>)>,
+        rule_idx: usize,
+    ) -> Result<Vec<Binding>, EngineError> {
+        let mut out = Vec::new();
+        let mut binding = Binding::new();
+        self.join_literals(
+            rule,
+            &rule.body,
+            db,
+            focus,
+            0,
+            &mut binding,
+            &mut out,
+            rule_idx,
+        )?;
+        Ok(out)
+    }
+
+    /// Recursive left-to-right join over body literals (aggregates are not
+    /// handled here — see `apply_aggregate_rule`).
+    #[allow(clippy::too_many_arguments)]
+    fn join_literals(
+        &self,
+        rule: &Rule,
+        lits: &[Literal],
+        db: &Database,
+        focus: Option<(usize, &HashMap<String, Vec<Vec<Value>>>)>,
+        pos_seen: usize,
+        binding: &mut Binding,
+        out: &mut Vec<Binding>,
+        rule_idx: usize,
+    ) -> Result<(), EngineError> {
+        let Some((lit, rest)) = lits.split_first() else {
+            out.push(binding.clone());
+            return Ok(());
+        };
+        match lit {
+            Literal::Pos(atom) => {
+                let use_delta = matches!(focus, Some((f, _)) if f == pos_seen);
+                if use_delta {
+                    let (_, deltas) = focus.unwrap();
+                    let empty = Vec::new();
+                    let rows = deltas.get(&atom.pred).unwrap_or(&empty);
+                    for row in rows {
+                        if row.len() != atom.args.len() {
+                            continue;
+                        }
+                        if let Some(undo) = try_match(atom, row, binding) {
+                            self.join_literals(
+                                rule,
+                                rest,
+                                db,
+                                focus,
+                                pos_seen + 1,
+                                binding,
+                                out,
+                                rule_idx,
+                            )?;
+                            undo_binding(binding, undo);
+                        }
+                    }
+                } else {
+                    let Some(rel) = db.relation(&atom.pred) else {
+                        return Ok(());
+                    };
+                    // pattern from bound args
+                    let pattern: Vec<Option<Value>> = atom
+                        .args
+                        .iter()
+                        .map(|t| match t {
+                            Term::Const(v) => Some(v.clone()),
+                            Term::Var(v) => binding.get(v).cloned(),
+                        })
+                        .collect();
+                    for i in rel.select_indices(&pattern) {
+                        let row = rel.row(i).clone();
+                        if row.len() != atom.args.len() {
+                            continue;
+                        }
+                        if let Some(undo) = try_match(atom, &row, binding) {
+                            self.join_literals(
+                                rule,
+                                rest,
+                                db,
+                                focus,
+                                pos_seen + 1,
+                                binding,
+                                out,
+                                rule_idx,
+                            )?;
+                            undo_binding(binding, undo);
+                        }
+                    }
+                }
+                Ok(())
+            }
+            Literal::Neg(atom) => {
+                let args: Vec<Value> = atom
+                    .args
+                    .iter()
+                    .map(|t| match t {
+                        Term::Const(v) => v.clone(),
+                        Term::Var(v) => binding
+                            .get(v)
+                            .cloned()
+                            .expect("safety check guarantees bound"),
+                    })
+                    .collect();
+                let present = db
+                    .relation(&atom.pred)
+                    .map(|r| r.contains(&args))
+                    .unwrap_or(false);
+                if !present {
+                    self.join_literals(rule, rest, db, focus, pos_seen, binding, out, rule_idx)?;
+                }
+                Ok(())
+            }
+            Literal::Cond(expr) => {
+                match eval_expr(expr, binding) {
+                    Ok(v) if v.is_true() => {
+                        self.join_literals(
+                            rule, rest, db, focus, pos_seen, binding, out, rule_idx,
+                        )?;
+                    }
+                    Ok(_) => {}
+                    Err(EvalError::Undefined(_)) => {}
+                    Err(e) => {
+                        return Err(EngineError::Eval {
+                            rule: rule_idx,
+                            error: e,
+                        })
+                    }
+                }
+                Ok(())
+            }
+            Literal::Let { var, expr } => {
+                match eval_expr(expr, binding) {
+                    Ok(v) => {
+                        if let Some(existing) = binding.get(var) {
+                            // Let on a bound variable acts as equality filter.
+                            if *existing == v {
+                                self.join_literals(
+                                    rule, rest, db, focus, pos_seen, binding, out, rule_idx,
+                                )?;
+                            }
+                        } else {
+                            binding.insert(var.clone(), v);
+                            self.join_literals(
+                                rule, rest, db, focus, pos_seen, binding, out, rule_idx,
+                            )?;
+                            binding.remove(var);
+                        }
+                    }
+                    Err(EvalError::Undefined(_)) => {}
+                    Err(e) => {
+                        return Err(EngineError::Eval {
+                            rule: rule_idx,
+                            error: e,
+                        })
+                    }
+                }
+                Ok(())
+            }
+            Literal::Agg { .. } => {
+                // Aggregate rules never reach this path.
+                Err(EngineError::MalformedAggregateRule {
+                    rule: rule_idx,
+                    message: "aggregate literal in plain-rule evaluation".into(),
+                })
+            }
+        }
+    }
+
+    /// Instantiate head atoms for a binding, minting nulls for existentials.
+    fn head_facts(
+        &self,
+        rule_idx: usize,
+        rule: &Rule,
+        binding: &Binding,
+        db: &mut Database,
+        skolem: &mut HashMap<(usize, Vec<Value>), HashMap<String, Value>>,
+        out: &mut Vec<(usize, Fact, Binding)>,
+    ) -> Result<(), EngineError> {
+        let Head::Atoms(atoms) = &rule.head else {
+            return Ok(());
+        };
+        let ex = rule.existential_vars();
+        let mut full_binding = binding.clone();
+        if !ex.is_empty() {
+            // frontier = universally quantified head variables, in a stable order
+            let mut frontier_vars: BTreeSet<&str> = BTreeSet::new();
+            for a in atoms {
+                for v in a.vars() {
+                    if !ex.contains(v) {
+                        frontier_vars.insert(v);
+                    }
+                }
+            }
+            let key: Vec<Value> = frontier_vars
+                .iter()
+                .map(|v| binding.get(*v).cloned().unwrap_or(Value::Bool(false)))
+                .collect();
+            use std::collections::hash_map::Entry;
+            let nulls = match skolem.entry((rule_idx, key)) {
+                Entry::Occupied(o) => o.into_mut(),
+                Entry::Vacant(slot) => {
+                    // Restricted-chase satisfaction check: if the database
+                    // already contains a witness for this frontier (for
+                    // single-atom heads), adopt its values instead of
+                    // minting fresh nulls — this makes re-running a
+                    // saturated database a no-op.
+                    let witness = if atoms.len() == 1 {
+                        find_existential_witness(&atoms[0], binding, &ex, db)
+                    } else {
+                        None
+                    };
+                    slot.insert(witness.unwrap_or_else(|| {
+                        ex.iter()
+                            .map(|v| (v.clone(), db.fresh_null()))
+                            .collect::<HashMap<_, _>>()
+                    }))
+                }
+            };
+            for (v, n) in nulls {
+                full_binding.insert(v.clone(), n.clone());
+            }
+        }
+        for atom in atoms {
+            let args: Vec<Value> = atom
+                .args
+                .iter()
+                .map(|t| match t {
+                    Term::Const(v) => v.clone(),
+                    Term::Var(v) => full_binding
+                        .get(v)
+                        .cloned()
+                        .expect("head var bound or existential"),
+                })
+                .collect();
+            out.push((
+                rule_idx,
+                Fact::new(atom.pred.clone(), args),
+                binding.clone(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Evaluate one aggregate rule. Returns true if new facts were derived.
+    fn apply_aggregate_rule(
+        &self,
+        rule_idx: usize,
+        rule: &Rule,
+        db: &mut Database,
+        stats: &mut EvalStats,
+        trace: &mut Vec<TraceEntry>,
+    ) -> Result<bool, EngineError> {
+        let first_agg = rule
+            .body
+            .iter()
+            .position(|l| matches!(l, Literal::Agg { .. }))
+            .expect("rule has aggregate");
+        let (prefix, suffix) = rule.body.split_at(first_agg);
+
+        // All bindings of the prefix.
+        let prefix_rule = Rule {
+            head: rule.head.clone(),
+            body: prefix.to_vec(),
+            label: rule.label.clone(),
+        };
+        let bindings = self.rule_bindings(&prefix_rule, db, None, rule_idx)?;
+
+        // Group key: prefix-bound variables appearing in the head.
+        let Head::Atoms(atoms) = &rule.head else {
+            return Err(EngineError::MalformedAggregateRule {
+                rule: rule_idx,
+                message: "aggregates are not allowed in EGDs".into(),
+            });
+        };
+        let ex = rule.existential_vars();
+        let agg_vars: HashSet<&str> = suffix
+            .iter()
+            .filter_map(|l| match l {
+                Literal::Agg { var, .. } | Literal::Let { var, .. } => Some(var.as_str()),
+                _ => None,
+            })
+            .collect();
+        let mut group_vars: BTreeSet<String> = BTreeSet::new();
+        for a in atoms {
+            for v in a.vars() {
+                if !ex.contains(v) && !agg_vars.contains(v) {
+                    group_vars.insert(v.to_string());
+                }
+            }
+        }
+
+        // Aggregate states per group.
+        struct AggState {
+            // per aggregate literal: contributor → extremal contribution
+            per_agg: Vec<HashMap<Vec<Value>, Value>>,
+            rep_binding: Binding,
+        }
+        let aggs: Vec<(&String, &AggFunc, &Expr, &Vec<Expr>)> = suffix
+            .iter()
+            .filter_map(|l| match l {
+                Literal::Agg {
+                    var,
+                    func,
+                    arg,
+                    contributors,
+                } => Some((var, func, arg, contributors)),
+                _ => None,
+            })
+            .collect();
+
+        let mut groups: HashMap<Vec<Value>, AggState> = HashMap::new();
+        for b in &bindings {
+            let key: Vec<Value> = group_vars
+                .iter()
+                .map(|v| b.get(v).cloned().unwrap_or(Value::Bool(false)))
+                .collect();
+            let state = groups.entry(key).or_insert_with(|| AggState {
+                per_agg: vec![HashMap::new(); aggs.len()],
+                rep_binding: b.clone(),
+            });
+            for (ai, (_, func, arg, contributors)) in aggs.iter().enumerate() {
+                let contrib_key: Result<Vec<Value>, EvalError> =
+                    contributors.iter().map(|c| eval_expr(c, b)).collect();
+                let contrib_key = match contrib_key {
+                    Ok(k) => k,
+                    Err(EvalError::Undefined(_)) => continue,
+                    Err(e) => {
+                        return Err(EngineError::Eval {
+                            rule: rule_idx,
+                            error: e,
+                        })
+                    }
+                };
+                let contribution = match eval_expr(arg, b) {
+                    Ok(v) => v,
+                    Err(EvalError::Undefined(_)) => continue,
+                    Err(e) => {
+                        return Err(EngineError::Eval {
+                            rule: rule_idx,
+                            error: e,
+                        })
+                    }
+                };
+                let slot = state.per_agg[ai].entry(contrib_key);
+                use std::collections::hash_map::Entry;
+                match slot {
+                    Entry::Vacant(v) => {
+                        v.insert(contribution);
+                    }
+                    Entry::Occupied(mut o) => {
+                        let keep_new = match func {
+                            // monotone-increasing aggregates keep the max
+                            AggFunc::MSum | AggFunc::MCount | AggFunc::MProd | AggFunc::MMax => {
+                                contribution > *o.get()
+                            }
+                            AggFunc::MMin => contribution < *o.get(),
+                            // munion merges below; store a set union here
+                            AggFunc::MUnion => {
+                                let merged = merge_union(o.get(), &contribution);
+                                o.insert(merged);
+                                false
+                            }
+                        };
+                        if keep_new {
+                            o.insert(contribution);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Finalize groups: compute aggregate values, run the suffix
+        // conditions/assignments, emit head facts.
+        let mut changed = false;
+        let mut to_insert: Vec<(Fact, Binding)> = Vec::new();
+        'group: for (key, state) in groups {
+            let mut b = Binding::new();
+            for (v, val) in group_vars.iter().zip(key.iter()) {
+                b.insert(v.clone(), val.clone());
+            }
+            // carry non-group prefix bindings from a representative so that
+            // suffix expressions may refer to them (deterministic only if
+            // they are functionally determined by the group key).
+            for (k, v) in &state.rep_binding {
+                b.entry(k.clone()).or_insert_with(|| v.clone());
+            }
+
+            let mut agg_iter = state.per_agg.into_iter();
+            for lit in suffix {
+                match lit {
+                    Literal::Agg { var, func, .. } => {
+                        let contributions = agg_iter.next().expect("aligned");
+                        let value = finalize_aggregate(*func, contributions.values());
+                        b.insert(var.clone(), value);
+                    }
+                    Literal::Cond(expr) => match eval_expr(expr, &b) {
+                        Ok(v) if v.is_true() => {}
+                        Ok(_) | Err(EvalError::Undefined(_)) => continue 'group,
+                        Err(e) => {
+                            return Err(EngineError::Eval { rule: rule_idx, error: e })
+                        }
+                    },
+                    Literal::Let { var, expr } => match eval_expr(expr, &b) {
+                        Ok(v) => {
+                            if let Some(existing) = b.get(var) {
+                                if *existing != v {
+                                    continue 'group;
+                                }
+                            } else {
+                                b.insert(var.clone(), v);
+                            }
+                        }
+                        Err(EvalError::Undefined(_)) => continue 'group,
+                        Err(e) => {
+                            return Err(EngineError::Eval { rule: rule_idx, error: e })
+                        }
+                    },
+                    other => {
+                        return Err(EngineError::MalformedAggregateRule {
+                            rule: rule_idx,
+                            message: format!(
+                                "literal {other:?} after an aggregate; only conditions and assignments are allowed"
+                            ),
+                        })
+                    }
+                }
+            }
+            for atom in atoms {
+                let args: Result<Vec<Value>, EngineError> = atom
+                    .args
+                    .iter()
+                    .map(|t| match t {
+                        Term::Const(v) => Ok(v.clone()),
+                        Term::Var(v) => b.get(v).cloned().ok_or_else(|| {
+                            EngineError::MalformedAggregateRule {
+                                rule: rule_idx,
+                                message: format!(
+                                    "head variable {v} of an aggregate rule must be a group key or an aggregate result"
+                                ),
+                            }
+                        }),
+                    })
+                    .collect();
+                to_insert.push((Fact::new(atom.pred.clone(), args?), b.clone()));
+            }
+        }
+        for (fact, b) in to_insert {
+            if db.insert(&fact.pred, fact.args.clone()) {
+                changed = true;
+                stats.facts_derived += 1;
+                if self.config.trace {
+                    let label = rule
+                        .label
+                        .clone()
+                        .unwrap_or_else(|| format!("rule#{rule_idx}"));
+                    trace.push(TraceEntry {
+                        fact,
+                        rule: label,
+                        binding: b.into_iter().collect(),
+                    });
+                }
+            }
+        }
+        Ok(changed)
+    }
+
+    /// Apply one EGD rule. Null/value bindings are unified by rewriting the
+    /// database; constant clashes are collected as violations. Returns the
+    /// substitutions performed, in order.
+    fn apply_egd(
+        &self,
+        rule_idx: usize,
+        rule: &Rule,
+        db: &mut Database,
+        stats: &mut EvalStats,
+        violations: &mut Vec<EgdViolation>,
+    ) -> Result<Vec<(crate::value::NullId, Value)>, EngineError> {
+        let Head::Equality(lt, rt) = &rule.head else {
+            return Ok(Vec::new());
+        };
+        let mut subs: Vec<(crate::value::NullId, Value)> = Vec::new();
+        // Re-evaluate until no more unifications: each rewrite can expose
+        // new bindings.
+        loop {
+            let bindings = self.rule_bindings(rule, db, None, rule_idx)?;
+            let mut did_unify = false;
+            for b in bindings {
+                let resolve = |t: &Term| -> Value {
+                    match t {
+                        Term::Const(v) => v.clone(),
+                        Term::Var(v) => b.get(v).cloned().expect("EGD safety"),
+                    }
+                };
+                let l = resolve(lt);
+                let r = resolve(rt);
+                if l == r {
+                    continue;
+                }
+                match (&l, &r) {
+                    (Value::Null(n), other) => {
+                        db.substitute_null(*n, other);
+                        subs.push((*n, other.clone()));
+                        stats.unifications += 1;
+                        did_unify = true;
+                        break; // bindings are stale after a rewrite
+                    }
+                    (other, Value::Null(n)) => {
+                        db.substitute_null(*n, other);
+                        subs.push((*n, other.clone()));
+                        stats.unifications += 1;
+                        did_unify = true;
+                        break;
+                    }
+                    _ => {
+                        let viol = EgdViolation {
+                            rule_label: rule.label.clone(),
+                            left: l.clone(),
+                            right: r.clone(),
+                        };
+                        if self.config.egd_policy == EgdPolicy::FailFast {
+                            return Err(EngineError::EgdViolation(viol));
+                        }
+                        if !violations.contains(&viol) {
+                            violations.push(viol);
+                        }
+                    }
+                }
+            }
+            if !did_unify {
+                break;
+            }
+        }
+        Ok(subs)
+    }
+}
+
+/// Restricted-chase satisfaction check: look for an existing fact of the
+/// head atom matching the binding on its universal positions; if found,
+/// read the existential variables' values off it (requiring consistency
+/// when an existential repeats). Returns the witness assignment.
+fn find_existential_witness(
+    atom: &Atom,
+    binding: &Binding,
+    ex: &BTreeSet<String>,
+    db: &Database,
+) -> Option<HashMap<String, Value>> {
+    let rel = db.relation(&atom.pred)?;
+    let pattern: Vec<Option<Value>> = atom
+        .args
+        .iter()
+        .map(|t| match t {
+            Term::Const(v) => Some(v.clone()),
+            Term::Var(v) if ex.contains(v) => None,
+            Term::Var(v) => binding.get(v).cloned(),
+        })
+        .collect();
+    'rows: for idx in rel.select_indices(&pattern) {
+        let row = rel.row(idx);
+        if row.len() != atom.args.len() {
+            continue;
+        }
+        let mut witness: HashMap<String, Value> = HashMap::new();
+        for (t, v) in atom.args.iter().zip(row.iter()) {
+            if let Term::Var(name) = t {
+                if ex.contains(name) {
+                    match witness.get(name) {
+                        Some(existing) if existing != v => continue 'rows,
+                        Some(_) => {}
+                        None => {
+                            witness.insert(name.clone(), v.clone());
+                        }
+                    }
+                }
+            }
+        }
+        return Some(witness);
+    }
+    None
+}
+
+/// Match a row against an atom's terms under `binding`; on success returns
+/// the list of variables newly bound (to undo afterwards).
+fn try_match(atom: &Atom, row: &[Value], binding: &mut Binding) -> Option<Vec<String>> {
+    let mut newly = Vec::new();
+    for (t, v) in atom.args.iter().zip(row.iter()) {
+        match t {
+            Term::Const(c) => {
+                if c != v {
+                    undo_binding(binding, newly);
+                    return None;
+                }
+            }
+            Term::Var(name) => match binding.get(name) {
+                Some(bound) => {
+                    if bound != v {
+                        undo_binding(binding, newly);
+                        return None;
+                    }
+                }
+                None => {
+                    binding.insert(name.clone(), v.clone());
+                    newly.push(name.clone());
+                }
+            },
+        }
+    }
+    Some(newly)
+}
+
+fn undo_binding(binding: &mut Binding, newly: Vec<String>) {
+    for name in newly {
+        binding.remove(&name);
+    }
+}
+
+/// Merge two values for `munion` contributor updates.
+fn merge_union(a: &Value, b: &Value) -> Value {
+    match (a, b) {
+        (Value::Set(x), Value::Set(y)) => {
+            let mut s = (**x).clone();
+            s.extend(y.iter().cloned());
+            Value::Set(Arc::new(s))
+        }
+        (Value::Set(x), other) => {
+            let mut s = (**x).clone();
+            s.insert(other.clone());
+            Value::Set(Arc::new(s))
+        }
+        (other, Value::Set(y)) => {
+            let mut s = (**y).clone();
+            s.insert(other.clone());
+            Value::Set(Arc::new(s))
+        }
+        (x, y) => Value::set([x.clone(), y.clone()]),
+    }
+}
+
+/// Fold deduplicated contributions into the aggregate result.
+fn finalize_aggregate<'a>(func: AggFunc, contributions: impl Iterator<Item = &'a Value>) -> Value {
+    match func {
+        AggFunc::MCount => Value::Int(contributions.count() as i64),
+        AggFunc::MSum => {
+            let mut int_sum: i64 = 0;
+            let mut float_sum: f64 = 0.0;
+            let mut any_float = false;
+            for c in contributions {
+                match c {
+                    Value::Int(i) => int_sum = int_sum.wrapping_add(*i),
+                    Value::Float(f) => {
+                        any_float = true;
+                        float_sum += f;
+                    }
+                    _ => {}
+                }
+            }
+            if any_float {
+                Value::Float(float_sum + int_sum as f64)
+            } else {
+                Value::Int(int_sum)
+            }
+        }
+        AggFunc::MProd => {
+            let mut prod = 1.0f64;
+            for c in contributions {
+                if let Some(x) = c.as_f64() {
+                    prod *= x;
+                }
+            }
+            Value::Float(prod)
+        }
+        AggFunc::MMin => contributions.min().cloned().unwrap_or(Value::Bool(false)),
+        AggFunc::MMax => contributions.max().cloned().unwrap_or(Value::Bool(false)),
+        AggFunc::MUnion => {
+            let mut out: BTreeSet<Value> = BTreeSet::new();
+            for c in contributions {
+                match c {
+                    Value::Set(s) => out.extend(s.iter().cloned()),
+                    other => {
+                        out.insert(other.clone());
+                    }
+                }
+            }
+            Value::Set(Arc::new(out))
+        }
+    }
+}
+
+/// Aggregates must be followed only by conditions and assignments.
+fn validate_aggregate_shape(rule: &Rule, idx: usize) -> Result<(), EngineError> {
+    let Some(first) = rule
+        .body
+        .iter()
+        .position(|l| matches!(l, Literal::Agg { .. }))
+    else {
+        return Ok(());
+    };
+    for lit in &rule.body[first..] {
+        match lit {
+            Literal::Agg { .. } | Literal::Cond(_) | Literal::Let { .. } => {}
+            other => {
+                return Err(EngineError::MalformedAggregateRule {
+                    rule: idx,
+                    message: format!(
+                        "found {other:?} after an aggregate; join atoms must precede aggregation"
+                    ),
+                })
+            }
+        }
+    }
+    if matches!(rule.head, Head::Equality(_, _)) {
+        return Err(EngineError::MalformedAggregateRule {
+            rule: idx,
+            message: "aggregates are not allowed in EGDs".into(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn run(src: &str) -> ReasoningResult {
+        let p = parse_program(src).unwrap();
+        Engine::new().run(&p, Database::new()).unwrap()
+    }
+
+    #[test]
+    fn transitive_closure() {
+        let r = run("edge(1, 2). edge(2, 3). edge(3, 4).\n\
+             path(X, Y) :- edge(X, Y).\n\
+             path(X, Y) :- edge(X, Z), path(Z, Y).");
+        assert_eq!(r.db.rows("path").len(), 6);
+    }
+
+    #[test]
+    fn stratified_negation() {
+        let r = run("node(1). node(2). node(3). edge(1, 2). src(1).\n\
+             reach(X) :- src(X).\n\
+             reach(Y) :- reach(X), edge(X, Y).\n\
+             unreach(X) :- node(X), not reach(X).");
+        let rows = r.db.rows("unreach");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::Int(3));
+    }
+
+    #[test]
+    fn existential_creates_null_once_per_frontier() {
+        let r = run("emp(1). emp(2).\n\
+             dept(D, E) :- emp(E).");
+        let rows = r.db.rows("dept");
+        assert_eq!(rows.len(), 2);
+        // two frontier values -> two distinct nulls
+        let nulls: HashSet<Value> = rows.iter().map(|r| r[0].clone()).collect();
+        assert_eq!(nulls.len(), 2);
+        assert!(nulls.iter().all(|n| n.is_null()));
+        assert_eq!(r.stats.nulls_created, 2);
+    }
+
+    #[test]
+    fn divergent_chase_is_caught_by_iteration_guard() {
+        // Every new p-value is a fresh frontier, so the skolemized chase
+        // still diverges; the iteration guard must stop it with an error.
+        let p = parse_program(
+            "p(1).\n\
+             q(X, Y) :- p(X).\n\
+             p(Y) :- q(X, Y).",
+        )
+        .unwrap();
+        let engine = Engine::with_config(EngineConfig {
+            max_iterations: 50,
+            ..Default::default()
+        });
+        match engine.run(&p, Database::new()) {
+            Err(EngineError::ResourceLimit(_)) => {}
+            Ok(r2) => panic!("expected divergence, got {} p-facts", r2.db.rows("p").len()),
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+
+    #[test]
+    fn msum_groups_and_sums() {
+        let r = run("t(\"g1\", 1, 10). t(\"g1\", 2, 20). t(\"g2\", 3, 5).\n\
+             out(G, R) :- t(G, I, W), R = msum(W, <I>).");
+        let rows = r.db.rows("out");
+        assert_eq!(rows.len(), 2);
+        let find = |g: &str| {
+            rows.iter()
+                .find(|r| r[0] == Value::str(g))
+                .map(|r| r[1].clone())
+                .unwrap()
+        };
+        assert_eq!(find("g1"), Value::Int(30));
+        assert_eq!(find("g2"), Value::Int(5));
+    }
+
+    #[test]
+    fn monotonic_contributor_dedup_keeps_extremal() {
+        // same contributor 1 appears with weights 10 and 30: msum keeps 30
+        let r = run("t(\"g\", 1, 10). t(\"g\", 1, 30). t(\"g\", 2, 5).\n\
+             out(G, R) :- t(G, I, W), R = msum(W, <I>).");
+        let rows = r.db.rows("out");
+        assert_eq!(rows[0][1], Value::Int(35));
+    }
+
+    #[test]
+    fn mcount_counts_distinct_contributors() {
+        let r = run("t(\"g\", 1). t(\"g\", 1). t(\"g\", 2).\n\
+             out(G, R) :- t(G, I), R = mcount(<I>).");
+        assert_eq!(r.db.rows("out")[0][1], Value::Int(2));
+    }
+
+    #[test]
+    fn aggregate_with_post_condition() {
+        let r = run("t(\"a\", 1). t(\"a\", 2). t(\"b\", 3).\n\
+             big(G) :- t(G, I), R = mcount(<I>), R >= 2.");
+        let rows = r.db.rows("big");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::str("a"));
+    }
+
+    #[test]
+    fn mprod_multiplies() {
+        let r = run("t(\"g\", 1, 0.5). t(\"g\", 2, 0.5).\n\
+             out(G, R) :- t(G, I, W), R = mprod(W, <I>).");
+        assert_eq!(r.db.rows("out")[0][1], Value::Float(0.25));
+    }
+
+    #[test]
+    fn munion_collects() {
+        let r = run("t(\"g\", \"x\"). t(\"g\", \"y\").\n\
+             out(G, S) :- t(G, V), S = munion(V, <V>).");
+        let s = r.db.rows("out")[0][1].clone();
+        assert_eq!(s.as_set().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn egd_unifies_nulls() {
+        // two rules invent nulls for the same person; EGD unifies them
+        let r = run("person(\"ann\").\n\
+             id1(P, X) :- person(P).\n\
+             id2(P, Y) :- person(P).\n\
+             X = Y :- id1(P, X), id2(P, Y).");
+        let a = r.db.rows("id1")[0][1].clone();
+        let b2 = r.db.rows("id2")[0][1].clone();
+        assert_eq!(a, b2);
+        assert!(r.stats.unifications >= 1);
+        assert!(r.violations.is_empty());
+    }
+
+    #[test]
+    fn egd_fail_fast_policy_aborts() {
+        let p = parse_program(
+            "cat(\"m\", \"a\", \"qi\"). cat(\"m\", \"a\", \"id\").\n\
+             C1 = C2 :- cat(M, A, C1), cat(M, A, C2), C1 != C2.",
+        )
+        .unwrap();
+        let engine = Engine::with_config(EngineConfig {
+            egd_policy: EgdPolicy::FailFast,
+            ..Default::default()
+        });
+        match engine.run(&p, Database::new()) {
+            Err(EngineError::EgdViolation(v)) => {
+                assert_ne!(v.left, v.right);
+            }
+            other => panic!("expected EgdViolation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn egd_constant_clash_is_violation() {
+        let r = run("cat(\"m\", \"a\", \"qi\"). cat(\"m\", \"a\", \"id\").\n\
+             C1 = C2 :- cat(M, A, C1), cat(M, A, C2), C1 != C2.");
+        assert!(!r.violations.is_empty());
+    }
+
+    #[test]
+    fn egd_unification_propagates_to_other_relations() {
+        let r = run("p(\"k\").\n\
+             inv(P, N) :- p(P).\n\
+             fixed(\"k\", 42).\n\
+             N = V :- inv(P, N), fixed(P, V).");
+        let rows = r.db.rows("inv");
+        assert_eq!(rows[0][1], Value::Int(42));
+    }
+
+    #[test]
+    fn multi_head_rule_derives_both() {
+        let r = run("t(1).\n\
+             a(X), b(X) :- t(X).");
+        assert_eq!(r.db.rows("a").len(), 1);
+        assert_eq!(r.db.rows("b").len(), 1);
+    }
+
+    #[test]
+    fn multi_head_shares_existential_null() {
+        let r = run("t(1).\n\
+             comb(Z, X), marker(Z) :- t(X).");
+        let z1 = r.db.rows("comb")[0][0].clone();
+        let z2 = r.db.rows("marker")[0][0].clone();
+        assert_eq!(z1, z2);
+        assert!(z1.is_null());
+    }
+
+    #[test]
+    fn let_and_condition() {
+        let r = run("t(1, 10). t(2, 100).\n\
+             out(I, S) :- t(I, W), S = 1.0 / W, S > 0.05.");
+        let rows = r.db.rows("out");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::Int(1));
+    }
+
+    #[test]
+    fn undefined_expression_filters_not_errors() {
+        // dividing by zero just drops the binding
+        let r = run("t(0). t(2).\n\
+             out(I, S) :- t(I), S = 1.0 / I.");
+        assert_eq!(r.db.rows("out").len(), 1);
+    }
+
+    #[test]
+    fn trace_records_provenance() {
+        let p = parse_program(
+            "@label(\"base\")\n\
+             b(X) :- a(X).\n\
+             a(1).",
+        )
+        .unwrap();
+        let engine = Engine::with_config(EngineConfig {
+            trace: true,
+            ..Default::default()
+        });
+        let r = engine.run(&p, Database::new()).unwrap();
+        assert_eq!(r.trace.len(), 1);
+        assert_eq!(r.trace[0].rule, "base");
+        assert_eq!(r.trace[0].fact.pred, "b");
+    }
+
+    #[test]
+    fn semi_naive_matches_large_chain() {
+        // chain of 200 nodes: path count = n*(n-1)/2 pairs along the chain
+        let mut src = String::new();
+        for i in 0..200 {
+            src.push_str(&format!("edge({}, {}).\n", i, i + 1));
+        }
+        src.push_str("path(X, Y) :- edge(X, Y).\npath(X, Y) :- edge(X, Z), path(Z, Y).\n");
+        let r = run(&src);
+        assert_eq!(r.db.rows("path").len(), 200 * 201 / 2);
+    }
+
+    #[test]
+    fn ownership_control_closure() {
+        // the paper's company-control example (§4.4):
+        // own(X,Y,W), W > 0.5 -> rel(X,Y)
+        // rel(X,Z), own(Z,Y,W), msum(W,<Z>) > 0.5 -> rel(X,Y)
+        // Note: we express the aggregate-in-condition as a two-step program.
+        let r = run("own(\"a\", \"b\", 0.6).\n\
+             own(\"b\", \"c\", 0.3).\n\
+             own(\"a\", \"c\", 0.3).\n\
+             rel(X, Y) :- own(X, Y, W), W > 0.5.\n\
+             relw(X, Y, Z, W) :- rel(X, Z), own(Z, Y, W).\n\
+             relw(X, Y, X, W) :- own(X, Y, W).\n\
+             ctrl(X, Y) :- relw(X, Y, Z, W), S = msum(W, <Z>), S > 0.5.");
+        // a controls b directly; a controls c via 0.3 (own) + 0.3 (through b)
+        let rows = r.db.rows("ctrl");
+        let pairs: HashSet<(String, String)> = rows
+            .iter()
+            .map(|r| {
+                (
+                    r[0].as_str().unwrap().to_string(),
+                    r[1].as_str().unwrap().to_string(),
+                )
+            })
+            .collect();
+        assert!(pairs.contains(&("a".into(), "b".into())));
+        assert!(pairs.contains(&("a".into(), "c".into())));
+    }
+}

@@ -1,0 +1,998 @@
+//! Hand-written lexer and recursive-descent parser for the concrete
+//! Vadalog-style syntax used throughout this reproduction.
+//!
+//! Grammar sketch:
+//!
+//! ```text
+//! program   := clause*
+//! clause    := label? ( fact | rule )
+//! label     := '@label' '(' STRING ')'
+//! fact      := atom '.'                       -- all arguments ground
+//! rule      := head ':-' body '.'
+//! head      := atom (',' atom)*  |  term '=' term     -- the latter is an EGD
+//! body      := literal (',' literal)*
+//! literal   := 'not' atom | atom | VAR '=' agg | VAR '=' expr | expr
+//! agg       := AGGNAME '(' expr (',' '<' expr (',' expr)* '>')? ')'
+//! expr      := standard precedence climbing with
+//!              or/and, comparisons, 'in', 'subset', 'union',
+//!              + - * / %, unary -, 'not', case-then-else,
+//!              postfix indexing `e[e]`, calls `f(e, …)`,
+//!              set literals `{e, …}`, pair literals `(e, e)`
+//! ```
+//!
+//! Identifiers beginning with a lowercase letter are predicate / function
+//! names; identifiers beginning with an uppercase letter or `_` are
+//! variables. Strings are double-quoted. `%` starts a line comment.
+
+use crate::ast::*;
+use crate::value::Value;
+use std::fmt;
+
+/// Parse error with a human-oriented message and source offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Explanation of what went wrong.
+    pub message: String,
+    /// Byte offset into the source.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Var(String),
+    Str(String),
+    Int(i64),
+    Float(f64),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Dot,
+    Implies, // :-
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    At,
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn line_at(&self, offset: usize) -> usize {
+        self.src[..offset.min(self.src.len())]
+            .bytes()
+            .filter(|&b| b == b'\n')
+            .count()
+            + 1
+    }
+
+    fn error(&self, msg: impl Into<String>, offset: usize) -> ParseError {
+        ParseError {
+            message: msg.into(),
+            offset,
+            line: self.line_at(offset),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+                self.pos += 1;
+            }
+            if self.pos < self.bytes.len() && self.bytes[self.pos] == b'%' {
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn tokenize(mut self) -> Result<Vec<(Tok, usize)>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.pos >= self.bytes.len() {
+                break;
+            }
+            let start = self.pos;
+            let b = self.bytes[self.pos];
+            let tok = match b {
+                b'(' => {
+                    self.pos += 1;
+                    Tok::LParen
+                }
+                b')' => {
+                    self.pos += 1;
+                    Tok::RParen
+                }
+                b'[' => {
+                    self.pos += 1;
+                    Tok::LBracket
+                }
+                b']' => {
+                    self.pos += 1;
+                    Tok::RBracket
+                }
+                b'{' => {
+                    self.pos += 1;
+                    Tok::LBrace
+                }
+                b'}' => {
+                    self.pos += 1;
+                    Tok::RBrace
+                }
+                b',' => {
+                    self.pos += 1;
+                    Tok::Comma
+                }
+                b'.' => {
+                    self.pos += 1;
+                    Tok::Dot
+                }
+                b'@' => {
+                    self.pos += 1;
+                    Tok::At
+                }
+                b'+' => {
+                    self.pos += 1;
+                    Tok::Plus
+                }
+                b'*' => {
+                    self.pos += 1;
+                    Tok::Star
+                }
+                b'/' => {
+                    self.pos += 1;
+                    Tok::Slash
+                }
+                b':' => {
+                    if self.bytes.get(self.pos + 1) == Some(&b'-') {
+                        self.pos += 2;
+                        Tok::Implies
+                    } else {
+                        return Err(self.error("expected ':-'", start));
+                    }
+                }
+                b'=' => {
+                    self.pos += 1;
+                    Tok::Eq
+                }
+                b'!' => {
+                    if self.bytes.get(self.pos + 1) == Some(&b'=') {
+                        self.pos += 2;
+                        Tok::Ne
+                    } else {
+                        return Err(self.error("expected '!='", start));
+                    }
+                }
+                b'<' => {
+                    if self.bytes.get(self.pos + 1) == Some(&b'=') {
+                        self.pos += 2;
+                        Tok::Le
+                    } else {
+                        self.pos += 1;
+                        Tok::Lt
+                    }
+                }
+                b'>' => {
+                    if self.bytes.get(self.pos + 1) == Some(&b'=') {
+                        self.pos += 2;
+                        Tok::Ge
+                    } else {
+                        self.pos += 1;
+                        Tok::Gt
+                    }
+                }
+                b'-' => {
+                    self.pos += 1;
+                    Tok::Minus
+                }
+                b'"' => {
+                    self.pos += 1;
+                    let mut s = String::new();
+                    loop {
+                        match self.bytes.get(self.pos) {
+                            None => return Err(self.error("unterminated string", start)),
+                            Some(b'"') => {
+                                self.pos += 1;
+                                break;
+                            }
+                            Some(b'\\') => {
+                                self.pos += 1;
+                                match self.bytes.get(self.pos) {
+                                    Some(b'n') => s.push('\n'),
+                                    Some(b't') => s.push('\t'),
+                                    Some(b'"') => s.push('"'),
+                                    Some(b'\\') => s.push('\\'),
+                                    _ => return Err(self.error("bad escape", self.pos)),
+                                }
+                                self.pos += 1;
+                            }
+                            Some(_) => {
+                                // handle multi-byte UTF-8 by char iteration
+                                let ch = self.src[self.pos..].chars().next().unwrap();
+                                s.push(ch);
+                                self.pos += ch.len_utf8();
+                            }
+                        }
+                    }
+                    Tok::Str(s)
+                }
+                b'0'..=b'9' => {
+                    let mut end = self.pos;
+                    let mut is_float = false;
+                    while end < self.bytes.len()
+                        && (self.bytes[end].is_ascii_digit()
+                            || (self.bytes[end] == b'.'
+                                && end + 1 < self.bytes.len()
+                                && self.bytes[end + 1].is_ascii_digit()
+                                && !is_float))
+                    {
+                        if self.bytes[end] == b'.' {
+                            is_float = true;
+                        }
+                        end += 1;
+                    }
+                    // exponent
+                    if end < self.bytes.len()
+                        && (self.bytes[end] == b'e' || self.bytes[end] == b'E')
+                    {
+                        let mut e = end + 1;
+                        if e < self.bytes.len() && (self.bytes[e] == b'+' || self.bytes[e] == b'-')
+                        {
+                            e += 1;
+                        }
+                        if e < self.bytes.len() && self.bytes[e].is_ascii_digit() {
+                            is_float = true;
+                            while e < self.bytes.len() && self.bytes[e].is_ascii_digit() {
+                                e += 1;
+                            }
+                            end = e;
+                        }
+                    }
+                    let text = &self.src[self.pos..end];
+                    self.pos = end;
+                    if is_float {
+                        Tok::Float(
+                            text.parse()
+                                .map_err(|_| self.error("bad float literal", start))?,
+                        )
+                    } else {
+                        Tok::Int(
+                            text.parse()
+                                .map_err(|_| self.error("bad int literal", start))?,
+                        )
+                    }
+                }
+                c if c.is_ascii_alphabetic() || c == b'_' => {
+                    let mut end = self.pos;
+                    while end < self.bytes.len()
+                        && (self.bytes[end].is_ascii_alphanumeric() || self.bytes[end] == b'_')
+                    {
+                        end += 1;
+                    }
+                    let text = &self.src[self.pos..end];
+                    self.pos = end;
+                    if c.is_ascii_uppercase() || c == b'_' {
+                        Tok::Var(text.to_string())
+                    } else {
+                        Tok::Ident(text.to_string())
+                    }
+                }
+                _ => return Err(self.error(format!("unexpected character '{}'", b as char), start)),
+            };
+            out.push((tok, start));
+        }
+        Ok(out)
+    }
+}
+
+struct Parser<'a> {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+    src: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1).map(|(t, _)| t)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn offset(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map(|(_, o)| *o)
+            .unwrap_or(self.src.len())
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        let offset = self.offset();
+        let line = self.src[..offset.min(self.src.len())]
+            .bytes()
+            .filter(|&b| b == b'\n')
+            .count()
+            + 1;
+        ParseError {
+            message: msg.into(),
+            offset,
+            line,
+        }
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if *t == tok => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(self.error(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn parse_program(&mut self) -> Result<Program, ParseError> {
+        let mut program = Program::new();
+        let mut pending_label: Option<String> = None;
+        while self.peek().is_some() {
+            if self.peek() == Some(&Tok::At) {
+                self.next();
+                match self.next() {
+                    Some(Tok::Ident(name)) if name == "label" => {
+                        self.expect(Tok::LParen, "'('")?;
+                        let label = match self.next() {
+                            Some(Tok::Str(s)) => s,
+                            _ => return Err(self.error("expected string label")),
+                        };
+                        self.expect(Tok::RParen, "')'")?;
+                        pending_label = Some(label);
+                    }
+                    Some(Tok::Ident(other)) => {
+                        return Err(self.error(format!("unknown annotation @{other}")))
+                    }
+                    _ => return Err(self.error("expected annotation name after '@'")),
+                }
+                continue;
+            }
+            let clause = self.parse_clause(pending_label.take())?;
+            match clause {
+                Clause::Fact(f) => program.facts.push(f),
+                Clause::Rule(r) => program.rules.push(r),
+            }
+        }
+        Ok(program)
+    }
+
+    fn parse_clause(&mut self, label: Option<String>) -> Result<Clause, ParseError> {
+        // Distinguish: `atom.` (fact), `head :- body.` (rule), `t = t :- …` (EGD)
+        // Try an EGD head: VAR '=' term ':-'
+        if let (Some(Tok::Var(_)), Some(Tok::Eq)) = (self.peek(), self.peek2()) {
+            let lhs = self.parse_term()?;
+            self.expect(Tok::Eq, "'='")?;
+            let rhs = self.parse_term()?;
+            self.expect(Tok::Implies, "':-'")?;
+            let body = self.parse_body()?;
+            self.expect(Tok::Dot, "'.'")?;
+            return Ok(Clause::Rule(Rule {
+                head: Head::Equality(lhs, rhs),
+                body,
+                label,
+            }));
+        }
+        let first = self.parse_atom()?;
+        match self.peek() {
+            Some(Tok::Dot) => {
+                self.next();
+                // fact: all args must be constants
+                let mut args = Vec::with_capacity(first.args.len());
+                for t in &first.args {
+                    match t {
+                        Term::Const(v) => args.push(v.clone()),
+                        Term::Var(v) => {
+                            return Err(self.error(format!("fact contains non-ground variable {v}")))
+                        }
+                    }
+                }
+                Ok(Clause::Fact(Fact::new(first.pred, args)))
+            }
+            Some(Tok::Comma) | Some(Tok::Implies) => {
+                let mut heads = vec![first];
+                while self.peek() == Some(&Tok::Comma) {
+                    self.next();
+                    heads.push(self.parse_atom()?);
+                }
+                self.expect(Tok::Implies, "':-'")?;
+                let body = self.parse_body()?;
+                self.expect(Tok::Dot, "'.'")?;
+                Ok(Clause::Rule(Rule {
+                    head: Head::Atoms(heads),
+                    body,
+                    label,
+                }))
+            }
+            other => Err(self.error(format!("expected '.', ',' or ':-', found {other:?}"))),
+        }
+    }
+
+    fn parse_body(&mut self) -> Result<Vec<Literal>, ParseError> {
+        let mut lits = vec![self.parse_literal()?];
+        while self.peek() == Some(&Tok::Comma) {
+            self.next();
+            lits.push(self.parse_literal()?);
+        }
+        Ok(lits)
+    }
+
+    fn parse_literal(&mut self) -> Result<Literal, ParseError> {
+        // negation: `not p(X)` is a negated atom unless `p` is a builtin
+        // function name, in which case the whole thing is a boolean condition
+        // like `not is_null(V)`.
+        if let Some(Tok::Ident(id)) = self.peek() {
+            if id == "not" {
+                if let Some(Tok::Ident(next_id)) = self.peek2() {
+                    if !is_builtin_fn(next_id) {
+                        self.next();
+                        let atom = self.parse_atom()?;
+                        return Ok(Literal::Neg(atom));
+                    }
+                }
+            }
+        }
+        // plain atom
+        if let (Some(Tok::Ident(id)), Some(Tok::LParen)) = (self.peek(), self.peek2()) {
+            if !is_builtin_fn(id) && id != "case" && id != "not" {
+                let atom = self.parse_atom()?;
+                return Ok(Literal::Pos(atom));
+            }
+        }
+        // `VAR = aggfunc(...)` or `VAR = expr` or a bare condition expression
+        if let (Some(Tok::Var(v)), Some(Tok::Eq)) = (self.peek(), self.peek2()) {
+            let var = v.clone();
+            // look ahead for aggregate
+            if let Some((Tok::Ident(fname), _)) = self.toks.get(self.pos + 2) {
+                if AggFunc::from_name(fname).is_some()
+                    && self.toks.get(self.pos + 3).map(|(t, _)| t) == Some(&Tok::LParen)
+                {
+                    let func = AggFunc::from_name(fname).unwrap();
+                    self.pos += 4; // VAR = fname (
+                                   // `mcount(<I>)` has no contribution expression; every
+                                   // contributor counts 1.
+                    let arg = if self.peek() == Some(&Tok::Lt) {
+                        Expr::val(1i64)
+                    } else {
+                        self.parse_expr()?
+                    };
+                    let mut contributors = Vec::new();
+                    let has_comma = self.peek() == Some(&Tok::Comma);
+                    if has_comma {
+                        self.next();
+                    }
+                    if has_comma || self.peek() == Some(&Tok::Lt) {
+                        self.expect(Tok::Lt, "'<' opening contributor list")?;
+                        // contributors are parsed at additive precedence so
+                        // the closing '>' is not mistaken for a comparison
+                        contributors.push(self.parse_additive()?);
+                        while self.peek() == Some(&Tok::Comma) {
+                            self.next();
+                            contributors.push(self.parse_additive()?);
+                        }
+                        self.expect(Tok::Gt, "'>' closing contributor list")?;
+                    }
+                    self.expect(Tok::RParen, "')'")?;
+                    return Ok(Literal::Agg {
+                        var,
+                        func,
+                        arg,
+                        contributors,
+                    });
+                }
+            }
+            self.pos += 2; // VAR =
+            let expr = self.parse_expr()?;
+            return Ok(Literal::Let { var, expr });
+        }
+        // otherwise: a condition expression
+        let expr = self.parse_expr()?;
+        Ok(Literal::Cond(expr))
+    }
+
+    fn parse_atom(&mut self) -> Result<Atom, ParseError> {
+        let pred = match self.next() {
+            Some(Tok::Ident(p)) => p,
+            other => return Err(self.error(format!("expected predicate name, found {other:?}"))),
+        };
+        self.expect(Tok::LParen, "'('")?;
+        let mut args = Vec::new();
+        if self.peek() != Some(&Tok::RParen) {
+            args.push(self.parse_term()?);
+            while self.peek() == Some(&Tok::Comma) {
+                self.next();
+                args.push(self.parse_term()?);
+            }
+        }
+        self.expect(Tok::RParen, "')'")?;
+        Ok(Atom::new(pred, args))
+    }
+
+    fn parse_term(&mut self) -> Result<Term, ParseError> {
+        match self.next() {
+            Some(Tok::Var(v)) => Ok(Term::Var(v)),
+            Some(Tok::Str(s)) => Ok(Term::Const(Value::str(s))),
+            Some(Tok::Int(i)) => Ok(Term::Const(Value::Int(i))),
+            Some(Tok::Float(f)) => Ok(Term::Const(Value::Float(f))),
+            Some(Tok::Minus) => match self.next() {
+                Some(Tok::Int(i)) => Ok(Term::Const(Value::Int(-i))),
+                Some(Tok::Float(f)) => Ok(Term::Const(Value::Float(-f))),
+                other => Err(self.error(format!("expected number after '-', found {other:?}"))),
+            },
+            Some(Tok::Ident(id)) if id == "true" => Ok(Term::Const(Value::Bool(true))),
+            Some(Tok::Ident(id)) if id == "false" => Ok(Term::Const(Value::Bool(false))),
+            other => Err(self.error(format!("expected term, found {other:?}"))),
+        }
+    }
+
+    // --- expressions, precedence climbing ---
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_and()?;
+        while matches!(self.peek(), Some(Tok::Ident(id)) if id == "or") {
+            self.next();
+            let rhs = self.parse_and()?;
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_cmp()?;
+        while matches!(self.peek(), Some(Tok::Ident(id)) if id == "and") {
+            self.next();
+            let rhs = self.parse_cmp()?;
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_cmp(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.parse_additive()?;
+        let op = match self.peek() {
+            Some(Tok::Eq) => Some(BinOp::Eq),
+            Some(Tok::Ne) => Some(BinOp::Ne),
+            Some(Tok::Lt) => Some(BinOp::Lt),
+            Some(Tok::Le) => Some(BinOp::Le),
+            Some(Tok::Gt) => Some(BinOp::Gt),
+            Some(Tok::Ge) => Some(BinOp::Ge),
+            Some(Tok::Ident(id)) if id == "in" => Some(BinOp::In),
+            Some(Tok::Ident(id)) if id == "subset" => Some(BinOp::Subset),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.next();
+            let rhs = self.parse_additive()?;
+            Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => BinOp::Add,
+                Some(Tok::Minus) => BinOp::Sub,
+                Some(Tok::Ident(id)) if id == "union" => BinOp::Union,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.parse_multiplicative()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => BinOp::Mul,
+                Some(Tok::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.parse_unary()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Some(Tok::Minus) => {
+                self.next();
+                let e = self.parse_unary()?;
+                Ok(Expr::Unary(UnOp::Neg, Box::new(e)))
+            }
+            Some(Tok::Ident(id)) if id == "not" => {
+                self.next();
+                let e = self.parse_unary()?;
+                Ok(Expr::Unary(UnOp::Not, Box::new(e)))
+            }
+            _ => self.parse_postfix(),
+        }
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.parse_primary()?;
+        while self.peek() == Some(&Tok::LBracket) {
+            self.next();
+            let idx = self.parse_expr()?;
+            self.expect(Tok::RBracket, "']'")?;
+            e = Expr::Index(Box::new(e), Box::new(idx));
+        }
+        Ok(e)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Int(i)) => {
+                self.next();
+                Ok(Expr::val(i))
+            }
+            Some(Tok::Float(f)) => {
+                self.next();
+                Ok(Expr::val(f))
+            }
+            Some(Tok::Str(s)) => {
+                self.next();
+                Ok(Expr::Const(Value::str(s)))
+            }
+            Some(Tok::Var(v)) => {
+                self.next();
+                Ok(Expr::Var(v))
+            }
+            Some(Tok::LParen) => {
+                self.next();
+                let first = self.parse_expr()?;
+                if self.peek() == Some(&Tok::Comma) {
+                    // pair / tuple literal
+                    let mut items = vec![first];
+                    while self.peek() == Some(&Tok::Comma) {
+                        self.next();
+                        items.push(self.parse_expr()?);
+                    }
+                    self.expect(Tok::RParen, "')'")?;
+                    Ok(Expr::Call("tuple".into(), items))
+                } else {
+                    self.expect(Tok::RParen, "')'")?;
+                    Ok(first)
+                }
+            }
+            Some(Tok::LBrace) => {
+                self.next();
+                let mut items = Vec::new();
+                if self.peek() != Some(&Tok::RBrace) {
+                    items.push(self.parse_expr()?);
+                    while self.peek() == Some(&Tok::Comma) {
+                        self.next();
+                        items.push(self.parse_expr()?);
+                    }
+                }
+                self.expect(Tok::RBrace, "'}'")?;
+                Ok(Expr::Call("set".into(), items))
+            }
+            Some(Tok::Ident(id)) => {
+                match id.as_str() {
+                    "true" => {
+                        self.next();
+                        Ok(Expr::val(true))
+                    }
+                    "false" => {
+                        self.next();
+                        Ok(Expr::val(false))
+                    }
+                    "case" => {
+                        self.next();
+                        let cond = self.parse_expr()?;
+                        match self.next() {
+                            Some(Tok::Ident(k)) if k == "then" => {}
+                            other => {
+                                return Err(self.error(format!("expected 'then', got {other:?}")))
+                            }
+                        }
+                        let then = self.parse_expr()?;
+                        match self.next() {
+                            Some(Tok::Ident(k)) if k == "else" => {}
+                            other => {
+                                return Err(self.error(format!("expected 'else', got {other:?}")))
+                            }
+                        }
+                        let otherwise = self.parse_expr()?;
+                        Ok(Expr::Case {
+                            cond: Box::new(cond),
+                            then: Box::new(then),
+                            otherwise: Box::new(otherwise),
+                        })
+                    }
+                    _ => {
+                        // function call
+                        self.next();
+                        if self.peek() == Some(&Tok::LParen) {
+                            self.next();
+                            let mut args = Vec::new();
+                            if self.peek() != Some(&Tok::RParen) {
+                                args.push(self.parse_expr()?);
+                                while self.peek() == Some(&Tok::Comma) {
+                                    self.next();
+                                    args.push(self.parse_expr()?);
+                                }
+                            }
+                            self.expect(Tok::RParen, "')'")?;
+                            Ok(Expr::Call(id, args))
+                        } else {
+                            // bare lowercase identifier: treat as a symbol constant
+                            Ok(Expr::Const(Value::str(id)))
+                        }
+                    }
+                }
+            }
+            other => Err(self.error(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+enum Clause {
+    Fact(Fact),
+    Rule(Rule),
+}
+
+/// Names treated as builtin expression functions rather than predicates
+/// when they lead a body literal. `tuple` is deliberately absent: the
+/// Vada-SA programs use it as a predicate; in expression position any
+/// `name(…)` still parses as a call, so `tuple(a, b)` literals keep
+/// working inside expressions.
+fn is_builtin_fn(name: &str) -> bool {
+    matches!(
+        name,
+        "size"
+            | "pair"
+            | "first"
+            | "second"
+            | "nth"
+            | "set"
+            | "setminus"
+            | "contains"
+            | "keys"
+            | "values"
+            | "is_null"
+            | "min"
+            | "max"
+            | "abs"
+            | "pow"
+            | "sqrt"
+            | "ln"
+            | "exp"
+            | "concat"
+            | "upper"
+            | "lower"
+            | "starts_with"
+            | "ends_with"
+            | "contains_str"
+            | "substr"
+            | "union_of"
+    )
+}
+
+/// Parse a complete program from source text.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let toks = Lexer::new(src).tokenize()?;
+    let mut p = Parser { toks, pos: 0, src };
+    p.parse_program()
+}
+
+/// Parse a single rule (must end with `.`).
+pub fn parse_rule(src: &str) -> Result<Rule, ParseError> {
+    let prog = parse_program(src)?;
+    if prog.rules.len() != 1 || !prog.facts.is_empty() {
+        return Err(ParseError {
+            message: format!(
+                "expected exactly one rule, found {} rules and {} facts",
+                prog.rules.len(),
+                prog.facts.len()
+            ),
+            offset: 0,
+            line: 1,
+        });
+    }
+    Ok(prog.rules.into_iter().next().unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_facts() {
+        let p = parse_program(r#"att("I&G", "Id"). num(3). f(2.5). neg(-7)."#).unwrap();
+        assert_eq!(p.facts.len(), 4);
+        assert_eq!(p.facts[0].pred, "att");
+        assert_eq!(p.facts[0].args[0], Value::str("I&G"));
+        assert_eq!(p.facts[3].args[0], Value::Int(-7));
+    }
+
+    #[test]
+    fn parses_plain_rule() {
+        let r = parse_rule("anc(X, Y) :- par(X, Z), anc(Z, Y).").unwrap();
+        assert_eq!(r.head_preds(), vec!["anc"]);
+        assert_eq!(r.body.len(), 2);
+    }
+
+    #[test]
+    fn parses_negation() {
+        let r = parse_rule("only(X) :- p(X), not q(X).").unwrap();
+        assert!(matches!(&r.body[1], Literal::Neg(a) if a.pred == "q"));
+    }
+
+    #[test]
+    fn parses_aggregate_with_contributor() {
+        let r = parse_rule("out(G, R) :- t(G, I, W), R = msum(W, <I>).").unwrap();
+        match &r.body[1] {
+            Literal::Agg {
+                var,
+                func,
+                contributors,
+                ..
+            } => {
+                assert_eq!(var, "R");
+                assert_eq!(*func, AggFunc::MSum);
+                assert_eq!(contributors.len(), 1);
+            }
+            other => panic!("expected aggregate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_condition_and_let() {
+        let r = parse_rule("risky(I) :- t(I, R), S = 1 / R, S > 0.5.").unwrap();
+        assert!(matches!(&r.body[1], Literal::Let { var, .. } if var == "S"));
+        assert!(matches!(&r.body[2], Literal::Cond(_)));
+    }
+
+    #[test]
+    fn parses_egd() {
+        let p = parse_program("C1 = C2 :- cat(M, A, C1), cat(M, A, C2).").unwrap();
+        assert_eq!(p.rules.len(), 1);
+        assert!(matches!(&p.rules[0].head, Head::Equality(_, _)));
+    }
+
+    #[test]
+    fn parses_multi_head() {
+        let r = parse_rule("comb(Z, I), isin(A, Z) :- t(I, A).").unwrap();
+        match &r.head {
+            Head::Atoms(atoms) => assert_eq!(atoms.len(), 2),
+            _ => panic!("expected atoms head"),
+        }
+        assert!(r.existential_vars().contains("Z"));
+    }
+
+    #[test]
+    fn parses_case_expression() {
+        let r = parse_rule("o(I, R) :- t(I, N), R = case N < 3 then 1 else 0.").unwrap();
+        match &r.body[1] {
+            Literal::Let { expr, .. } => assert!(matches!(expr, Expr::Case { .. })),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_indexing_and_calls() {
+        let r = parse_rule("o(V) :- t(S, K), V = S[K], size(S) > 2.").unwrap();
+        assert!(matches!(&r.body[1], Literal::Let { .. }));
+        assert!(matches!(&r.body[2], Literal::Cond(_)));
+    }
+
+    #[test]
+    fn parses_set_literal_and_pair() {
+        let r = parse_rule("o(X) :- t(A, B), X = {pair(A, B), pair(B, A)}.").unwrap();
+        match &r.body[1] {
+            Literal::Let { expr, .. } => match expr {
+                Expr::Call(name, items) => {
+                    assert_eq!(name, "set");
+                    assert_eq!(items.len(), 2);
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_labels() {
+        let p = parse_program(
+            r#"@label("rule one")
+               a(X) :- b(X)."#,
+        )
+        .unwrap();
+        assert_eq!(p.rules[0].label.as_deref(), Some("rule one"));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let p = parse_program("% a comment\na(1). % trailing\n% another\nb(2).").unwrap();
+        assert_eq!(p.facts.len(), 2);
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse_program("a(1).\nb(X.").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn rejects_nonground_fact() {
+        assert!(parse_program("a(X).").is_err());
+    }
+
+    #[test]
+    fn bare_lowercase_in_expr_is_symbol() {
+        // `C = quasi` parses as a Let on C; the evaluator treats a Let on an
+        // already-bound variable as an equality filter.
+        let r = parse_rule(r#"o(X) :- t(X, C), C = quasi."#).unwrap();
+        match &r.body[1] {
+            Literal::Let { var, expr } => {
+                assert_eq!(var, "C");
+                assert_eq!(*expr, Expr::Const(Value::str("quasi")));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! Pretty-printing of programs back to concrete syntax.
+//!
+//! `parse_program(print(p))` reproduces `p` up to whitespace — the
+//! round-trip is property-tested — which makes programs first-class data:
+//! the Vada-SA framework can synthesize rule sets (e.g. splice thresholds
+//! into Algorithm 4) and persist them as `.vada` files.
+
+use crate::ast::{Atom, BinOp, Expr, Head, Literal, Program, Rule, Term, UnOp};
+use std::fmt::Write;
+
+fn binop_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Mod => "%",
+        BinOp::Eq => "=",
+        BinOp::Ne => "!=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::And => "and",
+        BinOp::Or => "or",
+        BinOp::In => "in",
+        BinOp::Subset => "subset",
+        BinOp::Union => "union",
+    }
+}
+
+fn precedence(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::And => 2,
+        BinOp::Eq
+        | BinOp::Ne
+        | BinOp::Lt
+        | BinOp::Le
+        | BinOp::Gt
+        | BinOp::Ge
+        | BinOp::In
+        | BinOp::Subset => 3,
+        BinOp::Add | BinOp::Sub | BinOp::Union => 4,
+        BinOp::Mul | BinOp::Div | BinOp::Mod => 5,
+    }
+}
+
+/// Render an expression; parenthesize children of lower precedence.
+pub fn print_expr(e: &Expr) -> String {
+    fn go(e: &Expr, parent_prec: u8, out: &mut String) {
+        match e {
+            Expr::Const(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Expr::Var(v) => out.push_str(v),
+            Expr::Binary(op, a, b) => {
+                let p = precedence(*op);
+                let needs_parens = p < parent_prec;
+                if needs_parens {
+                    out.push('(');
+                }
+                go(a, p, out);
+                let _ = write!(out, " {} ", binop_str(*op));
+                // right operand binds one tighter to keep left associativity
+                go(b, p + 1, out);
+                if needs_parens {
+                    out.push(')');
+                }
+            }
+            Expr::Unary(UnOp::Neg, a) => {
+                out.push('-');
+                go(a, 6, out);
+            }
+            Expr::Unary(UnOp::Not, a) => {
+                out.push_str("not ");
+                go(a, 6, out);
+            }
+            Expr::Case {
+                cond,
+                then,
+                otherwise,
+            } => {
+                if parent_prec > 0 {
+                    out.push('(');
+                }
+                out.push_str("case ");
+                go(cond, 0, out);
+                out.push_str(" then ");
+                go(then, 0, out);
+                out.push_str(" else ");
+                go(otherwise, 0, out);
+                if parent_prec > 0 {
+                    out.push(')');
+                }
+            }
+            Expr::Index(base, key) => {
+                go(base, 6, out);
+                out.push('[');
+                go(key, 0, out);
+                out.push(']');
+            }
+            Expr::Call(name, args) if name == "set" => {
+                out.push('{');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    go(a, 0, out);
+                }
+                out.push('}');
+            }
+            Expr::Call(name, args) => {
+                out.push_str(name);
+                out.push('(');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    go(a, 0, out);
+                }
+                out.push(')');
+            }
+        }
+    }
+    let mut s = String::new();
+    go(e, 0, &mut s);
+    s
+}
+
+fn print_atom(a: &Atom) -> String {
+    let mut s = String::new();
+    s.push_str(&a.pred);
+    s.push('(');
+    for (i, t) in a.args.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        match t {
+            Term::Const(v) => {
+                let _ = write!(s, "{v}");
+            }
+            Term::Var(v) => s.push_str(v),
+        }
+    }
+    s.push(')');
+    s
+}
+
+/// Render one rule (without a trailing newline).
+pub fn print_rule(rule: &Rule) -> String {
+    let mut s = String::new();
+    if let Some(label) = &rule.label {
+        let _ = write!(s, "@label(\"{}\")\n", label.replace('"', "\\\""));
+    }
+    match &rule.head {
+        Head::Atoms(atoms) => {
+            for (i, a) in atoms.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&print_atom(a));
+            }
+        }
+        Head::Equality(a, b) => {
+            let term = |t: &Term| match t {
+                Term::Const(v) => v.to_string(),
+                Term::Var(v) => v.clone(),
+            };
+            let _ = write!(s, "{} = {}", term(a), term(b));
+        }
+    }
+    s.push_str(" :- ");
+    for (i, lit) in rule.body.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        match lit {
+            Literal::Pos(a) => s.push_str(&print_atom(a)),
+            Literal::Neg(a) => {
+                s.push_str("not ");
+                s.push_str(&print_atom(a));
+            }
+            Literal::Cond(e) => s.push_str(&print_expr(e)),
+            Literal::Let { var, expr } => {
+                let _ = write!(s, "{var} = {}", print_expr(expr));
+            }
+            Literal::Agg {
+                var,
+                func,
+                arg,
+                contributors,
+            } => {
+                let _ = write!(s, "{var} = {}({}", func.name(), print_expr(arg));
+                if !contributors.is_empty() {
+                    s.push_str(", <");
+                    for (i, c) in contributors.iter().enumerate() {
+                        if i > 0 {
+                            s.push_str(", ");
+                        }
+                        s.push_str(&print_expr(c));
+                    }
+                    s.push('>');
+                }
+                s.push(')');
+            }
+        }
+    }
+    s.push('.');
+    s
+}
+
+/// Render a whole program (facts first, then rules).
+pub fn print_program(p: &Program) -> String {
+    let mut s = String::new();
+    for f in &p.facts {
+        s.push_str(&f.to_string());
+        s.push_str(".\n");
+    }
+    for r in &p.rules {
+        s.push_str(&print_rule(r));
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn roundtrip(src: &str) {
+        let p1 = parse_program(src).expect("original parses");
+        let printed = print_program(&p1);
+        let p2 = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("printed form does not parse: {e}\n{printed}"));
+        assert_eq!(p1, p2, "round-trip changed the program:\n{printed}");
+    }
+
+    #[test]
+    fn roundtrip_facts_and_plain_rules() {
+        roundtrip(
+            "edge(1, 2). label(\"x\", 2.5). neg(-3).\n\
+             path(X, Y) :- edge(X, Y).\n\
+             path(X, Y) :- edge(X, Z), path(Z, Y).",
+        );
+    }
+
+    #[test]
+    fn roundtrip_negation_conditions_lets() {
+        roundtrip(
+            "out(X, S) :- p(X, W), not q(X), S = 1.0 / W, S > 0.5.\n\
+             flag(X, F) :- p(X, W), F = case W < 3 then 1 else 0.",
+        );
+    }
+
+    #[test]
+    fn roundtrip_aggregates() {
+        roundtrip(
+            "s(G, R) :- t(G, I, W), R = msum(W, <I>).\n\
+             c(G, R) :- t(G, I, W), R = mcount(<I>).\n\
+             u(G, S) :- t(G, I, W), S = munion(pair(I, W), <I>).",
+        );
+    }
+
+    #[test]
+    fn roundtrip_egd_and_multihead() {
+        roundtrip(
+            "C1 = C2 :- cat(M, A, C1), cat(M, A, C2).\n\
+             comb(Z, I), isin(A, Z) :- t(I, A).",
+        );
+    }
+
+    #[test]
+    fn roundtrip_labels() {
+        roundtrip(
+            "@label(\"my rule\")\n\
+             a(X) :- b(X).",
+        );
+    }
+
+    #[test]
+    fn roundtrip_sets_indexing_builtins() {
+        roundtrip(
+            "o(V) :- t(S, K), V = S[K], size(S) > 2, K in keys(S).\n\
+             m(N) :- t(S, K), N = setminus(S, {K}) union {pair(K, K)}.",
+        );
+    }
+
+    #[test]
+    fn roundtrip_vadasa_programs() {
+        // the real Algorithm 2/3/4 sources must survive the round-trip
+        let alg2 = r#"
+        tuple(M, I, VSet) :- val(M, I, A, V), cat(M, A, "quasi-identifier"),
+                             VSet = munion(pair(A, V), <A>).
+        wgt(I, W) :- val(M, I, A, W), cat(M, A, "weight").
+        tuplea(VSet, S) :- tuple(M, I, VSet), wgt(I, W), S = msum(W, <I>).
+        riskOutput(I, R) :- tuple(M, I, VSet), tuplea(VSet, S), R = 1.0 / S.
+        "#;
+        roundtrip(alg2);
+    }
+
+    #[test]
+    fn precedence_is_preserved() {
+        // (a + b) * c must keep its parentheses through the round-trip
+        let p1 = parse_program("o(R) :- t(A, B, C), R = (A + B) * C.").unwrap();
+        let printed = print_program(&p1);
+        let p2 = parse_program(&printed).unwrap();
+        assert_eq!(p1, p2);
+        assert!(printed.contains("(A + B) * C"));
+        // and a - (b - c) stays right-grouped
+        let p1 = parse_program("o(R) :- t(A, B, C), R = A - (B - C).").unwrap();
+        let printed = print_program(&p1);
+        assert_eq!(p1, parse_program(&printed).unwrap());
+    }
+}

@@ -1,0 +1,207 @@
+//! Query answering over chased databases: certain vs possible answers.
+//!
+//! A database produced by the chase contains labelled nulls — placeholders
+//! for unknown values. The data-exchange literature the paper builds on
+//! (Fagin et al. [20, 21]) defines query semantics over such instances:
+//!
+//! - a tuple of **constants** is a *certain answer* to an atomic query iff
+//!   the query maps into the instance under **every** valuation of the
+//!   nulls — for atomic queries, iff a fact matches the query with
+//!   constants agreeing exactly (a null never certainly equals a
+//!   constant, and two distinct nulls never certainly coincide);
+//! - a tuple is a *possible answer* iff **some** valuation makes it true —
+//!   nulls unify with anything, consistently per label.
+//!
+//! The gap between the two is exactly the uncertainty local suppression
+//! injects: after anonymization the attacker's query gains possible
+//! answers but loses certain ones.
+
+use crate::ast::{Atom, Term};
+use crate::storage::Database;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Query strictness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnswerMode {
+    /// True under every valuation of labelled nulls.
+    Certain,
+    /// True under at least one valuation.
+    Possible,
+}
+
+/// Answer an atomic query against `db`.
+///
+/// `query` may mix constants and (possibly repeated) variables; each
+/// returned row holds the values bound to the query's variables, in order
+/// of first occurrence. Under [`AnswerMode::Certain`] only all-constant
+/// answers are returned; under [`AnswerMode::Possible`] answers may carry
+/// nulls (denoting "some unknown value").
+pub fn answers(db: &Database, query: &Atom, mode: AnswerMode) -> Vec<Vec<Value>> {
+    let Some(rel) = db.relation(&query.pred) else {
+        return Vec::new();
+    };
+
+    // variable order of first occurrence
+    let mut var_order: Vec<&str> = Vec::new();
+    for t in &query.args {
+        if let Term::Var(v) = t {
+            if !var_order.iter().any(|x| x == v) {
+                var_order.push(v);
+            }
+        }
+    }
+
+    let mut out: Vec<Vec<Value>> = Vec::new();
+    'rows: for row in rel.iter() {
+        if row.len() != query.args.len() {
+            continue;
+        }
+        let mut binding: HashMap<&str, &Value> = HashMap::new();
+        for (t, v) in query.args.iter().zip(row.iter()) {
+            match t {
+                Term::Const(c) => {
+                    let matches = match mode {
+                        AnswerMode::Certain => c == v,
+                        AnswerMode::Possible => v.is_null() || c == v,
+                    };
+                    if !matches {
+                        continue 'rows;
+                    }
+                }
+                Term::Var(name) => match binding.get(name.as_str()) {
+                    None => {
+                        binding.insert(name, v);
+                    }
+                    Some(prev) => {
+                        let matches = match mode {
+                            AnswerMode::Certain => *prev == v,
+                            AnswerMode::Possible => *prev == v || prev.is_null() || v.is_null(),
+                        };
+                        if !matches {
+                            continue 'rows;
+                        }
+                    }
+                },
+            }
+        }
+        let answer: Vec<Value> = var_order
+            .iter()
+            .map(|v| (*binding.get(v).expect("bound")).clone())
+            .collect();
+        if mode == AnswerMode::Certain && answer.iter().any(Value::is_null) {
+            continue; // a null is not a certain value
+        }
+        if !out.contains(&answer) {
+            out.push(answer);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Atom;
+
+    fn atom(pred: &str, terms: Vec<Term>) -> Atom {
+        Atom::new(pred, terms)
+    }
+    fn var(v: &str) -> Term {
+        Term::Var(v.to_string())
+    }
+    fn c(v: impl Into<Value>) -> Term {
+        Term::Const(v.into())
+    }
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        db.insert("t", vec![Value::str("roma"), Value::str("textiles")]);
+        db.insert("t", vec![Value::str("roma"), Value::Null(1)]);
+        db.insert("t", vec![Value::Null(2), Value::str("commerce")]);
+        db
+    }
+
+    #[test]
+    fn certain_answers_exclude_nulls() {
+        let db = sample_db();
+        let q = atom("t", vec![var("X"), var("Y")]);
+        let certain = answers(&db, &q, AnswerMode::Certain);
+        assert_eq!(
+            certain,
+            vec![vec![Value::str("roma"), Value::str("textiles")]]
+        );
+    }
+
+    #[test]
+    fn possible_answers_include_null_witnesses() {
+        let db = sample_db();
+        let q = atom("t", vec![var("X"), c("commerce")]);
+        let possible = answers(&db, &q, AnswerMode::Possible);
+        // ⊥1 may be "commerce" (X = roma) and ⊥2's row matches directly
+        // (X = ⊥2); the textiles row is excluded even possibly
+        assert_eq!(possible.len(), 2);
+        assert!(possible.contains(&vec![Value::str("roma")]));
+        let certain = answers(&db, &q, AnswerMode::Certain);
+        assert!(certain.is_empty(), "no constant witness for commerce in X");
+    }
+
+    #[test]
+    fn constants_filter_exactly_in_certain_mode() {
+        let db = sample_db();
+        let q = atom("t", vec![c("roma"), var("Y")]);
+        let certain = answers(&db, &q, AnswerMode::Certain);
+        assert_eq!(certain, vec![vec![Value::str("textiles")]]);
+        let possible = answers(&db, &q, AnswerMode::Possible);
+        // row 3's ⊥2 may be roma, but its Y is a constant "commerce"
+        assert!(possible.contains(&vec![Value::str("commerce")]));
+        assert_eq!(possible.len(), 3);
+    }
+
+    #[test]
+    fn repeated_variables_enforce_equality() {
+        let mut db = Database::new();
+        db.insert("e", vec![Value::Int(1), Value::Int(1)]);
+        db.insert("e", vec![Value::Int(1), Value::Int(2)]);
+        db.insert("e", vec![Value::Null(5), Value::Int(3)]);
+        let q = atom("e", vec![var("X"), var("X")]);
+        let certain = answers(&db, &q, AnswerMode::Certain);
+        assert_eq!(certain, vec![vec![Value::Int(1)]]);
+        // possibly, ⊥5 = 3 makes the third row diagonal too
+        let possible = answers(&db, &q, AnswerMode::Possible);
+        assert_eq!(possible.len(), 2);
+    }
+
+    #[test]
+    fn missing_predicate_yields_no_answers() {
+        let db = Database::new();
+        let q = atom("nope", vec![var("X")]);
+        assert!(answers(&db, &q, AnswerMode::Possible).is_empty());
+    }
+
+    #[test]
+    fn suppression_trades_certain_for_possible() {
+        // the SDC story in miniature: suppress a cell and watch the
+        // attacker's certain knowledge shrink while possibilities grow
+        let mut before = Database::new();
+        before.insert("t", vec![Value::str("roma"), Value::str("textiles")]);
+        before.insert("t", vec![Value::str("roma"), Value::str("commerce")]);
+        let mut after = Database::new();
+        after.insert("t", vec![Value::str("roma"), Value::Null(0)]);
+        after.insert("t", vec![Value::str("roma"), Value::str("commerce")]);
+
+        let who_in_textiles = atom("t", vec![var("X"), c("textiles")]);
+        assert_eq!(
+            answers(&before, &who_in_textiles, AnswerMode::Certain).len(),
+            1
+        );
+        assert_eq!(
+            answers(&after, &who_in_textiles, AnswerMode::Certain).len(),
+            0
+        );
+        assert_eq!(
+            answers(&after, &who_in_textiles, AnswerMode::Possible).len(),
+            1
+        );
+    }
+}

@@ -1,0 +1,299 @@
+//! Fact storage: insertion-ordered, deduplicated relations with on-demand
+//! hash indexes over bound argument positions.
+
+use crate::ast::Fact;
+use crate::value::{NullId, Value};
+use std::cell::RefCell;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A stored tuple (shared so index buckets stay cheap).
+pub type Row = Arc<Vec<Value>>;
+
+/// One relation: a deduplicated, insertion-ordered set of rows plus lazily
+/// built secondary indexes keyed by a set of bound positions.
+#[derive(Debug, Default)]
+pub struct Relation {
+    rows: Vec<Row>,
+    dedup: HashMap<Row, usize>,
+    /// bound-position mask → (key values → row indices); `usize` tracks how
+    /// many rows the index has absorbed so it can be extended incrementally.
+    indexes: RefCell<HashMap<Vec<usize>, (usize, HashMap<Vec<Value>, Vec<usize>>)>>,
+}
+
+impl Clone for Relation {
+    fn clone(&self) -> Self {
+        Relation {
+            rows: self.rows.clone(),
+            dedup: self.dedup.clone(),
+            indexes: RefCell::new(HashMap::new()),
+        }
+    }
+}
+
+impl Relation {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Insert a row; returns `true` if it was new.
+    pub fn insert(&mut self, row: Vec<Value>) -> bool {
+        let row: Row = Arc::new(row);
+        match self.dedup.entry(row.clone()) {
+            Entry::Occupied(_) => false,
+            Entry::Vacant(v) => {
+                v.insert(self.rows.len());
+                self.rows.push(row);
+                true
+            }
+        }
+    }
+
+    /// Does the relation contain this exact row?
+    pub fn contains(&self, row: &[Value]) -> bool {
+        // Arc<Vec<Value>> borrows as Vec<Value>; avoid allocation by probing
+        // through a temporary only when needed.
+        self.dedup.contains_key(&row.to_vec())
+    }
+
+    /// Iterate all rows in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Row> {
+        self.rows.iter()
+    }
+
+    /// Row at a given insertion index.
+    pub fn row(&self, idx: usize) -> &Row {
+        &self.rows[idx]
+    }
+
+    /// Indices of rows matching `pattern` (None = wildcard). Uses a hash
+    /// index over the bound positions, built or extended on demand.
+    pub fn select_indices(&self, pattern: &[Option<Value>]) -> Vec<usize> {
+        let bound: Vec<usize> = pattern
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.as_ref().map(|_| i))
+            .collect();
+        if bound.is_empty() {
+            return (0..self.rows.len()).collect();
+        }
+        let key: Vec<Value> = bound.iter().map(|&i| pattern[i].clone().unwrap()).collect();
+
+        let mut indexes = self.indexes.borrow_mut();
+        let (absorbed, index) = indexes
+            .entry(bound.clone())
+            .or_insert_with(|| (0, HashMap::new()));
+        while *absorbed < self.rows.len() {
+            let row = &self.rows[*absorbed];
+            if bound.iter().all(|&i| i < row.len()) {
+                let k: Vec<Value> = bound.iter().map(|&i| row[i].clone()).collect();
+                index.entry(k).or_default().push(*absorbed);
+            }
+            *absorbed += 1;
+        }
+        index.get(&key).cloned().unwrap_or_default()
+    }
+
+    /// Replace the whole row set (used by EGD substitution). Drops indexes.
+    pub fn replace_rows(&mut self, new_rows: Vec<Vec<Value>>) {
+        self.rows.clear();
+        self.dedup.clear();
+        self.indexes.borrow_mut().clear();
+        for r in new_rows {
+            self.insert(r);
+        }
+    }
+}
+
+/// A database: named relations plus the labelled-null counter.
+#[derive(Debug, Default, Clone)]
+pub struct Database {
+    relations: HashMap<String, Relation>,
+    next_null: NullId,
+}
+
+impl Database {
+    /// Empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a fact; returns `true` if new. Null labels occurring in the
+    /// fact advance the internal counter so freshly invented nulls never
+    /// collide with caller-provided ones.
+    pub fn insert(&mut self, pred: impl AsRef<str>, row: Vec<Value>) -> bool {
+        for v in &row {
+            if let Value::Null(n) = v {
+                if *n >= self.next_null {
+                    self.next_null = n + 1;
+                }
+            }
+        }
+        self.relations
+            .entry(pred.as_ref().to_string())
+            .or_default()
+            .insert(row)
+    }
+
+    /// Insert a [`Fact`].
+    pub fn insert_fact(&mut self, fact: Fact) -> bool {
+        self.insert(fact.pred, fact.args)
+    }
+
+    /// Mint a fresh labelled null.
+    pub fn fresh_null(&mut self) -> Value {
+        let id = self.next_null;
+        self.next_null += 1;
+        Value::Null(id)
+    }
+
+    /// Number of labelled nulls minted so far.
+    pub fn nulls_minted(&self) -> NullId {
+        self.next_null
+    }
+
+    /// Access a relation (empty relation if absent).
+    pub fn relation(&self, pred: &str) -> Option<&Relation> {
+        self.relations.get(pred)
+    }
+
+    /// Mutable access, creating the relation if needed.
+    pub fn relation_mut(&mut self, pred: &str) -> &mut Relation {
+        self.relations.entry(pred.to_string()).or_default()
+    }
+
+    /// All relation names.
+    pub fn relation_names(&self) -> impl Iterator<Item = &str> {
+        self.relations.keys().map(|s| s.as_str())
+    }
+
+    /// Rows of a relation as plain vectors (empty if the relation is absent).
+    pub fn rows(&self, pred: &str) -> Vec<Vec<Value>> {
+        self.relations
+            .get(pred)
+            .map(|r| r.iter().map(|row| (**row).clone()).collect())
+            .unwrap_or_default()
+    }
+
+    /// Total number of facts across all relations.
+    pub fn total_facts(&self) -> usize {
+        self.relations.values().map(|r| r.len()).sum()
+    }
+
+    /// Apply a null-substitution: every occurrence of `Null(from)` becomes
+    /// `to` across all relations. Used by EGD enforcement.
+    pub fn substitute_null(&mut self, from: NullId, to: &Value) {
+        fn subst(v: &Value, from: NullId, to: &Value) -> Value {
+            match v {
+                Value::Null(n) if *n == from => to.clone(),
+                Value::Set(s) => Value::set(s.iter().map(|x| subst(x, from, to))),
+                Value::Tuple(t) => {
+                    Value::Tuple(Arc::new(t.iter().map(|x| subst(x, from, to)).collect()))
+                }
+                other => other.clone(),
+            }
+        }
+        for rel in self.relations.values_mut() {
+            let needs = rel
+                .iter()
+                .any(|row| row.iter().any(|v| contains_null(v, from)));
+            if needs {
+                let new_rows: Vec<Vec<Value>> = rel
+                    .iter()
+                    .map(|row| row.iter().map(|v| subst(v, from, to)).collect())
+                    .collect();
+                rel.replace_rows(new_rows);
+            }
+        }
+    }
+}
+
+/// Does `v` contain the labelled null `id` (recursively)?
+pub fn contains_null(v: &Value, id: NullId) -> bool {
+    match v {
+        Value::Null(n) => *n == id,
+        Value::Set(s) => s.iter().any(|x| contains_null(x, id)),
+        Value::Tuple(t) => t.iter().any(|x| contains_null(x, id)),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut db = Database::new();
+        assert!(db.insert("p", vec![Value::Int(1)]));
+        assert!(!db.insert("p", vec![Value::Int(1)]));
+        assert_eq!(db.relation("p").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn select_with_index() {
+        let mut rel = Relation::default();
+        for i in 0..100 {
+            rel.insert(vec![Value::Int(i % 10), Value::Int(i)]);
+        }
+        let hits = rel.select_indices(&[Some(Value::Int(3)), None]);
+        assert_eq!(hits.len(), 10);
+        for h in hits {
+            assert_eq!(rel.row(h)[0], Value::Int(3));
+        }
+    }
+
+    #[test]
+    fn index_extends_incrementally() {
+        let mut rel = Relation::default();
+        rel.insert(vec![Value::Int(1)]);
+        assert_eq!(rel.select_indices(&[Some(Value::Int(1))]).len(), 1);
+        rel.insert(vec![Value::Int(1), Value::Int(2)]); // different arity row ignored by index probe
+        rel.insert(vec![Value::Int(1)]); // duplicate
+        let mut rel2 = Relation::default();
+        rel2.insert(vec![Value::Int(1)]);
+        assert_eq!(rel2.select_indices(&[Some(Value::Int(1))]).len(), 1);
+        rel2.insert(vec![Value::Int(2)]);
+        rel2.insert(vec![Value::Int(1)]); // dup, not inserted
+        assert_eq!(rel2.select_indices(&[Some(Value::Int(1))]).len(), 1);
+        assert_eq!(rel2.select_indices(&[Some(Value::Int(2))]).len(), 1);
+    }
+
+    #[test]
+    fn fresh_nulls_never_collide_with_inserted() {
+        let mut db = Database::new();
+        db.insert("p", vec![Value::Null(41)]);
+        let n = db.fresh_null();
+        assert_eq!(n, Value::Null(42));
+    }
+
+    #[test]
+    fn substitute_null_rewrites_composites() {
+        let mut db = Database::new();
+        db.insert(
+            "t",
+            vec![Value::set([Value::pair(Value::str("a"), Value::Null(7))])],
+        );
+        db.substitute_null(7, &Value::str("gone"));
+        let rows = db.rows("t");
+        let set = rows[0][0].as_set().unwrap();
+        let pair = set.iter().next().unwrap().as_tuple().unwrap();
+        assert_eq!(pair[1], Value::str("gone"));
+    }
+
+    #[test]
+    fn substitution_can_merge_rows() {
+        let mut db = Database::new();
+        db.insert("p", vec![Value::Null(1), Value::Int(9)]);
+        db.insert("p", vec![Value::Int(5), Value::Int(9)]);
+        db.substitute_null(1, &Value::Int(5));
+        assert_eq!(db.relation("p").unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,349 @@
+//! Stratification of programs over negation and aggregation.
+//!
+//! We build a predicate dependency graph: an edge `p → q` whenever a rule
+//! with `q` in the head uses `p` in the body. Edges through negation or
+//! through an aggregate are *constraining*: they must not occur inside a
+//! strongly connected component, otherwise the program has no stratified
+//! model and we reject it with a diagnostic.
+//!
+//! EGDs participate too: an EGD constrains every predicate in its body,
+//! and is applied at the end of the stratum containing the highest of them.
+
+use crate::ast::{Head, Literal, Program, Rule};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Stratification failure: a negation/aggregation inside a recursive cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StratifyError {
+    /// Human-readable cycle description.
+    pub message: String,
+}
+
+impl fmt::Display for StratifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stratification error: {}", self.message)
+    }
+}
+
+impl std::error::Error for StratifyError {}
+
+/// The result of stratification: rules grouped into strata, bottom-up.
+#[derive(Debug, Clone)]
+pub struct Stratification {
+    /// For each stratum (in evaluation order), the indices of the rules of
+    /// the original program that belong to it.
+    pub strata: Vec<Vec<usize>>,
+    /// Stratum assigned to each predicate (predicates only in facts get 0).
+    pub pred_stratum: HashMap<String, usize>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum EdgeKind {
+    Positive,
+    Constraining, // negation or aggregation input
+}
+
+/// Compute a stratification of `program`, or explain why none exists.
+pub fn stratify(program: &Program) -> Result<Stratification, StratifyError> {
+    // Collect all predicates.
+    let mut preds: HashSet<String> = HashSet::new();
+    for f in &program.facts {
+        preds.insert(f.pred.clone());
+    }
+    for r in &program.rules {
+        for p in r.head_preds() {
+            preds.insert(p.to_string());
+        }
+        for (p, _) in r.body_preds() {
+            preds.insert(p.to_string());
+        }
+    }
+
+    // Build edges body-pred -> head-pred.
+    // A rule with an aggregate makes *all* its body edges constraining:
+    // the aggregate value is only correct once its inputs are complete.
+    let mut edges: Vec<(String, String, EdgeKind)> = Vec::new();
+    for r in &program.rules {
+        let heads: Vec<String> = match &r.head {
+            Head::Atoms(atoms) => atoms.iter().map(|a| a.pred.clone()).collect(),
+            // EGDs rewrite facts of their body predicates; model as
+            // self-dependencies so they stay within one stratum.
+            Head::Equality(_, _) => r
+                .body
+                .iter()
+                .filter_map(|l| match l {
+                    Literal::Pos(a) => Some(a.pred.clone()),
+                    _ => None,
+                })
+                .collect(),
+        };
+        let has_agg = r.has_aggregate();
+        for lit in &r.body {
+            let (pred, kind) = match lit {
+                Literal::Pos(a) => (
+                    a.pred.clone(),
+                    if has_agg {
+                        EdgeKind::Constraining
+                    } else {
+                        EdgeKind::Positive
+                    },
+                ),
+                Literal::Neg(a) => (a.pred.clone(), EdgeKind::Constraining),
+                _ => continue,
+            };
+            for h in &heads {
+                edges.push((pred.clone(), h.clone(), kind));
+            }
+        }
+    }
+
+    // Iteratively assign strata: stratum(h) >= stratum(b) for positive,
+    // stratum(h) >= stratum(b) + 1 for constraining edges.
+    let mut stratum: HashMap<String, usize> = preds.iter().map(|p| (p.clone(), 0usize)).collect();
+    let n = preds.len().max(1);
+    let mut changed = true;
+    let mut iters = 0usize;
+    while changed {
+        changed = false;
+        iters += 1;
+        if iters > n + 1 {
+            // A constraining edge lies on a cycle.
+            let culprit = find_constraining_cycle(&edges);
+            return Err(StratifyError {
+                message: match culprit {
+                    Some((a, b)) => format!(
+                        "negation/aggregation between '{a}' and '{b}' occurs in a recursive cycle"
+                    ),
+                    None => "program is not stratifiable".to_string(),
+                },
+            });
+        }
+        for (b, h, kind) in &edges {
+            let sb = stratum[b];
+            let need = match kind {
+                EdgeKind::Positive => sb,
+                EdgeKind::Constraining => sb + 1,
+            };
+            let sh = stratum.get_mut(h).expect("head predicate registered");
+            if *sh < need {
+                *sh = need;
+                changed = true;
+            }
+        }
+    }
+
+    // Assign rules to strata: a rule goes to the stratum of its head
+    // (max over heads); EGDs go to the max stratum of their body preds.
+    let max_stratum = stratum.values().copied().max().unwrap_or(0);
+    let mut strata: Vec<Vec<usize>> = vec![Vec::new(); max_stratum + 1];
+    for (i, r) in program.rules.iter().enumerate() {
+        let s = match &r.head {
+            Head::Atoms(atoms) => atoms
+                .iter()
+                .map(|a| stratum.get(&a.pred).copied().unwrap_or(0))
+                .max()
+                .unwrap_or(0),
+            Head::Equality(_, _) => r
+                .body
+                .iter()
+                .filter_map(|l| match l {
+                    Literal::Pos(a) => stratum.get(&a.pred).copied(),
+                    _ => None,
+                })
+                .max()
+                .unwrap_or(0),
+        };
+        strata[s].push(i);
+    }
+
+    Ok(Stratification {
+        strata,
+        pred_stratum: stratum,
+    })
+}
+
+/// Find a constraining edge that participates in a cycle, for diagnostics.
+fn find_constraining_cycle(edges: &[(String, String, EdgeKind)]) -> Option<(String, String)> {
+    // adjacency over all edges
+    let mut adj: HashMap<&str, Vec<&str>> = HashMap::new();
+    for (b, h, _) in edges {
+        adj.entry(b.as_str()).or_default().push(h.as_str());
+    }
+    let reaches = |from: &str, to: &str| -> bool {
+        let mut seen = HashSet::new();
+        let mut stack = vec![from];
+        while let Some(cur) = stack.pop() {
+            if cur == to {
+                return true;
+            }
+            if seen.insert(cur) {
+                if let Some(next) = adj.get(cur) {
+                    stack.extend(next.iter().copied());
+                }
+            }
+        }
+        false
+    };
+    for (b, h, kind) in edges {
+        if *kind == EdgeKind::Constraining && reaches(h.as_str(), b.as_str()) {
+            return Some((b.clone(), h.clone()));
+        }
+    }
+    None
+}
+
+/// Safety check: every head variable of a rule must be bound by the body
+/// (or be existential), every negated / condition variable must be bound by
+/// the time it is evaluated. Returns a description of the first violation.
+pub fn check_safety(rule: &Rule) -> Result<(), String> {
+    let mut bound: HashSet<String> = HashSet::new();
+    for (i, lit) in rule.body.iter().enumerate() {
+        match lit {
+            Literal::Pos(_) => {}
+            Literal::Neg(a) => {
+                for v in a.vars() {
+                    if !bound.contains(v) {
+                        return Err(format!(
+                            "variable {v} in negated atom {} (literal {i}) is not bound by a preceding positive literal",
+                            a.pred
+                        ));
+                    }
+                }
+            }
+            Literal::Cond(e) => {
+                let mut vars = std::collections::BTreeSet::new();
+                e.collect_vars(&mut vars);
+                for v in vars {
+                    if !bound.contains(&v) {
+                        return Err(format!(
+                            "variable {v} in condition (literal {i}) is not bound"
+                        ));
+                    }
+                }
+            }
+            Literal::Let { expr, .. } => {
+                let mut vars = std::collections::BTreeSet::new();
+                expr.collect_vars(&mut vars);
+                for v in vars {
+                    if !bound.contains(&v) {
+                        return Err(format!(
+                            "variable {v} in assignment (literal {i}) is not bound"
+                        ));
+                    }
+                }
+            }
+            Literal::Agg {
+                arg, contributors, ..
+            } => {
+                let mut vars = std::collections::BTreeSet::new();
+                arg.collect_vars(&mut vars);
+                for c in contributors {
+                    c.collect_vars(&mut vars);
+                }
+                for v in vars {
+                    if !bound.contains(&v) {
+                        return Err(format!(
+                            "variable {v} in aggregate (literal {i}) is not bound"
+                        ));
+                    }
+                }
+            }
+        }
+        bound.extend(lit.bound_vars());
+    }
+    if let Head::Equality(a, b) = &rule.head {
+        for t in [a, b] {
+            if let Some(v) = t.as_var() {
+                if !bound.contains(v) {
+                    return Err(format!("EGD head variable {v} is not bound by the body"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn plain_recursion_is_one_stratum() {
+        let p = parse_program(
+            "anc(X, Y) :- par(X, Y).\n\
+             anc(X, Y) :- par(X, Z), anc(Z, Y).",
+        )
+        .unwrap();
+        let s = stratify(&p).unwrap();
+        assert_eq!(s.pred_stratum["anc"], s.pred_stratum["par"]);
+    }
+
+    #[test]
+    fn negation_pushes_to_higher_stratum() {
+        let p = parse_program(
+            "reach(X) :- src(X).\n\
+             reach(Y) :- reach(X), edge(X, Y).\n\
+             unreach(X) :- node(X), not reach(X).",
+        )
+        .unwrap();
+        let s = stratify(&p).unwrap();
+        assert!(s.pred_stratum["unreach"] > s.pred_stratum["reach"]);
+    }
+
+    #[test]
+    fn negation_in_cycle_is_rejected() {
+        let p = parse_program(
+            "a(X) :- c(X), not b(X).\n\
+             b(X) :- a(X).",
+        )
+        .unwrap();
+        let err = stratify(&p).unwrap_err();
+        assert!(err.message.contains("cycle"));
+    }
+
+    #[test]
+    fn aggregate_input_must_be_complete() {
+        let p = parse_program(
+            "t(G, I, W) :- raw(G, I, W).\n\
+             out(G, R) :- t(G, I, W), R = msum(W, <I>).",
+        )
+        .unwrap();
+        let s = stratify(&p).unwrap();
+        assert!(s.pred_stratum["out"] > s.pred_stratum["t"]);
+    }
+
+    #[test]
+    fn aggregate_through_recursion_rejected() {
+        let p = parse_program("t(G, R) :- t(G, W), R = msum(W, <G>).").unwrap();
+        assert!(stratify(&p).is_err());
+    }
+
+    #[test]
+    fn safety_catches_unbound_negation() {
+        let p = parse_program("bad(X) :- p(X), not q(Y).").unwrap();
+        assert!(check_safety(&p.rules[0]).is_err());
+        let p = parse_program("ok(X) :- p(X), not q(X).").unwrap();
+        assert!(check_safety(&p.rules[0]).is_ok());
+    }
+
+    #[test]
+    fn safety_catches_unbound_condition() {
+        let p = parse_program("bad(X) :- p(X), Y > 2.").unwrap();
+        assert!(check_safety(&p.rules[0]).is_err());
+    }
+
+    #[test]
+    fn strata_cover_all_rules() {
+        let p = parse_program(
+            "a(X) :- b(X).\n\
+             c(X) :- a(X), not d(X).\n\
+             e(X) :- c(X).",
+        )
+        .unwrap();
+        let s = stratify(&p).unwrap();
+        let total: usize = s.strata.iter().map(|v| v.len()).sum();
+        assert_eq!(total, 3);
+    }
+}

@@ -1,0 +1,322 @@
+//! Ground values manipulated by the engine.
+//!
+//! Values form a total order (needed for deterministic iteration, set values
+//! and aggregate tie-breaking) and are hashable. Floats are ordered with
+//! [`f64::total_cmp`] and hashed by bit pattern, so `NaN` is a legitimate —
+//! if unusual — value rather than a panic source.
+
+use std::cmp::Ordering;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Identifier of a labelled null (`⊥_n`), the engine-invented witnesses for
+/// existentially quantified head variables. Two nulls are interchangeable iff
+/// they carry the same label.
+pub type NullId = u64;
+
+/// A ground value: constant, labelled null, or a composite (set / tuple).
+///
+/// Composites are reference-counted so that facts carrying large `VSet`
+/// collections (as in the Vada-SA encodings) can be copied cheaply.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// Boolean constant.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// Double-precision float, totally ordered via `total_cmp`.
+    Float(f64),
+    /// Interned-ish string (shared, immutable).
+    Str(Arc<str>),
+    /// Labelled null `⊥_id`.
+    Null(NullId),
+    /// A set of values (deterministically ordered).
+    Set(Arc<BTreeSet<Value>>),
+    /// A fixed-arity tuple of values, e.g. an attribute-value pair.
+    Tuple(Arc<Vec<Value>>),
+}
+
+impl Value {
+    /// Convenience constructor for string values.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Convenience constructor for a pair `(a, b)`.
+    pub fn pair(a: Value, b: Value) -> Self {
+        Value::Tuple(Arc::new(vec![a, b]))
+    }
+
+    /// Convenience constructor for a set value.
+    pub fn set(items: impl IntoIterator<Item = Value>) -> Self {
+        Value::Set(Arc::new(items.into_iter().collect()))
+    }
+
+    /// Is this value a labelled null?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null(_))
+    }
+
+    /// Numeric view of the value, if it is `Int` or `Float`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// String view, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Truthiness for use in rule conditions: only `Bool(true)` is true.
+    pub fn is_true(&self) -> bool {
+        matches!(self, Value::Bool(true))
+    }
+
+    /// Set view, if this is a `Set`.
+    pub fn as_set(&self) -> Option<&BTreeSet<Value>> {
+        match self {
+            Value::Set(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Tuple view, if this is a `Tuple`.
+    pub fn as_tuple(&self) -> Option<&[Value]> {
+        match self {
+            Value::Tuple(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Discriminant rank used to order values of different kinds.
+    fn kind_rank(&self) -> u8 {
+        match self {
+            Value::Bool(_) => 0,
+            Value::Int(_) => 1,
+            Value::Float(_) => 1, // numbers compare with each other
+            Value::Str(_) => 2,
+            Value::Null(_) => 3,
+            Value::Set(_) => 4,
+            Value::Tuple(_) => 5,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Value {}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Null(a), Null(b)) => a.cmp(b),
+            (Set(a), Set(b)) => a.cmp(b),
+            (Tuple(a), Tuple(b)) => a.cmp(b),
+            _ => self.kind_rank().cmp(&other.kind_rank()),
+        }
+    }
+}
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Bool(b) => {
+                0u8.hash(state);
+                b.hash(state);
+            }
+            // Int and Float that compare equal must hash equal: hash every
+            // number through the f64 bit pattern of its canonical form when
+            // it is integral, otherwise the raw bits.
+            Value::Int(i) => {
+                1u8.hash(state);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Float(f) => {
+                1u8.hash(state);
+                if f.fract() == 0.0
+                    && f.is_finite()
+                    && *f >= i64::MIN as f64
+                    && *f <= i64::MAX as f64
+                {
+                    (*f).to_bits().hash(state);
+                } else {
+                    f.to_bits().hash(state);
+                }
+            }
+            Value::Str(s) => {
+                2u8.hash(state);
+                s.hash(state);
+            }
+            Value::Null(n) => {
+                3u8.hash(state);
+                n.hash(state);
+            }
+            Value::Set(s) => {
+                4u8.hash(state);
+                for v in s.iter() {
+                    v.hash(state);
+                }
+            }
+            Value::Tuple(t) => {
+                5u8.hash(state);
+                for v in t.iter() {
+                    v.hash(state);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "\"{s}\""),
+            Value::Null(n) => write!(f, "⊥{n}"),
+            Value::Set(s) => {
+                write!(f, "{{")?;
+                for (i, v) in s.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::Tuple(t) => {
+                write!(f, "(")?;
+                for (i, v) in t.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn int_float_equality_is_consistent_with_hash() {
+        let a = Value::Int(42);
+        let b = Value::Float(42.0);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn ordering_is_total_across_kinds() {
+        let vs = vec![
+            Value::Bool(false),
+            Value::Int(1),
+            Value::Float(1.5),
+            Value::str("a"),
+            Value::Null(0),
+            Value::set([Value::Int(1)]),
+            Value::pair(Value::Int(1), Value::Int(2)),
+        ];
+        for a in &vs {
+            for b in &vs {
+                // must not panic and must be antisymmetric
+                let ab = a.cmp(b);
+                let ba = b.cmp(a);
+                assert_eq!(ab, ba.reverse());
+            }
+        }
+    }
+
+    #[test]
+    fn nulls_with_distinct_labels_differ() {
+        assert_ne!(Value::Null(1), Value::Null(2));
+        assert_eq!(Value::Null(7), Value::Null(7));
+    }
+
+    #[test]
+    fn set_value_deduplicates() {
+        let s = Value::set([Value::Int(1), Value::Int(1), Value::Int(2)]);
+        assert_eq!(s.as_set().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(Value::str("x").to_string(), "\"x\"");
+        assert_eq!(Value::Null(3).to_string(), "⊥3");
+        assert_eq!(
+            Value::pair(Value::Int(1), Value::str("a")).to_string(),
+            "(1, \"a\")"
+        );
+    }
+
+    #[test]
+    fn nan_is_ordered_not_panicking() {
+        let nan = Value::Float(f64::NAN);
+        let one = Value::Float(1.0);
+        // total_cmp places NaN after all numbers; just ensure consistency.
+        assert_eq!(nan.cmp(&one), one.cmp(&nan).reverse());
+        assert_eq!(nan, nan.clone());
+    }
+}

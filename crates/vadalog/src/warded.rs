@@ -1,0 +1,288 @@
+//! Wardedness analysis for Datalog± programs.
+//!
+//! Warded Datalog± (the core of Vadalog) restricts how labelled nulls may
+//! propagate through rules so that the chase terminates and reasoning is
+//! PTIME in data complexity. The analysis here follows the standard
+//! construction:
+//!
+//! 1. Compute the set of **affected positions** `aff(P[i])`: positions that
+//!    may host labelled nulls. A position is affected if an existential
+//!    variable appears there in some rule head, or if a *harmful* body
+//!    variable (one appearing **only** in affected positions) propagates
+//!    into it through a rule.
+//! 2. A body variable is **harmless** if it occurs in at least one
+//!    non-affected position, **harmful** otherwise, and **dangerous** if it
+//!    is harmful *and* appears in the head.
+//! 3. A rule is **warded** if all its dangerous variables appear together in
+//!    a single body atom (the *ward*) that shares only harmless variables
+//!    with the rest of the body.
+//!
+//! The check is a diagnostic: the engine still evaluates non-warded
+//! programs (with a chase-depth guard), but `analyze` lets callers assert
+//! that the programs they ship — e.g. the Vada-SA rule sets — stay inside
+//! the tractable fragment.
+
+use crate::ast::{Head, Literal, Program};
+use std::collections::{HashMap, HashSet};
+
+/// A predicate position `P[i]`.
+pub type Position = (String, usize);
+
+/// Result of the wardedness analysis.
+#[derive(Debug, Clone)]
+pub struct WardedReport {
+    /// Positions that may carry labelled nulls.
+    pub affected: HashSet<Position>,
+    /// Rules (by index) that violate wardedness, with an explanation.
+    pub violations: Vec<(usize, String)>,
+}
+
+impl WardedReport {
+    /// True if every rule is warded.
+    pub fn is_warded(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Compute affected positions and check every rule for wardedness.
+pub fn analyze(program: &Program) -> WardedReport {
+    let affected = affected_positions(program);
+    let mut violations = Vec::new();
+
+    for (idx, rule) in program.rules.iter().enumerate() {
+        let Head::Atoms(head_atoms) = &rule.head else {
+            continue; // EGDs have no existential propagation
+        };
+        let ex = rule.existential_vars();
+
+        // Positions of each body variable (only positive atoms can bind).
+        let mut var_positions: HashMap<&str, Vec<Position>> = HashMap::new();
+        for lit in &rule.body {
+            if let Literal::Pos(a) = lit {
+                for (i, t) in a.args.iter().enumerate() {
+                    if let Some(v) = t.as_var() {
+                        var_positions
+                            .entry(v)
+                            .or_default()
+                            .push((a.pred.clone(), i));
+                    }
+                }
+            }
+        }
+
+        // Head variables (universally quantified ones).
+        let mut head_vars: HashSet<&str> = HashSet::new();
+        for a in head_atoms {
+            for v in a.vars() {
+                if !ex.contains(v) {
+                    head_vars.insert(v);
+                }
+            }
+        }
+
+        // Harmful: occurs only in affected positions. Dangerous: harmful + in head.
+        let mut dangerous: Vec<&str> = Vec::new();
+        let mut harmless: HashSet<&str> = HashSet::new();
+        for (v, positions) in &var_positions {
+            let harmful = !positions.is_empty() && positions.iter().all(|p| affected.contains(p));
+            if harmful {
+                if head_vars.contains(v) {
+                    dangerous.push(v);
+                }
+            } else {
+                harmless.insert(v);
+            }
+        }
+
+        if dangerous.is_empty() {
+            continue;
+        }
+
+        // All dangerous variables must co-occur in one body atom (the ward)
+        // that shares only harmless variables with the rest of the body.
+        let mut found_ward = false;
+        let pos_atoms: Vec<&crate::ast::Atom> = rule
+            .body
+            .iter()
+            .filter_map(|l| match l {
+                Literal::Pos(a) => Some(a),
+                _ => None,
+            })
+            .collect();
+        'atoms: for (ai, atom) in pos_atoms.iter().enumerate() {
+            let atom_vars: HashSet<&str> = atom.vars().collect();
+            if !dangerous.iter().all(|d| atom_vars.contains(d)) {
+                continue;
+            }
+            // shared variables with other atoms must be harmless
+            for (bi, other) in pos_atoms.iter().enumerate() {
+                if ai == bi {
+                    continue;
+                }
+                for v in other.vars() {
+                    if atom_vars.contains(v) && !harmless.contains(v) {
+                        continue 'atoms;
+                    }
+                }
+            }
+            found_ward = true;
+            break;
+        }
+
+        if !found_ward {
+            violations.push((
+                idx,
+                format!(
+                    "dangerous variables [{}] are not confined to a single ward atom",
+                    dangerous.join(", ")
+                ),
+            ));
+        }
+    }
+
+    WardedReport {
+        affected,
+        violations,
+    }
+}
+
+/// Fixpoint computation of affected positions.
+fn affected_positions(program: &Program) -> HashSet<Position> {
+    let mut affected: HashSet<Position> = HashSet::new();
+
+    // Base: positions of existential head variables.
+    for rule in &program.rules {
+        if let Head::Atoms(atoms) = &rule.head {
+            let ex = rule.existential_vars();
+            for a in atoms {
+                for (i, t) in a.args.iter().enumerate() {
+                    if let Some(v) = t.as_var() {
+                        if ex.contains(v) {
+                            affected.insert((a.pred.clone(), i));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Propagation: if a body variable occurs only in affected positions,
+    // its head positions become affected.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for rule in &program.rules {
+            let Head::Atoms(atoms) = &rule.head else {
+                continue;
+            };
+            let ex = rule.existential_vars();
+
+            let mut var_positions: HashMap<&str, Vec<Position>> = HashMap::new();
+            for lit in &rule.body {
+                if let Literal::Pos(a) = lit {
+                    for (i, t) in a.args.iter().enumerate() {
+                        if let Some(v) = t.as_var() {
+                            var_positions
+                                .entry(v)
+                                .or_default()
+                                .push((a.pred.clone(), i));
+                        }
+                    }
+                }
+            }
+
+            for a in atoms {
+                for (i, t) in a.args.iter().enumerate() {
+                    let Some(v) = t.as_var() else { continue };
+                    if ex.contains(v) {
+                        continue;
+                    }
+                    let Some(positions) = var_positions.get(v) else {
+                        continue;
+                    };
+                    let harmful =
+                        !positions.is_empty() && positions.iter().all(|p| affected.contains(p));
+                    if harmful && affected.insert((a.pred.clone(), i)) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    affected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn no_existentials_means_warded() {
+        let p = parse_program(
+            "anc(X, Y) :- par(X, Y).\n\
+             anc(X, Y) :- par(X, Z), anc(Z, Y).",
+        )
+        .unwrap();
+        let rep = analyze(&p);
+        assert!(rep.is_warded());
+        assert!(rep.affected.is_empty());
+    }
+
+    #[test]
+    fn existential_position_is_affected() {
+        let p = parse_program("person(Y) :- person(X).").unwrap();
+        // Y is existential: person[0] is affected
+        let rep = analyze(&p);
+        assert!(rep.affected.contains(&("person".to_string(), 0)));
+        // and the rule is warded (no dangerous vars: X is harmful only if
+        // person[0] is affected — it is — but X does not appear in the head).
+        assert!(rep.is_warded());
+    }
+
+    #[test]
+    fn propagating_null_through_single_atom_is_warded() {
+        // classic warded example: the null flows but stays confined to one atom
+        let p = parse_program(
+            "p(X, Y) :- q(X).\n\
+             q(Y) :- p(X, Y).",
+        )
+        .unwrap();
+        let rep = analyze(&p);
+        assert!(rep.is_warded(), "violations: {:?}", rep.violations);
+    }
+
+    #[test]
+    fn dangerous_join_across_atoms_is_flagged() {
+        // Y may carry a null in both p[1] and s[0] (the second rule
+        // propagates it), so in the third rule Y is dangerous and joins
+        // across two body atoms — not warded.
+        let p = parse_program(
+            "p(X, Y) :- q(X).\n\
+             s(Y, Y2) :- p(X, Y).\n\
+             r(Y) :- p(X, Y), s(Y, Z).",
+        )
+        .unwrap();
+        let rep = analyze(&p);
+        assert!(rep.affected.contains(&("p".to_string(), 1)));
+        assert!(rep.affected.contains(&("s".to_string(), 0)));
+        assert!(
+            !rep.is_warded(),
+            "expected a violation, affected = {:?}",
+            rep.affected
+        );
+    }
+
+    #[test]
+    fn vadasa_suda_combination_rules_are_warded() {
+        // The existential-combination rules of Algorithm 6 (simplified):
+        let p = parse_program(
+            "comb(Z, I) :- tuplei(M, I, V).\n\
+             isin(A, Z) :- comb(Z, I), tuplei(M, I, V), catq(M, A).",
+        )
+        .unwrap();
+        let rep = analyze(&p);
+        assert!(rep.is_warded(), "violations: {:?}", rep.violations);
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based engine tests: the fixpoint results are compared against
+//! straightforward reference implementations (reachability via iterative
+//! closure, aggregation via fold), and structural invariants (printer
+//! round-trips, delta vs naive equivalence, EGD idempotence) are checked
+//! on randomized inputs.
+
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+use vadalog::{parse_program, print_program, Database, Engine, Value};
+
+fn edges_strategy() -> impl Strategy<Value = Vec<(u8, u8)>> {
+    proptest::collection::vec((0u8..7, 0u8..7), 0..20)
+}
+
+/// Reference reachability (non-reflexive unless on a cycle).
+fn reference_closure(edges: &[(u8, u8)]) -> HashSet<(u8, u8)> {
+    let mut reach: HashSet<(u8, u8)> = edges.iter().copied().collect();
+    loop {
+        let mut grew = false;
+        let snapshot: Vec<(u8, u8)> = reach.iter().copied().collect();
+        for &(a, b) in &snapshot {
+            for &(c, d) in &snapshot {
+                if b == c && reach.insert((a, d)) {
+                    grew = true;
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    reach
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Transitive closure agrees with the quadratic reference.
+    #[test]
+    fn closure_matches_reference(edges in edges_strategy()) {
+        let program = parse_program(
+            "path(X, Y) :- edge(X, Y).\n\
+             path(X, Y) :- edge(X, Z), path(Z, Y).",
+        ).unwrap();
+        let mut db = Database::new();
+        for (a, b) in &edges {
+            db.insert("edge", vec![Value::Int(*a as i64), Value::Int(*b as i64)]);
+        }
+        let result = Engine::new().run(&program, db).unwrap();
+        let engine_paths: HashSet<(u8, u8)> = result
+            .db
+            .rows("path")
+            .into_iter()
+            .map(|r| match (&r[0], &r[1]) {
+                (Value::Int(a), Value::Int(b)) => (*a as u8, *b as u8),
+                _ => unreachable!(),
+            })
+            .collect();
+        prop_assert_eq!(engine_paths, reference_closure(&edges));
+    }
+
+    /// msum / mcount / mmax agree with direct folds (per distinct
+    /// contributor, keeping the extremal contribution).
+    #[test]
+    fn aggregates_match_reference(rows in proptest::collection::vec((0u8..4, 0u8..6, 1i64..100), 1..40)) {
+        let program = parse_program(
+            "s(G, X) :- t(G, I, W), X = msum(W, <I>).\n\
+             c(G, X) :- t(G, I, W), X = mcount(<I>).\n\
+             m(G, X) :- t(G, I, W), X = mmax(W, <I>).",
+        ).unwrap();
+        let mut db = Database::new();
+        for (g, i, w) in &rows {
+            db.insert("t", vec![Value::Int(*g as i64), Value::Int(*i as i64), Value::Int(*w)]);
+        }
+        let result = Engine::new().run(&program, db).unwrap();
+
+        // reference: per group, per contributor keep max w; then fold
+        let mut per_group: HashMap<i64, HashMap<i64, i64>> = HashMap::new();
+        for (g, i, w) in &rows {
+            let slot = per_group.entry(*g as i64).or_default().entry(*i as i64).or_insert(i64::MIN);
+            *slot = (*slot).max(*w);
+        }
+        for (g, contribs) in &per_group {
+            let expect_sum: i64 = contribs.values().sum();
+            let expect_count = contribs.len() as i64;
+            let expect_max = *contribs.values().max().unwrap();
+            let find = |pred: &str| -> Value {
+                result.db.rows(pred).into_iter()
+                    .find(|r| r[0] == Value::Int(*g))
+                    .map(|r| r[1].clone())
+                    .unwrap()
+            };
+            prop_assert_eq!(find("s"), Value::Int(expect_sum));
+            prop_assert_eq!(find("c"), Value::Int(expect_count));
+            prop_assert_eq!(find("m"), Value::Int(expect_max));
+        }
+    }
+
+    /// Parse ∘ print is the identity on randomly shaped fact/rule programs.
+    #[test]
+    fn printer_roundtrip_on_random_facts(
+        facts in proptest::collection::vec((0u8..5, -50i64..50), 0..25),
+        use_neg in proptest::bool::ANY,
+    ) {
+        let mut src = String::new();
+        for (p, v) in &facts {
+            src.push_str(&format!("p{p}({v}).\n"));
+        }
+        src.push_str("out(X) :- p0(X), X > -10.\n");
+        if use_neg {
+            src.push_str("only(X) :- p1(X), not p2(X).\n");
+        }
+        let p1 = parse_program(&src).unwrap();
+        let p2 = parse_program(&print_program(&p1)).unwrap();
+        prop_assert_eq!(p1, p2);
+    }
+
+    /// Running a program twice over its own output database is idempotent
+    /// (the fixpoint is saturated).
+    #[test]
+    fn evaluation_is_idempotent(edges in edges_strategy()) {
+        let program = parse_program(
+            "path(X, Y) :- edge(X, Y).\n\
+             path(X, Y) :- edge(X, Z), path(Z, Y).",
+        ).unwrap();
+        let mut db = Database::new();
+        for (a, b) in &edges {
+            db.insert("edge", vec![Value::Int(*a as i64), Value::Int(*b as i64)]);
+        }
+        let first = Engine::new().run(&program, db).unwrap();
+        let before = first.db.total_facts();
+        let second = Engine::new().run(&program, first.db).unwrap();
+        prop_assert_eq!(second.db.total_facts(), before);
+        prop_assert_eq!(second.stats.facts_derived, 0);
+    }
+
+    /// Stratified negation: complement sizes add up.
+    #[test]
+    fn negation_partitions_the_domain(nodes in proptest::collection::btree_set(0u8..10, 1..10),
+                                      sources in proptest::collection::btree_set(0u8..10, 0..3),
+                                      edges in edges_strategy()) {
+        let mut src = String::new();
+        for n in &nodes {
+            src.push_str(&format!("node({n}).\n"));
+        }
+        for s in sources.iter().filter(|s| nodes.contains(s)) {
+            src.push_str(&format!("src({s}).\n"));
+        }
+        for (a, b) in edges.iter().filter(|(a, b)| nodes.contains(a) && nodes.contains(b)) {
+            src.push_str(&format!("edge({a}, {b}).\n"));
+        }
+        src.push_str(
+            "reach(X) :- src(X).\n\
+             reach(Y) :- reach(X), edge(X, Y).\n\
+             unreach(X) :- node(X), not reach(X).\n\
+             reachnode(X) :- node(X), reach(X).\n",
+        );
+        let r = Engine::new().run(&parse_program(&src).unwrap(), Database::new()).unwrap();
+        let reach_nodes = r.db.rows("reachnode").len();
+        let unreach = r.db.rows("unreach").len();
+        prop_assert_eq!(reach_nodes + unreach, nodes.len());
+    }
+}
+
+#[test]
+fn egd_unification_is_idempotent() {
+    // after a run with EGDs, re-running performs no further unifications
+    let program = parse_program(
+        "person(\"ann\"). person(\"bob\").\n\
+         a(P, T) :- person(P).\n\
+         b(P, T) :- person(P).\n\
+         T1 = T2 :- a(P, T1), b(P, T2).",
+    )
+    .unwrap();
+    let first = Engine::new().run(&program, Database::new()).unwrap();
+    assert!(first.stats.unifications >= 2);
+    let second = Engine::new().run(&program, first.db).unwrap();
+    assert_eq!(second.stats.unifications, 0);
+    assert_eq!(second.stats.facts_derived, 0);
+}

@@ -1,0 +1,188 @@
+//! The heart of the paper: statistical disclosure control expressed as
+//! *declarative Vadalog rules* and executed by a Datalog± reasoning engine.
+//! This example runs the paper's algorithm listings on the bundled engine:
+//! tuple reification (Algorithm 2 Rule 1), k-anonymity (Algorithm 4),
+//! local suppression with existential labelled nulls (Algorithm 7), and
+//! the recursive company-control rules of §4.4 — and shows the engine's
+//! chase, EGDs and wardedness analysis at work.
+//!
+//! Run with `cargo run --example declarative_vadalog`.
+
+use vadalog::{parse_program, warded_analyze, Database, Engine, EngineConfig, Value};
+use vadasa_core::dictionary::{Category, MetadataDictionary};
+use vadasa_core::model::MicrodataDb;
+use vadasa_core::programs::{
+    self, alg4_kanonymity, microdata_to_facts, run_risk_program, ALG2_TUPLE_REIFICATION,
+    ALG7_LOCAL_SUPPRESSION,
+};
+
+fn figure5_db() -> (MicrodataDb, MetadataDictionary) {
+    let mut db = MicrodataDb::new("fig5", ["Id", "Area", "Sector", "W"]).expect("schema");
+    for (id, a, s, w) in [
+        ("t1", "Roma", "Textiles", 10),
+        ("t2", "Roma", "Commerce", 20),
+        ("t3", "Roma", "Commerce", 20),
+        ("t4", "Milano", "Financial", 30),
+        ("t5", "Milano", "Financial", 30),
+    ] {
+        db.push_row(vec![
+            Value::str(id),
+            Value::str(a),
+            Value::str(s),
+            Value::Int(w),
+        ])
+        .expect("row");
+    }
+    let mut dict = MetadataDictionary::new();
+    for a in ["Id", "Area", "Sector", "W"] {
+        dict.register_attr("fig5", a, "");
+    }
+    dict.set_category("fig5", "Id", Category::Identifier)
+        .unwrap();
+    dict.set_category("fig5", "Area", Category::QuasiIdentifier)
+        .unwrap();
+    dict.set_category("fig5", "Sector", Category::QuasiIdentifier)
+        .unwrap();
+    dict.set_category("fig5", "W", Category::Weight).unwrap();
+    (db, dict)
+}
+
+fn main() {
+    let (db, dict) = figure5_db();
+
+    // --- 1. a pure Datalog± warm-up: recursion + existentials + EGD ---
+    println!("=== engine warm-up: chase with labelled nulls and an EGD ===");
+    let warmup = parse_program(
+        r#"
+        person("ann"). person("bob").
+        % every person has some (unknown) tax id: existential head variable
+        taxid(P, T) :- person(P).
+        % two registries invented ids independently; the EGD unifies them
+        taxid2(P, T) :- person(P).
+        T1 = T2 :- taxid(P, T1), taxid2(P, T2).
+        "#,
+    )
+    .expect("parses");
+    let result = Engine::new().run(&warmup, Database::new()).expect("runs");
+    println!(
+        "  {} labelled nulls minted, {} unified by the EGD",
+        result.stats.nulls_created, result.stats.unifications
+    );
+    for row in result.db.rows("taxid") {
+        println!("  taxid({}, {})", row[0], row[1]);
+    }
+
+    // --- 2. wardedness: the tractability guarantee Vadalog relies on ---
+    println!("\n=== wardedness analysis of the suppression program ===");
+    let mut source = String::from(ALG2_TUPLE_REIFICATION);
+    source.push_str(ALG7_LOCAL_SUPPRESSION);
+    let program = parse_program(&source).expect("parses");
+    let report = warded_analyze(&program);
+    println!(
+        "  affected positions: {:?}",
+        report.affected.iter().collect::<Vec<_>>()
+    );
+    println!(
+        "  program is {}",
+        if report.is_warded() {
+            "WARDED ✓"
+        } else {
+            "not warded"
+        }
+    );
+
+    // --- 3. Algorithm 4 as rules: declarative k-anonymity ---
+    println!("\n=== declarative k-anonymity (Algorithm 4) on Figure 5 ===");
+    let risks = run_risk_program(&alg4_kanonymity(2), &db, &dict).expect("program runs");
+    for (i, r) in risks.iter().enumerate() {
+        println!("  riskOutput(tuple {}, {r})", i + 1);
+    }
+    assert_eq!(risks[0], 1.0, "Roma/Textiles is sample-unique");
+
+    // --- 4. Algorithm 7: local suppression via the chase ---
+    println!("\n=== declarative local suppression (Algorithm 7) ===");
+    let facts = {
+        let mut f = microdata_to_facts(&db, &dict).expect("facts");
+        f.insert("anonymize", vec![Value::Int(0)]);
+        f.insert("suppressattr", vec![Value::Int(0), Value::str("Sector")]);
+        f
+    };
+    let engine = Engine::with_config(EngineConfig {
+        trace: true,
+        ..Default::default()
+    });
+    let result = engine.run(&program, facts).expect("runs");
+    for row in result.db.rows("tuple") {
+        if row[1] == Value::Int(0) {
+            println!("  tuple(fig5, 1, {})", row[2]);
+        }
+    }
+    println!("  (the version carrying ⊥ was derived by the chase; provenance below)");
+    for t in result.trace.iter().filter(|t| t.rule.starts_with("alg7")) {
+        println!("  derived by [{}]", t.rule);
+    }
+
+    // --- 5. §4.4 control closure: recursion + monotonic aggregation ---
+    println!("\n=== recursive company control (§4.4) ===");
+    let edges = vec![
+        (Value::str("alpha"), Value::str("beta"), 0.6),
+        (Value::str("alpha"), Value::str("gamma"), 0.3),
+        (Value::str("beta"), Value::str("gamma"), 0.25),
+    ];
+    let ctrl = programs::run_control_program(&edges).expect("program runs");
+    for (x, y) in &ctrl {
+        println!("  ctrl({x}, {y})");
+    }
+    assert!(
+        ctrl.contains(&(Value::str("alpha"), Value::str("gamma"))),
+        "joint control through beta: 0.3 + 0.25 > 0.5"
+    );
+    // --- 6. the fully declarative anonymization cycle ---
+    println!("\n=== fully declarative anonymization cycle (Algorithm 2) ===");
+    let outcome =
+        programs::run_declarative_cycle(&db, &dict, 2, 20).expect("declarative cycle runs");
+    println!(
+        "  engine-evaluated risk + engine-chased suppression: {} null(s) in {} iteration(s)",
+        outcome.nulls_injected, outcome.iterations
+    );
+    for (i, row) in outcome.anonymized_rows.iter().enumerate() {
+        let cells: Vec<String> = row.iter().map(|(a, v)| format!("{a}={v}")).collect();
+        println!("  tuple {}: {}", i + 1, cells.join(", "));
+    }
+    assert!(outcome.final_risks.iter().all(|&r| r <= 0.5));
+
+    // --- 7. what the attacker can still ask: certain vs possible answers ---
+    println!("\n=== query answering over the anonymized instance ===");
+    use vadalog::{answers, AnswerMode, Atom, Term};
+    let mut released = Database::new();
+    for (i, row) in outcome.anonymized_rows.iter().enumerate() {
+        let mut args = vec![Value::Int(i as i64)];
+        args.extend(row.iter().map(|(_, v)| v.clone()));
+        released.insert("released", args);
+    }
+    let who_is_in_textiles = Atom::new(
+        "released",
+        vec![
+            Term::Var("I".into()),
+            Term::Var("A".into()),
+            Term::Const(Value::str("Textiles")),
+        ],
+    );
+    let certain = answers(&released, &who_is_in_textiles, AnswerMode::Certain);
+    let possible = answers(&released, &who_is_in_textiles, AnswerMode::Possible);
+    println!(
+        "  \"who is in Textiles?\" — certain answers: {}, possible answers: {}",
+        certain.len(),
+        possible.len()
+    );
+    assert!(
+        certain.is_empty(),
+        "suppression removed every certain Textiles witness"
+    );
+    assert!(!possible.is_empty());
+    println!("  suppression turned the certain answer into mere possibility —");
+    println!("  exactly the uncertainty §2.2's attack analysis asks for.");
+
+    println!("\nall declarative encodings agree with the native implementations —");
+    println!("see crates/core/src/programs.rs for the equivalence test suite.");
+}

@@ -1,0 +1,18 @@
+//! # vadasa-suite — umbrella crate for the Vada-SA reproduction
+//!
+//! Re-exports the four member crates so the examples and the cross-crate
+//! integration tests under `tests/` have a single dependency surface:
+//!
+//! - [`vadalog`] — the Warded Datalog± style reasoning engine;
+//! - [`vadasa_core`] — the SDC framework (risk measures, anonymization,
+//!   the anonymization cycle, business knowledge, declarative programs);
+//! - [`vadasa_datagen`] — paper fixtures, the Figure 6 catalogue and the
+//!   identity-oracle simulation;
+//! - [`vadasa_linkage`] — the record-linkage attacker.
+
+#![warn(missing_docs)]
+
+pub use vadalog;
+pub use vadasa_core;
+pub use vadasa_datagen;
+pub use vadasa_linkage;
