@@ -1,0 +1,57 @@
+//! Telemetry bench hook: run the paper's standard anonymization cycle on
+//! a datagen fixture with a JSON-lines collector attached, write the
+//! event stream to `BENCH_cycle.json`, and print the per-iteration
+//! convergence table.
+//!
+//! Usage: `bench_cycle_profile [--quick] [--out PATH]`
+//!
+//! The output file holds one JSON object per line (`cycle.iteration`
+//! spans with the full risk landscape, plus `cycle.risk_eval` and
+//! `cycle.run` roll-ups) — ready for `jq` or a notebook.
+
+use std::sync::Arc;
+use vadasa_bench::{paper_cycle_config, time_it};
+use vadasa_core::obs::JsonLinesWriter;
+use vadasa_core::prelude::*;
+use vadasa_core::report::render_profile;
+use vadasa_datagen::generator::{generate, DatasetSpec, Regime};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_cycle.json".to_string());
+
+    let rows = if quick { 2_000 } else { 12_000 };
+    let spec = DatasetSpec::new(rows, 4, Regime::U);
+    let (db, dict) = generate(&spec, 20210323);
+
+    let sink = match JsonLinesWriter::create(&out_path) {
+        Ok(w) => Arc::new(w),
+        Err(e) => {
+            eprintln!("cannot create {out_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let risk = KAnonymity::new(2);
+    let anonymizer = LocalSuppression::default();
+    let cycle = AnonymizationCycle::new(&risk, &anonymizer, paper_cycle_config())
+        .with_collector(sink.clone());
+
+    let (out, total) = time_it(|| cycle.run(&db, &dict).expect("cycle converges"));
+    sink.flush().expect("flush telemetry");
+
+    println!(
+        "cycle bench — {} ({} rows, 4 QIs, k-anonymity k=2, T=0.5): {total:.2} s wall",
+        spec.name, rows
+    );
+    println!(
+        "nulls injected: {}   final risky: {}   information loss: {:.4}\n",
+        out.nulls_injected, out.final_risky, out.information_loss
+    );
+    print!("{}", render_profile(&out.profile));
+    println!("\ntelemetry stream written to {out_path}");
+}

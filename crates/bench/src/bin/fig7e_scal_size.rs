@@ -50,7 +50,7 @@ fn main() {
                 spec.name.clone(),
                 label.to_string(),
                 format!("{total:.2}"),
-                format!("{:.2}", out.risk_eval_seconds),
+                format!("{:.2}", out.risk_eval_seconds()),
                 out.nulls_injected.to_string(),
                 out.iterations.to_string(),
             ]);

@@ -44,7 +44,7 @@ fn main() {
                 w.to_string(),
                 label.to_string(),
                 format!("{total:.2}"),
-                format!("{:.2}", out.risk_eval_seconds),
+                format!("{:.2}", out.risk_eval_seconds()),
                 out.nulls_injected.to_string(),
             ]);
             eprintln!("done: {} / {label}", spec.name);

@@ -130,7 +130,7 @@ mod tests {
             stats.count
         );
         // 7 values, k=3 → 2 groups (3 + 4)
-        assert!(stats.count.iter().any(|&c| c == 4));
+        assert!(stats.count.contains(&4));
     }
 
     #[test]

@@ -340,7 +340,7 @@ mod tests {
         // bounded above by 1 and below by the max member
         let risks = [0.2, 0.3, 0.4];
         let c = combined_cluster_risk(&risks);
-        assert!(c <= 1.0 && c >= 0.4);
+        assert!((0.4..=1.0).contains(&c));
     }
 
     #[test]

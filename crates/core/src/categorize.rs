@@ -288,7 +288,7 @@ impl Categorizer {
                         if *exp_cat != *cat {
                             // EGD: two different categories for one attribute
                             if score > *s {
-                                conflicting = Some(best.clone().map(|b| b).unwrap());
+                                conflicting = best.clone();
                                 best = Some((*exp_cat, score, exp_attr.clone()));
                             } else {
                                 conflicting = Some((*exp_cat, score, exp_attr.clone()));

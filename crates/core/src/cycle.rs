@@ -26,6 +26,9 @@ use crate::model::MicrodataDb;
 use crate::risk::{MicrodataView, RiskError, RiskMeasure, RiskReport};
 use std::collections::HashSet;
 use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+use vadasa_obs::{fields, Collector, Obs};
 
 /// Which violating tuples to anonymize first (paper §4.4).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -84,6 +87,106 @@ impl Default for CycleConfig {
     }
 }
 
+/// One observed iteration of the cycle: the risk landscape the iteration
+/// saw, what the heuristic decided, and what the anonymizer did about it.
+#[derive(Debug, Clone, Default)]
+pub struct IterationRecord {
+    /// Iteration ordinal (0-based). The final, converged evaluation is
+    /// also recorded (with `targets == 0`), so a converging run produces
+    /// `CycleOutcome::iterations + 1` records.
+    pub iteration: usize,
+    /// Tuples above the threshold (excluding already-exhausted tuples).
+    pub risky: usize,
+    /// Tuples the anonymizer has given up on so far.
+    pub exhausted: usize,
+    /// Minimum per-tuple risk over the whole table.
+    pub min_risk: f64,
+    /// Mean per-tuple risk over the whole table.
+    pub mean_risk: f64,
+    /// Maximum per-tuple risk over the whole table.
+    pub max_risk: f64,
+    /// The heuristic decision taken, e.g.
+    /// `less-significant-first/all-risky → row 5`.
+    pub heuristic: String,
+    /// Rows handed to the anonymizer this iteration (after granularity
+    /// truncation; some may be skipped by the incremental recheck).
+    pub targets: usize,
+    /// Suppression steps applied this iteration.
+    pub suppressions: usize,
+    /// Global recodings applied this iteration.
+    pub recodings: usize,
+    /// Wall-clock nanoseconds inside risk evaluation this iteration.
+    pub risk_eval_ns: u64,
+    /// Wall-clock nanoseconds of the whole iteration.
+    pub dur_ns: u64,
+}
+
+/// Telemetry profile of one cycle run: per-iteration records plus totals.
+#[derive(Debug, Clone, Default)]
+pub struct CycleProfile {
+    /// Per-iteration records, in order.
+    pub iterations: Vec<IterationRecord>,
+    /// Total wall-clock nanoseconds inside risk evaluation.
+    pub risk_eval_ns: u64,
+    /// Total wall-clock nanoseconds of the run.
+    pub total_ns: u64,
+}
+
+impl CycleProfile {
+    /// Seconds spent in risk evaluation (the dotted lines of Figures
+    /// 7e/7f) — a derived view over [`CycleProfile::risk_eval_ns`].
+    pub fn risk_eval_seconds(&self) -> f64 {
+        self.risk_eval_ns as f64 / 1e9
+    }
+
+    /// Replay the profile into a collector: one `cycle.iteration` span
+    /// per record, plus run totals.
+    pub fn emit(&self, obs: &Obs<'_>) {
+        if !obs.enabled() {
+            return;
+        }
+        for r in &self.iterations {
+            obs.span_at(
+                "cycle.iteration",
+                r.dur_ns,
+                fields![
+                    "iteration" => r.iteration,
+                    "risky" => r.risky,
+                    "exhausted" => r.exhausted,
+                    "min_risk" => r.min_risk,
+                    "mean_risk" => r.mean_risk,
+                    "max_risk" => r.max_risk,
+                    "heuristic" => r.heuristic.as_str(),
+                    "targets" => r.targets,
+                    "suppressions" => r.suppressions,
+                    "recodings" => r.recodings,
+                    "risk_eval_ns" => r.risk_eval_ns
+                ],
+            );
+        }
+        obs.span_at(
+            "cycle.risk_eval",
+            self.risk_eval_ns,
+            fields!["iterations" => self.iterations.len()],
+        );
+        obs.span_at(
+            "cycle.run",
+            self.total_ns,
+            fields!["iterations" => self.iterations.len()],
+        );
+    }
+}
+
+/// What a non-converging run had produced when the iteration cap hit:
+/// carried on [`CycleError::DidNotConverge`] so the cap is debuggable.
+#[derive(Debug)]
+pub struct PartialCycle {
+    /// Per-iteration telemetry up to (and including) the capped iteration.
+    pub profile: CycleProfile,
+    /// The audit trail of the decisions taken so far.
+    pub audit: AuditLog,
+}
+
 /// Cycle failure.
 #[derive(Debug)]
 pub enum CycleError {
@@ -97,6 +200,8 @@ pub enum CycleError {
         iterations: usize,
         /// Tuples still violating the threshold.
         still_risky: usize,
+        /// Telemetry and audit trail accumulated before the cap.
+        partial: Box<PartialCycle>,
     },
 }
 
@@ -108,6 +213,7 @@ impl fmt::Display for CycleError {
             CycleError::DidNotConverge {
                 iterations,
                 still_risky,
+                ..
             } => write!(
                 f,
                 "anonymization cycle did not converge after {iterations} iterations ({still_risky} tuples still risky)"
@@ -151,9 +257,17 @@ pub struct CycleOutcome {
     pub final_report: RiskReport,
     /// The decision-by-decision audit trail.
     pub audit: AuditLog,
+    /// Per-iteration telemetry: risk landscape, heuristic decisions,
+    /// actions, risk-evaluation time.
+    pub profile: CycleProfile,
+}
+
+impl CycleOutcome {
     /// Wall-clock seconds spent inside risk evaluation (the dotted lines
-    /// of Figures 7e/7f).
-    pub risk_eval_seconds: f64,
+    /// of Figures 7e/7f) — derived from the profile.
+    pub fn risk_eval_seconds(&self) -> f64 {
+        self.profile.risk_eval_seconds()
+    }
 }
 
 /// The anonymization cycle: a risk measure, an anonymizer, a threshold.
@@ -162,6 +276,7 @@ pub struct AnonymizationCycle<'a> {
     anonymizer: &'a dyn Anonymizer,
     /// Configuration knobs.
     pub config: CycleConfig,
+    collector: Option<Arc<dyn Collector>>,
 }
 
 impl<'a> AnonymizationCycle<'a> {
@@ -175,7 +290,16 @@ impl<'a> AnonymizationCycle<'a> {
             risk,
             anonymizer,
             config,
+            collector: None,
         }
+    }
+
+    /// Attach a telemetry collector; it receives the per-iteration
+    /// [`CycleProfile`] replayed as events after the run (including a run
+    /// that hits the iteration cap).
+    pub fn with_collector(mut self, collector: Arc<dyn Collector>) -> Self {
+        self.collector = Some(collector);
+        self
     }
 
     /// Run the cycle on a copy of `db`; the input table is untouched.
@@ -186,13 +310,15 @@ impl<'a> AnonymizationCycle<'a> {
     ) -> Result<CycleOutcome, CycleError> {
         let mut work = db.clone();
         let mut audit = AuditLog::default();
+        let mut profile = CycleProfile::default();
         let mut nulls_injected = 0usize;
         let mut recodings = 0usize;
         let mut exhausted: HashSet<usize> = HashSet::new();
         let mut initial_risky = 0usize;
         let mut iterations = 0usize;
-        let mut risk_eval_seconds = 0.0f64;
+        let run_start = Instant::now();
         let t = self.config.threshold;
+        let obs = Obs::new(self.collector.as_deref());
 
         let qi_count = dict
             .quasi_identifiers(&work.name)
@@ -200,10 +326,11 @@ impl<'a> AnonymizationCycle<'a> {
             .unwrap_or(0);
 
         let report = loop {
+            let iter_start = Instant::now();
             let mut view = MicrodataView::from_db_with(&work, dict, self.config.semantics, None)?;
-            let t0 = std::time::Instant::now();
+            let t0 = Instant::now();
             let report = self.risk.evaluate(&view)?;
-            risk_eval_seconds += t0.elapsed().as_secs_f64();
+            let mut risk_eval_ns = t0.elapsed().as_nanos() as u64;
 
             let mut risky: Vec<usize> = report
                 .risky_tuples(t)
@@ -213,13 +340,41 @@ impl<'a> AnonymizationCycle<'a> {
             if iterations == 0 {
                 initial_risky = risky.len() + exhausted.len();
             }
+
+            let mut record = IterationRecord {
+                iteration: iterations,
+                risky: risky.len(),
+                exhausted: exhausted.len(),
+                min_risk: report.risks.iter().copied().fold(f64::INFINITY, f64::min),
+                mean_risk: report.mean_risk(),
+                max_risk: report.max_risk(),
+                ..IterationRecord::default()
+            };
+            if !record.min_risk.is_finite() {
+                record.min_risk = 0.0;
+            }
+
             if risky.is_empty() {
+                record.heuristic = "converged".to_string();
+                record.dur_ns = iter_start.elapsed().as_nanos() as u64;
+                record.risk_eval_ns = risk_eval_ns;
+                profile.risk_eval_ns += risk_eval_ns;
+                profile.iterations.push(record);
                 break report;
             }
             if iterations >= self.config.max_iterations {
+                record.heuristic = "iteration cap hit".to_string();
+                record.dur_ns = iter_start.elapsed().as_nanos() as u64;
+                record.risk_eval_ns = risk_eval_ns;
+                profile.risk_eval_ns += risk_eval_ns;
+                let still_risky = risky.len();
+                profile.iterations.push(record);
+                profile.total_ns = run_start.elapsed().as_nanos() as u64;
+                profile.emit(&obs);
                 return Err(CycleError::DidNotConverge {
                     iterations,
-                    still_risky: risky.len(),
+                    still_risky,
+                    partial: Box::new(PartialCycle { profile, audit }),
                 });
             }
 
@@ -227,15 +382,29 @@ impl<'a> AnonymizationCycle<'a> {
             if self.config.granularity == StepGranularity::OneTuplePerIteration {
                 risky.truncate(1);
             }
+            record.heuristic = format!(
+                "{}/{} → row {}",
+                match self.config.tuple_order {
+                    TupleOrder::LessSignificantFirst => "less-significant-first",
+                    TupleOrder::MostRiskyFirst => "most-risky-first",
+                    TupleOrder::Fifo => "fifo",
+                },
+                match self.config.granularity {
+                    StepGranularity::AllRiskyPerIteration => "all-risky",
+                    StepGranularity::OneTuplePerIteration => "one-tuple",
+                },
+                risky[0]
+            );
+            record.targets = risky.len();
 
             for row in risky {
                 // Monotonic-aggregation semantics (§4.3): suppressions made
                 // earlier in this iteration already count. If this tuple's
                 // risk has been defused by a neighbour's labelled null, skip
                 // it rather than remove more information.
-                let t1 = std::time::Instant::now();
+                let t1 = Instant::now();
                 let current = self.risk.evaluate_tuple(&view, row);
-                risk_eval_seconds += t1.elapsed().as_secs_f64();
+                risk_eval_ns += t1.elapsed().as_nanos() as u64;
                 if let Some(r) = current {
                     if r <= t {
                         continue;
@@ -243,8 +412,14 @@ impl<'a> AnonymizationCycle<'a> {
                 }
                 let action = self.anonymizer.anonymize_step(&mut work, dict, row)?;
                 match &action {
-                    AnonymizationAction::Suppress { .. } => nulls_injected += 1,
-                    AnonymizationAction::Recode { .. } => recodings += 1,
+                    AnonymizationAction::Suppress { .. } => {
+                        nulls_injected += 1;
+                        record.suppressions += 1;
+                    }
+                    AnonymizationAction::Recode { .. } => {
+                        recodings += 1;
+                        record.recodings += 1;
+                    }
                     AnonymizationAction::Exhausted { .. } => {
                         exhausted.insert(row);
                     }
@@ -261,9 +436,15 @@ impl<'a> AnonymizationCycle<'a> {
                     });
                 }
             }
+            record.risk_eval_ns = risk_eval_ns;
+            record.dur_ns = iter_start.elapsed().as_nanos() as u64;
+            profile.risk_eval_ns += risk_eval_ns;
+            profile.iterations.push(record);
             iterations += 1;
         };
 
+        profile.total_ns = run_start.elapsed().as_nanos() as u64;
+        profile.emit(&obs);
         let final_risky = report
             .risky_tuples(t)
             .into_iter()
@@ -279,7 +460,7 @@ impl<'a> AnonymizationCycle<'a> {
             information_loss: information_loss(nulls_injected, initial_risky, qi_count),
             final_report: report,
             audit,
-            risk_eval_seconds,
+            profile,
         })
     }
 

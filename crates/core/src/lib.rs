@@ -78,6 +78,9 @@ pub mod report;
 pub mod risk;
 pub mod weights;
 
+/// The telemetry substrate (re-exported): collectors, spans, counters.
+pub use vadasa_obs as obs;
+
 /// Convenient glob import of the most-used types.
 pub mod prelude {
     pub use crate::anonymize::{
@@ -87,7 +90,8 @@ pub mod prelude {
     pub use crate::business::{ClusterMap, ClusterRisk, OwnershipGraph};
     pub use crate::categorize::{Categorizer, ExperienceBase};
     pub use crate::cycle::{
-        AnonymizationCycle, CycleConfig, CycleOutcome, StepGranularity, TupleOrder,
+        AnonymizationCycle, CycleConfig, CycleOutcome, CycleProfile, IterationRecord,
+        StepGranularity, TupleOrder,
     };
     pub use crate::dictionary::{Category, MetadataDictionary};
     pub use crate::explain::{AuditLog, Decision};

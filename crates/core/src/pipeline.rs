@@ -35,6 +35,8 @@ use crate::prelude::{
 };
 use crate::report::render_summary;
 use std::fmt;
+use std::sync::Arc;
+use vadasa_obs::Collector;
 
 /// Which off-the-shelf risk measure the facade should use.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -94,6 +96,7 @@ pub struct Vadasa {
     similarity_threshold: f64,
     dictionary: Option<MetadataDictionary>,
     summary_top_n: usize,
+    collector: Option<Arc<dyn Collector>>,
 }
 
 impl Default for Vadasa {
@@ -105,6 +108,7 @@ impl Default for Vadasa {
             similarity_threshold: 0.6,
             dictionary: None,
             summary_top_n: 5,
+            collector: None,
         }
     }
 }
@@ -176,6 +180,15 @@ impl Vadasa {
         self
     }
 
+    /// Attach a telemetry collector: the anonymization cycle's
+    /// per-iteration profile is replayed into it (see
+    /// [`CycleProfile::emit`](crate::cycle::CycleProfile::emit)), and the
+    /// same records ride on `Release::outcome.profile`.
+    pub fn collector(mut self, collector: Arc<dyn Collector>) -> Self {
+        self.collector = Some(collector);
+        self
+    }
+
     /// Run the pipeline: categorize (unless a dictionary was supplied),
     /// anonymize to the threshold, and summarize the released table.
     pub fn run(self, db: &MicrodataDb) -> Result<Release, PipelineError> {
@@ -214,9 +227,11 @@ impl Vadasa {
             MeasureChoice::Suda(t) => Box::new(Suda::new(t)),
         };
         let anonymizer: Box<dyn Anonymizer> = Box::new(LocalSuppression::default());
-        let outcome = AnonymizationCycle::new(measure.as_ref(), anonymizer.as_ref(), self.config)
-            .run(db, &dict)
-            .map_err(PipelineError::Cycle)?;
+        let mut cycle = AnonymizationCycle::new(measure.as_ref(), anonymizer.as_ref(), self.config);
+        if let Some(collector) = self.collector {
+            cycle = cycle.with_collector(collector);
+        }
+        let outcome = cycle.run(db, &dict).map_err(PipelineError::Cycle)?;
 
         // --- summarize the released table ---
         let view = MicrodataView::from_db_with(&outcome.db, &dict, self.config.semantics, None)

@@ -7,6 +7,7 @@
 //! most exposed tuples and their explanations — as a plain-text summary
 //! suitable for an RDC review meeting.
 
+use crate::cycle::CycleProfile;
 use crate::maybe_match::{group_stats, NullSemantics};
 use crate::risk::{MicrodataView, RiskReport};
 use std::fmt::Write;
@@ -127,9 +128,51 @@ pub fn render_summary(
     out
 }
 
+/// Render the anonymization cycle's per-iteration telemetry as a
+/// plain-text convergence table: one line per iteration with the risk
+/// landscape, the heuristic decision, the actions taken and the share of
+/// time spent evaluating risk.
+pub fn render_profile(profile: &CycleProfile) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "cycle profile — {} iteration(s) in {:.3} ms, {:.3} ms ({:.1}%) in risk evaluation",
+        profile.iterations.len(),
+        profile.total_ns as f64 / 1e6,
+        profile.risk_eval_ns as f64 / 1e6,
+        if profile.total_ns == 0 {
+            0.0
+        } else {
+            100.0 * profile.risk_eval_ns as f64 / profile.total_ns as f64
+        }
+    );
+    let _ = writeln!(
+        out,
+        "{:>5}  {:>6}  {:>5}  {:>8}  {:>8}  {:>6}  {:>6}  {:>9}  decision",
+        "iter", "risky", "exh.", "mean", "max", "suppr", "recode", "risk ms"
+    );
+    for r in &profile.iterations {
+        let _ = writeln!(
+            out,
+            "{:>5}  {:>6}  {:>5}  {:>8.4}  {:>8.4}  {:>6}  {:>6}  {:>9.3}  {}",
+            r.iteration,
+            r.risky,
+            r.exhausted,
+            r.mean_risk,
+            r.max_risk,
+            r.suppressions,
+            r.recodings,
+            r.risk_eval_ns as f64 / 1e6,
+            r.heuristic
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cycle::IterationRecord;
     use crate::risk::test_support::view_of;
     use crate::risk::{KAnonymity, ReIdentification, RiskMeasure};
 
@@ -182,6 +225,40 @@ mod tests {
         let g = dataset_risk(&view, &report, 0.5);
         assert!((g.risky_share - 1.0 / 6.0).abs() < 1e-12);
         assert_eq!(g.expected_reidentifications, 1.0);
+    }
+
+    #[test]
+    fn profile_table_lists_every_iteration() {
+        let profile = CycleProfile {
+            iterations: vec![
+                IterationRecord {
+                    iteration: 0,
+                    risky: 3,
+                    mean_risk: 0.4,
+                    max_risk: 1.0,
+                    heuristic: "fifo/all-risky → row 2".into(),
+                    targets: 3,
+                    suppressions: 3,
+                    risk_eval_ns: 2_000_000,
+                    dur_ns: 3_000_000,
+                    ..IterationRecord::default()
+                },
+                IterationRecord {
+                    iteration: 1,
+                    heuristic: "converged".into(),
+                    risk_eval_ns: 1_000_000,
+                    dur_ns: 1_200_000,
+                    ..IterationRecord::default()
+                },
+            ],
+            risk_eval_ns: 3_000_000,
+            total_ns: 4_200_000,
+        };
+        let text = render_profile(&profile);
+        assert!(text.contains("2 iteration(s)"));
+        assert!(text.contains("fifo/all-risky → row 2"));
+        assert!(text.contains("converged"));
+        assert!(text.contains("(71.4%) in risk evaluation"));
     }
 
     #[test]

@@ -104,6 +104,9 @@ pub fn minimal_sample_uniques(view: &MicrodataView, max_size: Option<usize>) -> 
         for (row, &count) in stats.count.iter().enumerate() {
             if count == 1 {
                 // minimal iff no recorded MSU of this row is a subset
+                // (subset test, not membership — clippy's contains() hint
+                // does not apply)
+                #[allow(clippy::manual_contains)]
                 let minimal = !msus[row].masks.iter().any(|&mm| mm & mask == mm);
                 if minimal {
                     msus[row].masks.push(mask);
@@ -271,7 +274,7 @@ mod tests {
         // tuple 20 has an MSU of size 1 < 3 → dangerous
         assert_eq!(report.risks[19], 1.0);
         // a tuple with no MSU below size 3 is safe; find one to contrast
-        assert!(report.risks.iter().any(|&r| r == 0.0));
+        assert!(report.risks.contains(&0.0));
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub fn inflation_growth_fig1() -> (MicrodataDb, MetadataDictionary) {
     let mut db = MicrodataDb::new("I&G", attrs).expect("unique attrs");
 
     // (Id, Area, Sector, Employees, ResRev, ExpRev, ExpToDE, Growth, Weight)
+    #[allow(clippy::type_complexity)]
     let rows: [(&str, &str, &str, &str, &str, &str, &str, i64, i64); 20] = [
         (
             "612276",

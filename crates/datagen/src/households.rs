@@ -90,7 +90,7 @@ pub fn generate_households(household_count: usize, seed: u64) -> HouseholdSurvey
             // the head (m == 0) gets an adult age band and any occupation;
             // later members skew younger
             let age = if m == 0 {
-                AGE_BANDS[1 + rng.gen_range(0..4)]
+                AGE_BANDS[1 + rng.gen_range(0..4usize)]
             } else {
                 AGE_BANDS[rng.gen_range(0..AGE_BANDS.len())]
             };

@@ -1,0 +1,657 @@
+//! # vadasa-obs — zero-dependency telemetry for the Vada-SA workspace
+//!
+//! The paper's scalability story (Figures 7e/7f) splits elapsed time into
+//! reasoning vs. risk evaluation; reproducing it — and chasing the
+//! ROADMAP's "fast as the hardware allows" goal — requires seeing where
+//! time and memory go *inside* the engine and the anonymization cycle.
+//! This crate is the substrate: spans with monotonic timing, counters,
+//! log2-bucketed histograms, and a pluggable [`Collector`] behind them.
+//! It deliberately takes **no external dependencies** (the build works
+//! with workspace-path dependencies only) and is enforced dependency-free
+//! by CI.
+//!
+//! ## Architecture
+//!
+//! Instrumented code talks to an [`Obs`] handle — a thin wrapper over
+//! `Option<&dyn Collector>`. With no collector attached every call is a
+//! no-op behind one branch, so instrumentation can stay in hot paths.
+//! Two collectors ship in-tree:
+//!
+//! - [`Recorder`] — in-memory; aggregates counters and histograms and
+//!   keeps every event for inspection in tests;
+//! - [`JsonLinesWriter`] — streams one JSON object per event to any
+//!   `Write` sink (see the schema below);
+//!
+//! and the *no-collector* state itself is the no-op default.
+//!
+//! ## JSON-lines schema
+//!
+//! Every line is one event object:
+//!
+//! ```json
+//! {"type":"span","name":"engine.stratum","seq":3,"t_ns":88122,"dur_ns":81022,"fields":{"stratum":0,"rounds":5}}
+//! {"type":"counter","name":"engine.facts_derived","seq":4,"t_ns":90011,"value":812,"fields":{}}
+//! {"type":"observe","name":"engine.round_delta","seq":5,"t_ns":90100,"value":64,"fields":{"stratum":0}}
+//! ```
+//!
+//! `seq` is a per-collector sequence number, `t_ns` the monotonic offset
+//! from collector creation; `span` events add `dur_ns`, `counter` and
+//! `observe` events add `value`. `fields` holds event-specific context.
+
+#![warn(missing_docs)]
+
+pub mod json;
+
+use json::Json;
+use std::borrow::Cow;
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A field value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Floating point.
+    Float(f64),
+    /// Text.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::Int(v)
+    }
+}
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::UInt(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::UInt(v as u64)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::Float(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+impl FieldValue {
+    fn to_json(&self) -> Json {
+        match self {
+            FieldValue::Int(v) => Json::Num(*v as f64),
+            FieldValue::UInt(v) => Json::Num(*v as f64),
+            FieldValue::Float(v) => Json::Num(*v),
+            FieldValue::Str(s) => Json::Str(s.clone()),
+            FieldValue::Bool(b) => Json::Bool(*b),
+        }
+    }
+}
+
+/// What kind of measurement an [`Event`] carries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A completed span with its duration.
+    Span {
+        /// Wall-clock duration in nanoseconds (monotonic clock).
+        dur_ns: u64,
+    },
+    /// A counter increment.
+    Counter {
+        /// The increment.
+        delta: u64,
+    },
+    /// A histogram observation.
+    Observe {
+        /// The observed value.
+        value: u64,
+    },
+}
+
+/// One telemetry event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// The measurement.
+    pub kind: EventKind,
+    /// Dotted event name, e.g. `engine.stratum` or `cycle.iteration`.
+    pub name: Cow<'static, str>,
+    /// Event-specific context fields.
+    pub fields: Vec<(Cow<'static, str>, FieldValue)>,
+}
+
+impl Event {
+    /// Encode as one JSON-lines object, with collector-assigned sequence
+    /// number and monotonic offset.
+    pub fn to_json_line(&self, seq: u64, t_ns: u64) -> String {
+        let kind = match &self.kind {
+            EventKind::Span { .. } => "span",
+            EventKind::Counter { .. } => "counter",
+            EventKind::Observe { .. } => "observe",
+        };
+        let mut members = vec![
+            ("type".to_string(), Json::Str(kind.to_string())),
+            ("name".to_string(), Json::Str(self.name.to_string())),
+            ("seq".to_string(), Json::Num(seq as f64)),
+            ("t_ns".to_string(), Json::Num(t_ns as f64)),
+        ];
+        match &self.kind {
+            EventKind::Span { dur_ns } => {
+                members.push(("dur_ns".to_string(), Json::Num(*dur_ns as f64)));
+            }
+            EventKind::Counter { delta } => {
+                members.push(("value".to_string(), Json::Num(*delta as f64)));
+            }
+            EventKind::Observe { value } => {
+                members.push(("value".to_string(), Json::Num(*value as f64)));
+            }
+        }
+        members.push((
+            "fields".to_string(),
+            Json::Obj(
+                self.fields
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.to_json()))
+                    .collect(),
+            ),
+        ));
+        Json::Obj(members).to_string()
+    }
+}
+
+/// Receives telemetry events. Implementations must be cheap and must not
+/// panic; they run at the boundaries of the engine's hot loops.
+pub trait Collector: Send + Sync {
+    /// Record one event.
+    fn record(&self, event: Event);
+}
+
+/// Handle instrumented code talks to: either a live collector or nothing.
+/// All methods are no-ops when no collector is attached.
+#[derive(Clone, Copy)]
+pub struct Obs<'c> {
+    collector: Option<&'c dyn Collector>,
+}
+
+impl<'c> Obs<'c> {
+    /// A handle over an optional collector.
+    pub fn new(collector: Option<&'c dyn Collector>) -> Self {
+        Obs { collector }
+    }
+
+    /// A disabled handle.
+    pub fn off() -> Self {
+        Obs { collector: None }
+    }
+
+    /// Whether a collector is attached (lets callers skip building
+    /// expensive field values).
+    pub fn enabled(&self) -> bool {
+        self.collector.is_some()
+    }
+
+    /// Start a span; time runs until [`Span::finish`] (or drop).
+    pub fn span(&self, name: impl Into<Cow<'static, str>>) -> Span<'c> {
+        Span {
+            collector: self.collector,
+            name: name.into(),
+            fields: Vec::new(),
+            start: Instant::now(),
+            finished: false,
+        }
+    }
+
+    /// Record a counter increment.
+    pub fn counter(
+        &self,
+        name: impl Into<Cow<'static, str>>,
+        delta: u64,
+        fields: Vec<(Cow<'static, str>, FieldValue)>,
+    ) {
+        if let Some(c) = self.collector {
+            c.record(Event {
+                kind: EventKind::Counter { delta },
+                name: name.into(),
+                fields,
+            });
+        }
+    }
+
+    /// Record a histogram observation.
+    pub fn observe(
+        &self,
+        name: impl Into<Cow<'static, str>>,
+        value: u64,
+        fields: Vec<(Cow<'static, str>, FieldValue)>,
+    ) {
+        if let Some(c) = self.collector {
+            c.record(Event {
+                kind: EventKind::Observe { value },
+                name: name.into(),
+                fields,
+            });
+        }
+    }
+
+    /// Record a pre-measured span (for profiles assembled outside the
+    /// collector, e.g. the engine's always-on `EngineProfile`).
+    pub fn span_at(
+        &self,
+        name: impl Into<Cow<'static, str>>,
+        dur_ns: u64,
+        fields: Vec<(Cow<'static, str>, FieldValue)>,
+    ) {
+        if let Some(c) = self.collector {
+            c.record(Event {
+                kind: EventKind::Span { dur_ns },
+                name: name.into(),
+                fields,
+            });
+        }
+    }
+}
+
+/// Convenience for building a field list: `fields!["k" => v, ...]`.
+#[macro_export]
+macro_rules! fields {
+    ($($k:expr => $v:expr),* $(,)?) => {
+        vec![$((std::borrow::Cow::Borrowed($k), $crate::FieldValue::from($v))),*]
+    };
+}
+
+/// An in-flight span. Finishing (or dropping) records a
+/// [`EventKind::Span`] event with the elapsed monotonic time.
+pub struct Span<'c> {
+    collector: Option<&'c dyn Collector>,
+    name: Cow<'static, str>,
+    fields: Vec<(Cow<'static, str>, FieldValue)>,
+    start: Instant,
+    finished: bool,
+}
+
+impl Span<'_> {
+    /// Attach a context field (no-op when disabled).
+    pub fn field(&mut self, name: impl Into<Cow<'static, str>>, value: impl Into<FieldValue>) {
+        if self.collector.is_some() {
+            self.fields.push((name.into(), value.into()));
+        }
+    }
+
+    /// Finish the span, recording its duration; returns elapsed nanos.
+    pub fn finish(mut self) -> u64 {
+        self.finish_inner()
+    }
+
+    fn finish_inner(&mut self) -> u64 {
+        let dur_ns = self.start.elapsed().as_nanos() as u64;
+        if let Some(c) = self.collector.take() {
+            c.record(Event {
+                kind: EventKind::Span { dur_ns },
+                name: std::mem::replace(&mut self.name, Cow::Borrowed("")),
+                fields: std::mem::take(&mut self.fields),
+            });
+        }
+        self.finished = true;
+        dur_ns
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.finish_inner();
+        }
+    }
+}
+
+/// A log2-bucketed histogram of `u64` observations.
+///
+/// Bucket 0 holds the value 0; bucket `i ≥ 1` holds values in
+/// `[2^(i-1), 2^i)`. 65 buckets cover the whole `u64` range.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Observation counts per bucket.
+    pub buckets: [u64; 65],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: u128,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Bucket index for a value.
+    pub fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Lower bound of a bucket.
+    pub fn bucket_floor(index: usize) -> u64 {
+        if index == 0 {
+            0
+        } else {
+            1u64 << (index - 1)
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`q ∈ [0, 1]`): the upper
+    /// edge of the bucket containing it.
+    pub fn quantile_ceil(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return if i >= 64 { u64::MAX } else { 1u64 << i };
+            }
+        }
+        u64::MAX
+    }
+
+    /// Render non-empty buckets as `[lo, hi): count` lines.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n > 0 {
+                let lo = Self::bucket_floor(i);
+                let hi = if i >= 64 { u64::MAX } else { 1u64 << i };
+                out.push_str(&format!("  [{lo}, {hi}): {n}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[derive(Default)]
+struct RecorderState {
+    events: Vec<Event>,
+    counters: Vec<(String, u64)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+/// In-memory collector: keeps every event and aggregates counters and
+/// histograms by name. Intended for tests and for post-run reporting.
+#[derive(Default)]
+pub struct Recorder {
+    state: Mutex<RecorderState>,
+}
+
+impl Recorder {
+    /// A fresh recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of all recorded events, in order.
+    pub fn events(&self) -> Vec<Event> {
+        self.state.lock().unwrap().events.clone()
+    }
+
+    /// Total of a counter across all increments (0 when never seen).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        let state = self.state.lock().unwrap();
+        state
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Aggregated histogram for an observation (or span-duration) name.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        let state = self.state.lock().unwrap();
+        state
+            .histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h.clone())
+    }
+
+    /// Events with a given name.
+    pub fn events_named(&self, name: &str) -> Vec<Event> {
+        self.state
+            .lock()
+            .unwrap()
+            .events
+            .iter()
+            .filter(|e| e.name == name)
+            .cloned()
+            .collect()
+    }
+}
+
+impl Collector for Recorder {
+    fn record(&self, event: Event) {
+        let mut state = self.state.lock().unwrap();
+        match &event.kind {
+            EventKind::Counter { delta } => {
+                if let Some((_, v)) = state
+                    .counters
+                    .iter_mut()
+                    .find(|(n, _)| *n == event.name.as_ref())
+                {
+                    *v += delta;
+                } else {
+                    let name = event.name.to_string();
+                    let delta = *delta;
+                    state.counters.push((name, delta));
+                }
+            }
+            EventKind::Observe { value } | EventKind::Span { dur_ns: value } => {
+                let value = *value;
+                if let Some((_, h)) = state
+                    .histograms
+                    .iter_mut()
+                    .find(|(n, _)| *n == event.name.as_ref())
+                {
+                    h.observe(value);
+                } else {
+                    let mut h = Histogram::default();
+                    h.observe(value);
+                    state.histograms.push((event.name.to_string(), h));
+                }
+            }
+        }
+        state.events.push(event);
+    }
+}
+
+/// Streaming collector: one JSON object per event, newline-terminated.
+pub struct JsonLinesWriter<W: Write + Send> {
+    inner: Mutex<(W, u64)>,
+    start: Instant,
+}
+
+impl JsonLinesWriter<std::io::BufWriter<std::fs::File>> {
+    /// Create (truncating) a JSON-lines file sink.
+    pub fn create(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::new(std::io::BufWriter::new(file)))
+    }
+}
+
+impl<W: Write + Send> JsonLinesWriter<W> {
+    /// Wrap any writer.
+    pub fn new(writer: W) -> Self {
+        JsonLinesWriter {
+            inner: Mutex::new((writer, 0)),
+            start: Instant::now(),
+        }
+    }
+
+    /// Flush and return the underlying writer.
+    pub fn into_inner(self) -> W {
+        let (mut w, _) = self.inner.into_inner().unwrap();
+        let _ = w.flush();
+        w
+    }
+
+    /// Flush buffered output.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.inner.lock().unwrap().0.flush()
+    }
+}
+
+impl<W: Write + Send> Collector for JsonLinesWriter<W> {
+    fn record(&self, event: Event) {
+        let t_ns = self.start.elapsed().as_nanos() as u64;
+        let mut guard = self.inner.lock().unwrap();
+        let (writer, seq) = &mut *guard;
+        let line = event.to_json_line(*seq, t_ns);
+        *seq += 1;
+        // Telemetry must never take the instrumented program down.
+        let _ = writeln!(writer, "{line}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let obs = Obs::off();
+        assert!(!obs.enabled());
+        let mut span = obs.span("x");
+        span.field("k", 1u64);
+        let ns = span.finish();
+        // no panic, a plausible duration, nothing recorded anywhere
+        assert!(ns < 1_000_000_000);
+        obs.counter("c", 1, vec![]);
+        obs.observe("o", 2, vec![]);
+    }
+
+    #[test]
+    fn recorder_aggregates_counters_and_histograms() {
+        let rec = Recorder::new();
+        let obs = Obs::new(Some(&rec));
+        obs.counter("engine.facts", 10, vec![]);
+        obs.counter("engine.facts", 5, vec![]);
+        obs.observe("delta", 0, vec![]);
+        obs.observe("delta", 1, vec![]);
+        obs.observe("delta", 1000, vec![]);
+        assert_eq!(rec.counter_total("engine.facts"), 15);
+        let h = rec.histogram("delta").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.buckets[0], 1); // value 0
+        assert_eq!(h.buckets[1], 1); // value 1
+        assert_eq!(h.buckets[10], 1); // 1000 ∈ [512, 1024)
+        assert_eq!(rec.events().len(), 5);
+    }
+
+    #[test]
+    fn span_records_duration_and_fields() {
+        let rec = Recorder::new();
+        let obs = Obs::new(Some(&rec));
+        let mut span = obs.span("work");
+        span.field("stratum", 3u64);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        span.finish();
+        let events = rec.events_named("work");
+        assert_eq!(events.len(), 1);
+        match &events[0].kind {
+            EventKind::Span { dur_ns } => assert!(*dur_ns >= 1_000_000),
+            other => panic!("expected span, got {other:?}"),
+        }
+        assert_eq!(events[0].fields[0].1, FieldValue::UInt(3));
+    }
+
+    #[test]
+    fn dropped_span_still_records() {
+        let rec = Recorder::new();
+        {
+            let obs = Obs::new(Some(&rec));
+            let _span = obs.span("implicit");
+        }
+        assert_eq!(rec.events_named("implicit").len(), 1);
+    }
+
+    #[test]
+    fn jsonlines_output_parses_back() {
+        let writer = JsonLinesWriter::new(Vec::<u8>::new());
+        let obs = Obs::new(Some(&writer));
+        obs.counter("c", 7, fields!["k" => "v"]);
+        let mut span = obs.span("s");
+        span.field("n", 2u64);
+        span.finish();
+        let bytes = writer.into_inner();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("type").unwrap().as_str(), Some("counter"));
+        assert_eq!(first.get("value").unwrap().as_f64(), Some(7.0));
+        assert_eq!(
+            first.get("fields").unwrap().get("k").unwrap().as_str(),
+            Some("v")
+        );
+        let second = json::parse(lines[1]).unwrap();
+        assert_eq!(second.get("type").unwrap().as_str(), Some("span"));
+        assert_eq!(second.get("seq").unwrap().as_f64(), Some(1.0));
+        assert!(second.get("dur_ns").unwrap().as_f64().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_and_render() {
+        let mut h = Histogram::default();
+        for v in [1u64, 2, 3, 4, 100] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 5);
+        assert!((h.mean() - 22.0).abs() < 1e-9);
+        assert!(h.quantile_ceil(0.5) <= 8);
+        assert!(h.quantile_ceil(1.0) >= 100);
+        assert!(h.render().contains("): "));
+    }
+}

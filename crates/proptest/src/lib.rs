@@ -1,0 +1,374 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! the API subset its property tests use: the [`Strategy`] trait with
+//! `prop_map`/`boxed`, range and tuple strategies, `collection::{vec,
+//! btree_set}`, `bool::ANY`, the [`prop_oneof!`] union macro, and the
+//! [`proptest!`] test macro with `#![proptest_config(...)]`.
+//!
+//! Differences from the real crate, by design:
+//!
+//! - **No shrinking.** A failing case panics with the assertion message;
+//!   re-running is deterministic (see below), so the failure reproduces.
+//! - **Deterministic generation.** Each test's RNG is seeded from the test
+//!   function's name, so runs are reproducible without a persistence file.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleRange, SeedableRng};
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic RNG for one property, seeded from its name.
+pub fn test_rng(test_name: &str) -> StdRng {
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// A generator of values for property tests.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                self.clone().sample_from(rng)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                self.clone().sample_from(rng)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// A weighted union of strategies (the engine behind [`prop_oneof!`]).
+pub struct Union<T> {
+    arms: Vec<(f64, BoxedStrategy<T>)>,
+    total: f64,
+}
+
+impl<T> Union<T> {
+    /// Build from `(weight, strategy)` arms.
+    pub fn new(arms: Vec<(f64, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total = arms.iter().map(|(w, _)| *w).sum();
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let mut u = rng.gen_range(0.0..self.total);
+        for (w, s) in &self.arms {
+            if u < *w {
+                return s.generate(rng);
+            }
+            u -= w;
+        }
+        self.arms.last().unwrap().1.generate(rng)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    /// Something usable as a collection size: a fixed `usize` or a range.
+    pub trait IntoSizeRange {
+        /// Inclusive `(min, max)` bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+    impl IntoSizeRange for core::ops::Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+    impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// A vector whose length is drawn from `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.min..=self.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` targeting a size drawn from `size`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// A set whose size is drawn from `size`; duplicates are retried a
+    /// bounded number of times, so the set may come up short when the
+    /// element domain is small.
+    pub fn btree_set<S>(element: S, size: impl IntoSizeRange) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        let (min, max) = size.bounds();
+        BTreeSetStrategy { element, min, max }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
+            let target = rng.gen_range(self.min..=self.max);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target * 10 + 10 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::*;
+
+    /// The strategy type behind [`ANY`].
+    pub struct Any;
+
+    /// A uniformly random boolean.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Weighted choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight as f64, $crate::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((1.0f64, $crate::Strategy::boxed($strategy))),+
+        ])
+    };
+}
+
+/// Property assertion: plain `assert!` (no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property assertion: plain `assert_eq!` (no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Define property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_rng(stringify!($name));
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $(let $p = $crate::Strategy::generate(&($s), &mut __rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_oneof, proptest, BoxedStrategy, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn vec_lengths_respect_bounds(v in crate::collection::vec(0u8..10, 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() <= 4);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn oneof_respects_arms(x in prop_oneof![3 => 0i64..10, 1 => 100i64..110]) {
+            prop_assert!((0..10).contains(&x) || (100..110).contains(&x), "{x}");
+        }
+
+        #[test]
+        fn tuples_and_maps(pair in (0u8..4, 0u8..4).prop_map(|(a, b)| (b, a))) {
+            prop_assert!(pair.0 < 4 && pair.1 < 4);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let s = crate::collection::vec(0u64..1000, 5..10);
+        let a: Vec<u64> = Strategy::generate(&s, &mut crate::test_rng("t"));
+        let b: Vec<u64> = Strategy::generate(&s, &mut crate::test_rng("t"));
+        assert_eq!(a, b);
+    }
+}

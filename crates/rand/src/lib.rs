@@ -1,0 +1,220 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to a crates registry, so this
+//! workspace vendors the small API subset it actually uses: a seedable
+//! generator ([`rngs::StdRng`]), uniform range sampling
+//! ([`Rng::gen_range`]) over the common integer types and `f64`, and
+//! Bernoulli draws ([`Rng::gen_bool`]).
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — fast,
+//! well-distributed, and deterministic per seed, which is all the
+//! synthetic-data generators and benches in this repository need.
+//! Sequences differ from the real `rand` crate; nothing in-tree depends
+//! on the exact streams, only on determinism per seed.
+
+#![warn(missing_docs)]
+
+/// Random number generator implementations.
+pub mod rngs {
+    /// A deterministic, seedable generator (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+use rngs::StdRng;
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Construct from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the xoshiro state; the
+        // state must not be all-zero, which SplitMix64 guarantees.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl StdRng {
+    #[inline]
+    fn next_u64_impl(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// The sampling interface.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from a half-open or inclusive range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool probability {p}");
+        sample_f64(self) < p
+    }
+}
+
+impl Rng for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.next_u64_impl()
+    }
+}
+
+/// Uniform `f64` in `[0, 1)` using the top 53 bits.
+fn sample_f64<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform `u64` in `[0, bound)` via Lemire-style rejection (unbiased).
+fn sample_below<R: Rng + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0, "empty sampling range");
+    // Rejection zone keeps the distribution exactly uniform.
+    let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % bound;
+        }
+    }
+}
+
+/// Ranges a uniform value can be drawn from.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample.
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                (self.start as $wide).wrapping_add(sample_below(rng, span) as $wide) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in gen_range");
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as $wide).wrapping_add(sample_below(rng, span + 1) as $wide) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    #[inline]
+    fn sample_from<R: Rng>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        self.start + sample_f64(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+    #[inline]
+    fn sample_from<R: Rng>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range in gen_range");
+        lo + sample_f64(rng) * (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let u: usize = rng.gen_range(0..17);
+            assert!(u < 17);
+            let i: i64 = rng.gen_range(-30..300);
+            assert!((-30..300).contains(&i));
+            let v: i32 = rng.gen_range(1..=2);
+            assert!((1..=2).contains(&v));
+            let f: f64 = rng.gen_range(0.51..0.95);
+            assert!((0.51..0.95).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        let share = hits as f64 / 100_000.0;
+        assert!((share - 0.25).abs() < 0.01, "share {share}");
+    }
+
+    #[test]
+    fn singleton_inclusive_range() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let v: usize = rng.gen_range(0..=0);
+        assert_eq!(v, 0);
+    }
+
+    #[test]
+    fn full_range_does_not_overflow() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _: u64 = rng.gen_range(0..=u64::MAX);
+    }
+}

@@ -3,11 +3,16 @@
 //! ```text
 //! vadalog PROGRAM.vada [FACTS.vada ...] [options]
 //!
-//!   --output PRED     print only this predicate (repeatable; default: all
-//!                     predicates derived by rule heads)
-//!   --trace           print provenance for every derived fact
-//!   --warded          run the wardedness analysis and report violations
-//!   --stats           print evaluation statistics
+//!   --output PRED        print only this predicate (repeatable; default:
+//!                        all predicates derived by rule heads)
+//!   --trace              print provenance for every derived fact
+//!   --warded             run the wardedness analysis and report violations
+//!   --stats              print evaluation statistics
+//!   --profile            print the execution profile: per-stratum spans,
+//!                        fixpoint-round deltas, per-rule firing /
+//!                        derived-fact / join-candidate counts
+//!   --profile-json PATH  stream telemetry events to PATH as JSON lines
+//!                        (one event object per line; see vadasa-obs docs)
 //! ```
 //!
 //! Programs and fact files share one syntax (see the crate docs); fact
@@ -26,11 +31,13 @@
 
 use std::collections::BTreeSet;
 use std::process::ExitCode;
+use std::sync::Arc;
+use vadalog::obs::JsonLinesWriter;
 use vadalog::{parse_program, warded_analyze, Database, Engine, EngineConfig, Fact, Head};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: vadalog PROGRAM.vada [FACTS.vada ...] [--output PRED]... [--trace] [--warded] [--stats]"
+        "usage: vadalog PROGRAM.vada [FACTS.vada ...] [--output PRED]... [--trace] [--warded] [--stats] [--profile] [--profile-json PATH]"
     );
     std::process::exit(2);
 }
@@ -41,6 +48,8 @@ fn main() -> ExitCode {
     let mut trace = false;
     let mut warded = false;
     let mut stats = false;
+    let mut profile = false;
+    let mut profile_json: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -52,6 +61,11 @@ fn main() -> ExitCode {
             "--trace" => trace = true,
             "--warded" => warded = true,
             "--stats" => stats = true,
+            "--profile" => profile = true,
+            "--profile-json" => match args.next() {
+                Some(p) => profile_json = Some(p),
+                None => usage(),
+            },
             "--help" | "-h" => usage(),
             other if other.starts_with("--") => {
                 eprintln!("unknown option {other}");
@@ -98,8 +112,19 @@ fn main() -> ExitCode {
         }
     }
 
+    let sink: Option<Arc<JsonLinesWriter<_>>> = match &profile_json {
+        Some(path) => match JsonLinesWriter::create(path) {
+            Ok(w) => Some(Arc::new(w)),
+            Err(e) => {
+                eprintln!("cannot create {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     let engine = Engine::with_config(EngineConfig {
         trace,
+        collector: sink.clone().map(|s| s as Arc<dyn vadalog::obs::Collector>),
         ..Default::default()
     });
     let result = match engine.run(&program, Database::new()) {
@@ -109,6 +134,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(sink) = &sink {
+        if let Err(e) = sink.flush() {
+            eprintln!("cannot write telemetry: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
 
     // default outputs: all head predicates
     let outputs: BTreeSet<String> = if outputs.is_empty() {
@@ -158,6 +189,11 @@ fn main() -> ExitCode {
             result.stats.nulls_created,
             result.stats.unifications
         );
+    }
+    if profile {
+        for line in result.profile.render_table().lines() {
+            println!("% {line}");
+        }
     }
     ExitCode::SUCCESS
 }

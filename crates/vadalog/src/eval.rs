@@ -21,6 +21,7 @@
 
 use crate::ast::{AggFunc, Atom, Expr, Fact, Head, Literal, Program, Rule, Term};
 use crate::builtins::{eval_expr, Binding, EvalError};
+use crate::profile::{EngineProfile, RoundProfile, StratumProfile};
 use crate::routing::Router;
 use crate::storage::Database;
 use crate::stratify::{check_safety, stratify, StratifyError};
@@ -28,6 +29,11 @@ use crate::value::Value;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
+use vadasa_obs::{Collector, Obs};
+
+/// Rows inserted in the previous semi-naive round, keyed by predicate.
+type DeltaRows = HashMap<String, Vec<Vec<Value>>>;
 
 /// What to do when an EGD equates two distinct constants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -54,6 +60,11 @@ pub struct EngineConfig {
     pub router: Option<Box<dyn Router>>,
     /// Behaviour on EGD constant clashes.
     pub egd_policy: EgdPolicy,
+    /// Optional telemetry sink. The engine accumulates its
+    /// [`EngineProfile`] regardless (that is a handful of counters); a
+    /// collector additionally receives the profile replayed as events
+    /// after the run — see [`EngineProfile::emit`].
+    pub collector: Option<Arc<dyn Collector>>,
 }
 
 impl Default for EngineConfig {
@@ -64,6 +75,7 @@ impl Default for EngineConfig {
             trace: false,
             router: None,
             egd_policy: EgdPolicy::default(),
+            collector: None,
         }
     }
 }
@@ -76,6 +88,7 @@ impl fmt::Debug for EngineConfig {
             .field("trace", &self.trace)
             .field("router", &self.router.as_ref().map(|r| r.name()))
             .field("egd_policy", &self.egd_policy)
+            .field("collector", &self.collector.is_some())
             .finish()
     }
 }
@@ -193,6 +206,9 @@ pub struct ReasoningResult {
     pub violations: Vec<EgdViolation>,
     /// Run statistics.
     pub stats: EvalStats,
+    /// Per-stratum / per-round / per-rule execution profile (always
+    /// accumulated; the breakdown behind `stats`).
+    pub profile: EngineProfile,
     /// Provenance (only populated when `trace` is enabled).
     pub trace: Vec<TraceEntry>,
 }
@@ -233,9 +249,11 @@ impl Engine {
         let mut stats = EvalStats::default();
         let mut violations = Vec::new();
         let mut trace = Vec::new();
+        let mut profile = EngineProfile::for_program(program);
         let nulls_before = db.nulls_minted();
+        let run_start = Instant::now();
 
-        for stratum in &strat.strata {
+        for (stratum_idx, stratum) in strat.strata.iter().enumerate() {
             let rules: Vec<(usize, &Rule)> =
                 stratum.iter().map(|&i| (i, &program.rules[i])).collect();
             let plain: Vec<(usize, &Rule)> = rules
@@ -258,7 +276,16 @@ impl Engine {
             // binding) → invented nulls for the rule's existential vars.
             let mut skolem: HashMap<(usize, Vec<Value>), HashMap<String, Value>> = HashMap::new();
 
+            profile.strata.push(StratumProfile {
+                stratum: stratum_idx,
+                ..StratumProfile::default()
+            });
+            let stratum_start = Instant::now();
+            let facts_before = stats.facts_derived;
+
             loop {
+                profile.strata[stratum_idx].passes += 1;
+
                 // 1. plain rules to fixpoint (semi-naive)
                 self.fixpoint_plain(
                     &plain,
@@ -267,20 +294,35 @@ impl Engine {
                     &mut stats,
                     &mut trace,
                     program,
+                    &mut profile,
+                    stratum_idx,
                 )?;
 
                 // 2. aggregate rules, one pass
                 let mut changed = false;
                 for &(idx, rule) in &agg {
-                    changed |=
-                        self.apply_aggregate_rule(idx, rule, &mut db, &mut stats, &mut trace)?;
+                    changed |= self.apply_aggregate_rule(
+                        idx,
+                        rule,
+                        &mut db,
+                        &mut stats,
+                        &mut trace,
+                        &mut profile,
+                    )?;
                 }
 
                 // 3. EGDs. Substitutions must also rewrite the skolem memo
                 // table, otherwise plain rules would re-mint the replaced
                 // null on the next pass and the stratum would never settle.
                 for &(idx, rule) in &egds {
-                    let subs = self.apply_egd(idx, rule, &mut db, &mut stats, &mut violations)?;
+                    let subs = self.apply_egd(
+                        idx,
+                        rule,
+                        &mut db,
+                        &mut stats,
+                        &mut violations,
+                        &mut profile,
+                    )?;
                     if !subs.is_empty() {
                         changed = true;
                         for (from, to) in &subs {
@@ -308,18 +350,33 @@ impl Engine {
                     )));
                 }
             }
+
+            let s = &mut profile.strata[stratum_idx];
+            s.dur_ns = stratum_start.elapsed().as_nanos() as u64;
+            s.facts_derived = (stats.facts_derived - facts_before) as u64;
         }
 
         stats.nulls_created = db.nulls_minted() - nulls_before;
+        profile.total_ns = run_start.elapsed().as_nanos() as u64;
+        profile.facts_derived = stats.facts_derived as u64;
+        profile.iterations = stats.iterations as u64;
+        profile.nulls_created = stats.nulls_created;
+        profile.unifications = stats.unifications as u64;
+        profile.violations = violations.len() as u64;
+        if let Some(collector) = &self.config.collector {
+            profile.emit(&Obs::new(Some(collector.as_ref())));
+        }
         Ok(ReasoningResult {
             db,
             violations,
             stats,
+            profile,
             trace,
         })
     }
 
     /// Semi-naive fixpoint over plain (non-aggregate, non-EGD) rules.
+    #[allow(clippy::too_many_arguments)]
     fn fixpoint_plain(
         &self,
         rules: &[(usize, &Rule)],
@@ -328,17 +385,21 @@ impl Engine {
         stats: &mut EvalStats,
         trace: &mut Vec<TraceEntry>,
         program: &Program,
+        profile: &mut EngineProfile,
+        stratum_idx: usize,
     ) -> Result<(), EngineError> {
         // Delta tracking: predicate → set of rows added in the previous round.
         // First round: treat everything as delta (full evaluation).
-        let mut delta: Option<HashMap<String, Vec<Vec<Value>>>> = None;
+        let mut delta: Option<DeltaRows> = None;
 
         loop {
+            let round_start = Instant::now();
             let mut new_facts: Vec<(usize, Fact, Binding)> = Vec::new();
 
             for &(idx, rule) in rules {
+                let mut candidates = 0u64;
                 let bindings = match &delta {
-                    None => self.rule_bindings(rule, db, None, idx)?,
+                    None => self.rule_bindings(rule, db, None, idx, &mut candidates)?,
                     Some(d) => {
                         // one pass per positive literal restricted to delta
                         let pos_count = rule
@@ -348,7 +409,13 @@ impl Engine {
                             .count();
                         let mut all = Vec::new();
                         for focus in 0..pos_count {
-                            all.extend(self.rule_bindings(rule, db, Some((focus, d)), idx)?);
+                            all.extend(self.rule_bindings(
+                                rule,
+                                db,
+                                Some((focus, d)),
+                                idx,
+                                &mut candidates,
+                            )?);
                         }
                         all
                     }
@@ -357,17 +424,21 @@ impl Engine {
                 if let Some(router) = &self.config.router {
                     router.order_bindings(rule, &mut bindings);
                 }
+                let rp = &mut profile.rules[idx];
+                rp.join_candidates += candidates;
+                rp.firings += bindings.len() as u64;
                 for b in bindings {
                     self.head_facts(idx, rule, &b, db, skolem, &mut new_facts)?;
                 }
             }
 
-            let mut next_delta: HashMap<String, Vec<Vec<Value>>> = HashMap::new();
-            let mut inserted_any = false;
+            let mut next_delta: DeltaRows = HashMap::new();
+            let mut inserted = 0u64;
             for (idx, fact, binding) in new_facts {
                 if db.insert(&fact.pred, fact.args.clone()) {
-                    inserted_any = true;
+                    inserted += 1;
                     stats.facts_derived += 1;
+                    profile.rules[idx].facts_derived += 1;
                     if stats.facts_derived > self.config.max_facts {
                         return Err(EngineError::ResourceLimit(format!(
                             "more than {} derived facts",
@@ -392,6 +463,13 @@ impl Engine {
                 }
             }
 
+            let s = &mut profile.strata[stratum_idx];
+            s.rounds.push(RoundProfile {
+                round: s.rounds.len(),
+                delta: inserted,
+                dur_ns: round_start.elapsed().as_nanos() as u64,
+            });
+
             stats.iterations += 1;
             if stats.iterations > self.config.max_iterations {
                 return Err(EngineError::ResourceLimit(format!(
@@ -399,7 +477,7 @@ impl Engine {
                     self.config.max_iterations
                 )));
             }
-            if !inserted_any {
+            if inserted == 0 {
                 return Ok(());
             }
             delta = Some(next_delta);
@@ -408,17 +486,18 @@ impl Engine {
 
     /// Enumerate all body bindings for a rule. When `focus` is given, the
     /// `focus.0`-th positive literal is restricted to the delta rows.
+    /// `candidates` accumulates the number of rows examined by the join.
     fn rule_bindings(
         &self,
         rule: &Rule,
         db: &Database,
-        focus: Option<(usize, &HashMap<String, Vec<Vec<Value>>>)>,
+        focus: Option<(usize, &DeltaRows)>,
         rule_idx: usize,
+        candidates: &mut u64,
     ) -> Result<Vec<Binding>, EngineError> {
         let mut out = Vec::new();
         let mut binding = Binding::new();
         self.join_literals(
-            rule,
             &rule.body,
             db,
             focus,
@@ -426,6 +505,7 @@ impl Engine {
             &mut binding,
             &mut out,
             rule_idx,
+            candidates,
         )?;
         Ok(out)
     }
@@ -435,14 +515,14 @@ impl Engine {
     #[allow(clippy::too_many_arguments)]
     fn join_literals(
         &self,
-        rule: &Rule,
         lits: &[Literal],
         db: &Database,
-        focus: Option<(usize, &HashMap<String, Vec<Vec<Value>>>)>,
+        focus: Option<(usize, &DeltaRows)>,
         pos_seen: usize,
         binding: &mut Binding,
         out: &mut Vec<Binding>,
         rule_idx: usize,
+        candidates: &mut u64,
     ) -> Result<(), EngineError> {
         let Some((lit, rest)) = lits.split_first() else {
             out.push(binding.clone());
@@ -459,9 +539,9 @@ impl Engine {
                         if row.len() != atom.args.len() {
                             continue;
                         }
+                        *candidates += 1;
                         if let Some(undo) = try_match(atom, row, binding) {
                             self.join_literals(
-                                rule,
                                 rest,
                                 db,
                                 focus,
@@ -469,6 +549,7 @@ impl Engine {
                                 binding,
                                 out,
                                 rule_idx,
+                                candidates,
                             )?;
                             undo_binding(binding, undo);
                         }
@@ -491,9 +572,9 @@ impl Engine {
                         if row.len() != atom.args.len() {
                             continue;
                         }
+                        *candidates += 1;
                         if let Some(undo) = try_match(atom, &row, binding) {
                             self.join_literals(
-                                rule,
                                 rest,
                                 db,
                                 focus,
@@ -501,6 +582,7 @@ impl Engine {
                                 binding,
                                 out,
                                 rule_idx,
+                                candidates,
                             )?;
                             undo_binding(binding, undo);
                         }
@@ -525,7 +607,9 @@ impl Engine {
                     .map(|r| r.contains(&args))
                     .unwrap_or(false);
                 if !present {
-                    self.join_literals(rule, rest, db, focus, pos_seen, binding, out, rule_idx)?;
+                    self.join_literals(
+                        rest, db, focus, pos_seen, binding, out, rule_idx, candidates,
+                    )?;
                 }
                 Ok(())
             }
@@ -533,7 +617,7 @@ impl Engine {
                 match eval_expr(expr, binding) {
                     Ok(v) if v.is_true() => {
                         self.join_literals(
-                            rule, rest, db, focus, pos_seen, binding, out, rule_idx,
+                            rest, db, focus, pos_seen, binding, out, rule_idx, candidates,
                         )?;
                     }
                     Ok(_) => {}
@@ -554,13 +638,13 @@ impl Engine {
                             // Let on a bound variable acts as equality filter.
                             if *existing == v {
                                 self.join_literals(
-                                    rule, rest, db, focus, pos_seen, binding, out, rule_idx,
+                                    rest, db, focus, pos_seen, binding, out, rule_idx, candidates,
                                 )?;
                             }
                         } else {
                             binding.insert(var.clone(), v);
                             self.join_literals(
-                                rule, rest, db, focus, pos_seen, binding, out, rule_idx,
+                                rest, db, focus, pos_seen, binding, out, rule_idx, candidates,
                             )?;
                             binding.remove(var);
                         }
@@ -661,6 +745,7 @@ impl Engine {
     }
 
     /// Evaluate one aggregate rule. Returns true if new facts were derived.
+    #[allow(clippy::too_many_arguments)]
     fn apply_aggregate_rule(
         &self,
         rule_idx: usize,
@@ -668,6 +753,7 @@ impl Engine {
         db: &mut Database,
         stats: &mut EvalStats,
         trace: &mut Vec<TraceEntry>,
+        profile: &mut EngineProfile,
     ) -> Result<bool, EngineError> {
         let first_agg = rule
             .body
@@ -682,7 +768,10 @@ impl Engine {
             body: prefix.to_vec(),
             label: rule.label.clone(),
         };
-        let bindings = self.rule_bindings(&prefix_rule, db, None, rule_idx)?;
+        let mut candidates = 0u64;
+        let bindings = self.rule_bindings(&prefix_rule, db, None, rule_idx, &mut candidates)?;
+        profile.rules[rule_idx].join_candidates += candidates;
+        profile.rules[rule_idx].firings += bindings.len() as u64;
 
         // Group key: prefix-bound variables appearing in the head.
         let Head::Atoms(atoms) = &rule.head else {
@@ -867,6 +956,7 @@ impl Engine {
             if db.insert(&fact.pred, fact.args.clone()) {
                 changed = true;
                 stats.facts_derived += 1;
+                profile.rules[rule_idx].facts_derived += 1;
                 if self.config.trace {
                     let label = rule
                         .label
@@ -886,6 +976,7 @@ impl Engine {
     /// Apply one EGD rule. Null/value bindings are unified by rewriting the
     /// database; constant clashes are collected as violations. Returns the
     /// substitutions performed, in order.
+    #[allow(clippy::too_many_arguments)]
     fn apply_egd(
         &self,
         rule_idx: usize,
@@ -893,6 +984,7 @@ impl Engine {
         db: &mut Database,
         stats: &mut EvalStats,
         violations: &mut Vec<EgdViolation>,
+        profile: &mut EngineProfile,
     ) -> Result<Vec<(crate::value::NullId, Value)>, EngineError> {
         let Head::Equality(lt, rt) = &rule.head else {
             return Ok(Vec::new());
@@ -901,7 +993,10 @@ impl Engine {
         // Re-evaluate until no more unifications: each rewrite can expose
         // new bindings.
         loop {
-            let bindings = self.rule_bindings(rule, db, None, rule_idx)?;
+            let mut candidates = 0u64;
+            let bindings = self.rule_bindings(rule, db, None, rule_idx, &mut candidates)?;
+            profile.rules[rule_idx].join_candidates += candidates;
+            profile.rules[rule_idx].firings += bindings.len() as u64;
             let mut did_unify = false;
             for b in bindings {
                 let resolve = |t: &Term| -> Value {
@@ -920,6 +1015,7 @@ impl Engine {
                         db.substitute_null(*n, other);
                         subs.push((*n, other.clone()));
                         stats.unifications += 1;
+                        profile.rules[rule_idx].unifications += 1;
                         did_unify = true;
                         break; // bindings are stale after a rewrite
                     }
@@ -927,6 +1023,7 @@ impl Engine {
                         db.substitute_null(*n, other);
                         subs.push((*n, other.clone()));
                         stats.unifications += 1;
+                        profile.rules[rule_idx].unifications += 1;
                         did_unify = true;
                         break;
                     }

@@ -44,12 +44,16 @@ pub mod eval;
 pub mod module;
 pub mod parser;
 pub mod printer;
+pub mod profile;
 pub mod query;
 pub mod routing;
 pub mod storage;
 pub mod stratify;
 pub mod value;
 pub mod warded;
+
+/// The telemetry substrate (re-exported): collectors, spans, counters.
+pub use vadasa_obs as obs;
 
 pub use ast::{AggFunc, Atom, Expr, Fact, Head, Literal, Program, Rule, Term};
 pub use builtins::{eval_expr, Binding, EvalError};
@@ -60,6 +64,7 @@ pub use eval::{
 pub use module::{Module, ModuleError, ModuleRegistry};
 pub use parser::{parse_program, parse_rule, ParseError};
 pub use printer::{print_expr, print_program, print_rule};
+pub use profile::{EngineProfile, RoundProfile, RuleProfile, StratumProfile};
 pub use query::{answers, AnswerMode};
 pub use routing::{AscendingBy, DescendingBy, Fifo, Router};
 pub use storage::{Database, Relation};

@@ -151,7 +151,7 @@ fn print_atom(a: &Atom) -> String {
 pub fn print_rule(rule: &Rule) -> String {
     let mut s = String::new();
     if let Some(label) = &rule.label {
-        let _ = write!(s, "@label(\"{}\")\n", label.replace('"', "\\\""));
+        let _ = writeln!(s, "@label(\"{}\")", label.replace('"', "\\\""));
     }
     match &rule.head {
         Head::Atoms(atoms) => {

@@ -1,0 +1,324 @@
+//! Engine execution profile: what [`EvalStats`](crate::eval::EvalStats)
+//! totals look like *from the inside*.
+//!
+//! Every reasoning run accumulates an [`EngineProfile`]: per-stratum
+//! spans, per-fixpoint-round delta sizes, and per-rule firing /
+//! derived-fact / join-candidate counts. Accumulation is always on — it
+//! is a handful of integer adds and two monotonic clock reads per round,
+//! which is noise next to the joins themselves — and the profile rides on
+//! [`ReasoningResult`](crate::eval::ReasoningResult). When a
+//! [`Collector`](vadasa_obs::Collector) is attached to the engine config
+//! the profile is additionally replayed as telemetry events after the
+//! run, so the hot path never formats or allocates for telemetry.
+
+use std::fmt::Write as _;
+use vadasa_obs::{fields, Obs};
+
+use crate::ast::{Head, Program};
+
+/// Per-rule execution counters.
+#[derive(Debug, Clone, Default)]
+pub struct RuleProfile {
+    /// Rule index in the program.
+    pub rule: usize,
+    /// Rule label, or `rule#<idx>` when unlabelled.
+    pub name: String,
+    /// Head predicates (or `=` for EGDs) — for human-readable tables.
+    pub head: String,
+    /// Body bindings produced (each one instantiates the head once).
+    pub firings: u64,
+    /// New facts this rule inserted.
+    pub facts_derived: u64,
+    /// Candidate rows examined while joining the body (the engine's raw
+    /// join effort; the ratio to `firings` shows join selectivity).
+    pub join_candidates: u64,
+    /// Null unifications performed (EGD rules only).
+    pub unifications: u64,
+}
+
+/// One semi-naive fixpoint round inside a stratum.
+#[derive(Debug, Clone)]
+pub struct RoundProfile {
+    /// Round ordinal within the stratum (across outer passes).
+    pub round: usize,
+    /// New facts inserted this round (the delta handed to the next round).
+    pub delta: u64,
+    /// Wall-clock nanoseconds spent in the round.
+    pub dur_ns: u64,
+}
+
+/// One stratum of the evaluation.
+#[derive(Debug, Clone, Default)]
+pub struct StratumProfile {
+    /// Stratum index (bottom-up order).
+    pub stratum: usize,
+    /// Outer passes (plain fixpoint + aggregates + EGDs) until stable.
+    pub passes: u64,
+    /// Fixpoint rounds, in order.
+    pub rounds: Vec<RoundProfile>,
+    /// New facts derived in this stratum.
+    pub facts_derived: u64,
+    /// Wall-clock nanoseconds spent in the stratum.
+    pub dur_ns: u64,
+}
+
+/// Execution profile of one reasoning run.
+///
+/// The scalar totals mirror [`EvalStats`](crate::eval::EvalStats); the
+/// vectors break them down by stratum, round and rule.
+#[derive(Debug, Clone, Default)]
+pub struct EngineProfile {
+    /// Per-stratum breakdown, bottom-up.
+    pub strata: Vec<StratumProfile>,
+    /// Per-rule counters, indexed by rule position in the program.
+    pub rules: Vec<RuleProfile>,
+    /// Total wall-clock nanoseconds of the run.
+    pub total_ns: u64,
+    /// Total facts derived (= `EvalStats::facts_derived`).
+    pub facts_derived: u64,
+    /// Total fixpoint iterations (= `EvalStats::iterations`).
+    pub iterations: u64,
+    /// Labelled nulls minted (= `EvalStats::nulls_created`).
+    pub nulls_created: u64,
+    /// EGD unifications (= `EvalStats::unifications`).
+    pub unifications: u64,
+    /// EGD violations collected.
+    pub violations: u64,
+}
+
+impl EngineProfile {
+    /// An empty profile shaped for `program` (one slot per rule).
+    pub fn for_program(program: &Program) -> Self {
+        let rules = program
+            .rules
+            .iter()
+            .enumerate()
+            .map(|(i, r)| RuleProfile {
+                rule: i,
+                name: r.label.clone().unwrap_or_else(|| format!("rule#{i}")),
+                head: match &r.head {
+                    Head::Atoms(atoms) => atoms
+                        .iter()
+                        .map(|a| a.pred.as_str())
+                        .collect::<Vec<_>>()
+                        .join(","),
+                    Head::Equality(_, _) => "=".to_string(),
+                },
+                ..RuleProfile::default()
+            })
+            .collect();
+        EngineProfile {
+            rules,
+            ..EngineProfile::default()
+        }
+    }
+
+    /// Total fixpoint rounds across strata.
+    pub fn total_rounds(&self) -> usize {
+        self.strata.iter().map(|s| s.rounds.len()).sum()
+    }
+
+    /// Render the per-stratum and per-rule tables as plain text
+    /// (the `--profile` output of the `vadalog` CLI).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "engine profile — {} in {}, {} fact(s), {} round(s), {} null(s), {} unification(s)",
+            plural(self.strata.len(), "stratum", "strata"),
+            fmt_ns(self.total_ns),
+            self.facts_derived,
+            self.total_rounds(),
+            self.nulls_created,
+            self.unifications,
+        );
+        let _ = writeln!(
+            out,
+            "{:>7}  {:>6}  {:>6}  {:>9}  {:>10}  largest rounds (delta@round)",
+            "stratum", "passes", "rounds", "facts", "time"
+        );
+        for s in &self.strata {
+            let mut top: Vec<&RoundProfile> = s.rounds.iter().filter(|r| r.delta > 0).collect();
+            top.sort_by_key(|r| std::cmp::Reverse(r.delta));
+            let top: Vec<String> = top
+                .iter()
+                .take(3)
+                .map(|r| format!("{}@{}", r.delta, r.round))
+                .collect();
+            let _ = writeln!(
+                out,
+                "{:>7}  {:>6}  {:>6}  {:>9}  {:>10}  {}",
+                s.stratum,
+                s.passes,
+                s.rounds.len(),
+                s.facts_derived,
+                fmt_ns(s.dur_ns),
+                top.join(" ")
+            );
+        }
+        let name_w = self
+            .rules
+            .iter()
+            .map(|r| r.name.len() + r.head.len() + 3)
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        let _ = writeln!(
+            out,
+            "{:<name_w$}  {:>9}  {:>9}  {:>11}  {:>6}",
+            "rule", "firings", "facts", "join-cands", "unif."
+        );
+        for r in &self.rules {
+            let _ = writeln!(
+                out,
+                "{:<name_w$}  {:>9}  {:>9}  {:>11}  {:>6}",
+                format!("{} → {}", r.name, r.head),
+                r.firings,
+                r.facts_derived,
+                r.join_candidates,
+                r.unifications
+            );
+        }
+        out
+    }
+
+    /// Replay the profile into a collector as telemetry events: one span
+    /// per run, per stratum and per round; one counter per rule metric
+    /// and per scalar total.
+    pub fn emit(&self, obs: &Obs<'_>) {
+        if !obs.enabled() {
+            return;
+        }
+        for s in &self.strata {
+            for r in &s.rounds {
+                obs.span_at(
+                    "engine.round",
+                    r.dur_ns,
+                    fields!["stratum" => s.stratum, "round" => r.round, "delta" => r.delta],
+                );
+            }
+            obs.span_at(
+                "engine.stratum",
+                s.dur_ns,
+                fields![
+                    "stratum" => s.stratum,
+                    "passes" => s.passes,
+                    "rounds" => s.rounds.len(),
+                    "facts" => s.facts_derived
+                ],
+            );
+        }
+        for r in &self.rules {
+            obs.counter(
+                "engine.rule.firings",
+                r.firings,
+                fields!["rule" => r.rule, "name" => r.name.as_str()],
+            );
+            obs.counter(
+                "engine.rule.facts",
+                r.facts_derived,
+                fields!["rule" => r.rule, "name" => r.name.as_str()],
+            );
+            obs.counter(
+                "engine.rule.join_candidates",
+                r.join_candidates,
+                fields!["rule" => r.rule, "name" => r.name.as_str()],
+            );
+            if r.unifications > 0 {
+                obs.counter(
+                    "engine.rule.unifications",
+                    r.unifications,
+                    fields!["rule" => r.rule, "name" => r.name.as_str()],
+                );
+            }
+        }
+        obs.counter("engine.facts_derived", self.facts_derived, vec![]);
+        obs.counter("engine.iterations", self.iterations, vec![]);
+        obs.counter("engine.nulls_created", self.nulls_created, vec![]);
+        obs.counter("engine.unifications", self.unifications, vec![]);
+        obs.counter("engine.egd_violations", self.violations, vec![]);
+        obs.span_at(
+            "engine.run",
+            self.total_ns,
+            fields!["strata" => self.strata.len(), "rules" => self.rules.len()],
+        );
+    }
+}
+
+fn plural(n: usize, one: &str, many: &str) -> String {
+    if n == 1 {
+        format!("{n} {one}")
+    } else {
+        format!("{n} {many}")
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn profile_shapes_to_program() {
+        let p = parse_program(
+            "@label(\"base\")\n\
+             b(X) :- a(X).\n\
+             c(X) :- b(X).",
+        )
+        .unwrap();
+        let profile = EngineProfile::for_program(&p);
+        assert_eq!(profile.rules.len(), 2);
+        assert_eq!(profile.rules[0].name, "base");
+        assert_eq!(profile.rules[0].head, "b");
+        assert_eq!(profile.rules[1].name, "rule#1");
+    }
+
+    #[test]
+    fn render_mentions_every_rule() {
+        let p = parse_program("b(X) :- a(X).").unwrap();
+        let mut profile = EngineProfile::for_program(&p);
+        profile.strata.push(StratumProfile {
+            stratum: 0,
+            passes: 1,
+            rounds: vec![RoundProfile {
+                round: 0,
+                delta: 3,
+                dur_ns: 1500,
+            }],
+            facts_derived: 3,
+            dur_ns: 2000,
+        });
+        profile.facts_derived = 3;
+        let text = profile.render_table();
+        assert!(text.contains("rule#0 → b"));
+        assert!(text.contains("3@0"), "largest round missing: {text}");
+        assert!(text.contains("2.000 µs"), "stratum time missing: {text}");
+    }
+
+    #[test]
+    fn emit_replays_into_recorder() {
+        let p = parse_program("b(X) :- a(X).").unwrap();
+        let mut profile = EngineProfile::for_program(&p);
+        profile.rules[0].firings = 4;
+        profile.rules[0].facts_derived = 2;
+        profile.facts_derived = 2;
+        profile.total_ns = 10;
+        let rec = vadasa_obs::Recorder::new();
+        profile.emit(&Obs::new(Some(&rec)));
+        assert_eq!(rec.counter_total("engine.rule.firings"), 4);
+        assert_eq!(rec.counter_total("engine.facts_derived"), 2);
+        assert_eq!(rec.events_named("engine.run").len(), 1);
+    }
+}

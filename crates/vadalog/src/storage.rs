@@ -11,15 +11,18 @@ use std::sync::Arc;
 /// A stored tuple (shared so index buckets stay cheap).
 pub type Row = Arc<Vec<Value>>;
 
+/// Lazily built secondary index: how many rows it has absorbed (so it can
+/// be extended incrementally) plus key values → row indices.
+type IndexState = (usize, HashMap<Vec<Value>, Vec<usize>>);
+
 /// One relation: a deduplicated, insertion-ordered set of rows plus lazily
 /// built secondary indexes keyed by a set of bound positions.
 #[derive(Debug, Default)]
 pub struct Relation {
     rows: Vec<Row>,
     dedup: HashMap<Row, usize>,
-    /// bound-position mask → (key values → row indices); `usize` tracks how
-    /// many rows the index has absorbed so it can be extended incrementally.
-    indexes: RefCell<HashMap<Vec<usize>, (usize, HashMap<Vec<Value>, Vec<usize>>)>>,
+    /// bound-position mask → incremental index over those positions.
+    indexes: RefCell<HashMap<Vec<usize>, IndexState>>,
 }
 
 impl Clone for Relation {
@@ -58,8 +61,9 @@ impl Relation {
 
     /// Does the relation contain this exact row?
     pub fn contains(&self, row: &[Value]) -> bool {
-        // Arc<Vec<Value>> borrows as Vec<Value>; avoid allocation by probing
-        // through a temporary only when needed.
+        // Arc<Vec<Value>> only borrows as Vec<Value>, so the probe needs an
+        // owned key; rows are short, the copy is cheap.
+        #[allow(clippy::unnecessary_to_owned)]
         self.dedup.contains_key(&row.to_vec())
     }
 

@@ -1,0 +1,24 @@
+use std::sync::Arc;
+use vadalog::Value;
+use vadasa_core::obs::Recorder;
+use vadasa_core::pipeline::Vadasa;
+use vadasa_core::report::render_profile;
+
+fn main() {
+    let mut db = vadasa_core::model::MicrodataDb::new("s", ["id", "area", "weight"]).unwrap();
+    for (id, area, w) in [(1, "North", 9), (2, "North", 9), (3, "Lilliput", 2)] {
+        db.push_row(vec![Value::Int(id), Value::str(area), Value::Int(w)])
+            .unwrap();
+    }
+    let rec = Arc::new(Recorder::new());
+    let release = Vadasa::new()
+        .k_anonymity(2)
+        .collector(rec.clone())
+        .run(&db)
+        .unwrap();
+    print!("{}", render_profile(&release.outcome.profile));
+    println!(
+        "collector saw {} cycle.iteration spans",
+        rec.events_named("cycle.iteration").len()
+    );
+}

@@ -167,8 +167,10 @@ fn cycle_with_standard_semantics_exhausts_risky_tuples() {
     let (db, dict) = generate(&DatasetSpec::new(500, 4, Regime::V), 2);
     let risk = KAnonymity::new(2);
     let anonymizer = LocalSuppression::default();
-    let mut config = CycleConfig::default();
-    config.semantics = NullSemantics::Standard;
+    let config = CycleConfig {
+        semantics: NullSemantics::Standard,
+        ..CycleConfig::default()
+    };
     let cycle = AnonymizationCycle::new(&risk, &anonymizer, config);
     let outcome = cycle.run(&db, &dict).expect("terminates");
     // under the standard semantics nulls never help: risky tuples are

@@ -119,10 +119,10 @@ fn fig7e_shape_library_dominates_individual_risk() {
     let ir = IndividualRisk::new(IrEstimator::SimulatedLibrary { samples: 2_000 });
     let out_ir = run_paper_cycle(&db, &dict, &ir, paper_cycle_config());
     assert!(
-        out_ir.risk_eval_seconds > out_k.risk_eval_seconds,
+        out_ir.risk_eval_seconds() > out_k.risk_eval_seconds(),
         "IR {}s should exceed k-anon {}s",
-        out_ir.risk_eval_seconds,
-        out_k.risk_eval_seconds
+        out_ir.risk_eval_seconds(),
+        out_k.risk_eval_seconds()
     );
 }
 

@@ -1,0 +1,163 @@
+//! Per-iteration cycle telemetry: the [`CycleProfile`] on a
+//! [`CycleOutcome`] must agree with the audit log and the aggregate
+//! counters, risky-tuple counts must shrink monotonically, and a
+//! non-converging run must still hand back its partial records.
+
+use std::sync::Arc;
+use vadalog::Value;
+use vadasa_core::cycle::CycleError;
+use vadasa_core::obs::Recorder;
+use vadasa_core::pipeline::Vadasa;
+use vadasa_core::prelude::*;
+use vadasa_core::report::render_profile;
+
+/// A table with three singleton equivalence classes on (area, sector) so
+/// 2-anonymity needs several suppression steps.
+fn survey() -> (MicrodataDb, MetadataDictionary) {
+    let mut db = MicrodataDb::new("survey", ["id", "area", "sector", "weight"]).unwrap();
+    let rows = [
+        (1, "North", "Commerce", 90),
+        (2, "North", "Commerce", 90),
+        (3, "North", "Energy", 3),
+        (4, "South", "Textiles", 40),
+        (5, "East", "Energy", 12),
+    ];
+    for (id, a, s, w) in rows {
+        db.push_row(vec![
+            Value::Int(id),
+            Value::str(a),
+            Value::str(s),
+            Value::Int(w),
+        ])
+        .unwrap();
+    }
+    let mut dict = MetadataDictionary::new();
+    for a in ["id", "area", "sector", "weight"] {
+        dict.register_attr("survey", a, "");
+    }
+    dict.set_category("survey", "id", Category::Identifier)
+        .unwrap();
+    dict.set_category("survey", "area", Category::QuasiIdentifier)
+        .unwrap();
+    dict.set_category("survey", "sector", Category::QuasiIdentifier)
+        .unwrap();
+    dict.set_category("survey", "weight", Category::Weight)
+        .unwrap();
+    (db, dict)
+}
+
+#[test]
+fn cycle_profile_agrees_with_outcome_and_audit() {
+    let (db, dict) = survey();
+    let risk = KAnonymity::new(2);
+    let anonymizer = LocalSuppression::default();
+    let config = CycleConfig {
+        granularity: StepGranularity::OneTuplePerIteration,
+        ..CycleConfig::default()
+    };
+    let out = AnonymizationCycle::new(&risk, &anonymizer, config)
+        .run(&db, &dict)
+        .unwrap();
+    assert_eq!(out.final_risky, 0);
+    assert!(out.iterations >= 2, "one-tuple steps need several rounds");
+
+    // one record per iteration plus the final converged evaluation
+    let records = &out.profile.iterations;
+    assert_eq!(records.len(), out.iterations + 1);
+    assert_eq!(records.last().unwrap().heuristic, "converged");
+    assert_eq!(records.last().unwrap().targets, 0);
+    for (i, r) in records.iter().enumerate() {
+        assert_eq!(r.iteration, i);
+    }
+
+    // action counts line up with the outcome and the audit trail
+    let suppressions: usize = records.iter().map(|r| r.suppressions).sum();
+    assert_eq!(suppressions, out.nulls_injected);
+    assert_eq!(suppressions, out.audit.suppressions());
+    let recodings: usize = records.iter().map(|r| r.recodings).sum();
+    assert_eq!(recodings, out.recodings);
+
+    // the first record sees the pristine table, and under suppression-only
+    // anonymization the risky count never increases
+    assert_eq!(records[0].risky, out.initial_risky);
+    for pair in records.windows(2) {
+        assert!(
+            pair[1].risky <= pair[0].risky,
+            "risky went {} → {}",
+            pair[0].risky,
+            pair[1].risky
+        );
+    }
+
+    // risk landscape fields are coherent
+    for r in records {
+        assert!(r.min_risk <= r.mean_risk && r.mean_risk <= r.max_risk);
+        assert!(r.dur_ns >= r.risk_eval_ns);
+    }
+    assert_eq!(
+        out.profile.risk_eval_ns,
+        records.iter().map(|r| r.risk_eval_ns).sum::<u64>()
+    );
+    assert!((out.risk_eval_seconds() - out.profile.risk_eval_ns as f64 / 1e9).abs() < 1e-12);
+
+    // and the rendered table shows every iteration
+    let table = render_profile(&out.profile);
+    assert!(table.contains(&format!("{} iteration(s)", records.len())));
+    assert!(table.contains("converged"));
+}
+
+#[test]
+fn non_convergence_carries_partial_profile_and_audit() {
+    let (db, dict) = survey();
+    let risk = KAnonymity::new(2);
+    let anonymizer = LocalSuppression::default();
+    let config = CycleConfig {
+        granularity: StepGranularity::OneTuplePerIteration,
+        max_iterations: 1,
+        ..CycleConfig::default()
+    };
+    let err = AnonymizationCycle::new(&risk, &anonymizer, config)
+        .run(&db, &dict)
+        .unwrap_err();
+    match err {
+        CycleError::DidNotConverge {
+            iterations,
+            still_risky,
+            partial,
+        } => {
+            assert_eq!(iterations, 1);
+            assert!(still_risky > 0);
+            // the partial profile covers the performed iteration plus the
+            // capped re-evaluation, and the audit saw the step's actions
+            assert_eq!(partial.profile.iterations.len(), 2);
+            assert_eq!(
+                partial.profile.iterations.last().unwrap().heuristic,
+                "iteration cap hit"
+            );
+            let suppressed: usize = partial
+                .profile
+                .iterations
+                .iter()
+                .map(|r| r.suppressions)
+                .sum();
+            assert!(suppressed >= 1);
+            assert_eq!(suppressed, partial.audit.suppressions());
+        }
+        other => panic!("expected DidNotConverge, got {other:?}"),
+    }
+}
+
+#[test]
+fn pipeline_replays_cycle_events_into_collector() {
+    let (db, _) = survey();
+    let recorder = Arc::new(Recorder::new());
+    let release = Vadasa::new()
+        .k_anonymity(2)
+        .collector(recorder.clone())
+        .run(&db)
+        .unwrap();
+    let spans = recorder.events_named("cycle.iteration");
+    assert_eq!(spans.len(), release.outcome.profile.iterations.len());
+    assert_eq!(recorder.events_named("cycle.run").len(), 1);
+    assert!(recorder.histogram("cycle.iteration").is_some());
+}
