@@ -18,16 +18,19 @@
 //! explainability.
 
 use crate::anonymize::{AnonymizationAction, AnonymizeError, Anonymizer};
+use crate::degrade::{self, DegradeTrigger, FallbackPolicy, FallbackRecord};
 use crate::dictionary::MetadataDictionary;
 use crate::explain::{AuditLog, Decision};
 use crate::maybe_match::NullSemantics;
 use crate::metrics::information_loss;
 use crate::model::MicrodataDb;
-use crate::risk::{MicrodataView, RiskError, RiskMeasure, RiskReport};
+use crate::risk::{MicrodataView, RiskError, RiskMeasure, RiskReport, TupleRiskDetail};
 use std::collections::HashSet;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+use vadalog::CancelToken;
 use vadasa_obs::{fields, Collector, Obs};
 
 /// Which violating tuples to anonymize first (paper §4.4).
@@ -72,6 +75,13 @@ pub struct CycleConfig {
     pub max_iterations: usize,
     /// Record the audit trail (cheap; on by default).
     pub audit: bool,
+    /// Optional wall-clock deadline for the whole run, checked between
+    /// iterations. On expiry the cycle reacts per [`CycleConfig::fallback`].
+    pub deadline: Option<Duration>,
+    /// What to do when the cycle cannot converge normally (iteration cap,
+    /// deadline, cancellation, plug-in panic). The default degrades
+    /// gracefully via [`degrade::suppress_all_risky`].
+    pub fallback: FallbackPolicy,
 }
 
 impl Default for CycleConfig {
@@ -83,6 +93,8 @@ impl Default for CycleConfig {
             semantics: NullSemantics::MaybeMatch,
             max_iterations: 10_000,
             audit: true,
+            deadline: None,
+            fallback: FallbackPolicy::default(),
         }
     }
 }
@@ -130,6 +142,10 @@ pub struct CycleProfile {
     pub risk_eval_ns: u64,
     /// Total wall-clock nanoseconds of the run.
     pub total_ns: u64,
+    /// The degradation event, when the run fell back to
+    /// [`degrade::suppress_all_risky`] — a first-class part of the
+    /// profile, replayed to collectors as a `cycle.fallback` event.
+    pub fallback: Option<FallbackRecord>,
 }
 
 impl CycleProfile {
@@ -174,6 +190,19 @@ impl CycleProfile {
             self.total_ns,
             fields!["iterations" => self.iterations.len()],
         );
+        if let Some(fb) = &self.fallback {
+            obs.counter(
+                "cycle.fallback",
+                1,
+                fields![
+                    "trigger" => fb.trigger.to_string(),
+                    "passes" => fb.passes,
+                    "rows_suppressed" => fb.rows_suppressed,
+                    "cells_suppressed" => fb.cells_suppressed,
+                    "residual_risky" => fb.residual_risky
+                ],
+            );
+        }
     }
 }
 
@@ -203,6 +232,16 @@ pub enum CycleError {
         /// Telemetry and audit trail accumulated before the cap.
         partial: Box<PartialCycle>,
     },
+    /// A plug-in (risk measure or anonymizer) panicked and
+    /// [`FallbackPolicy::Error`] was configured. Under the default
+    /// [`FallbackPolicy::SuppressRisky`] the panic triggers graceful
+    /// degradation instead.
+    Plugin {
+        /// Name of the panicking plug-in.
+        plugin: String,
+        /// The rendered panic payload.
+        message: String,
+    },
 }
 
 impl fmt::Display for CycleError {
@@ -218,6 +257,9 @@ impl fmt::Display for CycleError {
                 f,
                 "anonymization cycle did not converge after {iterations} iterations ({still_risky} tuples still risky)"
             ),
+            CycleError::Plugin { plugin, message } => {
+                write!(f, "plug-in {plugin} panicked: {message}")
+            }
         }
     }
 }
@@ -232,6 +274,28 @@ impl From<RiskError> for CycleError {
 impl From<AnonymizeError> for CycleError {
     fn from(e: AnonymizeError) -> Self {
         CycleError::Anonymize(e)
+    }
+}
+
+/// How a cycle run ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CycleTermination {
+    /// The cycle converged normally: risk ≤ `T` everywhere (modulo
+    /// exhausted tuples).
+    Converged,
+    /// The cycle could not converge and fell back to
+    /// [`degrade::suppress_all_risky`]; the released table is maximally
+    /// suppressed where it matters, and the audit log records why.
+    Degraded {
+        /// What forced the fallback.
+        trigger: DegradeTrigger,
+    },
+}
+
+impl CycleTermination {
+    /// Did the cycle converge without degradation?
+    pub fn is_converged(&self) -> bool {
+        matches!(self, CycleTermination::Converged)
     }
 }
 
@@ -260,6 +324,8 @@ pub struct CycleOutcome {
     /// Per-iteration telemetry: risk landscape, heuristic decisions,
     /// actions, risk-evaluation time.
     pub profile: CycleProfile,
+    /// Whether the run converged or degraded (and why).
+    pub termination: CycleTermination,
 }
 
 impl CycleOutcome {
@@ -270,6 +336,15 @@ impl CycleOutcome {
     }
 }
 
+/// How the main loop of [`AnonymizationCycle::run`] ended.
+enum LoopEnd {
+    /// Risk ≤ `T` everywhere (modulo exhausted tuples).
+    Converged(RiskReport),
+    /// A degradation trigger fired; `still_risky` is known for the
+    /// iteration-cap case.
+    Trigger(DegradeTrigger, Option<usize>),
+}
+
 /// The anonymization cycle: a risk measure, an anonymizer, a threshold.
 pub struct AnonymizationCycle<'a> {
     risk: &'a dyn RiskMeasure,
@@ -277,6 +352,7 @@ pub struct AnonymizationCycle<'a> {
     /// Configuration knobs.
     pub config: CycleConfig,
     collector: Option<Arc<dyn Collector>>,
+    cancel: Option<CancelToken>,
 }
 
 impl<'a> AnonymizationCycle<'a> {
@@ -291,6 +367,7 @@ impl<'a> AnonymizationCycle<'a> {
             anonymizer,
             config,
             collector: None,
+            cancel: None,
         }
     }
 
@@ -299,6 +376,15 @@ impl<'a> AnonymizationCycle<'a> {
     /// that hits the iteration cap).
     pub fn with_collector(mut self, collector: Arc<dyn Collector>) -> Self {
         self.collector = Some(collector);
+        self
+    }
+
+    /// Attach a cooperative cancellation token, polled between iterations.
+    /// Cancellation triggers the configured [`FallbackPolicy`], so under
+    /// the default the caller still receives a safe (maximally suppressed)
+    /// dataset.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
         self
     }
 
@@ -325,12 +411,37 @@ impl<'a> AnonymizationCycle<'a> {
             .map(|v| v.len())
             .unwrap_or(0);
 
-        let report = loop {
+        let end: LoopEnd = 'cycle: loop {
+            // Cooperative degradation checks, once per iteration.
+            if let Some(token) = &self.cancel {
+                if token.is_cancelled() {
+                    break LoopEnd::Trigger(DegradeTrigger::Cancelled, None);
+                }
+            }
+            if let Some(d) = self.config.deadline {
+                if run_start.elapsed() >= d {
+                    break LoopEnd::Trigger(DegradeTrigger::Deadline, None);
+                }
+            }
+
             let iter_start = Instant::now();
             let mut view = MicrodataView::from_db_with(&work, dict, self.config.semantics, None)?;
             let t0 = Instant::now();
-            let report = self.risk.evaluate(&view)?;
+            let evaluated = catch_unwind(AssertUnwindSafe(|| self.risk.evaluate(&view)));
             let mut risk_eval_ns = t0.elapsed().as_nanos() as u64;
+            let report = match evaluated {
+                Ok(Ok(r)) => r,
+                Ok(Err(e)) => return Err(CycleError::Risk(e)),
+                Err(payload) => {
+                    break LoopEnd::Trigger(
+                        DegradeTrigger::PluginPanic {
+                            plugin: self.risk.name().to_string(),
+                            message: degrade::panic_text(payload.as_ref()),
+                        },
+                        None,
+                    )
+                }
+            };
 
             let mut risky: Vec<usize> = report
                 .risky_tuples(t)
@@ -360,7 +471,7 @@ impl<'a> AnonymizationCycle<'a> {
                 record.risk_eval_ns = risk_eval_ns;
                 profile.risk_eval_ns += risk_eval_ns;
                 profile.iterations.push(record);
-                break report;
+                break LoopEnd::Converged(report);
             }
             if iterations >= self.config.max_iterations {
                 record.heuristic = "iteration cap hit".to_string();
@@ -369,13 +480,7 @@ impl<'a> AnonymizationCycle<'a> {
                 profile.risk_eval_ns += risk_eval_ns;
                 let still_risky = risky.len();
                 profile.iterations.push(record);
-                profile.total_ns = run_start.elapsed().as_nanos() as u64;
-                profile.emit(&obs);
-                return Err(CycleError::DidNotConverge {
-                    iterations,
-                    still_risky,
-                    partial: Box::new(PartialCycle { profile, audit }),
-                });
+                break LoopEnd::Trigger(DegradeTrigger::IterationCap, Some(still_risky));
             }
 
             self.order_tuples(&mut risky, &report, &view);
@@ -410,7 +515,26 @@ impl<'a> AnonymizationCycle<'a> {
                         continue;
                     }
                 }
-                let action = self.anonymizer.anonymize_step(&mut work, dict, row)?;
+                let stepped = catch_unwind(AssertUnwindSafe(|| {
+                    self.anonymizer.anonymize_step(&mut work, dict, row)
+                }));
+                let action = match stepped {
+                    Ok(Ok(a)) => a,
+                    Ok(Err(e)) => return Err(CycleError::Anonymize(e)),
+                    Err(payload) => {
+                        record.risk_eval_ns = risk_eval_ns;
+                        record.dur_ns = iter_start.elapsed().as_nanos() as u64;
+                        profile.risk_eval_ns += risk_eval_ns;
+                        profile.iterations.push(record);
+                        break 'cycle LoopEnd::Trigger(
+                            DegradeTrigger::PluginPanic {
+                                plugin: self.anonymizer.name().to_string(),
+                                message: degrade::panic_text(payload.as_ref()),
+                            },
+                            None,
+                        );
+                    }
+                };
                 match &action {
                     AnonymizationAction::Suppress { .. } => {
                         nulls_injected += 1;
@@ -443,6 +567,80 @@ impl<'a> AnonymizationCycle<'a> {
             iterations += 1;
         };
 
+        let report = match end {
+            LoopEnd::Converged(report) => report,
+            LoopEnd::Trigger(trigger, still_risky) => {
+                if self.config.fallback == FallbackPolicy::Error {
+                    profile.total_ns = run_start.elapsed().as_nanos() as u64;
+                    profile.emit(&obs);
+                    return Err(match trigger {
+                        DegradeTrigger::PluginPanic { plugin, message } => {
+                            CycleError::Plugin { plugin, message }
+                        }
+                        _ => CycleError::DidNotConverge {
+                            iterations,
+                            still_risky: still_risky.unwrap_or(0),
+                            partial: Box::new(PartialCycle { profile, audit }),
+                        },
+                    });
+                }
+                // Graceful degradation: guarantee the risk bound by
+                // suppressing every quasi-identifier of every still-risky
+                // tuple, recorded in the audit log and profile.
+                let summary = degrade::suppress_all_risky(
+                    &mut work,
+                    dict,
+                    self.risk,
+                    t,
+                    self.config.semantics,
+                    if self.config.audit {
+                        Some((&mut audit, iterations))
+                    } else {
+                        None
+                    },
+                );
+                nulls_injected += summary.cells_suppressed;
+                if iterations == 0 && initial_risky == 0 {
+                    // the trigger fired before the first evaluation; the
+                    // fallback's view is the best initial-risk estimate
+                    initial_risky = summary.rows_suppressed + summary.residual_risky;
+                }
+                profile.fallback = Some(FallbackRecord {
+                    trigger: trigger.clone(),
+                    passes: summary.passes,
+                    rows_suppressed: summary.rows_suppressed,
+                    cells_suppressed: summary.cells_suppressed,
+                    residual_risky: summary.residual_risky,
+                });
+                profile.total_ns = run_start.elapsed().as_nanos() as u64;
+                profile.emit(&obs);
+                // Fail closed when the measure could not re-verify: treat
+                // every tuple as risky rather than silently fail open.
+                let final_risky = match &summary.final_report {
+                    Some(r) => r.risky_tuples(t).len(),
+                    None => work.len(),
+                };
+                let final_report = summary.final_report.unwrap_or_else(|| RiskReport {
+                    measure: format!("{} (risk-unavailable)", self.risk.name()),
+                    risks: vec![1.0; work.len()],
+                    details: vec![TupleRiskDetail::default(); work.len()],
+                });
+                return Ok(CycleOutcome {
+                    db: work,
+                    iterations,
+                    nulls_injected,
+                    recodings,
+                    initial_risky,
+                    final_risky,
+                    information_loss: information_loss(nulls_injected, initial_risky, qi_count),
+                    final_report,
+                    audit,
+                    profile,
+                    termination: CycleTermination::Degraded { trigger },
+                });
+            }
+        };
+
         profile.total_ns = run_start.elapsed().as_nanos() as u64;
         profile.emit(&obs);
         let final_risky = report
@@ -461,6 +659,7 @@ impl<'a> AnonymizationCycle<'a> {
             final_report: report,
             audit,
             profile,
+            termination: CycleTermination::Converged,
         })
     }
 
@@ -655,7 +854,11 @@ mod tests {
     }
 
     #[test]
-    fn iteration_cap_reports_non_convergence() {
+    fn iteration_cap_degrades_to_safe_fallback() {
+        // With the cap at zero the loop cannot do a single refinement pass,
+        // so the default SuppressRisky policy must kick in: the released
+        // table still honours the risk bound, the degradation is recorded
+        // first-class, and the audit log explains every suppression.
         let (db, dict) = fig5_db();
         let risk = KAnonymity::new(2);
         let anon = LocalSuppression::default();
@@ -664,6 +867,38 @@ mod tests {
             &anon,
             CycleConfig {
                 max_iterations: 0,
+                ..CycleConfig::default()
+            },
+        );
+        let out = cycle.run(&db, &dict).unwrap();
+        assert_eq!(
+            out.termination,
+            CycleTermination::Degraded {
+                trigger: DegradeTrigger::IterationCap
+            }
+        );
+        let fallback = out.profile.fallback.as_ref().expect("fallback recorded");
+        assert_eq!(fallback.trigger, DegradeTrigger::IterationCap);
+        assert!(fallback.cells_suppressed > 0);
+        assert_eq!(fallback.residual_risky, 0);
+        assert_eq!(out.final_risky, 0, "risk bound holds after degradation");
+        assert!(out.final_report.risky_tuples(0.5).is_empty());
+        assert_eq!(out.audit.suppressions(), fallback.cells_suppressed);
+    }
+
+    #[test]
+    fn iteration_cap_with_error_policy_reports_non_convergence() {
+        // The historical strict behaviour stays available behind
+        // FallbackPolicy::Error.
+        let (db, dict) = fig5_db();
+        let risk = KAnonymity::new(2);
+        let anon = LocalSuppression::default();
+        let cycle = AnonymizationCycle::new(
+            &risk,
+            &anon,
+            CycleConfig {
+                max_iterations: 0,
+                fallback: FallbackPolicy::Error,
                 ..CycleConfig::default()
             },
         );

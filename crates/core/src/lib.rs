@@ -66,8 +66,10 @@ pub mod anonymize;
 pub mod business;
 pub mod categorize;
 pub mod cycle;
+pub mod degrade;
 pub mod dictionary;
 pub mod explain;
+pub mod faults;
 pub mod io;
 pub mod maybe_match;
 pub mod metrics;
@@ -90,8 +92,11 @@ pub mod prelude {
     pub use crate::business::{ClusterMap, ClusterRisk, OwnershipGraph};
     pub use crate::categorize::{Categorizer, ExperienceBase};
     pub use crate::cycle::{
-        AnonymizationCycle, CycleConfig, CycleOutcome, CycleProfile, IterationRecord,
-        StepGranularity, TupleOrder,
+        AnonymizationCycle, CycleConfig, CycleOutcome, CycleProfile, CycleTermination,
+        IterationRecord, StepGranularity, TupleOrder,
+    };
+    pub use crate::degrade::{
+        suppress_all_risky, DegradeSummary, DegradeTrigger, FallbackPolicy, FallbackRecord,
     };
     pub use crate::dictionary::{Category, MetadataDictionary};
     pub use crate::explain::{AuditLog, Decision};

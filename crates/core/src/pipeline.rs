@@ -27,6 +27,7 @@
 
 use crate::categorize::{Categorizer, ExperienceBase};
 use crate::cycle::{AnonymizationCycle, CycleConfig, CycleError, CycleOutcome};
+use crate::degrade::FallbackPolicy;
 use crate::dictionary::MetadataDictionary;
 use crate::model::MicrodataDb;
 use crate::prelude::{
@@ -35,7 +36,10 @@ use crate::prelude::{
 };
 use crate::report::render_summary;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::Duration;
+use vadalog::CancelToken;
 use vadasa_obs::Collector;
 
 /// Which off-the-shelf risk measure the facade should use.
@@ -97,6 +101,7 @@ pub struct Vadasa {
     dictionary: Option<MetadataDictionary>,
     summary_top_n: usize,
     collector: Option<Arc<dyn Collector>>,
+    cancel: Option<CancelToken>,
 }
 
 impl Default for Vadasa {
@@ -109,6 +114,7 @@ impl Default for Vadasa {
             dictionary: None,
             summary_top_n: 5,
             collector: None,
+            cancel: None,
         }
     }
 }
@@ -180,6 +186,30 @@ impl Vadasa {
         self
     }
 
+    /// Wall-clock deadline for the anonymization cycle. When it expires
+    /// the cycle degrades per the [`fallback`](Self::fallback) policy
+    /// instead of running on.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.config.deadline = Some(deadline);
+        self
+    }
+
+    /// What to do when the cycle cannot converge normally (cap, deadline,
+    /// cancellation, plug-in panic). The default,
+    /// [`FallbackPolicy::SuppressRisky`], degrades gracefully and still
+    /// honours the risk bound.
+    pub fn fallback(mut self, policy: FallbackPolicy) -> Self {
+        self.config.fallback = policy;
+        self
+    }
+
+    /// Attach a cooperative cancellation token: flipping it from another
+    /// thread makes the cycle degrade at the next iteration boundary.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     /// Attach a telemetry collector: the anonymization cycle's
     /// per-iteration profile is replayed into it (see
     /// [`CycleProfile::emit`](crate::cycle::CycleProfile::emit)), and the
@@ -231,12 +261,21 @@ impl Vadasa {
         if let Some(collector) = self.collector {
             cycle = cycle.with_collector(collector);
         }
+        if let Some(token) = self.cancel {
+            cycle = cycle.with_cancel(token);
+        }
         let outcome = cycle.run(db, &dict).map_err(PipelineError::Cycle)?;
 
         // --- summarize the released table ---
+        // The summary re-evaluates the measure on the released table; a
+        // plug-in that panicked during the cycle would panic again here,
+        // so fall back to the cycle's own (fail-closed) final report.
         let view = MicrodataView::from_db_with(&outcome.db, &dict, self.config.semantics, None)
             .map_err(PipelineError::Risk)?;
-        let report = measure.evaluate(&view).map_err(PipelineError::Risk)?;
+        let report = match catch_unwind(AssertUnwindSafe(|| measure.evaluate(&view))) {
+            Ok(r) => r.map_err(PipelineError::Risk)?,
+            Err(_) => outcome.final_report.clone(),
+        };
         let summary = render_summary(&view, &report, self.config.threshold, self.summary_top_n);
 
         Ok(Release {

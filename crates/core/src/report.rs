@@ -253,6 +253,7 @@ mod tests {
             ],
             risk_eval_ns: 3_000_000,
             total_ns: 4_200_000,
+            fallback: None,
         };
         let text = render_profile(&profile);
         assert!(text.contains("2 iteration(s)"));

@@ -13,7 +13,15 @@
 //!                        derived-fact / join-candidate counts
 //!   --profile-json PATH  stream telemetry events to PATH as JSON lines
 //!                        (one event object per line; see vadasa-obs docs)
+//!   --deadline-ms N      soft wall-clock budget: stop at the next check
+//!                        point after N ms and print the partial result
+//!   --max-facts N        soft derived-fact budget: stop once N facts have
+//!                        been derived and print the partial result
 //! ```
+//!
+//! Budgets degrade gracefully: the run still exits 0 and prints whatever
+//! was derived, with a `% termination: …` comment explaining which budget
+//! tripped and where.
 //!
 //! Programs and fact files share one syntax (see the crate docs); fact
 //! files typically contain only ground atoms. Example:
@@ -32,12 +40,16 @@
 use std::collections::BTreeSet;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 use vadalog::obs::JsonLinesWriter;
-use vadalog::{parse_program, warded_analyze, Database, Engine, EngineConfig, Fact, Head};
+use vadalog::{
+    parse_program, print_rule, warded_analyze, Budget, Database, Engine, EngineConfig, EngineError,
+    Fact, Head, Termination,
+};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: vadalog PROGRAM.vada [FACTS.vada ...] [--output PRED]... [--trace] [--warded] [--stats] [--profile] [--profile-json PATH]"
+        "usage: vadalog PROGRAM.vada [FACTS.vada ...] [--output PRED]... [--trace] [--warded] [--stats] [--profile] [--profile-json PATH] [--deadline-ms N] [--max-facts N]"
     );
     std::process::exit(2);
 }
@@ -50,6 +62,7 @@ fn main() -> ExitCode {
     let mut stats = false;
     let mut profile = false;
     let mut profile_json: Option<String> = None;
+    let mut budget = Budget::unlimited();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -64,6 +77,14 @@ fn main() -> ExitCode {
             "--profile" => profile = true,
             "--profile-json" => match args.next() {
                 Some(p) => profile_json = Some(p),
+                None => usage(),
+            },
+            "--deadline-ms" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(ms) => budget = budget.with_deadline(Duration::from_millis(ms)),
+                None => usage(),
+            },
+            "--max-facts" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => budget = budget.with_max_facts(n),
                 None => usage(),
             },
             "--help" | "-h" => usage(),
@@ -125,15 +146,47 @@ fn main() -> ExitCode {
     let engine = Engine::with_config(EngineConfig {
         trace,
         collector: sink.clone().map(|s| s as Arc<dyn vadalog::obs::Collector>),
+        budget,
         ..Default::default()
     });
     let result = match engine.run(&program, Database::new()) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("evaluation failed: {e}");
+            // show the offending rule's source when a hard limit names one
+            if let EngineError::ResourceLimit {
+                rule: Some(idx), ..
+            } = &e
+            {
+                if let Some(rule) = program.rules.get(*idx) {
+                    eprintln!("offending rule: {}", print_rule(rule));
+                }
+            }
             return ExitCode::FAILURE;
         }
     };
+    match &result.termination {
+        Termination::Fixpoint => {}
+        t @ Termination::BudgetExceeded { rule, .. } => {
+            println!("% termination: {t} — result below is partial");
+            if let Some(label) = rule {
+                if let Some(r) = program
+                    .rules
+                    .iter()
+                    .enumerate()
+                    .find(|(i, r)| {
+                        r.label.as_deref() == Some(label.as_str()) || format!("rule#{i}") == *label
+                    })
+                    .map(|(_, r)| r)
+                {
+                    println!("% last active rule: {}", print_rule(r));
+                }
+            }
+        }
+        t @ Termination::Cancelled => {
+            println!("% termination: {t} — result below is partial");
+        }
+    }
     if let Some(sink) = &sink {
         if let Err(e) = sink.flush() {
             eprintln!("cannot write telemetry: {e}");

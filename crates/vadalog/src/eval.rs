@@ -21,6 +21,7 @@
 
 use crate::ast::{AggFunc, Atom, Expr, Fact, Head, Literal, Program, Rule, Term};
 use crate::builtins::{eval_expr, Binding, EvalError};
+use crate::governor::{Budget, BudgetKind, CancelToken, Governor, StopReason, Termination};
 use crate::profile::{EngineProfile, RoundProfile, StratumProfile};
 use crate::routing::Router;
 use crate::storage::Database;
@@ -28,6 +29,7 @@ use crate::stratify::{check_safety, stratify, StratifyError};
 use crate::value::Value;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
 use vadasa_obs::{Collector, Obs};
@@ -65,6 +67,15 @@ pub struct EngineConfig {
     /// collector additionally receives the profile replayed as events
     /// after the run — see [`EngineProfile::emit`].
     pub collector: Option<Arc<dyn Collector>>,
+    /// Soft resource budget. Unlike the hard caps above (which abort with
+    /// an error), a tripped budget ends the run *gracefully*: the engine
+    /// returns the sound partial result derived so far, tagged with
+    /// [`Termination::BudgetExceeded`]. Default: unlimited.
+    pub budget: Budget,
+    /// Optional cooperative cancellation token, polled between semi-naive
+    /// rounds. When it fires the engine returns its partial result tagged
+    /// [`Termination::Cancelled`].
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for EngineConfig {
@@ -76,6 +87,8 @@ impl Default for EngineConfig {
             router: None,
             egd_policy: EgdPolicy::default(),
             collector: None,
+            budget: Budget::default(),
+            cancel: None,
         }
     }
 }
@@ -89,6 +102,8 @@ impl fmt::Debug for EngineConfig {
             .field("router", &self.router.as_ref().map(|r| r.name()))
             .field("egd_policy", &self.egd_policy)
             .field("collector", &self.collector.is_some())
+            .field("budget", &self.budget)
+            .field("cancel", &self.cancel.is_some())
             .finish()
     }
 }
@@ -112,8 +127,34 @@ pub enum EngineError {
         /// The underlying expression error.
         error: EvalError,
     },
-    /// Resource limits exceeded (iterations or derived facts).
-    ResourceLimit(String),
+    /// A *hard* resource cap was exceeded (`EngineConfig::max_iterations`
+    /// or `EngineConfig::max_facts`). Soft [`Budget`] limits never produce
+    /// this error — they end the run gracefully with a partial result.
+    ResourceLimit {
+        /// Which cap tripped.
+        which: BudgetKind,
+        /// Stratum being evaluated when it tripped.
+        stratum: usize,
+        /// Index of the rule being applied when it tripped, when
+        /// attributable (facts cap only; the iteration cap trips between
+        /// rules).
+        rule: Option<usize>,
+        /// Total facts derived when the cap tripped.
+        facts_so_far: usize,
+        /// Total fixpoint iterations when the cap tripped.
+        iterations_so_far: usize,
+        /// The configured cap value.
+        limit: usize,
+    },
+    /// A rule's evaluation panicked (e.g. a faulty builtin). The panic is
+    /// caught at the rule boundary so one bad rule cannot take the process
+    /// down.
+    Internal {
+        /// Label (or `rule#i` form) of the rule whose evaluation panicked.
+        rule: String,
+        /// The panic payload, rendered.
+        message: String,
+    },
     /// Aggregates may only be followed by conditions/assignments.
     MalformedAggregateRule {
         /// Index of the offending rule.
@@ -135,7 +176,29 @@ impl fmt::Display for EngineError {
             EngineError::Eval { rule, error } => {
                 write!(f, "evaluation error in rule {rule}: {error}")
             }
-            EngineError::ResourceLimit(m) => write!(f, "resource limit exceeded: {m}"),
+            EngineError::ResourceLimit {
+                which,
+                stratum,
+                rule,
+                facts_so_far,
+                iterations_so_far,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "hard resource limit exceeded: {which} (limit {limit}) in stratum {stratum}"
+                )?;
+                if let Some(r) = rule {
+                    write!(f, " while applying rule {r}")?;
+                }
+                write!(
+                    f,
+                    "; {facts_so_far} facts derived, {iterations_so_far} iterations"
+                )
+            }
+            EngineError::Internal { rule, message } => {
+                write!(f, "rule {rule} panicked during evaluation: {message}")
+            }
             EngineError::MalformedAggregateRule { rule, message } => {
                 write!(f, "rule {rule} misuses aggregation: {message}")
             }
@@ -211,6 +274,67 @@ pub struct ReasoningResult {
     pub profile: EngineProfile,
     /// Provenance (only populated when `trace` is enabled).
     pub trace: Vec<TraceEntry>,
+    /// How the run ended: fixpoint (complete), or an early, graceful stop
+    /// (budget / cancellation) leaving a sound partial result.
+    pub termination: Termination,
+}
+
+/// How one stratum (or one semi-naive fixpoint within it) ended: ran to
+/// completion, or was stopped early by the governor.
+enum StratumEnd {
+    /// The stratum reached stability.
+    Complete,
+    /// The governor stopped it; the database holds a sound partial result.
+    Stopped(Termination),
+}
+
+/// Run `f`, converting a panic into [`EngineError::Internal`] attributed
+/// to the given rule. This is the isolation boundary that keeps one faulty
+/// builtin or rule evaluation from taking the whole process down.
+fn isolate_rule<T>(
+    program: &Program,
+    rule_idx: usize,
+    f: impl FnOnce() -> Result<T, EngineError>,
+) -> Result<T, EngineError> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(result) => result,
+        Err(payload) => Err(EngineError::Internal {
+            rule: rule_label(program, rule_idx),
+            message: panic_message(payload.as_ref()),
+        }),
+    }
+}
+
+/// Human-readable rule name: the `@label` when present, `rule#i` otherwise.
+fn rule_label(program: &Program, idx: usize) -> String {
+    program
+        .rules
+        .get(idx)
+        .and_then(|r| r.label.clone())
+        .unwrap_or_else(|| format!("rule#{idx}"))
+}
+
+/// Render a panic payload (typically a `&str` or `String`).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Attribute a governor stop to a [`Termination`].
+fn stop_termination(stop: StopReason, stratum: usize, rule: Option<String>) -> Termination {
+    match stop {
+        StopReason::Cancelled => Termination::Cancelled,
+        StopReason::Budget(which) => Termination::BudgetExceeded {
+            which,
+            stratum,
+            rule,
+        },
+    }
 }
 
 /// The reasoning engine.
@@ -252,29 +376,12 @@ impl Engine {
         let mut profile = EngineProfile::for_program(program);
         let nulls_before = db.nulls_minted();
         let run_start = Instant::now();
+        let governor = Governor::new(self.config.budget, self.config.cancel.clone());
+        let mut termination = Termination::Fixpoint;
 
         for (stratum_idx, stratum) in strat.strata.iter().enumerate() {
             let rules: Vec<(usize, &Rule)> =
                 stratum.iter().map(|&i| (i, &program.rules[i])).collect();
-            let plain: Vec<(usize, &Rule)> = rules
-                .iter()
-                .filter(|(_, r)| !r.has_aggregate() && matches!(r.head, Head::Atoms(_)))
-                .copied()
-                .collect();
-            let agg: Vec<(usize, &Rule)> = rules
-                .iter()
-                .filter(|(_, r)| r.has_aggregate() && matches!(r.head, Head::Atoms(_)))
-                .copied()
-                .collect();
-            let egds: Vec<(usize, &Rule)> = rules
-                .iter()
-                .filter(|(_, r)| matches!(r.head, Head::Equality(_, _)))
-                .copied()
-                .collect();
-
-            // Chase memoization table, per stratum: (rule idx, frontier
-            // binding) → invented nulls for the rule's existential vars.
-            let mut skolem: HashMap<(usize, Vec<Value>), HashMap<String, Value>> = HashMap::new();
 
             profile.strata.push(StratumProfile {
                 stratum: stratum_idx,
@@ -283,77 +390,27 @@ impl Engine {
             let stratum_start = Instant::now();
             let facts_before = stats.facts_derived;
 
-            loop {
-                profile.strata[stratum_idx].passes += 1;
-
-                // 1. plain rules to fixpoint (semi-naive)
-                self.fixpoint_plain(
-                    &plain,
-                    &mut db,
-                    &mut skolem,
-                    &mut stats,
-                    &mut trace,
-                    program,
-                    &mut profile,
-                    stratum_idx,
-                )?;
-
-                // 2. aggregate rules, one pass
-                let mut changed = false;
-                for &(idx, rule) in &agg {
-                    changed |= self.apply_aggregate_rule(
-                        idx,
-                        rule,
-                        &mut db,
-                        &mut stats,
-                        &mut trace,
-                        &mut profile,
-                    )?;
-                }
-
-                // 3. EGDs. Substitutions must also rewrite the skolem memo
-                // table, otherwise plain rules would re-mint the replaced
-                // null on the next pass and the stratum would never settle.
-                for &(idx, rule) in &egds {
-                    let subs = self.apply_egd(
-                        idx,
-                        rule,
-                        &mut db,
-                        &mut stats,
-                        &mut violations,
-                        &mut profile,
-                    )?;
-                    if !subs.is_empty() {
-                        changed = true;
-                        for (from, to) in &subs {
-                            for nulls in skolem.values_mut() {
-                                for v in nulls.values_mut() {
-                                    if let Value::Null(n) = v {
-                                        if n == from {
-                                            *v = to.clone();
-                                        }
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
-
-                if !changed {
-                    break;
-                }
-                stats.iterations += 1;
-                if stats.iterations > self.config.max_iterations {
-                    return Err(EngineError::ResourceLimit(format!(
-                        "more than {} fixpoint iterations",
-                        self.config.max_iterations
-                    )));
-                }
-            }
+            let end = self.run_stratum(
+                &rules,
+                &mut db,
+                &mut stats,
+                &mut trace,
+                &mut violations,
+                program,
+                &mut profile,
+                stratum_idx,
+                &governor,
+                nulls_before,
+            )?;
 
             let s = &mut profile.strata[stratum_idx];
             s.dur_ns = stratum_start.elapsed().as_nanos() as u64;
             s.facts_derived = (stats.facts_derived - facts_before) as u64;
+
+            if let StratumEnd::Stopped(t) = end {
+                termination = t;
+                break;
+            }
         }
 
         stats.nulls_created = db.nulls_minted() - nulls_before;
@@ -372,10 +429,131 @@ impl Engine {
             stats,
             profile,
             trace,
+            termination,
         })
     }
 
+    /// Evaluate one stratum to stability (or an early governed stop):
+    /// plain rules to a semi-naive fixpoint, then aggregate rules, then
+    /// EGDs, repeating until a pass changes nothing.
+    #[allow(clippy::too_many_arguments)]
+    fn run_stratum(
+        &self,
+        rules: &[(usize, &Rule)],
+        db: &mut Database,
+        stats: &mut EvalStats,
+        trace: &mut Vec<TraceEntry>,
+        violations: &mut Vec<EgdViolation>,
+        program: &Program,
+        profile: &mut EngineProfile,
+        stratum_idx: usize,
+        governor: &Governor,
+        nulls_base: u64,
+    ) -> Result<StratumEnd, EngineError> {
+        let plain: Vec<(usize, &Rule)> = rules
+            .iter()
+            .filter(|(_, r)| !r.has_aggregate() && matches!(r.head, Head::Atoms(_)))
+            .copied()
+            .collect();
+        let agg: Vec<(usize, &Rule)> = rules
+            .iter()
+            .filter(|(_, r)| r.has_aggregate() && matches!(r.head, Head::Atoms(_)))
+            .copied()
+            .collect();
+        let egds: Vec<(usize, &Rule)> = rules
+            .iter()
+            .filter(|(_, r)| matches!(r.head, Head::Equality(_, _)))
+            .copied()
+            .collect();
+
+        // Chase memoization table, per stratum: (rule idx, frontier
+        // binding) → invented nulls for the rule's existential vars.
+        let mut skolem: HashMap<(usize, Vec<Value>), HashMap<String, Value>> = HashMap::new();
+
+        loop {
+            profile.strata[stratum_idx].passes += 1;
+
+            // 1. plain rules to fixpoint (semi-naive)
+            let end = self.fixpoint_plain(
+                &plain,
+                db,
+                &mut skolem,
+                stats,
+                trace,
+                program,
+                profile,
+                stratum_idx,
+                governor,
+                nulls_base,
+            )?;
+            if let StratumEnd::Stopped(t) = end {
+                return Ok(StratumEnd::Stopped(t));
+            }
+
+            // 2. aggregate rules, one pass
+            let mut changed = false;
+            for &(idx, rule) in &agg {
+                changed |= isolate_rule(program, idx, || {
+                    self.apply_aggregate_rule(idx, rule, db, stats, trace, profile)
+                })?;
+            }
+
+            // 3. EGDs. Substitutions must also rewrite the skolem memo
+            // table, otherwise plain rules would re-mint the replaced
+            // null on the next pass and the stratum would never settle.
+            for &(idx, rule) in &egds {
+                let subs = isolate_rule(program, idx, || {
+                    self.apply_egd(idx, rule, db, stats, violations, profile)
+                })?;
+                if !subs.is_empty() {
+                    changed = true;
+                    for (from, to) in &subs {
+                        for nulls in skolem.values_mut() {
+                            for v in nulls.values_mut() {
+                                if let Value::Null(n) = v {
+                                    if n == from {
+                                        *v = to.clone();
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            if !changed {
+                return Ok(StratumEnd::Complete);
+            }
+            stats.iterations += 1;
+            if stats.iterations > self.config.max_iterations {
+                return Err(EngineError::ResourceLimit {
+                    which: BudgetKind::Iterations,
+                    stratum: stratum_idx,
+                    rule: None,
+                    facts_so_far: stats.facts_derived,
+                    iterations_so_far: stats.iterations,
+                    limit: self.config.max_iterations,
+                });
+            }
+            // Between passes the governor gets a look too: aggregate/EGD
+            // passes can loop without ever re-entering the round loop.
+            if governor.active() {
+                let rounds = profile.strata[stratum_idx].rounds.len();
+                let nulls = db.nulls_minted().saturating_sub(nulls_base);
+                if let Some(stop) = governor.stop_reason(stats.facts_derived, nulls, rounds) {
+                    return Ok(StratumEnd::Stopped(stop_termination(
+                        stop,
+                        stratum_idx,
+                        None,
+                    )));
+                }
+            }
+        }
+    }
+
     /// Semi-naive fixpoint over plain (non-aggregate, non-EGD) rules.
+    /// Returns early — with a sound partial delta already inserted — when
+    /// the governor reports a budget trip or cancellation.
     #[allow(clippy::too_many_arguments)]
     fn fixpoint_plain(
         &self,
@@ -387,78 +565,113 @@ impl Engine {
         program: &Program,
         profile: &mut EngineProfile,
         stratum_idx: usize,
-    ) -> Result<(), EngineError> {
+        governor: &Governor,
+        nulls_base: u64,
+    ) -> Result<StratumEnd, EngineError> {
         // Delta tracking: predicate → set of rows added in the previous round.
         // First round: treat everything as delta (full evaluation).
         let mut delta: Option<DeltaRows> = None;
 
         loop {
+            // Governed stop check, once per round. With no budget and no
+            // cancel token this is a single boolean test.
+            if governor.active() {
+                let rounds = profile.strata[stratum_idx].rounds.len();
+                let nulls = db.nulls_minted().saturating_sub(nulls_base);
+                if let Some(stop) = governor.stop_reason(stats.facts_derived, nulls, rounds) {
+                    return Ok(StratumEnd::Stopped(stop_termination(
+                        stop,
+                        stratum_idx,
+                        None,
+                    )));
+                }
+            }
+
             let round_start = Instant::now();
             let mut new_facts: Vec<(usize, Fact, Binding)> = Vec::new();
 
             for &(idx, rule) in rules {
-                let mut candidates = 0u64;
-                let bindings = match &delta {
-                    None => self.rule_bindings(rule, db, None, idx, &mut candidates)?,
-                    Some(d) => {
-                        // one pass per positive literal restricted to delta
-                        let pos_count = rule
-                            .body
-                            .iter()
-                            .filter(|l| matches!(l, Literal::Pos(_)))
-                            .count();
-                        let mut all = Vec::new();
-                        for focus in 0..pos_count {
-                            all.extend(self.rule_bindings(
-                                rule,
-                                db,
-                                Some((focus, d)),
-                                idx,
-                                &mut candidates,
-                            )?);
+                isolate_rule(program, idx, || {
+                    let mut candidates = 0u64;
+                    let bindings = match &delta {
+                        None => self.rule_bindings(rule, db, None, idx, &mut candidates)?,
+                        Some(d) => {
+                            // one pass per positive literal restricted to delta
+                            let pos_count = rule
+                                .body
+                                .iter()
+                                .filter(|l| matches!(l, Literal::Pos(_)))
+                                .count();
+                            let mut all = Vec::new();
+                            for focus in 0..pos_count {
+                                all.extend(self.rule_bindings(
+                                    rule,
+                                    db,
+                                    Some((focus, d)),
+                                    idx,
+                                    &mut candidates,
+                                )?);
+                            }
+                            all
                         }
-                        all
+                    };
+                    let mut bindings = bindings;
+                    if let Some(router) = &self.config.router {
+                        router.order_bindings(rule, &mut bindings);
                     }
-                };
-                let mut bindings = bindings;
-                if let Some(router) = &self.config.router {
-                    router.order_bindings(rule, &mut bindings);
-                }
-                let rp = &mut profile.rules[idx];
-                rp.join_candidates += candidates;
-                rp.firings += bindings.len() as u64;
-                for b in bindings {
-                    self.head_facts(idx, rule, &b, db, skolem, &mut new_facts)?;
-                }
+                    let rp = &mut profile.rules[idx];
+                    rp.join_candidates += candidates;
+                    rp.firings += bindings.len() as u64;
+                    for b in bindings {
+                        self.head_facts(idx, rule, &b, db, skolem, &mut new_facts)?;
+                    }
+                    Ok(())
+                })?;
             }
 
             let mut next_delta: DeltaRows = HashMap::new();
             let mut inserted = 0u64;
+            let mut stopped: Option<Termination> = None;
             for (idx, fact, binding) in new_facts {
                 if db.insert(&fact.pred, fact.args.clone()) {
                     inserted += 1;
                     stats.facts_derived += 1;
                     profile.rules[idx].facts_derived += 1;
                     if stats.facts_derived > self.config.max_facts {
-                        return Err(EngineError::ResourceLimit(format!(
-                            "more than {} derived facts",
-                            self.config.max_facts
-                        )));
+                        return Err(EngineError::ResourceLimit {
+                            which: BudgetKind::Facts,
+                            stratum: stratum_idx,
+                            rule: Some(idx),
+                            facts_so_far: stats.facts_derived,
+                            iterations_so_far: stats.iterations,
+                            limit: self.config.max_facts,
+                        });
                     }
                     next_delta
                         .entry(fact.pred.clone())
                         .or_default()
                         .push(fact.args.clone());
                     if self.config.trace {
-                        let label = program.rules[idx]
-                            .label
-                            .clone()
-                            .unwrap_or_else(|| format!("rule#{idx}"));
                         trace.push(TraceEntry {
                             fact,
-                            rule: label,
+                            rule: rule_label(program, idx),
                             binding: binding.into_iter().collect(),
                         });
+                    }
+                    // Soft facts budget: stop inserting mid-round so the
+                    // partial result stays close to the cap. The facts
+                    // already inserted are sound derivations and are kept.
+                    if governor.active() {
+                        if let Some(cap) = governor.budget().max_facts {
+                            if stats.facts_derived >= cap {
+                                stopped = Some(Termination::BudgetExceeded {
+                                    which: BudgetKind::Facts,
+                                    stratum: stratum_idx,
+                                    rule: Some(rule_label(program, idx)),
+                                });
+                                break;
+                            }
+                        }
                     }
                 }
             }
@@ -469,16 +682,23 @@ impl Engine {
                 delta: inserted,
                 dur_ns: round_start.elapsed().as_nanos() as u64,
             });
+            if let Some(t) = stopped {
+                return Ok(StratumEnd::Stopped(t));
+            }
 
             stats.iterations += 1;
             if stats.iterations > self.config.max_iterations {
-                return Err(EngineError::ResourceLimit(format!(
-                    "more than {} fixpoint iterations",
-                    self.config.max_iterations
-                )));
+                return Err(EngineError::ResourceLimit {
+                    which: BudgetKind::Iterations,
+                    stratum: stratum_idx,
+                    rule: None,
+                    facts_so_far: stats.facts_derived,
+                    iterations_so_far: stats.iterations,
+                    limit: self.config.max_iterations,
+                });
             }
             if inserted == 0 {
-                return Ok(());
+                return Ok(StratumEnd::Complete);
             }
             delta = Some(next_delta);
         }
@@ -530,9 +750,11 @@ impl Engine {
         };
         match lit {
             Literal::Pos(atom) => {
-                let use_delta = matches!(focus, Some((f, _)) if f == pos_seen);
-                if use_delta {
-                    let (_, deltas) = focus.unwrap();
+                let focused_delta = match focus {
+                    Some((f, deltas)) if f == pos_seen => Some(deltas),
+                    _ => None,
+                };
+                if let Some(deltas) = focused_delta {
                     let empty = Vec::new();
                     let rows = deltas.get(&atom.pred).unwrap_or(&empty);
                     for row in rows {
@@ -591,17 +813,20 @@ impl Engine {
                 Ok(())
             }
             Literal::Neg(atom) => {
-                let args: Vec<Value> = atom
-                    .args
-                    .iter()
-                    .map(|t| match t {
-                        Term::Const(v) => v.clone(),
-                        Term::Var(v) => binding
-                            .get(v)
-                            .cloned()
-                            .expect("safety check guarantees bound"),
-                    })
-                    .collect();
+                let mut args: Vec<Value> = Vec::with_capacity(atom.args.len());
+                for t in &atom.args {
+                    match t {
+                        Term::Const(v) => args.push(v.clone()),
+                        Term::Var(v) => match binding.get(v) {
+                            Some(val) => args.push(val.clone()),
+                            // The safety check guarantees negated variables
+                            // are bound; should one slip through regardless,
+                            // the negation is undecidable for this binding
+                            // and the branch derives nothing.
+                            None => return Ok(()),
+                        },
+                    }
+                }
                 let present = db
                     .relation(&atom.pred)
                     .map(|r| r.contains(&args))
@@ -724,17 +949,23 @@ impl Engine {
             }
         }
         for atom in atoms {
-            let args: Vec<Value> = atom
-                .args
-                .iter()
-                .map(|t| match t {
-                    Term::Const(v) => v.clone(),
-                    Term::Var(v) => full_binding
-                        .get(v)
-                        .cloned()
-                        .expect("head var bound or existential"),
-                })
-                .collect();
+            let mut args: Vec<Value> = Vec::with_capacity(atom.args.len());
+            for t in &atom.args {
+                match t {
+                    Term::Const(v) => args.push(v.clone()),
+                    Term::Var(v) => match full_binding.get(v) {
+                        Some(val) => args.push(val.clone()),
+                        None => {
+                            return Err(EngineError::Unsafe {
+                                rule: rule_idx,
+                                message: format!(
+                                    "head variable {v} is neither bound by the body nor existential"
+                                ),
+                            })
+                        }
+                    },
+                }
+            }
             out.push((
                 rule_idx,
                 Fact::new(atom.pred.clone(), args),
@@ -755,11 +986,15 @@ impl Engine {
         trace: &mut Vec<TraceEntry>,
         profile: &mut EngineProfile,
     ) -> Result<bool, EngineError> {
-        let first_agg = rule
+        let Some(first_agg) = rule
             .body
             .iter()
             .position(|l| matches!(l, Literal::Agg { .. }))
-            .expect("rule has aggregate");
+        else {
+            // apply_aggregate_rule is only called for rules that carry an
+            // aggregate; a rule without one has nothing to do here.
+            return Ok(false);
+        };
         let (prefix, suffix) = rule.body.split_at(first_agg);
 
         // All bindings of the prefix.
@@ -897,7 +1132,12 @@ impl Engine {
             for lit in suffix {
                 match lit {
                     Literal::Agg { var, func, .. } => {
-                        let contributions = agg_iter.next().expect("aligned");
+                        // per_agg is built from the same suffix scan, so the
+                        // iterators stay aligned; a mismatch means the group
+                        // carries no state for this aggregate and is dropped.
+                        let Some(contributions) = agg_iter.next() else {
+                            continue 'group;
+                        };
                         let value = finalize_aggregate(*func, contributions.values());
                         b.insert(var.clone(), value);
                     }
@@ -999,14 +1239,17 @@ impl Engine {
             profile.rules[rule_idx].firings += bindings.len() as u64;
             let mut did_unify = false;
             for b in bindings {
-                let resolve = |t: &Term| -> Value {
+                let resolve = |t: &Term| -> Option<Value> {
                     match t {
-                        Term::Const(v) => v.clone(),
-                        Term::Var(v) => b.get(v).cloned().expect("EGD safety"),
+                        Term::Const(v) => Some(v.clone()),
+                        Term::Var(v) => b.get(v).cloned(),
                     }
                 };
-                let l = resolve(lt);
-                let r = resolve(rt);
+                // EGD safety guarantees both sides are bound; an unbound
+                // side (impossible for checked rules) contributes nothing.
+                let (Some(l), Some(r)) = (resolve(lt), resolve(rt)) else {
+                    continue;
+                };
                 if l == r {
                     continue;
                 }
@@ -1289,10 +1532,142 @@ mod tests {
             ..Default::default()
         });
         match engine.run(&p, Database::new()) {
-            Err(EngineError::ResourceLimit(_)) => {}
+            Err(EngineError::ResourceLimit {
+                which: BudgetKind::Iterations,
+                limit: 50,
+                ..
+            }) => {}
             Ok(r2) => panic!("expected divergence, got {} p-facts", r2.db.rows("p").len()),
             Err(e) => panic!("unexpected error: {e}"),
         }
+    }
+
+    #[test]
+    fn facts_budget_returns_partial_result() {
+        let mut src = String::new();
+        for i in 0..50 {
+            src.push_str(&format!("edge({}, {}).\n", i, i + 1));
+        }
+        src.push_str("path(X, Y) :- edge(X, Y).\npath(X, Y) :- edge(X, Z), path(Z, Y).\n");
+        let p = parse_program(&src).unwrap();
+        let engine = Engine::with_config(EngineConfig {
+            budget: Budget::unlimited().with_max_facts(100),
+            ..Default::default()
+        });
+        let r = engine.run(&p, Database::new()).unwrap();
+        match &r.termination {
+            Termination::BudgetExceeded {
+                which: BudgetKind::Facts,
+                ..
+            } => {}
+            other => panic!("expected facts budget trip, got {other:?}"),
+        }
+        // partial but sound: we kept some derived paths, near the cap
+        let n = r.db.rows("path").len();
+        assert!(n >= 1, "no partial facts kept");
+        assert!(n <= 101, "overshoot: {n} paths");
+        // all derived paths really are paths of the chain
+        for row in r.db.rows("path") {
+            let (x, y) = (row[0].clone(), row[1].clone());
+            if let (Value::Int(a), Value::Int(b)) = (x, y) {
+                assert!(a < b, "unsound path({a}, {b})");
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_budget_stops_deep_recursion() {
+        let mut src = String::new();
+        for i in 0..30 {
+            src.push_str(&format!("edge({}, {}).\n", i, i + 1));
+        }
+        src.push_str("path(X, Y) :- edge(X, Y).\npath(X, Y) :- edge(X, Z), path(Z, Y).\n");
+        let p = parse_program(&src).unwrap();
+        let engine = Engine::with_config(EngineConfig {
+            budget: Budget::unlimited().with_max_rounds_per_stratum(3),
+            ..Default::default()
+        });
+        let r = engine.run(&p, Database::new()).unwrap();
+        match &r.termination {
+            Termination::BudgetExceeded {
+                which: BudgetKind::Rounds,
+                ..
+            } => {}
+            other => panic!("expected rounds budget trip, got {other:?}"),
+        }
+        assert!(!r.db.rows("path").is_empty());
+    }
+
+    #[test]
+    fn cancellation_returns_partial_result() {
+        let token = CancelToken::new();
+        token.cancel(); // pre-cancelled: the engine must stop immediately
+        let p = parse_program(
+            "edge(1, 2). edge(2, 3).\n\
+             path(X, Y) :- edge(X, Y).\n\
+             path(X, Y) :- edge(X, Z), path(Z, Y).",
+        )
+        .unwrap();
+        let engine = Engine::with_config(EngineConfig {
+            cancel: Some(token),
+            ..Default::default()
+        });
+        let r = engine.run(&p, Database::new()).unwrap();
+        assert_eq!(r.termination, Termination::Cancelled);
+        assert!(r.db.rows("path").is_empty());
+        // input facts are preserved even on immediate cancellation
+        assert_eq!(r.db.rows("edge").len(), 2);
+    }
+
+    #[test]
+    fn unbudgeted_run_reports_fixpoint() {
+        let r = run("edge(1, 2). path(X, Y) :- edge(X, Y).");
+        assert!(r.termination.is_fixpoint());
+    }
+
+    #[test]
+    fn deadline_budget_trips_on_expired_deadline() {
+        let p = parse_program(
+            "edge(1, 2).\n\
+             path(X, Y) :- edge(X, Y).",
+        )
+        .unwrap();
+        let engine = Engine::with_config(EngineConfig {
+            budget: Budget::unlimited().with_deadline(std::time::Duration::from_nanos(0)),
+            ..Default::default()
+        });
+        let r = engine.run(&p, Database::new()).unwrap();
+        match &r.termination {
+            Termination::BudgetExceeded {
+                which: BudgetKind::Deadline,
+                ..
+            } => {}
+            other => panic!("expected deadline trip, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nulls_budget_stops_null_minting() {
+        // each q-fact mints a fresh null and feeds p again: unbounded chase
+        let p = parse_program(
+            "p(1).\n\
+             q(X, Y) :- p(X).\n\
+             p(Y) :- q(X, Y).",
+        )
+        .unwrap();
+        let engine = Engine::with_config(EngineConfig {
+            budget: Budget::unlimited().with_max_nulls(10),
+            ..Default::default()
+        });
+        let r = engine.run(&p, Database::new()).unwrap();
+        match &r.termination {
+            Termination::BudgetExceeded {
+                which: BudgetKind::Nulls,
+                ..
+            } => {}
+            other => panic!("expected nulls budget trip, got {other:?}"),
+        }
+        assert!(r.stats.nulls_created >= 10);
     }
 
     #[test]

@@ -41,6 +41,7 @@
 pub mod ast;
 pub mod builtins;
 pub mod eval;
+pub mod governor;
 pub mod module;
 pub mod parser;
 pub mod printer;
@@ -61,6 +62,7 @@ pub use eval::{
     EgdPolicy, EgdViolation, Engine, EngineConfig, EngineError, EvalStats, ReasoningResult,
     TraceEntry,
 };
+pub use governor::{Budget, BudgetKind, CancelToken, Termination};
 pub use module::{Module, ModuleError, ModuleRegistry};
 pub use parser::{parse_program, parse_rule, ParseError};
 pub use printer::{print_expr, print_program, print_rule};

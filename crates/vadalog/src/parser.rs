@@ -245,7 +245,11 @@ impl<'a> Lexer<'a> {
                             }
                             Some(_) => {
                                 // handle multi-byte UTF-8 by char iteration
-                                let ch = self.src[self.pos..].chars().next().unwrap();
+                                let Some(ch) =
+                                    self.src.get(self.pos..).and_then(|t| t.chars().next())
+                                else {
+                                    return Err(self.error("unterminated string", start));
+                                };
                                 s.push(ch);
                                 self.pos += ch.len_utf8();
                             }
@@ -322,10 +326,16 @@ impl<'a> Lexer<'a> {
     }
 }
 
+/// Maximum expression-nesting depth before the parser gives up with a
+/// `ParseError` instead of risking a stack overflow on adversarial input
+/// like `((((((…`.
+const MAX_EXPR_DEPTH: usize = 200;
+
 struct Parser<'a> {
     toks: Vec<(Tok, usize)>,
     pos: usize,
     src: &'a str,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -494,11 +504,12 @@ impl<'a> Parser<'a> {
         if let (Some(Tok::Var(v)), Some(Tok::Eq)) = (self.peek(), self.peek2()) {
             let var = v.clone();
             // look ahead for aggregate
-            if let Some((Tok::Ident(fname), _)) = self.toks.get(self.pos + 2) {
-                if AggFunc::from_name(fname).is_some()
-                    && self.toks.get(self.pos + 3).map(|(t, _)| t) == Some(&Tok::LParen)
-                {
-                    let func = AggFunc::from_name(fname).unwrap();
+            let agg_func = match self.toks.get(self.pos + 2) {
+                Some((Tok::Ident(fname), _)) => AggFunc::from_name(fname),
+                _ => None,
+            };
+            if let Some(func) = agg_func {
+                if self.toks.get(self.pos + 3).map(|(t, _)| t) == Some(&Tok::LParen) {
                     self.pos += 4; // VAR = fname (
                                    // `mcount(<I>)` has no contribution expression; every
                                    // contributor counts 1.
@@ -579,7 +590,22 @@ impl<'a> Parser<'a> {
     // --- expressions, precedence climbing ---
 
     fn parse_expr(&mut self) -> Result<Expr, ParseError> {
-        self.parse_or()
+        self.enter_expr()?;
+        let e = self.parse_or();
+        self.depth -= 1;
+        e
+    }
+
+    /// Bump the nesting depth, failing cleanly once the recursion would
+    /// get deep enough to threaten the stack.
+    fn enter_expr(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_EXPR_DEPTH {
+            return Err(self.error(format!(
+                "expression nesting exceeds {MAX_EXPR_DEPTH} levels"
+            )));
+        }
+        Ok(())
     }
 
     fn parse_or(&mut self) -> Result<Expr, ParseError> {
@@ -656,19 +682,22 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_unary(&mut self) -> Result<Expr, ParseError> {
-        match self.peek() {
+        self.enter_expr()?;
+        let e = match self.peek() {
             Some(Tok::Minus) => {
                 self.next();
-                let e = self.parse_unary()?;
-                Ok(Expr::Unary(UnOp::Neg, Box::new(e)))
+                let e = self.parse_unary();
+                e.map(|e| Expr::Unary(UnOp::Neg, Box::new(e)))
             }
             Some(Tok::Ident(id)) if id == "not" => {
                 self.next();
-                let e = self.parse_unary()?;
-                Ok(Expr::Unary(UnOp::Not, Box::new(e)))
+                let e = self.parse_unary();
+                e.map(|e| Expr::Unary(UnOp::Not, Box::new(e)))
             }
             _ => self.parse_postfix(),
-        }
+        };
+        self.depth -= 1;
+        e
     }
 
     fn parse_postfix(&mut self) -> Result<Expr, ParseError> {
@@ -835,7 +864,12 @@ fn is_builtin_fn(name: &str) -> bool {
 /// Parse a complete program from source text.
 pub fn parse_program(src: &str) -> Result<Program, ParseError> {
     let toks = Lexer::new(src).tokenize()?;
-    let mut p = Parser { toks, pos: 0, src };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        src,
+        depth: 0,
+    };
     p.parse_program()
 }
 
@@ -853,7 +887,14 @@ pub fn parse_rule(src: &str) -> Result<Rule, ParseError> {
             line: 1,
         });
     }
-    Ok(prog.rules.into_iter().next().unwrap())
+    match prog.rules.into_iter().next() {
+        Some(rule) => Ok(rule),
+        None => Err(ParseError {
+            message: "expected exactly one rule".to_string(),
+            offset: 0,
+            line: 1,
+        }),
+    }
 }
 
 #[cfg(test)]

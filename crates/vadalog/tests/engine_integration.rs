@@ -179,7 +179,13 @@ fn resource_guard_stops_fact_explosions() {
         ..Default::default()
     });
     match engine.run(&program, Database::new()) {
-        Err(EngineError::ResourceLimit(_)) => {}
+        Err(EngineError::ResourceLimit {
+            facts_so_far,
+            limit: 1_000,
+            ..
+        }) => {
+            assert!(facts_so_far > 1_000);
+        }
         other => panic!("expected resource limit, got {other:?}"),
     }
 }

@@ -1,0 +1,118 @@
+//! The parser is total: for *any* byte soup it must return `Ok` or a
+//! structured [`ParseError`] — never panic, never overflow the stack.
+//! This is the front line of the robustness story: programs arrive from
+//! files and network requests, so a hostile or corrupted input must not
+//! take the process down.
+
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use vadalog::parse_program;
+
+/// Assert totality on one input: parsing must not panic.
+fn never_panics(input: &str) {
+    let owned = input.to_string();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let _ = parse_program(&owned);
+    }));
+    assert!(
+        outcome.is_ok(),
+        "parser panicked on input {:?}",
+        &input[..input.len().min(120)]
+    );
+}
+
+/// A corpus of valid programs to mutate: every syntactic feature the
+/// grammar supports shows up at least once.
+const CORPUS: &[&str] = &[
+    "edge(1, 2). path(X, Y) :- edge(X, Y). path(X, Y) :- edge(X, Z), path(Z, Y).",
+    "s(G, X) :- t(G, I, W), X = msum(W, <I>).",
+    "o(I, R) :- t(I, N), R = case N < 3 then 1 else 0.",
+    "D1 = D2 :- dept(E1, D1), dept(E2, D2).",
+    "only(X) :- p(X), not q(X).",
+    "o(V) :- t(S, K), V = S[K], size(S) > 2.",
+    "o(X) :- t(A, B), X = {pair(A, B), pair(B, A)}.",
+    "att(\"I&G\", \"Id\"). num(3). f(2.5). neg(-7).",
+    "@module(\"m\"). r(X) :- b(X), X > 1 and X < 9 or X = 0.",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Arbitrary byte strings (interpreted as lossy UTF-8).
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255u8, 0..200)) {
+        never_panics(&String::from_utf8_lossy(&bytes));
+    }
+
+    /// Printable-ASCII soup hits deeper parser paths than raw bytes,
+    /// because more of it survives the lexer.
+    #[test]
+    fn ascii_soup_never_panics(bytes in proptest::collection::vec(32u8..=126u8, 0..200)) {
+        never_panics(&String::from_utf8_lossy(&bytes));
+    }
+
+    /// Valid programs with random single-byte mutations: truncations,
+    /// splices and overwrites that keep most of the structure intact.
+    #[test]
+    fn mutated_valid_programs_never_panic(
+        (pick, cut, byte) in (0usize..9, 0usize..1000, 32u8..=126u8),
+    ) {
+        let base = CORPUS[pick % CORPUS.len()];
+        let at = cut % (base.len() + 1);
+
+        // truncation
+        never_panics(&base[..at]);
+
+        // overwrite one byte (keeping UTF-8 validity: corpus is ASCII)
+        let mut overwritten = base.as_bytes().to_vec();
+        if at < overwritten.len() {
+            overwritten[at] = byte;
+        }
+        never_panics(&String::from_utf8_lossy(&overwritten));
+
+        // splice a byte in
+        let mut spliced = base.as_bytes().to_vec();
+        spliced.insert(at, byte);
+        never_panics(&String::from_utf8_lossy(&spliced));
+    }
+}
+
+#[test]
+fn deep_nesting_errors_instead_of_overflowing() {
+    // regression: unbounded recursive descent used to ride arbitrarily
+    // deep parenthesis towers straight into the stack guard
+    let deep = format!(
+        "o(X) :- p(X), Y = {}1{}.",
+        "(".repeat(5000),
+        ")".repeat(5000)
+    );
+    let err = parse_program(&deep).expect_err("must be rejected");
+    assert!(err.to_string().contains("nesting"), "got: {err}");
+
+    // unary towers recurse through a different path
+    let minus = format!("o(X) :- p(X), Y = {}1.", "-".repeat(5000));
+    assert!(parse_program(&minus).is_err());
+
+    // not-towers too
+    let nots = format!("o(X) :- p(X), Y = {}1.", "not ".repeat(5000));
+    assert!(parse_program(&nots).is_err());
+
+    // but reasonable nesting still parses
+    let ok = format!("o(X) :- p(X), Y = {}1{}.", "(".repeat(50), ")".repeat(50));
+    assert!(parse_program(&ok).is_ok());
+}
+
+#[test]
+fn unterminated_strings_and_escapes_error_cleanly() {
+    for src in [
+        "a(\"",
+        "a(\"abc",
+        "a(\"abc\\",
+        "a(\"abc\\x\")",
+        "a(\"héllo", // multi-byte char then EOF
+        "a(\"héllo\").",
+    ] {
+        never_panics(src);
+    }
+    assert!(parse_program("a(\"héllo\").").is_ok());
+}

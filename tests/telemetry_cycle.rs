@@ -114,6 +114,7 @@ fn non_convergence_carries_partial_profile_and_audit() {
     let config = CycleConfig {
         granularity: StepGranularity::OneTuplePerIteration,
         max_iterations: 1,
+        fallback: FallbackPolicy::Error,
         ..CycleConfig::default()
     };
     let err = AnonymizationCycle::new(&risk, &anonymizer, config)
