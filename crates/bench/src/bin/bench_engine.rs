@@ -1,0 +1,250 @@
+//! Engine join-core benchmark: before/after medians for the planned,
+//! hash-indexed executor ([`JoinMode::Indexed`], the default) against the
+//! reference nested-loop evaluator ([`JoinMode::Reference`]).
+//!
+//! Usage: `bench_engine [--quick] [--out PATH] [--baseline PATH]`
+//!
+//! Workloads:
+//!
+//! - **tc64** — non-linear transitive closure
+//!   (`path(X, Z) :- path(X, Y), path(Y, Z)`) over a 64-node cycle:
+//!   the full 64×64 closure, dominated by the recursive self-join.
+//! - **risk** — the paper's declarative household/individual risk program
+//!   (Algorithm 2 tuple reification + Algorithm 5 individual risk) over a
+//!   `vadasa-datagen` microdata fixture.
+//!
+//! Each workload runs both modes `runs` times; the output file gets one
+//! JSON object per line (medians in seconds plus the speedup ratio),
+//! ready for `jq` and for the CI perf-smoke gate. With `--baseline PATH`
+//! the indexed tc64 median is compared against the committed baseline and
+//! the process exits non-zero on a >25% regression.
+
+use std::io::Write;
+use vadalog::{parse_program, Database, Engine, EngineConfig, JoinMode, Program};
+use vadasa_bench::time_it;
+use vadasa_core::programs::{microdata_to_facts, ALG2_TUPLE_REIFICATION, ALG5_INDIVIDUAL_RISK};
+use vadasa_core::report::render_engine_profile;
+use vadasa_datagen::generator::{generate, DatasetSpec, Regime};
+
+/// The regression threshold the CI perf-smoke gate enforces.
+const MAX_REGRESSION: f64 = 1.25;
+
+fn non_linear_tc(nodes: usize) -> String {
+    let mut src = String::new();
+    for i in 0..nodes {
+        src.push_str(&format!("edge({}, {}).\n", i, (i + 1) % nodes));
+    }
+    src.push_str("path(X, Y) :- edge(X, Y).\npath(X, Z) :- path(X, Y), path(Y, Z).\n");
+    src
+}
+
+fn engine(mode: JoinMode, threads: usize) -> Engine {
+    Engine::with_config(EngineConfig {
+        join_mode: mode,
+        threads,
+        ..EngineConfig::default()
+    })
+}
+
+/// Median wall-clock seconds over `runs` evaluations of `program`.
+fn median_secs(
+    program: &Program,
+    facts: &Database,
+    mode: JoinMode,
+    threads: usize,
+    runs: usize,
+    check: impl Fn(&vadalog::ReasoningResult),
+) -> f64 {
+    let mut times: Vec<f64> = (0..runs)
+        .map(|_| {
+            let (r, secs) = time_it(|| {
+                engine(mode, threads)
+                    .run(program, facts.clone())
+                    .expect("benchmark program evaluates")
+            });
+            check(&r);
+            secs
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+struct WorkloadResult {
+    name: &'static str,
+    size: usize,
+    reference_s: f64,
+    indexed_s: f64,
+    indexed_mt_s: f64,
+}
+
+impl WorkloadResult {
+    fn speedup(&self) -> f64 {
+        if self.indexed_s == 0.0 {
+            f64::INFINITY
+        } else {
+            self.reference_s / self.indexed_s
+        }
+    }
+}
+
+fn emit(out: &mut impl Write, w: &WorkloadResult, runs: usize) {
+    for (mode, secs) in [
+        ("reference", w.reference_s),
+        ("indexed", w.indexed_s),
+        ("indexed-mt4", w.indexed_mt_s),
+    ] {
+        writeln!(
+            out,
+            "{{\"bench\":\"engine.{}\",\"size\":{},\"mode\":\"{}\",\"median_s\":{:.6},\"runs\":{}}}",
+            w.name, w.size, mode, secs, runs
+        )
+        .expect("write bench line");
+    }
+    writeln!(
+        out,
+        "{{\"bench\":\"engine.{}\",\"size\":{},\"speedup\":{:.3}}}",
+        w.name,
+        w.size,
+        w.speedup()
+    )
+    .expect("write bench line");
+}
+
+/// Read the committed baseline's indexed tc median, if present.
+fn baseline_tc_median(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    for line in text.lines() {
+        let Ok(v) = vadasa_core::obs::json::parse(line) else {
+            continue;
+        };
+        if v.get("bench").and_then(|b| b.as_str()) == Some("engine.tc")
+            && v.get("mode").and_then(|m| m.as_str()) == Some("indexed")
+        {
+            return v.get("median_s").and_then(|m| m.as_f64());
+        }
+    }
+    None
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let baseline = flag("--baseline");
+
+    let runs = if quick { 3 } else { 5 };
+    let tc_nodes = 64; // the headline workload is identical in both modes
+    let risk_rows = if quick { 500 } else { 2_000 };
+
+    // --- workload 1: 64-node non-linear transitive closure ---
+    let tc_program = parse_program(&non_linear_tc(tc_nodes)).expect("tc program parses");
+    let tc_facts = Database::new();
+    let expect_paths = tc_nodes * tc_nodes;
+    let tc_check = |r: &vadalog::ReasoningResult| {
+        assert_eq!(r.db.rows("path").len(), expect_paths, "tc closure size");
+    };
+    let tc = WorkloadResult {
+        name: "tc",
+        size: tc_nodes,
+        reference_s: median_secs(
+            &tc_program,
+            &tc_facts,
+            JoinMode::Reference,
+            1,
+            runs,
+            tc_check,
+        ),
+        indexed_s: median_secs(&tc_program, &tc_facts, JoinMode::Indexed, 1, runs, tc_check),
+        indexed_mt_s: median_secs(&tc_program, &tc_facts, JoinMode::Indexed, 4, runs, tc_check),
+    };
+
+    // --- workload 2: declarative household risk (Alg. 2 + Alg. 5) ---
+    let spec = DatasetSpec::new(risk_rows, 4, Regime::U);
+    let (db, dict) = generate(&spec, 20210323);
+    let risk_program = parse_program(&format!("{ALG2_TUPLE_REIFICATION}{ALG5_INDIVIDUAL_RISK}"))
+        .expect("risk program parses");
+    let risk_facts = microdata_to_facts(&db, &dict).expect("microdata converts");
+    let risk_check = |r: &vadalog::ReasoningResult| {
+        assert_eq!(r.db.rows("riskOutput").len(), risk_rows, "one risk per row");
+    };
+    let risk = WorkloadResult {
+        name: "risk",
+        size: risk_rows,
+        reference_s: median_secs(
+            &risk_program,
+            &risk_facts,
+            JoinMode::Reference,
+            1,
+            runs,
+            risk_check,
+        ),
+        indexed_s: median_secs(
+            &risk_program,
+            &risk_facts,
+            JoinMode::Indexed,
+            1,
+            runs,
+            risk_check,
+        ),
+        indexed_mt_s: median_secs(
+            &risk_program,
+            &risk_facts,
+            JoinMode::Indexed,
+            4,
+            runs,
+            risk_check,
+        ),
+    };
+
+    // --- report ---
+    let mut file = std::fs::File::create(&out_path)
+        .unwrap_or_else(|e| panic!("cannot create {out_path}: {e}"));
+    emit(&mut file, &tc, runs);
+    emit(&mut file, &risk, runs);
+
+    println!("engine bench — {runs} run(s) per mode, medians in seconds\n");
+    for w in [&tc, &risk] {
+        println!(
+            "  engine.{:<5} (size {:>5}): reference {:.3}s   indexed {:.3}s   indexed-mt4 {:.3}s   speedup {:.2}x",
+            w.name, w.size, w.reference_s, w.indexed_s, w.indexed_mt_s, w.speedup()
+        );
+    }
+
+    // show *why* via the engine profile of one indexed tc run
+    let profiled = engine(JoinMode::Indexed, 1)
+        .run(&tc_program, Database::new())
+        .expect("profiled run evaluates");
+    println!("\n{}", render_engine_profile(&profiled.profile));
+    println!("results written to {out_path}");
+
+    if let Some(path) = baseline {
+        match baseline_tc_median(&path) {
+            Some(base) if base > 0.0 => {
+                let ratio = tc.indexed_s / base;
+                println!(
+                    "baseline check — tc indexed median {:.3}s vs baseline {:.3}s ({:.2}x)",
+                    tc.indexed_s, base, ratio
+                );
+                if ratio > MAX_REGRESSION {
+                    eprintln!(
+                        "PERF REGRESSION: tc indexed median {:.3}s exceeds baseline {:.3}s by more than {:.0}%",
+                        tc.indexed_s,
+                        base,
+                        (MAX_REGRESSION - 1.0) * 100.0
+                    );
+                    std::process::exit(1);
+                }
+            }
+            _ => {
+                eprintln!("cannot read tc indexed median from baseline {path}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

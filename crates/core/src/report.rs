@@ -169,6 +169,29 @@ pub fn render_profile(profile: &CycleProfile) -> String {
     out
 }
 
+/// Render a reasoning run's [`EngineProfile`](vadalog::EngineProfile) the
+/// way [`render_profile`] renders the cycle's: the engine's own table plus
+/// a one-line summary of the join core (index probes vs. fallback scans,
+/// interner hits, planner reorders, parallel rounds). Benchmarks and CLI
+/// reports use this to show *why* an engine run got faster, not only that
+/// it did.
+pub fn render_engine_profile(profile: &vadalog::EngineProfile) -> String {
+    let mut out = profile.render_table();
+    let probed = profile.index_probes + profile.index_scans;
+    let _ = writeln!(
+        out,
+        "join accesses — {:.1}% indexed ({} probe(s) / {} scan(s))",
+        if probed == 0 {
+            0.0
+        } else {
+            100.0 * profile.index_probes as f64 / probed as f64
+        },
+        profile.index_probes,
+        profile.index_scans,
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -17,6 +17,11 @@
 //!                        point after N ms and print the partial result
 //!   --max-facts N        soft derived-fact budget: stop once N facts have
 //!                        been derived and print the partial result
+//!   --threads N          evaluate each round's rules on up to N threads
+//!                        (default 1; results are identical either way)
+//!   --reference-join     use the reference nested-loop evaluator instead
+//!                        of planned, hash-indexed joins (for debugging
+//!                        and baseline timing)
 //! ```
 //!
 //! Budgets degrade gracefully: the run still exits 0 and prints whatever
@@ -44,12 +49,12 @@ use std::time::Duration;
 use vadalog::obs::JsonLinesWriter;
 use vadalog::{
     parse_program, print_rule, warded_analyze, Budget, Database, Engine, EngineConfig, EngineError,
-    Fact, Head, Termination,
+    Fact, Head, JoinMode, Termination,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage: vadalog PROGRAM.vada [FACTS.vada ...] [--output PRED]... [--trace] [--warded] [--stats] [--profile] [--profile-json PATH] [--deadline-ms N] [--max-facts N]"
+        "usage: vadalog PROGRAM.vada [FACTS.vada ...] [--output PRED]... [--trace] [--warded] [--stats] [--profile] [--profile-json PATH] [--deadline-ms N] [--max-facts N] [--threads N] [--reference-join]"
     );
     std::process::exit(2);
 }
@@ -63,6 +68,8 @@ fn main() -> ExitCode {
     let mut profile = false;
     let mut profile_json: Option<String> = None;
     let mut budget = Budget::unlimited();
+    let mut threads = 1usize;
+    let mut join_mode = JoinMode::Indexed;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -87,6 +94,11 @@ fn main() -> ExitCode {
                 Some(n) => budget = budget.with_max_facts(n),
                 None => usage(),
             },
+            "--threads" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => threads = n,
+                _ => usage(),
+            },
+            "--reference-join" => join_mode = JoinMode::Reference,
             "--help" | "-h" => usage(),
             other if other.starts_with("--") => {
                 eprintln!("unknown option {other}");
@@ -147,6 +159,8 @@ fn main() -> ExitCode {
         trace,
         collector: sink.clone().map(|s| s as Arc<dyn vadalog::obs::Collector>),
         budget,
+        threads,
+        join_mode,
         ..Default::default()
     });
     let result = match engine.run(&program, Database::new()) {

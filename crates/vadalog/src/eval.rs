@@ -22,9 +22,10 @@
 use crate::ast::{AggFunc, Atom, Expr, Fact, Head, Literal, Program, Rule, Term};
 use crate::builtins::{eval_expr, Binding, EvalError};
 use crate::governor::{Budget, BudgetKind, CancelToken, Governor, StopReason, Termination};
+use crate::plan::{identity_plan, plan_rule, JoinPlan};
 use crate::profile::{EngineProfile, RoundProfile, StratumProfile};
 use crate::routing::Router;
-use crate::storage::Database;
+use crate::storage::{Database, Row};
 use crate::stratify::{check_safety, stratify, StratifyError};
 use crate::value::Value;
 use std::collections::{BTreeSet, HashMap, HashSet};
@@ -35,7 +36,20 @@ use std::time::Instant;
 use vadasa_obs::{Collector, Obs};
 
 /// Rows inserted in the previous semi-naive round, keyed by predicate.
-type DeltaRows = HashMap<String, Vec<Vec<Value>>>;
+/// The rows are shared handles aliasing the stored rows, so building the
+/// delta costs one `Arc` bump per fact rather than a deep copy.
+type DeltaRows = HashMap<String, Vec<Row>>;
+
+/// Join-execution counters accumulated while evaluating one rule.
+#[derive(Debug, Default, Clone, Copy)]
+struct JoinCounters {
+    /// Rows examined as candidate matches across the join.
+    candidates: u64,
+    /// Hash-index probes issued.
+    probes: u64,
+    /// Full-relation linear scans (no usable index for the step).
+    scans: u64,
+}
 
 /// What to do when an EGD equates two distinct constants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -47,6 +61,21 @@ pub enum EgdPolicy {
     Collect,
     /// Abort the reasoning task on the first violation.
     FailFast,
+}
+
+/// Join evaluation strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinMode {
+    /// Planned, hash-indexed joins: positive body literals are reordered
+    /// by boundness/selectivity ([`crate::plan`]) and matched by probing
+    /// per-predicate hash indexes ([`crate::storage::Relation::probe`]).
+    #[default]
+    Indexed,
+    /// Reference nested-loop evaluation: literals in source order, linear
+    /// scans only, no planner and no indexes. Slow but independently
+    /// simple — the oracle the indexed path is equivalence-tested against,
+    /// and the "before" arm of the engine benchmark.
+    Reference,
 }
 
 /// Engine configuration.
@@ -73,9 +102,17 @@ pub struct EngineConfig {
     /// [`Termination::BudgetExceeded`]. Default: unlimited.
     pub budget: Budget,
     /// Optional cooperative cancellation token, polled between semi-naive
-    /// rounds. When it fires the engine returns its partial result tagged
-    /// [`Termination::Cancelled`].
+    /// rounds (and between rules by parallel workers). When it fires the
+    /// engine returns its partial result tagged [`Termination::Cancelled`].
     pub cancel: Option<CancelToken>,
+    /// Join evaluation strategy ([`JoinMode::Indexed`] by default).
+    pub join_mode: JoinMode,
+    /// Worker threads for rule evaluation within a semi-naive round.
+    /// `0` or `1` means sequential. With `n > 1`, each round's rule joins
+    /// fan out over `min(n, rules)` scoped threads against the frozen
+    /// database; results are merged on the calling thread in rule order,
+    /// so derivations (including null minting) stay deterministic.
+    pub threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -89,6 +126,8 @@ impl Default for EngineConfig {
             collector: None,
             budget: Budget::default(),
             cancel: None,
+            join_mode: JoinMode::default(),
+            threads: 1,
         }
     }
 }
@@ -104,6 +143,8 @@ impl fmt::Debug for EngineConfig {
             .field("collector", &self.collector.is_some())
             .field("budget", &self.budget)
             .field("cancel", &self.cancel.is_some())
+            .field("join_mode", &self.join_mode)
+            .field("threads", &self.threads)
             .finish()
     }
 }
@@ -374,6 +415,7 @@ impl Engine {
         let mut violations = Vec::new();
         let mut trace = Vec::new();
         let mut profile = EngineProfile::for_program(program);
+        let intern_before = crate::intern::stats();
         let nulls_before = db.nulls_minted();
         let run_start = Instant::now();
         let governor = Governor::new(self.config.budget, self.config.cancel.clone());
@@ -420,6 +462,11 @@ impl Engine {
         profile.nulls_created = stats.nulls_created;
         profile.unifications = stats.unifications as u64;
         profile.violations = violations.len() as u64;
+        // The interner is process-global; the delta over this run is what
+        // this run's parsing/derivation saved.
+        profile.intern_hits = crate::intern::stats()
+            .hits
+            .saturating_sub(intern_before.hits);
         if let Some(collector) = &self.config.collector {
             profile.emit(&Obs::new(Some(collector.as_ref())));
         }
@@ -588,42 +635,61 @@ impl Engine {
             }
 
             let round_start = Instant::now();
-            let mut new_facts: Vec<(usize, Fact, Binding)> = Vec::new();
 
-            for &(idx, rule) in rules {
-                isolate_rule(program, idx, || {
-                    let mut candidates = 0u64;
-                    let bindings = match &delta {
-                        None => self.rule_bindings(rule, db, None, idx, &mut candidates)?,
-                        Some(d) => {
-                            // one pass per positive literal restricted to delta
-                            let pos_count = rule
-                                .body
-                                .iter()
-                                .filter(|l| matches!(l, Literal::Pos(_)))
-                                .count();
-                            let mut all = Vec::new();
-                            for focus in 0..pos_count {
-                                all.extend(self.rule_bindings(
-                                    rule,
-                                    db,
-                                    Some((focus, d)),
-                                    idx,
-                                    &mut candidates,
-                                )?);
-                            }
-                            all
+            // Phase 1 — plan. One plan per (rule, delta-focus) pass, and
+            // every hash index those plans will probe is built while we
+            // still hold `&mut db`. From here until the merge the database
+            // is frozen, which is what makes lock-free sharing sound.
+            let plans: Vec<Vec<JoinPlan>> = rules
+                .iter()
+                .map(|&(_, rule)| self.round_plans(rule, db, delta.as_ref()))
+                .collect();
+            if self.config.join_mode == JoinMode::Indexed {
+                for (plan_set, &(_, rule)) in plans.iter().zip(rules) {
+                    for plan in plan_set {
+                        if plan.reordered {
+                            profile.planner_reorders += 1;
                         }
-                    };
-                    let mut bindings = bindings;
-                    if let Some(router) = &self.config.router {
-                        router.order_bindings(rule, &mut bindings);
+                        for (pred, bound) in plan.index_needs(rule) {
+                            if db.relation(pred).is_some() {
+                                db.relation_mut(pred).ensure_index(bound);
+                            }
+                        }
                     }
-                    let rp = &mut profile.rules[idx];
-                    rp.join_candidates += candidates;
-                    rp.firings += bindings.len() as u64;
-                    for b in bindings {
-                        self.head_facts(idx, rule, &b, db, skolem, &mut new_facts)?;
+                }
+            }
+
+            // Phase 2 — evaluate every rule's joins against the frozen
+            // database, fanning out across scoped threads when configured.
+            if self.config.threads.min(rules.len()) > 1 {
+                profile.parallel_rounds += 1;
+            }
+            let mut results = self.evaluate_rules(rules, &plans, db, delta.as_ref(), program);
+
+            // Phase 3 — merge, strictly in rule order: route bindings,
+            // instantiate heads (null minting stays sequential and
+            // deterministic), then apply the buffered inserts. Errors
+            // surface in rule order, exactly as sequential evaluation
+            // would report them.
+            let mut new_facts: Vec<(usize, Fact, Binding)> = Vec::new();
+            for (slot, &(idx, rule)) in rules.iter().enumerate() {
+                // A `None` slot means a cancelled worker skipped the rule;
+                // the governor check at the next round start reports it.
+                let Some(result) = results[slot].take() else {
+                    continue;
+                };
+                let (mut bindings, counters) = result?;
+                if let Some(router) = &self.config.router {
+                    router.order_bindings(rule, &mut bindings);
+                }
+                let rp = &mut profile.rules[idx];
+                rp.join_candidates += counters.candidates;
+                rp.firings += bindings.len() as u64;
+                profile.index_probes += counters.probes;
+                profile.index_scans += counters.scans;
+                isolate_rule(program, idx, || {
+                    for b in &bindings {
+                        self.head_facts(idx, rule, b, db, skolem, &mut new_facts)?;
                     }
                     Ok(())
                 })?;
@@ -633,7 +699,8 @@ impl Engine {
             let mut inserted = 0u64;
             let mut stopped: Option<Termination> = None;
             for (idx, fact, binding) in new_facts {
-                if db.insert(&fact.pred, fact.args.clone()) {
+                let Fact { pred, args } = fact;
+                if let Some(row) = db.insert_shared(&pred, args) {
                     inserted += 1;
                     stats.facts_derived += 1;
                     profile.rules[idx].facts_derived += 1;
@@ -647,17 +714,14 @@ impl Engine {
                             limit: self.config.max_facts,
                         });
                     }
-                    next_delta
-                        .entry(fact.pred.clone())
-                        .or_default()
-                        .push(fact.args.clone());
                     if self.config.trace {
                         trace.push(TraceEntry {
-                            fact,
+                            fact: Fact::new(pred.clone(), (*row).clone()),
                             rule: rule_label(program, idx),
                             binding: binding.into_iter().collect(),
                         });
                     }
+                    next_delta.entry(pred).or_default().push(row);
                     // Soft facts budget: stop inserting mid-round so the
                     // partial result stays close to the cap. The facts
                     // already inserted are sound derivations and are kept.
@@ -704,109 +768,279 @@ impl Engine {
         }
     }
 
-    /// Enumerate all body bindings for a rule. When `focus` is given, the
-    /// `focus.0`-th positive literal is restricted to the delta rows.
-    /// `candidates` accumulates the number of rows examined by the join.
-    fn rule_bindings(
-        &self,
-        rule: &Rule,
-        db: &Database,
-        focus: Option<(usize, &DeltaRows)>,
-        rule_idx: usize,
-        candidates: &mut u64,
-    ) -> Result<Vec<Binding>, EngineError> {
-        let mut out = Vec::new();
-        let mut binding = Binding::new();
-        self.join_literals(
-            &rule.body,
-            db,
-            focus,
-            0,
-            &mut binding,
-            &mut out,
-            rule_idx,
-            candidates,
-        )?;
-        Ok(out)
+    /// Plans for one rule for the current round: a single full-evaluation
+    /// plan on the first round, otherwise one delta-focused plan per
+    /// positive body literal whose predicate actually received new rows
+    /// (an empty delta can produce no bindings, so those passes are
+    /// skipped outright).
+    fn round_plans(&self, rule: &Rule, db: &Database, delta: Option<&DeltaRows>) -> Vec<JoinPlan> {
+        let reference = self.config.join_mode == JoinMode::Reference;
+        match delta {
+            None => vec![if reference {
+                identity_plan(rule, None)
+            } else {
+                plan_rule(rule, db, None, 0)
+            }],
+            Some(d) => {
+                let mut plans = Vec::new();
+                for (i, lit) in rule.body.iter().enumerate() {
+                    let Literal::Pos(atom) = lit else { continue };
+                    let Some(rows) = d.get(&atom.pred) else {
+                        continue;
+                    };
+                    if rows.is_empty() {
+                        continue;
+                    }
+                    plans.push(if reference {
+                        identity_plan(rule, Some(i))
+                    } else {
+                        plan_rule(rule, db, Some(i), rows.len())
+                    });
+                }
+                plans
+            }
+        }
     }
 
-    /// Recursive left-to-right join over body literals (aggregates are not
-    /// handled here — see `apply_aggregate_rule`).
-    #[allow(clippy::too_many_arguments)]
-    fn join_literals(
+    /// Evaluate every rule's joins for one round against a frozen
+    /// database. Returns one slot per rule: the rule's bindings and join
+    /// counters, the error it produced, or `None` when a cancellation
+    /// made a worker skip it.
+    ///
+    /// With `threads > 1` the rules fan out round-robin over scoped
+    /// worker threads. Workers only *read* the database (index building
+    /// happened in the planning phase) and write into disjoint slots, so
+    /// no synchronization beyond the scope join is needed — and because
+    /// the caller merges slots in rule order, the derived fact sequence
+    /// is identical to sequential evaluation.
+    #[allow(clippy::type_complexity)]
+    fn evaluate_rules(
         &self,
-        lits: &[Literal],
+        rules: &[(usize, &Rule)],
+        plans: &[Vec<JoinPlan>],
         db: &Database,
-        focus: Option<(usize, &DeltaRows)>,
-        pos_seen: usize,
+        delta: Option<&DeltaRows>,
+        program: &Program,
+    ) -> Vec<Option<Result<(Vec<Binding>, JoinCounters), EngineError>>> {
+        let workers = self.config.threads.min(rules.len());
+        if workers <= 1 {
+            return rules
+                .iter()
+                .enumerate()
+                .map(|(slot, &(idx, rule))| {
+                    Some(self.eval_one_rule(program, idx, rule, &plans[slot], db, delta))
+                })
+                .collect();
+        }
+        let mut results: Vec<Option<Result<(Vec<Binding>, JoinCounters), EngineError>>> =
+            Vec::new();
+        results.resize_with(rules.len(), || None);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for w in 0..workers {
+                let cancel = self.config.cancel.clone();
+                handles.push(scope.spawn(move || {
+                    let mut chunk = Vec::new();
+                    let mut slot = w;
+                    while slot < rules.len() {
+                        if cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                            break;
+                        }
+                        let (idx, rule) = rules[slot];
+                        chunk.push((
+                            slot,
+                            self.eval_one_rule(program, idx, rule, &plans[slot], db, delta),
+                        ));
+                        slot += workers;
+                    }
+                    chunk
+                }));
+            }
+            for (w, handle) in handles.into_iter().enumerate() {
+                match handle.join() {
+                    Ok(chunk) => {
+                        for (slot, r) in chunk {
+                            results[slot] = Some(r);
+                        }
+                    }
+                    Err(payload) => {
+                        // `eval_one_rule` already catches rule panics, so a
+                        // worker dying here is out-of-band; surface it as an
+                        // internal error on its first unfinished rule rather
+                        // than silently dropping derivations.
+                        let message = panic_message(payload.as_ref());
+                        if let Some(slot) = (w..rules.len())
+                            .step_by(workers)
+                            .find(|s| results[*s].is_none())
+                        {
+                            results[slot] = Some(Err(EngineError::Internal {
+                                rule: rule_label(program, rules[slot].0),
+                                message,
+                            }));
+                        }
+                    }
+                }
+            }
+        });
+        results
+    }
+
+    /// All join passes of one rule for the round, isolated against panics
+    /// at the rule boundary (a faulty builtin cannot take down the round —
+    /// or, in parallel mode, its worker thread).
+    fn eval_one_rule(
+        &self,
+        program: &Program,
+        idx: usize,
+        rule: &Rule,
+        plans: &[JoinPlan],
+        db: &Database,
+        delta: Option<&DeltaRows>,
+    ) -> Result<(Vec<Binding>, JoinCounters), EngineError> {
+        isolate_rule(program, idx, || {
+            let mut counters = JoinCounters::default();
+            let mut bindings = Vec::new();
+            for plan in plans {
+                let mut binding = Binding::new();
+                self.join_step(
+                    rule,
+                    plan,
+                    0,
+                    db,
+                    delta,
+                    &mut binding,
+                    &mut bindings,
+                    idx,
+                    &mut counters,
+                )?;
+            }
+            Ok((bindings, counters))
+        })
+    }
+
+    /// Recursive join over a plan's steps. A positive literal probes the
+    /// prebuilt hash index when the plan carries a bound mask (falling
+    /// back to a linear scan if the index is missing or stale), scans the
+    /// delta rows when it is the focused literal, and scans the relation
+    /// otherwise. Negation/condition/assignment steps behave as in the
+    /// classic nested-loop evaluator — the planner only ever schedules
+    /// them once their variables are bound.
+    #[allow(clippy::too_many_arguments)]
+    fn join_step(
+        &self,
+        rule: &Rule,
+        plan: &JoinPlan,
+        step_idx: usize,
+        db: &Database,
+        delta: Option<&DeltaRows>,
         binding: &mut Binding,
         out: &mut Vec<Binding>,
         rule_idx: usize,
-        candidates: &mut u64,
+        counters: &mut JoinCounters,
     ) -> Result<(), EngineError> {
-        let Some((lit, rest)) = lits.split_first() else {
+        let Some(step) = plan.steps.get(step_idx) else {
             out.push(binding.clone());
             return Ok(());
         };
-        match lit {
+        match &rule.body[step.lit] {
             Literal::Pos(atom) => {
-                let focused_delta = match focus {
-                    Some((f, deltas)) if f == pos_seen => Some(deltas),
-                    _ => None,
-                };
-                if let Some(deltas) = focused_delta {
-                    let empty = Vec::new();
-                    let rows = deltas.get(&atom.pred).unwrap_or(&empty);
+                if plan.focus == Some(step.lit) {
+                    let rows: &[Row] = delta
+                        .and_then(|d| d.get(&atom.pred))
+                        .map(|v| v.as_slice())
+                        .unwrap_or(&[]);
                     for row in rows {
                         if row.len() != atom.args.len() {
                             continue;
                         }
-                        *candidates += 1;
+                        counters.candidates += 1;
                         if let Some(undo) = try_match(atom, row, binding) {
-                            self.join_literals(
-                                rest,
+                            self.join_step(
+                                rule,
+                                plan,
+                                step_idx + 1,
                                 db,
-                                focus,
-                                pos_seen + 1,
+                                delta,
                                 binding,
                                 out,
                                 rule_idx,
-                                candidates,
+                                counters,
                             )?;
                             undo_binding(binding, undo);
                         }
                     }
+                    return Ok(());
+                }
+                let Some(rel) = db.relation(&atom.pred) else {
+                    return Ok(());
+                };
+                // Assemble the probe key from the plan's static mask. Every
+                // masked position is bound by construction; a gap (possible
+                // only for rules the safety check would reject) downgrades
+                // to a scan instead of mis-probing.
+                let key: Option<Vec<Value>> = if step.bound.is_empty() {
+                    None
                 } else {
-                    let Some(rel) = db.relation(&atom.pred) else {
-                        return Ok(());
-                    };
-                    // pattern from bound args
-                    let pattern: Vec<Option<Value>> = atom
-                        .args
+                    step.bound
                         .iter()
-                        .map(|t| match t {
+                        .map(|&i| match &atom.args[i] {
                             Term::Const(v) => Some(v.clone()),
                             Term::Var(v) => binding.get(v).cloned(),
                         })
-                        .collect();
-                    for i in rel.select_indices(&pattern) {
-                        let row = rel.row(i).clone();
-                        if row.len() != atom.args.len() {
-                            continue;
+                        .collect()
+                };
+                let postings = match &key {
+                    Some(k) => {
+                        counters.probes += 1;
+                        rel.probe(&step.bound, k)
+                    }
+                    None => None,
+                };
+                match postings {
+                    Some(hits) => {
+                        for &ri in hits {
+                            let row = rel.row(ri as usize);
+                            if row.len() != atom.args.len() {
+                                continue;
+                            }
+                            counters.candidates += 1;
+                            if let Some(undo) = try_match(atom, row, binding) {
+                                self.join_step(
+                                    rule,
+                                    plan,
+                                    step_idx + 1,
+                                    db,
+                                    delta,
+                                    binding,
+                                    out,
+                                    rule_idx,
+                                    counters,
+                                )?;
+                                undo_binding(binding, undo);
+                            }
                         }
-                        *candidates += 1;
-                        if let Some(undo) = try_match(atom, &row, binding) {
-                            self.join_literals(
-                                rest,
-                                db,
-                                focus,
-                                pos_seen + 1,
-                                binding,
-                                out,
-                                rule_idx,
-                                candidates,
-                            )?;
-                            undo_binding(binding, undo);
+                    }
+                    None => {
+                        counters.scans += 1;
+                        for row in rel.iter() {
+                            if row.len() != atom.args.len() {
+                                continue;
+                            }
+                            counters.candidates += 1;
+                            if let Some(undo) = try_match(atom, row, binding) {
+                                self.join_step(
+                                    rule,
+                                    plan,
+                                    step_idx + 1,
+                                    db,
+                                    delta,
+                                    binding,
+                                    out,
+                                    rule_idx,
+                                    counters,
+                                )?;
+                                undo_binding(binding, undo);
+                            }
                         }
                     }
                 }
@@ -832,8 +1066,16 @@ impl Engine {
                     .map(|r| r.contains(&args))
                     .unwrap_or(false);
                 if !present {
-                    self.join_literals(
-                        rest, db, focus, pos_seen, binding, out, rule_idx, candidates,
+                    self.join_step(
+                        rule,
+                        plan,
+                        step_idx + 1,
+                        db,
+                        delta,
+                        binding,
+                        out,
+                        rule_idx,
+                        counters,
                     )?;
                 }
                 Ok(())
@@ -841,8 +1083,16 @@ impl Engine {
             Literal::Cond(expr) => {
                 match eval_expr(expr, binding) {
                     Ok(v) if v.is_true() => {
-                        self.join_literals(
-                            rest, db, focus, pos_seen, binding, out, rule_idx, candidates,
+                        self.join_step(
+                            rule,
+                            plan,
+                            step_idx + 1,
+                            db,
+                            delta,
+                            binding,
+                            out,
+                            rule_idx,
+                            counters,
                         )?;
                     }
                     Ok(_) => {}
@@ -862,14 +1112,30 @@ impl Engine {
                         if let Some(existing) = binding.get(var) {
                             // Let on a bound variable acts as equality filter.
                             if *existing == v {
-                                self.join_literals(
-                                    rest, db, focus, pos_seen, binding, out, rule_idx, candidates,
+                                self.join_step(
+                                    rule,
+                                    plan,
+                                    step_idx + 1,
+                                    db,
+                                    delta,
+                                    binding,
+                                    out,
+                                    rule_idx,
+                                    counters,
                                 )?;
                             }
                         } else {
                             binding.insert(var.clone(), v);
-                            self.join_literals(
-                                rest, db, focus, pos_seen, binding, out, rule_idx, candidates,
+                            self.join_step(
+                                rule,
+                                plan,
+                                step_idx + 1,
+                                db,
+                                delta,
+                                binding,
+                                out,
+                                rule_idx,
+                                counters,
                             )?;
                             binding.remove(var);
                         }
@@ -892,6 +1158,49 @@ impl Engine {
                 })
             }
         }
+    }
+
+    /// Enumerate all body bindings of a rule against the current database
+    /// (no delta focus): plan, build the indexes the plan probes, join.
+    /// Used by the aggregate and EGD paths, which re-evaluate in full.
+    fn rule_bindings_full(
+        &self,
+        rule: &Rule,
+        db: &mut Database,
+        rule_idx: usize,
+        profile: &mut EngineProfile,
+    ) -> Result<Vec<Binding>, EngineError> {
+        let plan = if self.config.join_mode == JoinMode::Reference {
+            identity_plan(rule, None)
+        } else {
+            plan_rule(rule, db, None, 0)
+        };
+        if plan.reordered {
+            profile.planner_reorders += 1;
+        }
+        for (pred, bound) in plan.index_needs(rule) {
+            if db.relation(pred).is_some() {
+                db.relation_mut(pred).ensure_index(bound);
+            }
+        }
+        let mut counters = JoinCounters::default();
+        let mut out = Vec::new();
+        let mut binding = Binding::new();
+        self.join_step(
+            rule,
+            &plan,
+            0,
+            db,
+            None,
+            &mut binding,
+            &mut out,
+            rule_idx,
+            &mut counters,
+        )?;
+        profile.rules[rule_idx].join_candidates += counters.candidates;
+        profile.index_probes += counters.probes;
+        profile.index_scans += counters.scans;
+        Ok(out)
     }
 
     /// Instantiate head atoms for a binding, minting nulls for existentials.
@@ -1003,9 +1312,7 @@ impl Engine {
             body: prefix.to_vec(),
             label: rule.label.clone(),
         };
-        let mut candidates = 0u64;
-        let bindings = self.rule_bindings(&prefix_rule, db, None, rule_idx, &mut candidates)?;
-        profile.rules[rule_idx].join_candidates += candidates;
+        let bindings = self.rule_bindings_full(&prefix_rule, db, rule_idx, profile)?;
         profile.rules[rule_idx].firings += bindings.len() as u64;
 
         // Group key: prefix-bound variables appearing in the head.
@@ -1193,7 +1500,8 @@ impl Engine {
             }
         }
         for (fact, b) in to_insert {
-            if db.insert(&fact.pred, fact.args.clone()) {
+            let Fact { pred, args } = fact;
+            if let Some(row) = db.insert_shared(&pred, args) {
                 changed = true;
                 stats.facts_derived += 1;
                 profile.rules[rule_idx].facts_derived += 1;
@@ -1203,7 +1511,7 @@ impl Engine {
                         .clone()
                         .unwrap_or_else(|| format!("rule#{rule_idx}"));
                     trace.push(TraceEntry {
-                        fact,
+                        fact: Fact::new(pred, (*row).clone()),
                         rule: label,
                         binding: b.into_iter().collect(),
                     });
@@ -1233,9 +1541,7 @@ impl Engine {
         // Re-evaluate until no more unifications: each rewrite can expose
         // new bindings.
         loop {
-            let mut candidates = 0u64;
-            let bindings = self.rule_bindings(rule, db, None, rule_idx, &mut candidates)?;
-            profile.rules[rule_idx].join_candidates += candidates;
+            let bindings = self.rule_bindings_full(rule, db, rule_idx, profile)?;
             profile.rules[rule_idx].firings += bindings.len() as u64;
             let mut did_unify = false;
             for b in bindings {
@@ -1301,9 +1607,9 @@ fn find_existential_witness(
     atom: &Atom,
     binding: &Binding,
     ex: &BTreeSet<String>,
-    db: &Database,
+    db: &mut Database,
 ) -> Option<HashMap<String, Value>> {
-    let rel = db.relation(&atom.pred)?;
+    db.relation(&atom.pred)?;
     let pattern: Vec<Option<Value>> = atom
         .args
         .iter()
@@ -1313,6 +1619,7 @@ fn find_existential_witness(
             Term::Var(v) => binding.get(v).cloned(),
         })
         .collect();
+    let rel = db.relation_mut(&atom.pred);
     'rows: for idx in rel.select_indices(&pattern) {
         let row = rel.row(idx);
         if row.len() != atom.args.len() {

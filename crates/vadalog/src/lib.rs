@@ -42,8 +42,10 @@ pub mod ast;
 pub mod builtins;
 pub mod eval;
 pub mod governor;
+pub mod intern;
 pub mod module;
 pub mod parser;
+pub mod plan;
 pub mod printer;
 pub mod profile;
 pub mod query;
@@ -59,12 +61,14 @@ pub use vadasa_obs as obs;
 pub use ast::{AggFunc, Atom, Expr, Fact, Head, Literal, Program, Rule, Term};
 pub use builtins::{eval_expr, Binding, EvalError};
 pub use eval::{
-    EgdPolicy, EgdViolation, Engine, EngineConfig, EngineError, EvalStats, ReasoningResult,
-    TraceEntry,
+    EgdPolicy, EgdViolation, Engine, EngineConfig, EngineError, EvalStats, JoinMode,
+    ReasoningResult, TraceEntry,
 };
 pub use governor::{Budget, BudgetKind, CancelToken, Termination};
+pub use intern::{intern, InternStats};
 pub use module::{Module, ModuleError, ModuleRegistry};
 pub use parser::{parse_program, parse_rule, ParseError};
+pub use plan::{plan_rule, JoinPlan, PlanStep};
 pub use printer::{print_expr, print_program, print_rule};
 pub use profile::{EngineProfile, RoundProfile, RuleProfile, StratumProfile};
 pub use query::{answers, AnswerMode};

@@ -1,0 +1,313 @@
+//! Join planning: per-rule body-literal ordering by boundness and
+//! estimated selectivity.
+//!
+//! The evaluator joins a rule's positive body literals left to right.
+//! Source order is rarely the cheapest order: joining the *most bound*
+//! atom first (most argument positions already fixed by constants or
+//! earlier literals) shrinks the intermediate binding set, and among
+//! equally bound atoms the smaller relation is the better driver. The
+//! planner performs that greedy reordering once per rule per semi-naive
+//! round (relation sizes change between rounds), subject to semantics:
+//!
+//! - negations, conditions and assignments are scheduled as soon as every
+//!   variable they need is bound — never before, since an unbound negation
+//!   or condition would silently change the rule's meaning;
+//! - in a delta-focused pass the focused literal is placed first: the
+//!   delta is the smallest input by construction and anchoring it bounds
+//!   the rest of the join;
+//! - aggregates never reach the planner (aggregate rules split their body
+//!   before joining, see the evaluator).
+//!
+//! Because the execution order is fixed by the plan, the set of bound
+//! argument positions of every positive literal is *statically known*.
+//! The plan records those masks so the engine can prebuild the matching
+//! hash indexes ([`crate::storage::Relation::ensure_index`]) before the
+//! join — and, crucially, before fanning rule evaluation out to threads,
+//! after which all index access is read-only.
+
+use crate::ast::{Literal, Rule, Term};
+use crate::storage::Database;
+use std::collections::BTreeSet;
+
+/// One scheduled body literal.
+#[derive(Debug, Clone)]
+pub struct PlanStep {
+    /// Index of the literal in the rule body.
+    pub lit: usize,
+    /// For positive atoms: argument positions bound at probe time
+    /// (constants, repeated variables resolved earlier, or variables bound
+    /// by previous steps). Empty for non-positive literals and for the
+    /// delta-focused literal (which scans the delta instead of probing).
+    pub bound: Vec<usize>,
+}
+
+/// An execution order for one rule body.
+#[derive(Debug, Clone)]
+pub struct JoinPlan {
+    /// Steps in execution order; covers every body literal exactly once.
+    pub steps: Vec<PlanStep>,
+    /// Body index of the delta-focused literal, if this is a delta pass.
+    pub focus: Option<usize>,
+    /// Did the planner deviate from source order?
+    pub reordered: bool,
+}
+
+impl JoinPlan {
+    /// (predicate, bound positions) pairs whose indexes the executor needs.
+    pub fn index_needs<'a>(
+        &'a self,
+        rule: &'a Rule,
+    ) -> impl Iterator<Item = (&'a str, &'a [usize])> {
+        self.steps.iter().filter_map(move |s| {
+            if Some(s.lit) == self.focus || s.bound.is_empty() {
+                return None;
+            }
+            match &rule.body[s.lit] {
+                Literal::Pos(a) => Some((a.pred.as_str(), s.bound.as_slice())),
+                _ => None,
+            }
+        })
+    }
+}
+
+/// The do-nothing plan: literals in source order, no probe masks. This is
+/// the execution order of the reference nested-loop evaluator
+/// ([`JoinMode::Reference`](crate::eval::JoinMode)), kept as the
+/// correctness oracle the planned/indexed path is tested against.
+pub fn identity_plan(rule: &Rule, focus: Option<usize>) -> JoinPlan {
+    JoinPlan {
+        steps: (0..rule.body.len())
+            .map(|lit| PlanStep {
+                lit,
+                bound: Vec::new(),
+            })
+            .collect(),
+        focus,
+        reordered: false,
+    }
+}
+
+/// Estimated driving cost of scanning `pred` (relation cardinality).
+fn relation_size(db: &Database, pred: &str) -> usize {
+    db.relation(pred).map(|r| r.len()).unwrap_or(0)
+}
+
+/// Statically bound argument positions of a positive atom given the set of
+/// already-bound variables. A repeated variable's *first* occurrence binds
+/// it, so only subsequent occurrences (and pre-bound variables and
+/// constants) count as bound for index purposes.
+fn bound_positions(args: &[Term], bound_vars: &BTreeSet<&str>) -> Vec<usize> {
+    let mut seen_here: BTreeSet<&str> = BTreeSet::new();
+    let mut out = Vec::new();
+    for (i, t) in args.iter().enumerate() {
+        match t {
+            Term::Const(_) => out.push(i),
+            Term::Var(v) => {
+                if bound_vars.contains(v.as_str()) || seen_here.contains(v.as_str()) {
+                    out.push(i);
+                } else {
+                    seen_here.insert(v);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Plan a rule body. `focus` is the body index of the delta-focused
+/// positive literal for semi-naive passes (`None` on the full pass).
+/// `delta_size` estimates the focused literal's cardinality.
+pub fn plan_rule(rule: &Rule, db: &Database, focus: Option<usize>, delta_size: usize) -> JoinPlan {
+    let body = &rule.body;
+    let mut placed = vec![false; body.len()];
+    let mut bound_vars: BTreeSet<&str> = BTreeSet::new();
+    let mut steps: Vec<PlanStep> = Vec::with_capacity(body.len());
+
+    // Schedule every non-positive literal whose requirements are met, in
+    // source order; repeat so `Let` chains resolve. Returns false if any
+    // literal is still blocked (callers retry after binding more vars).
+    fn place_ready<'r>(
+        body: &'r [Literal],
+        placed: &mut [bool],
+        bound_vars: &mut BTreeSet<&'r str>,
+        steps: &mut Vec<PlanStep>,
+    ) {
+        loop {
+            let mut progressed = false;
+            for (i, lit) in body.iter().enumerate() {
+                if placed[i] || matches!(lit, Literal::Pos(_)) {
+                    continue;
+                }
+                let ready = lit
+                    .required_vars()
+                    .iter()
+                    .all(|v| bound_vars.contains(v.as_str()));
+                if ready {
+                    placed[i] = true;
+                    if let Literal::Let { var, .. } = lit {
+                        bound_vars.insert(var.as_str());
+                    }
+                    steps.push(PlanStep {
+                        lit: i,
+                        bound: Vec::new(),
+                    });
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                return;
+            }
+        }
+    }
+
+    // The delta-focused literal anchors the join.
+    if let Some(f) = focus {
+        placed[f] = true;
+        if let Literal::Pos(a) = &body[f] {
+            for v in a.vars() {
+                bound_vars.insert(v);
+            }
+        }
+        steps.push(PlanStep {
+            lit: f,
+            bound: Vec::new(),
+        });
+        place_ready(body, &mut placed, &mut bound_vars, &mut steps);
+    }
+
+    loop {
+        place_ready(body, &mut placed, &mut bound_vars, &mut steps);
+        // pick the best unplaced positive literal
+        let mut best: Option<(usize, usize, usize)> = None; // (lit, bound_count, size)
+        for (i, lit) in body.iter().enumerate() {
+            if placed[i] {
+                continue;
+            }
+            let Literal::Pos(a) = lit else { continue };
+            let nbound = bound_positions(&a.args, &bound_vars).len();
+            let size = relation_size(db, &a.pred);
+            let better = match &best {
+                None => true,
+                Some((_, bb, bs)) => {
+                    // more bound positions first; then smaller relation;
+                    // then source order (implicit via iteration order)
+                    nbound > *bb || (nbound == *bb && size < *bs)
+                }
+            };
+            if better {
+                best = Some((i, nbound, size));
+            }
+        }
+        let Some((i, _, _)) = best else { break };
+        let Literal::Pos(a) = &body[i] else { break };
+        let bound = bound_positions(&a.args, &bound_vars);
+        for v in a.vars() {
+            bound_vars.insert(v);
+        }
+        placed[i] = true;
+        steps.push(PlanStep { lit: i, bound });
+    }
+    place_ready(body, &mut placed, &mut bound_vars, &mut steps);
+
+    // Blocked leftovers (possible only for rules that would fail the
+    // safety check): append in source order so execution degrades to the
+    // source semantics instead of dropping literals.
+    for (i, p) in placed.iter().enumerate() {
+        if !p {
+            steps.push(PlanStep {
+                lit: i,
+                bound: Vec::new(),
+            });
+        }
+    }
+
+    let reordered = steps.iter().enumerate().any(|(pos, s)| s.lit != pos);
+    let _ = delta_size; // reserved for finer selectivity estimates
+    JoinPlan {
+        steps,
+        focus,
+        reordered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_rule;
+    use crate::value::Value;
+
+    fn db_with(sizes: &[(&str, usize)]) -> Database {
+        let mut db = Database::new();
+        for (pred, n) in sizes {
+            for i in 0..*n {
+                db.insert(*pred, vec![Value::Int(i as i64), Value::Int(i as i64 + 1)]);
+            }
+        }
+        db
+    }
+
+    #[test]
+    fn smaller_relation_drives_the_join() {
+        let rule = parse_rule("h(X, Y) :- big(X, Z), small(Z, Y).").unwrap();
+        let db = db_with(&[("big", 100), ("small", 2)]);
+        let plan = plan_rule(&rule, &db, None, 0);
+        assert_eq!(plan.steps[0].lit, 1, "small relation should go first");
+        assert!(plan.reordered);
+        // after small(Z, Y) binds Z, big probes on position 1
+        assert_eq!(plan.steps[1].bound, vec![1]);
+    }
+
+    #[test]
+    fn constants_count_as_bound() {
+        let rule = parse_rule("h(X) :- a(X, Y), b(1, X).").unwrap();
+        let db = db_with(&[("a", 10), ("b", 10)]);
+        let plan = plan_rule(&rule, &db, None, 0);
+        // b(1, X) has one bound position (the constant) vs zero for a
+        assert_eq!(plan.steps[0].lit, 1);
+        assert_eq!(plan.steps[0].bound, vec![0]);
+    }
+
+    #[test]
+    fn negation_waits_for_its_variables() {
+        let rule = parse_rule("h(X) :- not q(Y), p(X, Y).").unwrap();
+        let db = db_with(&[("p", 5), ("q", 5)]);
+        let plan = plan_rule(&rule, &db, None, 0);
+        let neg_pos = plan.steps.iter().position(|s| s.lit == 0).unwrap();
+        let pos_pos = plan.steps.iter().position(|s| s.lit == 1).unwrap();
+        assert!(neg_pos > pos_pos, "negation must follow its binder");
+    }
+
+    #[test]
+    fn focus_literal_is_first() {
+        let rule = parse_rule("p(X, Y) :- e(X, Z), p(Z, Y).").unwrap();
+        let db = db_with(&[("e", 50), ("p", 50)]);
+        let plan = plan_rule(&rule, &db, Some(1), 3);
+        assert_eq!(plan.steps[0].lit, 1);
+        assert_eq!(plan.focus, Some(1));
+        // e then probes on Z (position 1)
+        assert_eq!(plan.steps[1].lit, 0);
+        assert_eq!(plan.steps[1].bound, vec![1]);
+    }
+
+    #[test]
+    fn let_chain_schedules_in_dependency_order() {
+        let rule = parse_rule("h(B) :- t(X), A = X + 1, B = A * 2, B > 0.").unwrap();
+        let db = db_with(&[("t", 3)]);
+        let plan = plan_rule(&rule, &db, None, 0);
+        let order: Vec<usize> = plan.steps.iter().map(|s| s.lit).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+        assert!(!plan.reordered);
+    }
+
+    #[test]
+    fn index_needs_reports_probe_masks() {
+        let rule = parse_rule("h(X, Y) :- big(X, Z), small(Z, Y).").unwrap();
+        let db = db_with(&[("big", 100), ("small", 2)]);
+        let plan = plan_rule(&rule, &db, None, 0);
+        let needs: Vec<(String, Vec<usize>)> = plan
+            .index_needs(&rule)
+            .map(|(p, b)| (p.to_string(), b.to_vec()))
+            .collect();
+        assert_eq!(needs, vec![("big".to_string(), vec![1])]);
+    }
+}

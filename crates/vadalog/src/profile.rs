@@ -84,6 +84,19 @@ pub struct EngineProfile {
     pub unifications: u64,
     /// EGD violations collected.
     pub violations: u64,
+    /// Hash-index probes issued by the planned join executor.
+    pub index_probes: u64,
+    /// Full-relation linear scans the executor fell back to (no bound
+    /// positions, or a missing/stale index). High scans relative to
+    /// probes means the planner found little to probe on.
+    pub index_scans: u64,
+    /// String-interner hits during this run (heap allocations avoided;
+    /// see [`crate::intern`]).
+    pub intern_hits: u64,
+    /// Join plans where the planner deviated from source literal order.
+    pub planner_reorders: u64,
+    /// Semi-naive rounds whose rule evaluation fanned out over threads.
+    pub parallel_rounds: u64,
 }
 
 impl EngineProfile {
@@ -131,6 +144,15 @@ impl EngineProfile {
             self.total_rounds(),
             self.nulls_created,
             self.unifications,
+        );
+        let _ = writeln!(
+            out,
+            "join core — {} index probe(s), {} scan(s), {} intern hit(s), {} plan reorder(s), {} parallel round(s)",
+            self.index_probes,
+            self.index_scans,
+            self.intern_hits,
+            self.planner_reorders,
+            self.parallel_rounds,
         );
         let _ = writeln!(
             out,
@@ -237,6 +259,15 @@ impl EngineProfile {
         obs.counter("engine.nulls_created", self.nulls_created, vec![]);
         obs.counter("engine.unifications", self.unifications, vec![]);
         obs.counter("engine.egd_violations", self.violations, vec![]);
+        obs.counter("engine.join.index_probes", self.index_probes, vec![]);
+        obs.counter("engine.join.index_scans", self.index_scans, vec![]);
+        obs.counter("engine.join.intern_hits", self.intern_hits, vec![]);
+        obs.counter(
+            "engine.join.planner_reorders",
+            self.planner_reorders,
+            vec![],
+        );
+        obs.counter("engine.join.parallel_rounds", self.parallel_rounds, vec![]);
         obs.span_at(
             "engine.run",
             self.total_ns,

@@ -16,7 +16,11 @@ use crate::builtins::Binding;
 use crate::value::Value;
 
 /// Orders the bindings of a rule before its head facts are derived.
-pub trait Router {
+///
+/// `Send + Sync` so an [`EngineConfig`](crate::eval::EngineConfig) holding
+/// a router can be shared with scoped rule-evaluation threads; routers are
+/// expected to be plain data (all in-tree strategies are).
+pub trait Router: Send + Sync {
     /// Strategy name for diagnostics.
     fn name(&self) -> &str;
     /// Reorder `bindings` in place; earlier bindings fire first.

@@ -1,38 +1,67 @@
-//! Fact storage: insertion-ordered, deduplicated relations with on-demand
+//! Fact storage: insertion-ordered, deduplicated relations with prebuilt
 //! hash indexes over bound argument positions.
+//!
+//! Indexes are keyed by the *set of bound positions* a join probe uses
+//! (e.g. `[0]` for `p(X, ?)` with `X` bound). They are built on demand by
+//! [`Relation::ensure_index`] — the engine calls it once per semi-naive
+//! round for every (predicate, bound-set) pair its join plans need — and
+//! extended incrementally as rows arrive. Probing ([`Relation::probe`])
+//! is a pure `&self` hash lookup returning a borrowed posting list, so
+//! relations are `Sync` and many rules can probe the same relation from
+//! parallel evaluation threads without locks.
 
 use crate::ast::Fact;
 use crate::value::{NullId, Value};
-use std::cell::RefCell;
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::borrow::Borrow;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
-/// A stored tuple (shared so index buckets stay cheap).
+/// A stored tuple (shared so index buckets and deltas stay cheap).
 pub type Row = Arc<Vec<Value>>;
 
-/// Lazily built secondary index: how many rows it has absorbed (so it can
-/// be extended incrementally) plus key values → row indices.
-type IndexState = (usize, HashMap<Vec<Value>, Vec<usize>>);
+/// Dedup key wrapping a shared row so membership can be probed with a
+/// borrowed `&[Value]` — no allocation on the contains/insert path.
+#[derive(Debug, Clone)]
+struct RowKey(Row);
 
-/// One relation: a deduplicated, insertion-ordered set of rows plus lazily
-/// built secondary indexes keyed by a set of bound positions.
-#[derive(Debug, Default)]
-pub struct Relation {
-    rows: Vec<Row>,
-    dedup: HashMap<Row, usize>,
-    /// bound-position mask → incremental index over those positions.
-    indexes: RefCell<HashMap<Vec<usize>, IndexState>>,
+impl Borrow<[Value]> for RowKey {
+    fn borrow(&self) -> &[Value] {
+        self.0.as_slice()
+    }
 }
 
-impl Clone for Relation {
-    fn clone(&self) -> Self {
-        Relation {
-            rows: self.rows.clone(),
-            dedup: self.dedup.clone(),
-            indexes: RefCell::new(HashMap::new()),
-        }
+impl Hash for RowKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Must agree with the `[Value]` slice hash used for borrowed probes.
+        <[Value] as Hash>::hash(self.0.as_slice(), state)
     }
+}
+
+impl PartialEq for RowKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.as_slice() == other.0.as_slice()
+    }
+}
+impl Eq for RowKey {}
+
+/// Secondary hash index over a fixed set of bound positions.
+#[derive(Debug, Default, Clone)]
+struct Index {
+    /// How many of the relation's rows this index has absorbed.
+    absorbed: usize,
+    /// Key values (in bound-position order) → row indices.
+    map: HashMap<Vec<Value>, Vec<u32>>,
+}
+
+/// One relation: a deduplicated, insertion-ordered set of rows plus
+/// prebuilt secondary indexes keyed by a set of bound positions.
+#[derive(Debug, Default, Clone)]
+pub struct Relation {
+    rows: Vec<Row>,
+    dedup: HashSet<RowKey>,
+    /// bound-position set → incremental index over those positions.
+    indexes: HashMap<Vec<usize>, Index>,
 }
 
 impl Relation {
@@ -46,25 +75,26 @@ impl Relation {
         self.rows.is_empty()
     }
 
-    /// Insert a row; returns `true` if it was new.
+    /// Insert a row; returns `true` if it was new. Duplicate rows are
+    /// rejected with a borrowed membership probe — no allocation.
     pub fn insert(&mut self, row: Vec<Value>) -> bool {
-        let row: Row = Arc::new(row);
-        match self.dedup.entry(row.clone()) {
-            Entry::Occupied(_) => false,
-            Entry::Vacant(v) => {
-                v.insert(self.rows.len());
-                self.rows.push(row);
-                true
-            }
-        }
+        self.insert_shared(Arc::new(row)).is_some()
     }
 
-    /// Does the relation contain this exact row?
+    /// Insert a shared row; returns the stored handle if it was new so
+    /// callers (the semi-naive delta) can alias it instead of cloning.
+    pub fn insert_shared(&mut self, row: Row) -> Option<Row> {
+        if self.dedup.contains(row.as_slice()) {
+            return None;
+        }
+        self.dedup.insert(RowKey(row.clone()));
+        self.rows.push(row.clone());
+        Some(row)
+    }
+
+    /// Does the relation contain this exact row? Borrow-only.
     pub fn contains(&self, row: &[Value]) -> bool {
-        // Arc<Vec<Value>> only borrows as Vec<Value>, so the probe needs an
-        // owned key; rows are short, the copy is cheap.
-        #[allow(clippy::unnecessary_to_owned)]
-        self.dedup.contains_key(&row.to_vec())
+        self.dedup.contains(row)
     }
 
     /// Iterate all rows in insertion order.
@@ -77,9 +107,44 @@ impl Relation {
         &self.rows[idx]
     }
 
-    /// Indices of rows matching `pattern` (None = wildcard). Uses a hash
-    /// index over the bound positions, built or extended on demand.
-    pub fn select_indices(&self, pattern: &[Option<Value>]) -> Vec<usize> {
+    /// Build the index over `bound` positions (sorted, deduplicated by the
+    /// caller) or extend it to cover rows inserted since the last call.
+    pub fn ensure_index(&mut self, bound: &[usize]) {
+        if bound.is_empty() {
+            return;
+        }
+        let idx = match self.indexes.get_mut(bound) {
+            Some(i) => i,
+            None => self.indexes.entry(bound.to_vec()).or_default(),
+        };
+        while idx.absorbed < self.rows.len() {
+            let row = &self.rows[idx.absorbed];
+            if bound.iter().all(|&i| i < row.len()) {
+                let key: Vec<Value> = bound.iter().map(|&i| row[i].clone()).collect();
+                idx.map.entry(key).or_default().push(idx.absorbed as u32);
+            }
+            idx.absorbed += 1;
+        }
+    }
+
+    /// Probe a prebuilt index: row indices whose `bound` positions equal
+    /// `key`. Returns `None` when no *fully absorbed* index over `bound`
+    /// exists — the caller must fall back to a scan (a partially absorbed
+    /// index would silently miss rows).
+    pub fn probe(&self, bound: &[usize], key: &[Value]) -> Option<&[u32]> {
+        let idx = self.indexes.get(bound)?;
+        if idx.absorbed != self.rows.len() {
+            return None;
+        }
+        Some(idx.map.get(key).map(|v| v.as_slice()).unwrap_or(&[]))
+    }
+
+    /// Indices of rows matching `pattern` (None = wildcard), building the
+    /// index over the bound positions on demand. Retained for callers that
+    /// hold `&mut` and probe ad-hoc patterns (e.g. the restricted-chase
+    /// witness lookup); the planned join path uses
+    /// [`ensure_index`](Self::ensure_index) + [`probe`](Self::probe).
+    pub fn select_indices(&mut self, pattern: &[Option<Value>]) -> Vec<usize> {
         let bound: Vec<usize> = pattern
             .iter()
             .enumerate()
@@ -88,28 +153,19 @@ impl Relation {
         if bound.is_empty() {
             return (0..self.rows.len()).collect();
         }
-        let key: Vec<Value> = bound.iter().map(|&i| pattern[i].clone().unwrap()).collect();
-
-        let mut indexes = self.indexes.borrow_mut();
-        let (absorbed, index) = indexes
-            .entry(bound.clone())
-            .or_insert_with(|| (0, HashMap::new()));
-        while *absorbed < self.rows.len() {
-            let row = &self.rows[*absorbed];
-            if bound.iter().all(|&i| i < row.len()) {
-                let k: Vec<Value> = bound.iter().map(|&i| row[i].clone()).collect();
-                index.entry(k).or_default().push(*absorbed);
-            }
-            *absorbed += 1;
+        let key: Vec<Value> = bound.iter().filter_map(|&i| pattern[i].clone()).collect();
+        self.ensure_index(&bound);
+        match self.probe(&bound, &key) {
+            Some(hits) => hits.iter().map(|&i| i as usize).collect(),
+            None => Vec::new(),
         }
-        index.get(&key).cloned().unwrap_or_default()
     }
 
     /// Replace the whole row set (used by EGD substitution). Drops indexes.
     pub fn replace_rows(&mut self, new_rows: Vec<Vec<Value>>) {
         self.rows.clear();
         self.dedup.clear();
-        self.indexes.borrow_mut().clear();
+        self.indexes.clear();
         for r in new_rows {
             self.insert(r);
         }
@@ -133,6 +189,13 @@ impl Database {
     /// fact advance the internal counter so freshly invented nulls never
     /// collide with caller-provided ones.
     pub fn insert(&mut self, pred: impl AsRef<str>, row: Vec<Value>) -> bool {
+        self.insert_shared(pred, row).is_some()
+    }
+
+    /// Insert a fact and, when it is new, hand back the stored shared row.
+    /// This is the engine's hot path: the returned [`Row`] is aliased into
+    /// the semi-naive delta (and the trace) without re-cloning the values.
+    pub fn insert_shared(&mut self, pred: impl AsRef<str>, row: Vec<Value>) -> Option<Row> {
         for v in &row {
             if let Value::Null(n) = v {
                 if *n >= self.next_null {
@@ -140,10 +203,15 @@ impl Database {
                 }
             }
         }
-        self.relations
-            .entry(pred.as_ref().to_string())
-            .or_default()
-            .insert(row)
+        let pred = pred.as_ref();
+        match self.relations.get_mut(pred) {
+            Some(rel) => rel.insert_shared(Arc::new(row)),
+            None => self
+                .relations
+                .entry(pred.to_string())
+                .or_default()
+                .insert_shared(Arc::new(row)),
+        }
     }
 
     /// Insert a [`Fact`].
@@ -242,6 +310,23 @@ mod tests {
     }
 
     #[test]
+    fn contains_is_borrow_only_and_exact() {
+        let mut rel = Relation::default();
+        rel.insert(vec![Value::Int(1), Value::str("a")]);
+        assert!(rel.contains(&[Value::Int(1), Value::str("a")]));
+        assert!(!rel.contains(&[Value::Int(1)]));
+        assert!(!rel.contains(&[Value::Int(1), Value::str("b")]));
+    }
+
+    #[test]
+    fn insert_shared_aliases_the_stored_row() {
+        let mut rel = Relation::default();
+        let stored = rel.insert_shared(Arc::new(vec![Value::Int(7)])).unwrap();
+        assert!(Arc::ptr_eq(&stored, rel.row(0)));
+        assert!(rel.insert_shared(Arc::new(vec![Value::Int(7)])).is_none());
+    }
+
+    #[test]
     fn select_with_index() {
         let mut rel = Relation::default();
         for i in 0..100 {
@@ -268,6 +353,21 @@ mod tests {
         rel2.insert(vec![Value::Int(1)]); // dup, not inserted
         assert_eq!(rel2.select_indices(&[Some(Value::Int(1))]).len(), 1);
         assert_eq!(rel2.select_indices(&[Some(Value::Int(2))]).len(), 1);
+    }
+
+    #[test]
+    fn probe_requires_fully_absorbed_index() {
+        let mut rel = Relation::default();
+        rel.insert(vec![Value::Int(1)]);
+        rel.ensure_index(&[0]);
+        assert_eq!(rel.probe(&[0], &[Value::Int(1)]).unwrap(), &[0u32]);
+        // a new row makes the index stale: probe must refuse
+        rel.insert(vec![Value::Int(2)]);
+        assert!(rel.probe(&[0], &[Value::Int(1)]).is_none());
+        rel.ensure_index(&[0]);
+        assert_eq!(rel.probe(&[0], &[Value::Int(2)]).unwrap(), &[1u32]);
+        // missing key in a fresh index: empty postings, not a scan
+        assert!(rel.probe(&[0], &[Value::Int(9)]).unwrap().is_empty());
     }
 
     #[test]

@@ -39,8 +39,17 @@ pub enum Value {
 }
 
 impl Value {
-    /// Convenience constructor for string values.
+    /// Convenience constructor for string values. The string is routed
+    /// through the global interner ([`crate::intern`]), so equal strings
+    /// share one allocation and comparisons hit the pointer fast path.
     pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(crate::intern::intern(s.as_ref()))
+    }
+
+    /// String constructor that bypasses the interner. Use for strings that
+    /// are known to be transient or unbounded in variety (interned entries
+    /// live for the process lifetime, up to the interner's capacity cap).
+    pub fn str_uninterned(s: impl AsRef<str>) -> Self {
         Value::Str(Arc::from(s.as_ref()))
     }
 
@@ -127,10 +136,30 @@ impl Ord for Value {
             (Float(a), Float(b)) => a.total_cmp(b),
             (Int(a), Float(b)) => (*a as f64).total_cmp(b),
             (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
-            (Str(a), Str(b)) => a.cmp(b),
+            // Interned strings (and shared composites) alias: a pointer
+            // match decides equality without touching the bytes.
+            (Str(a), Str(b)) => {
+                if Arc::ptr_eq(a, b) {
+                    Ordering::Equal
+                } else {
+                    a.cmp(b)
+                }
+            }
             (Null(a), Null(b)) => a.cmp(b),
-            (Set(a), Set(b)) => a.cmp(b),
-            (Tuple(a), Tuple(b)) => a.cmp(b),
+            (Set(a), Set(b)) => {
+                if Arc::ptr_eq(a, b) {
+                    Ordering::Equal
+                } else {
+                    a.cmp(b)
+                }
+            }
+            (Tuple(a), Tuple(b)) => {
+                if Arc::ptr_eq(a, b) {
+                    Ordering::Equal
+                } else {
+                    a.cmp(b)
+                }
+            }
             _ => self.kind_rank().cmp(&other.kind_rank()),
         }
     }

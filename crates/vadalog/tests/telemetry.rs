@@ -5,12 +5,19 @@
 use std::io::Write;
 use std::sync::{Arc, Mutex};
 use vadalog::obs::{json, Collector, JsonLinesWriter, Recorder};
-use vadalog::{parse_program, Database, Engine, EngineConfig};
+use vadalog::{parse_program, Database, Engine, EngineConfig, JoinMode};
 
+/// Run under [`JoinMode::Reference`]: the hand-traced candidate counts in
+/// these tests assume classic nested-loop scans in source literal order.
+/// (The default indexed executor examines *fewer* rows — see
+/// `indexed_join_examines_no_more_candidates` below.)
 fn run(src: &str) -> vadalog::ReasoningResult {
-    Engine::new()
-        .run(&parse_program(src).expect("parses"), Database::new())
-        .expect("evaluates")
+    Engine::with_config(EngineConfig {
+        join_mode: JoinMode::Reference,
+        ..EngineConfig::default()
+    })
+    .run(&parse_program(src).expect("parses"), Database::new())
+    .expect("evaluates")
 }
 
 fn run_with_collector(src: &str, collector: Arc<dyn Collector>) -> vadalog::ReasoningResult {
@@ -72,6 +79,40 @@ fn transitive_closure_counters_are_exact() {
     assert_eq!(step.firings, 3);
     assert_eq!(step.facts_derived, 3);
     assert_eq!(step.join_candidates, 3 + 12 + 9 + 6);
+}
+
+/// The default (indexed, planned) executor must reach the same result
+/// while examining no more join candidates than the reference
+/// nested-loop path — and its new profile counters must be live.
+#[test]
+fn indexed_join_examines_no_more_candidates() {
+    let src = "edge(1, 2). edge(2, 3). edge(3, 4).\n\
+         path(X, Y) :- edge(X, Y).\n\
+         path(X, Z) :- edge(X, Y), path(Y, Z).";
+    let reference = run(src);
+    let indexed = Engine::new()
+        .run(&parse_program(src).expect("parses"), Database::new())
+        .expect("evaluates");
+    assert_eq!(
+        indexed.db.rows("path").len(),
+        reference.db.rows("path").len()
+    );
+    let cands = |r: &vadalog::ReasoningResult| -> u64 {
+        r.profile.rules.iter().map(|rp| rp.join_candidates).sum()
+    };
+    assert!(
+        cands(&indexed) <= cands(&reference),
+        "indexed examined {} candidates, reference {}",
+        cands(&indexed),
+        cands(&reference)
+    );
+    assert!(indexed.profile.index_probes > 0, "no index probes recorded");
+    assert!(
+        indexed.profile.planner_reorders > 0,
+        "recursive TC rule should be reordered (delta first)"
+    );
+    assert_eq!(reference.profile.index_probes, 0);
+    assert_eq!(reference.profile.planner_reorders, 0);
 }
 
 /// The restricted chase mints one labelled null per employee (skolem
