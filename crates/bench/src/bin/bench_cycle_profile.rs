@@ -1,57 +1,232 @@
-//! Telemetry bench hook: run the paper's standard anonymization cycle on
-//! a datagen fixture with a JSON-lines collector attached, write the
-//! event stream to `BENCH_cycle.json`, and print the per-iteration
-//! convergence table.
+//! Cycle benchmark: cold-start vs warm-start medians for a multi-iteration
+//! anonymization run, plus the telemetry event stream of one profiled
+//! warm run, all written to `BENCH_cycle.json`.
 //!
-//! Usage: `bench_cycle_profile [--quick] [--out PATH]`
+//! Usage: `bench_cycle_profile [--quick] [--out PATH] [--baseline PATH]`
 //!
-//! The output file holds one JSON object per line (`cycle.iteration`
-//! spans with the full risk landscape, plus `cycle.risk_eval` and
-//! `cycle.run` roll-ups) — ready for `jq` or a notebook.
+//! The workload runs the paper's standard cycle (k-anonymity `k = 2`,
+//! local suppression, `T = 0.5`) at one-tuple-per-iteration granularity
+//! over a `vadasa-datagen` fixture, capped at a fixed iteration budget so
+//! both modes do identical anonymization work across ≥ 10 iterations:
+//!
+//! - **cold** — `warm_start: false`: every iteration rebuilds the
+//!   `MicrodataView` and regroups the maybe-match statistics from scratch.
+//! - **warm** — `warm_start: true` (the default): the view is patched in
+//!   place and the group statistics are repaired incrementally.
+//!
+//! Warm and cold outcomes are asserted identical (table, report,
+//! iteration count, termination) before any number is reported — a
+//! benchmark over divergent semantics would be meaningless.
+//!
+//! The output file holds one JSON object per line: the `cycle.*`
+//! telemetry spans of the profiled run (including the `cycle.warm.*`
+//! counters), then `cycle.e2e` median lines ready for `jq` and for the
+//! CI `cycle-perf-smoke` gate. With `--baseline PATH` the warm median is
+//! compared against the committed baseline and the process exits non-zero
+//! on a >25% regression.
 
+use std::io::Write;
 use std::sync::Arc;
-use vadasa_bench::{paper_cycle_config, time_it};
+use vadasa_bench::{read_baseline_median, time_it};
 use vadasa_core::obs::JsonLinesWriter;
 use vadasa_core::prelude::*;
 use vadasa_core::report::render_profile;
 use vadasa_datagen::generator::{generate, DatasetSpec, Regime};
 
+/// The regression threshold the CI perf-smoke gate enforces (same as
+/// `bench_engine`).
+const MAX_REGRESSION: f64 = 1.25;
+
+fn cycle_config(iteration_cap: usize, warm_start: bool) -> CycleConfig {
+    CycleConfig {
+        threshold: 0.5,
+        tuple_order: TupleOrder::LessSignificantFirst,
+        granularity: StepGranularity::OneTuplePerIteration,
+        max_iterations: iteration_cap,
+        warm_start,
+        ..CycleConfig::default()
+    }
+}
+
+/// Require two runs to be observably identical, or die loudly.
+fn assert_equivalent(warm: &CycleOutcome, cold: &CycleOutcome) {
+    let mut diffs: Vec<String> = Vec::new();
+    if warm.iterations != cold.iterations {
+        diffs.push(format!(
+            "iterations {} vs {}",
+            warm.iterations, cold.iterations
+        ));
+    }
+    if warm.nulls_injected != cold.nulls_injected {
+        diffs.push(format!(
+            "nulls {} vs {}",
+            warm.nulls_injected, cold.nulls_injected
+        ));
+    }
+    if warm.final_risky != cold.final_risky {
+        diffs.push(format!(
+            "final risky {} vs {}",
+            warm.final_risky, cold.final_risky
+        ));
+    }
+    if warm.termination != cold.termination {
+        diffs.push(format!(
+            "termination {:?} vs {:?}",
+            warm.termination, cold.termination
+        ));
+    }
+    if warm.final_report.risks != cold.final_report.risks {
+        diffs.push("final risk vectors differ".to_string());
+    }
+    for i in 0..warm.db.len() {
+        if warm.db.row(i) != cold.db.row(i) {
+            diffs.push(format!("anonymized row {i} differs"));
+            break;
+        }
+    }
+    if !diffs.is_empty() {
+        eprintln!(
+            "WARM/COLD DIVERGENCE — refusing to report timings: {}",
+            diffs.join("; ")
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_cycle.json".to_string());
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_cycle.json".to_string());
+    let baseline = flag("--baseline");
 
-    let rows = if quick { 2_000 } else { 12_000 };
+    // The workload is identical in both modes so the --baseline gate
+    // always compares like with like; --quick only trims repetitions.
+    let rows = 12_000;
+    let runs = if quick { 3 } else { 5 };
+    // One suppression per iteration; the cap keeps both modes on an
+    // identical ≥10-iteration trajectory with a bounded wall clock.
+    let iteration_cap = 40;
     let spec = DatasetSpec::new(rows, 4, Regime::U);
     let (db, dict) = generate(&spec, 20210323);
 
+    let risk = KAnonymity::new(2);
+    let anonymizer = LocalSuppression::default();
+    let run_once = |warm_start: bool| -> CycleOutcome {
+        AnonymizationCycle::new(&risk, &anonymizer, cycle_config(iteration_cap, warm_start))
+            .run(&db, &dict)
+            .expect("cycle workload runs")
+    };
+
+    // --- correctness first: warm ≡ cold on this workload ---
+    let warm_out = run_once(true);
+    let cold_out = run_once(false);
+    assert_equivalent(&warm_out, &cold_out);
+    if warm_out.iterations < 10 {
+        eprintln!(
+            "workload too shallow: {} iteration(s), need >= 10 — grow the dataset",
+            warm_out.iterations
+        );
+        std::process::exit(1);
+    }
+
+    // --- medians over `runs` repetitions per mode ---
+    let median_of = |warm_start: bool| -> f64 {
+        let mut times: Vec<f64> = (0..runs)
+            .map(|_| time_it(|| run_once(warm_start)).1)
+            .collect();
+        times.sort_by(f64::total_cmp);
+        times[times.len() / 2]
+    };
+    let cold_s = median_of(false);
+    let warm_s = median_of(true);
+    let speedup = if warm_s == 0.0 {
+        f64::INFINITY
+    } else {
+        cold_s / warm_s
+    };
+
+    // --- one profiled warm run feeds the telemetry stream ---
     let sink = match JsonLinesWriter::create(&out_path) {
         Ok(w) => Arc::new(w),
         Err(e) => {
-            eprintln!("cannot create {out_path}: {e}");
+            eprintln!("cannot create output file '{out_path}': {e}");
             std::process::exit(1);
         }
     };
-    let risk = KAnonymity::new(2);
-    let anonymizer = LocalSuppression::default();
-    let cycle = AnonymizationCycle::new(&risk, &anonymizer, paper_cycle_config())
-        .with_collector(sink.clone());
-
-    let (out, total) = time_it(|| cycle.run(&db, &dict).expect("cycle converges"));
+    let profiled = AnonymizationCycle::new(&risk, &anonymizer, cycle_config(iteration_cap, true))
+        .with_collector(sink.clone())
+        .run(&db, &dict)
+        .expect("profiled run evaluates");
     sink.flush().expect("flush telemetry");
 
+    // --- append the e2e median lines the CI gate parses ---
+    let append = std::fs::OpenOptions::new().append(true).open(&out_path);
+    let mut file = match append {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot append bench lines to '{out_path}': {e}");
+            std::process::exit(1);
+        }
+    };
+    for (mode, secs) in [("cold", cold_s), ("warm", warm_s)] {
+        writeln!(
+            file,
+            "{{\"bench\":\"cycle.e2e\",\"rows\":{},\"iterations\":{},\"mode\":\"{}\",\"median_s\":{:.6},\"runs\":{}}}",
+            rows, warm_out.iterations, mode, secs, runs
+        )
+        .expect("write bench line");
+    }
+    writeln!(
+        file,
+        "{{\"bench\":\"cycle.e2e\",\"rows\":{},\"speedup\":{:.3}}}",
+        rows, speedup
+    )
+    .expect("write bench line");
+
+    // --- report ---
     println!(
-        "cycle bench — {} ({} rows, 4 QIs, k-anonymity k=2, T=0.5): {total:.2} s wall",
-        spec.name, rows
+        "cycle bench — {} ({} rows, 4 QIs, k-anonymity k=2, T=0.5, one-tuple steps, {} iterations)",
+        spec.name, rows, warm_out.iterations
     );
     println!(
-        "nulls injected: {}   final risky: {}   information loss: {:.4}\n",
-        out.nulls_injected, out.final_risky, out.information_loss
+        "  cycle.e2e: cold {:.3}s   warm {:.3}s   speedup {:.2}x   ({} run(s) per mode)",
+        cold_s, warm_s, speedup, runs
     );
-    print!("{}", render_profile(&out.profile));
-    println!("\ntelemetry stream written to {out_path}");
+    let w = &profiled.profile.warm;
+    println!(
+        "  warm profile: {} warm / {} cold evaluation(s), {} fact(s) patched, {} fallback(s) to cold\n",
+        w.warm_evals, w.cold_evals, w.patched_facts, w.fallback_to_cold
+    );
+    print!("{}", render_profile(&profiled.profile));
+    println!("\ntelemetry stream + cycle.e2e medians written to {out_path}");
+
+    if let Some(path) = baseline {
+        match read_baseline_median(&path, "cycle.e2e", "warm") {
+            Ok(base) => {
+                let ratio = warm_s / base;
+                println!(
+                    "baseline check — warm median {:.3}s vs baseline {:.3}s ({:.2}x)",
+                    warm_s, base, ratio
+                );
+                if ratio > MAX_REGRESSION {
+                    eprintln!(
+                        "PERF REGRESSION: warm cycle median {:.3}s exceeds baseline {:.3}s by more than {:.0}%",
+                        warm_s,
+                        base,
+                        (MAX_REGRESSION - 1.0) * 100.0
+                    );
+                    std::process::exit(1);
+                }
+            }
+            Err(msg) => {
+                eprintln!("baseline check failed: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -21,7 +21,7 @@
 
 use std::io::Write;
 use vadalog::{parse_program, Database, Engine, EngineConfig, JoinMode, Program};
-use vadasa_bench::time_it;
+use vadasa_bench::{read_baseline_median, time_it};
 use vadasa_core::programs::{microdata_to_facts, ALG2_TUPLE_REIFICATION, ALG5_INDIVIDUAL_RISK};
 use vadasa_core::report::render_engine_profile;
 use vadasa_datagen::generator::{generate, DatasetSpec, Regime};
@@ -111,22 +111,6 @@ fn emit(out: &mut impl Write, w: &WorkloadResult, runs: usize) {
     .expect("write bench line");
 }
 
-/// Read the committed baseline's indexed tc median, if present.
-fn baseline_tc_median(path: &str) -> Option<f64> {
-    let text = std::fs::read_to_string(path).ok()?;
-    for line in text.lines() {
-        let Ok(v) = vadasa_core::obs::json::parse(line) else {
-            continue;
-        };
-        if v.get("bench").and_then(|b| b.as_str()) == Some("engine.tc")
-            && v.get("mode").and_then(|m| m.as_str()) == Some("indexed")
-        {
-            return v.get("median_s").and_then(|m| m.as_f64());
-        }
-    }
-    None
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -203,8 +187,13 @@ fn main() {
     };
 
     // --- report ---
-    let mut file = std::fs::File::create(&out_path)
-        .unwrap_or_else(|e| panic!("cannot create {out_path}: {e}"));
+    let mut file = match std::fs::File::create(&out_path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot create output file '{out_path}': {e}");
+            std::process::exit(1);
+        }
+    };
     emit(&mut file, &tc, runs);
     emit(&mut file, &risk, runs);
 
@@ -224,8 +213,8 @@ fn main() {
     println!("results written to {out_path}");
 
     if let Some(path) = baseline {
-        match baseline_tc_median(&path) {
-            Some(base) if base > 0.0 => {
+        match read_baseline_median(&path, "engine.tc", "indexed") {
+            Ok(base) => {
                 let ratio = tc.indexed_s / base;
                 println!(
                     "baseline check — tc indexed median {:.3}s vs baseline {:.3}s ({:.2}x)",
@@ -241,8 +230,8 @@ fn main() {
                     std::process::exit(1);
                 }
             }
-            _ => {
-                eprintln!("cannot read tc indexed median from baseline {path}");
+            Err(msg) => {
+                eprintln!("baseline check failed: {msg}");
                 std::process::exit(1);
             }
         }

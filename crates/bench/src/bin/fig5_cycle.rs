@@ -1,0 +1,161 @@
+//! Determinism probe: run the Figure-5 anonymization cycle and a
+//! warm-startable engine workload, printing a byte-stable transcript.
+//!
+//! Usage: `fig5_cycle [--threads N] [--warm|--cold]`
+//!
+//! The output deliberately contains **no timings, no thread counts and no
+//! mode echo**: a warm run must print exactly what a cold run prints, a
+//! 4-thread run exactly what a 1-thread run prints, and any run exactly
+//! what its repeat prints. The CI `determinism` job runs every
+//! threads × mode combination twice and `diff`s all transcripts
+//! byte-for-byte — any nondeterminism (iteration-order leakage, unstable
+//! null labels, racy parallel derivation, warm/cold divergence) fails the
+//! build.
+//!
+//! Two segments:
+//!
+//! 1. the native Fig-5 cycle (k-anonymity `k = 2`, local suppression,
+//!    one tuple per iteration) — final table, audit trail, final report;
+//! 2. an engine transitive-closure workload — evaluated either as one
+//!    cold run (`--cold`) or as a session plus fact patch (`--warm`),
+//!    printed as sorted fact sets.
+
+use std::collections::{BTreeMap, BTreeSet};
+use vadalog::{parse_program, Database, Engine, EngineConfig, FactPatch, JoinMode, Value};
+use vadasa_bench::render_table;
+use vadasa_core::prelude::*;
+use vadasa_datagen::fixtures::local_suppression_fig5a;
+
+fn fact_sets(db: &Database) -> BTreeMap<String, BTreeSet<Vec<Value>>> {
+    let mut out = BTreeMap::new();
+    let names: Vec<String> = db.relation_names().map(str::to_string).collect();
+    for name in names {
+        let rows: BTreeSet<Vec<Value>> = db.rows(&name).into_iter().collect();
+        if !rows.is_empty() {
+            out.insert(name, rows);
+        }
+    }
+    out
+}
+
+fn print_fact_sets(sets: &BTreeMap<String, BTreeSet<Vec<Value>>>) {
+    for (name, rows) in sets {
+        for row in rows {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            println!("  {name}({})", cells.join(", "));
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let warm = !args.iter().any(|a| a == "--cold");
+    let threads: usize = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+
+    // --- segment 1: the Figure-5 anonymization cycle ---
+    let (db, dict) = local_suppression_fig5a();
+    let risk = KAnonymity::new(2);
+    let anonymizer = LocalSuppression::default();
+    let config = CycleConfig {
+        granularity: StepGranularity::OneTuplePerIteration,
+        warm_start: warm,
+        ..CycleConfig::default()
+    };
+    let out = AnonymizationCycle::new(&risk, &anonymizer, config)
+        .run(&db, &dict)
+        .expect("fig5 cycle converges");
+
+    println!("== fig5 cycle ==");
+    println!(
+        "iterations: {}   nulls injected: {}   recodings: {}   final risky: {}",
+        out.iterations, out.nulls_injected, out.recodings, out.final_risky
+    );
+    println!(
+        "termination: {:?}   information loss: {:.6}",
+        out.termination, out.information_loss
+    );
+    println!("\naudit trail:");
+    for d in &out.audit.decisions {
+        println!("  {d}");
+    }
+    println!("\nfinal report ({}):", out.final_report.measure);
+    for (i, (r, det)) in out
+        .final_report
+        .risks
+        .iter()
+        .zip(out.final_report.details.iter())
+        .enumerate()
+    {
+        println!(
+            "  tuple {i}: risk {r:.6}  frequency {}  weight {:.6}  {}",
+            det.frequency, det.weight_sum, det.note
+        );
+    }
+    let mut rows = Vec::new();
+    for i in 0..out.db.len() {
+        let r = out.db.row(i).expect("row exists");
+        let mut cells = vec![(i + 1).to_string()];
+        cells.extend(r.iter().take(5).map(|v| v.to_string()));
+        rows.push(cells);
+    }
+    println!("\nfinal table:");
+    println!(
+        "{}",
+        render_table(
+            &["#", "Id", "Area", "Sector", "Employees", "Res.Rev"],
+            &rows
+        )
+    );
+
+    // --- segment 2: engine closure, cold run vs session + patch ---
+    let src = "a(X, Y) :- e(X, Y).\n\
+               tc(X, Y) :- a(X, Y).\n\
+               tc(X, Z) :- a(X, Y), tc(Y, Z).";
+    let program = parse_program(src).expect("closure program parses");
+    let base: Vec<(String, Vec<Value>)> = (0..6i64)
+        .map(|i| ("e".to_string(), vec![Value::Int(i), Value::Int(i + 1)]))
+        .collect();
+    let patch: Vec<(String, Vec<Value>)> = vec![
+        ("e".to_string(), vec![Value::Int(6), Value::Int(7)]),
+        ("e".to_string(), vec![Value::Int(7), Value::Int(0)]),
+    ];
+    let engine = Engine::with_config(EngineConfig {
+        join_mode: JoinMode::Indexed,
+        threads,
+        ..EngineConfig::default()
+    });
+    let db_of = |facts: &[(String, Vec<Value>)]| {
+        let mut db = Database::new();
+        for (p, row) in facts {
+            db.insert(p, row.clone());
+        }
+        db
+    };
+    let (sets, termination) = if warm {
+        let mut session = engine
+            .session(program.clone(), db_of(&base))
+            .expect("session cold start evaluates");
+        session
+            .patch(FactPatch::additions(patch))
+            .expect("patch evaluates");
+        (
+            fact_sets(session.db()),
+            format!("{:?}", session.termination()),
+        )
+    } else {
+        let mut all = base.clone();
+        all.extend(patch);
+        let r = engine
+            .run(&program, db_of(&all))
+            .expect("cold run evaluates");
+        (fact_sets(&r.db), format!("{:?}", r.termination))
+    };
+    println!("== engine closure ==");
+    println!("termination: {termination}");
+    print_fact_sets(&sets);
+}

@@ -150,6 +150,58 @@ pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, t0.elapsed().as_secs_f64())
 }
 
+/// Read a committed `BENCH_*.json` baseline and return the `median_s` of
+/// the line matching `bench` and `mode`.
+///
+/// Every failure mode gets its own human-readable message (missing file,
+/// unreadable file, no JSON line matching, matching line without a usable
+/// median) so the CI perf gates can fail with a clear diagnosis instead
+/// of a panic — re-run the bench binary without `--baseline` to
+/// regenerate the file.
+pub fn read_baseline_median(path: &str, bench: &str, mode: &str) -> Result<f64, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Err(format!(
+                "baseline file '{path}' not found — regenerate it by running the bench without --baseline"
+            ));
+        }
+        Err(e) => return Err(format!("cannot read baseline '{path}': {e}")),
+    };
+    let mut parsed_any = false;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(v) = vadasa_core::obs::json::parse(line) else {
+            continue;
+        };
+        parsed_any = true;
+        if v.get("bench").and_then(|b| b.as_str()) == Some(bench)
+            && v.get("mode").and_then(|m| m.as_str()) == Some(mode)
+        {
+            return match v.get("median_s").and_then(|m| m.as_f64()) {
+                Some(m) if m > 0.0 => Ok(m),
+                Some(m) => Err(format!(
+                    "baseline '{path}' has a non-positive median_s ({m}) for bench '{bench}' mode '{mode}'"
+                )),
+                None => Err(format!(
+                    "baseline '{path}' entry for bench '{bench}' mode '{mode}' lacks a numeric median_s"
+                )),
+            };
+        }
+    }
+    if parsed_any {
+        Err(format!(
+            "baseline '{path}' has no entry for bench '{bench}' mode '{mode}' — regenerate it"
+        ))
+    } else {
+        Err(format!(
+            "baseline '{path}' is malformed (no JSON lines parsed) — regenerate it"
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,5 +246,51 @@ mod tests {
         let (v, secs) = time_it(|| 40 + 2);
         assert_eq!(v, 42);
         assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn baseline_reader_distinguishes_failure_modes() {
+        // missing file
+        let err = read_baseline_median("/nonexistent/BENCH.json", "x", "y").unwrap_err();
+        assert!(err.contains("not found"), "{err}");
+
+        let dir = std::env::temp_dir().join("vadasa-baseline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // malformed file (no JSON lines at all)
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "this is not json\nneither is this\n").unwrap();
+        let err = read_baseline_median(bad.to_str().unwrap(), "x", "y").unwrap_err();
+        assert!(err.contains("malformed"), "{err}");
+
+        // valid file without the requested entry
+        let sparse = dir.join("sparse.json");
+        std::fs::write(
+            &sparse,
+            "{\"bench\":\"other\",\"mode\":\"cold\",\"median_s\":1.0}\n",
+        )
+        .unwrap();
+        let err = read_baseline_median(sparse.to_str().unwrap(), "cycle.e2e", "warm").unwrap_err();
+        assert!(err.contains("no entry"), "{err}");
+
+        // matching entry without a usable median
+        let nan = dir.join("nan.json");
+        std::fs::write(
+            &nan,
+            "{\"bench\":\"cycle.e2e\",\"mode\":\"warm\",\"median_s\":0.0}\n",
+        )
+        .unwrap();
+        let err = read_baseline_median(nan.to_str().unwrap(), "cycle.e2e", "warm").unwrap_err();
+        assert!(err.contains("non-positive"), "{err}");
+
+        // the happy path
+        let good = dir.join("good.json");
+        std::fs::write(
+            &good,
+            "{\"bench\":\"cycle.e2e\",\"mode\":\"warm\",\"median_s\":0.125}\n",
+        )
+        .unwrap();
+        let m = read_baseline_median(good.to_str().unwrap(), "cycle.e2e", "warm").unwrap();
+        assert!((m - 0.125).abs() < 1e-12);
     }
 }

@@ -21,7 +21,7 @@ use crate::anonymize::{AnonymizationAction, AnonymizeError, Anonymizer};
 use crate::degrade::{self, DegradeTrigger, FallbackPolicy, FallbackRecord};
 use crate::dictionary::MetadataDictionary;
 use crate::explain::{AuditLog, Decision};
-use crate::maybe_match::NullSemantics;
+use crate::maybe_match::{group_stats, weights_exactly_summable, GroupStats, NullSemantics};
 use crate::metrics::information_loss;
 use crate::model::MicrodataDb;
 use crate::risk::{MicrodataView, RiskError, RiskMeasure, RiskReport, TupleRiskDetail};
@@ -82,6 +82,14 @@ pub struct CycleConfig {
     /// deadline, cancellation, plug-in panic). The default degrades
     /// gracefully via [`degrade::suppress_all_risky`].
     pub fallback: FallbackPolicy,
+    /// Warm-start incremental re-evaluation (on by default). The
+    /// [`MicrodataView`] is built once and patched across iterations, and
+    /// risk evaluation is served from incrementally maintained
+    /// equivalence-group statistics whenever the measure supports
+    /// [`RiskMeasure::report_from_groups`] and the weights are exactly
+    /// summable. `false` restores the cold per-iteration rebuild — the
+    /// equivalence baseline and the benchmark reference point.
+    pub warm_start: bool,
 }
 
 impl Default for CycleConfig {
@@ -95,6 +103,7 @@ impl Default for CycleConfig {
             audit: true,
             deadline: None,
             fallback: FallbackPolicy::default(),
+            warm_start: true,
         }
     }
 }
@@ -133,6 +142,44 @@ pub struct IterationRecord {
     pub dur_ns: u64,
 }
 
+/// Warm-start telemetry: how much work the incremental path saved (and
+/// how often it had to give up). All counters stay zero when
+/// [`CycleConfig::warm_start`] is off, so cold runs emit exactly what they
+/// did before. When an engine session drives the risk program, its
+/// [`vadalog::SessionStats`] can be folded in via
+/// [`WarmCycleProfile::absorb_engine`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WarmCycleProfile {
+    /// Risk evaluations served from incrementally patched group statistics.
+    pub warm_evals: u64,
+    /// Risk evaluations that regrouped the table from scratch (the first
+    /// evaluation of a run always does).
+    pub cold_evals: u64,
+    /// View rows patched in place instead of rebuilding the view.
+    pub patched_facts: u64,
+    /// Engine strata skipped by warm re-derivation (engine-backed runs).
+    pub strata_skipped: u64,
+    /// Times the warm path fell back to a cold evaluation (unsupported
+    /// measure, inexact weights, or an engine-side fallback).
+    pub fallback_to_cold: u64,
+    /// Estimated bytes of retained state (view + group statistics, or
+    /// engine hash indexes) reused instead of rebuilt, summed over warm
+    /// evaluations.
+    pub reused_index_bytes: u64,
+}
+
+impl WarmCycleProfile {
+    /// Fold an engine session's warm-start statistics into this profile,
+    /// bridging `engine.warm.*` into the `cycle.warm.*` counters.
+    pub fn absorb_engine(&mut self, stats: &vadalog::SessionStats) {
+        self.patched_facts += stats.patched_facts;
+        self.strata_skipped += stats.strata_skipped;
+        self.reused_index_bytes += stats.reused_index_bytes;
+        self.fallback_to_cold += stats.cold_fallbacks;
+        self.warm_evals += stats.warm_patches;
+    }
+}
+
 /// Telemetry profile of one cycle run: per-iteration records plus totals.
 #[derive(Debug, Clone, Default)]
 pub struct CycleProfile {
@@ -146,6 +193,8 @@ pub struct CycleProfile {
     /// [`degrade::suppress_all_risky`] — a first-class part of the
     /// profile, replayed to collectors as a `cycle.fallback` event.
     pub fallback: Option<FallbackRecord>,
+    /// Warm-start counters (all zero on cold runs).
+    pub warm: WarmCycleProfile,
 }
 
 impl CycleProfile {
@@ -201,6 +250,22 @@ impl CycleProfile {
                     "cells_suppressed" => fb.cells_suppressed,
                     "residual_risky" => fb.residual_risky
                 ],
+            );
+        }
+        if self.warm != WarmCycleProfile::default() {
+            let w = &self.warm;
+            obs.counter(
+                "cycle.warm.evals",
+                w.warm_evals,
+                fields!["cold_evals" => w.cold_evals],
+            );
+            obs.counter("cycle.warm.patched_facts", w.patched_facts, fields![]);
+            obs.counter("cycle.warm.strata_skipped", w.strata_skipped, fields![]);
+            obs.counter("cycle.warm.fallback_cold", w.fallback_to_cold, fields![]);
+            obs.counter(
+                "cycle.warm.reused_index_bytes",
+                w.reused_index_bytes,
+                fields![],
             );
         }
     }
@@ -336,6 +401,17 @@ impl CycleOutcome {
     }
 }
 
+/// Estimated bytes of retained warm-start state: the live view's QI cells
+/// plus the maintained group statistics — the allocation a cold iteration
+/// would have rebuilt from scratch.
+fn retained_bytes(view: &MicrodataView, stats: &GroupStats) -> u64 {
+    let cells = view.qi_rows.len() * view.width();
+    let view_bytes = cells * std::mem::size_of::<vadalog::Value>();
+    let stats_bytes =
+        stats.count.len() * (std::mem::size_of::<usize>() + std::mem::size_of::<f64>());
+    (view_bytes + stats_bytes) as u64
+}
+
 /// How the main loop of [`AnonymizationCycle::run`] ended.
 enum LoopEnd {
     /// Risk ≤ `T` everywhere (modulo exhausted tuples).
@@ -411,6 +487,16 @@ impl<'a> AnonymizationCycle<'a> {
             .map(|v| v.len())
             .unwrap_or(0);
 
+        // Warm-start state, retained across iterations: the live view
+        // (patched in place by `patch_view`) and the incrementally
+        // maintained equivalence-group statistics. `groups_supported`
+        // latches to `false` the first time the warm fast path proves
+        // inapplicable (unsupported measure, inexact weights) so the
+        // fallback cost is paid once, not per iteration.
+        let mut live_view: Option<MicrodataView> = None;
+        let mut warm_stats: Option<GroupStats> = None;
+        let mut groups_supported = self.config.warm_start;
+
         let end: LoopEnd = 'cycle: loop {
             // Cooperative degradation checks, once per iteration.
             if let Some(token) = &self.cancel {
@@ -425,9 +511,76 @@ impl<'a> AnonymizationCycle<'a> {
             }
 
             let iter_start = Instant::now();
-            let mut view = MicrodataView::from_db_with(&work, dict, self.config.semantics, None)?;
+            let view = match &mut live_view {
+                Some(v) if self.config.warm_start => v,
+                slot => {
+                    warm_stats = None;
+                    slot.insert(MicrodataView::from_db_with(
+                        &work,
+                        dict,
+                        self.config.semantics,
+                        None,
+                    )?)
+                }
+            };
             let t0 = Instant::now();
-            let evaluated = catch_unwind(AssertUnwindSafe(|| self.risk.evaluate(&view)));
+            // Warm path: serve the report from the maintained group
+            // statistics when the measure supports it; otherwise (or on
+            // the first iteration, which must group from scratch) run the
+            // cold evaluation. `evaluated` unifies both paths for the
+            // panic/err handling below.
+            let mut evaluated: Option<
+                Result<Result<RiskReport, RiskError>, Box<dyn std::any::Any + Send>>,
+            > = None;
+            if groups_supported {
+                let had_stats = warm_stats.is_some();
+                if !had_stats {
+                    if weights_exactly_summable(view.weights.as_deref()) {
+                        warm_stats = Some(group_stats(
+                            &view.qi_rows,
+                            view.weights.as_deref(),
+                            view.semantics,
+                        ));
+                    } else {
+                        // fractional weights: incremental ± updates would
+                        // not be bit-identical to a cold regroup
+                        groups_supported = false;
+                        profile.warm.fallback_to_cold += 1;
+                    }
+                }
+                if let Some(stats) = &warm_stats {
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        self.risk.report_from_groups(view, stats)
+                    })) {
+                        Ok(Some(r)) => {
+                            if had_stats {
+                                profile.warm.warm_evals += 1;
+                                profile.warm.reused_index_bytes += retained_bytes(view, stats);
+                            } else {
+                                // first evaluation grouped from scratch
+                                profile.warm.cold_evals += 1;
+                            }
+                            evaluated = Some(Ok(r));
+                        }
+                        Ok(None) => {
+                            // measure opted out of the warm path for good
+                            groups_supported = false;
+                            warm_stats = None;
+                            profile.warm.fallback_to_cold += 1;
+                        }
+                        Err(payload) => evaluated = Some(Err(payload)),
+                    }
+                }
+            }
+            let evaluated = match evaluated {
+                Some(e) => e,
+                None => {
+                    if self.config.warm_start {
+                        profile.warm.cold_evals += 1;
+                    }
+                    catch_unwind(AssertUnwindSafe(|| self.risk.evaluate(view)))
+                }
+            };
             let mut risk_eval_ns = t0.elapsed().as_nanos() as u64;
             let report = match evaluated {
                 Ok(Ok(r)) => r,
@@ -483,7 +636,7 @@ impl<'a> AnonymizationCycle<'a> {
                 break LoopEnd::Trigger(DegradeTrigger::IterationCap, Some(still_risky));
             }
 
-            self.order_tuples(&mut risky, &report, &view);
+            self.order_tuples(&mut risky, &report, view);
             if self.config.granularity == StepGranularity::OneTuplePerIteration {
                 risky.truncate(1);
             }
@@ -508,7 +661,7 @@ impl<'a> AnonymizationCycle<'a> {
                 // risk has been defused by a neighbour's labelled null, skip
                 // it rather than remove more information.
                 let t1 = Instant::now();
-                let current = self.risk.evaluate_tuple(&view, row);
+                let current = self.risk.evaluate_tuple(view, row);
                 risk_eval_ns += t1.elapsed().as_nanos() as u64;
                 if let Some(r) = current {
                     if r <= t {
@@ -548,7 +701,10 @@ impl<'a> AnonymizationCycle<'a> {
                         exhausted.insert(row);
                     }
                 }
-                self.patch_view(&mut view, &work, &action);
+                let patched = self.patch_view(view, &work, &action, warm_stats.as_mut());
+                if self.config.warm_start {
+                    profile.warm.patched_facts += patched;
+                }
                 if self.config.audit {
                     audit.record(Decision {
                         iteration: iterations,
@@ -664,32 +820,63 @@ impl<'a> AnonymizationCycle<'a> {
     }
 
     /// Reflect an anonymization action into the live view so that
-    /// `evaluate_tuple` rechecks see the current state of the iteration.
+    /// `evaluate_tuple` rechecks (and, warm-started, the *next iteration's*
+    /// risk evaluation) see the current state — this is the patch that
+    /// replaces rebuilding the whole [`MicrodataView`]. When `stats` is
+    /// supplied the maintained group statistics are repaired row by row
+    /// ([`GroupStats::apply_row_change`] needs each change applied against
+    /// the state the statistics currently describe). Returns the number of
+    /// view rows patched.
     fn patch_view(
         &self,
         view: &mut MicrodataView,
         work: &MicrodataDb,
         action: &AnonymizationAction,
-    ) {
+        mut stats: Option<&mut GroupStats>,
+    ) -> u64 {
+        let mut patched = 0u64;
         match action {
             AnonymizationAction::Suppress { row, attr, .. } => {
                 if let Some(col) = view.qi_names.iter().position(|q| q == attr) {
                     if let Ok(v) = work.value(*row, attr) {
+                        let old = view.qi_rows[*row].clone();
                         view.qi_rows[*row][col] = v.clone();
+                        if let Some(stats) = stats.as_deref_mut() {
+                            stats.apply_row_change(
+                                &view.qi_rows,
+                                view.weights.as_deref(),
+                                view.semantics,
+                                *row,
+                                &old,
+                            );
+                        }
+                        patched += 1;
                     }
                 }
             }
             AnonymizationAction::Recode { attr, from, to, .. } => {
                 if let Some(col) = view.qi_names.iter().position(|q| q == attr) {
-                    for r in view.qi_rows.iter_mut() {
-                        if r[col] == *from {
-                            r[col] = to.clone();
+                    for r in 0..view.qi_rows.len() {
+                        if view.qi_rows[r][col] == *from {
+                            let old = view.qi_rows[r].clone();
+                            view.qi_rows[r][col] = to.clone();
+                            if let Some(stats) = stats.as_deref_mut() {
+                                stats.apply_row_change(
+                                    &view.qi_rows,
+                                    view.weights.as_deref(),
+                                    view.semantics,
+                                    r,
+                                    &old,
+                                );
+                            }
+                            patched += 1;
                         }
                     }
                 }
             }
             AnonymizationAction::Exhausted { .. } => {}
         }
+        patched
     }
 
     fn order_tuples(&self, risky: &mut [usize], report: &RiskReport, view: &MicrodataView) {
@@ -973,6 +1160,136 @@ mod tests {
             "one suppression lifts both rows; the recheck must spare the second"
         );
         assert_eq!(out.final_risky, 0);
+    }
+
+    /// Run the same cycle warm and cold and require identical outcomes:
+    /// same anonymized table, same (bitwise) final report, same iteration
+    /// count, audit trail length and termination.
+    fn assert_warm_equals_cold(
+        db: &MicrodataDb,
+        dict: &MetadataDictionary,
+        risk: &dyn RiskMeasure,
+        config: CycleConfig,
+    ) -> (CycleOutcome, CycleOutcome) {
+        let anon = LocalSuppression::default();
+        let warm_cfg = CycleConfig {
+            warm_start: true,
+            ..config
+        };
+        let cold_cfg = CycleConfig {
+            warm_start: false,
+            ..config
+        };
+        let warm = AnonymizationCycle::new(risk, &anon, warm_cfg)
+            .run(db, dict)
+            .unwrap();
+        let cold = AnonymizationCycle::new(risk, &anon, cold_cfg)
+            .run(db, dict)
+            .unwrap();
+        assert_eq!(warm.iterations, cold.iterations, "iteration counts");
+        assert_eq!(warm.nulls_injected, cold.nulls_injected, "nulls injected");
+        assert_eq!(warm.recodings, cold.recodings, "recodings");
+        assert_eq!(warm.final_risky, cold.final_risky, "final risky");
+        assert_eq!(warm.termination, cold.termination, "termination");
+        assert_eq!(
+            warm.audit.decisions.len(),
+            cold.audit.decisions.len(),
+            "audit length"
+        );
+        assert_eq!(warm.final_report.risks, cold.final_report.risks, "risks");
+        assert_eq!(
+            warm.final_report.details, cold.final_report.details,
+            "details"
+        );
+        for i in 0..db.len() {
+            assert_eq!(
+                warm.db.row(i).unwrap(),
+                cold.db.row(i).unwrap(),
+                "row {i} of the anonymized table"
+            );
+        }
+        (warm, cold)
+    }
+
+    #[test]
+    fn warm_start_matches_cold_on_figure5_kanon() {
+        let (db, dict) = fig5_db();
+        let (warm, cold) = assert_warm_equals_cold(
+            &db,
+            &dict,
+            &KAnonymity::new(2),
+            CycleConfig {
+                granularity: StepGranularity::OneTuplePerIteration,
+                ..CycleConfig::default()
+            },
+        );
+        // the warm run must actually have exercised the fast path
+        assert!(warm.profile.warm.warm_evals >= 1, "{:?}", warm.profile.warm);
+        assert!(warm.profile.warm.patched_facts >= 1);
+        assert!(warm.profile.warm.reused_index_bytes > 0);
+        assert_eq!(warm.profile.warm.fallback_to_cold, 0);
+        // and the cold run must not have touched the warm counters
+        assert_eq!(cold.profile.warm, WarmCycleProfile::default());
+    }
+
+    #[test]
+    fn warm_start_matches_cold_on_figure5_reident() {
+        let (db, dict) = fig5_db();
+        assert_warm_equals_cold(
+            &db,
+            &dict,
+            &ReIdentification,
+            CycleConfig {
+                threshold: 0.05,
+                tuple_order: TupleOrder::MostRiskyFirst,
+                ..CycleConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    fn simulated_library_falls_back_to_cold() {
+        use crate::risk::{IndividualRisk, IrEstimator};
+        let (db, dict) = fig5_db();
+        let risk = IndividualRisk::new(IrEstimator::SimulatedLibrary { samples: 64 });
+        let (warm, _cold) = assert_warm_equals_cold(
+            &db,
+            &dict,
+            &risk,
+            CycleConfig {
+                threshold: 0.05,
+                ..CycleConfig::default()
+            },
+        );
+        // the measure opts out of report_from_groups: the warm path must
+        // fall back (documented rule) and keep producing cold-identical
+        // results via full evaluations
+        assert_eq!(warm.profile.warm.warm_evals, 0);
+        assert!(warm.profile.warm.fallback_to_cold >= 1);
+    }
+
+    #[test]
+    fn fractional_weights_disable_the_warm_fast_path() {
+        // 2.5 is not exactly summable in arbitrary order: the gate must
+        // refuse incremental stats and fall back to full evaluations
+        let mut db = MicrodataDb::new("frac", ["id", "a", "w"]).unwrap();
+        for (id, a) in [(1, "x"), (2, "x"), (3, "y")] {
+            db.push_row(vec![Value::Int(id), Value::str(a), Value::Float(2.5)])
+                .unwrap();
+        }
+        let mut dict = MetadataDictionary::new();
+        for a in ["id", "a", "w"] {
+            dict.register_attr("frac", a, "");
+        }
+        dict.set_category("frac", "id", Category::Identifier)
+            .unwrap();
+        dict.set_category("frac", "a", Category::QuasiIdentifier)
+            .unwrap();
+        dict.set_category("frac", "w", Category::Weight).unwrap();
+        let (warm, _cold) =
+            assert_warm_equals_cold(&db, &dict, &KAnonymity::new(2), CycleConfig::default());
+        assert_eq!(warm.profile.warm.warm_evals, 0);
+        assert!(warm.profile.warm.fallback_to_cold >= 1);
     }
 
     #[test]

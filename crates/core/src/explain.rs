@@ -2,7 +2,7 @@
 //!
 //! The paper's desideratum (vi) demands that "the confidentiality score of
 //! a candidate dataset as well as the reasons for specific anonymization
-//! choices [be] completely understandable to domain experts". In the
+//! choices \[be\] completely understandable to domain experts". In the
 //! declarative encoding each decision is justified by the binding of
 //! Algorithm 2's Rule 2; the native cycle records the same information as
 //! [`Decision`] values: which tuple violated the threshold, under which

@@ -93,7 +93,7 @@ pub mod prelude {
     pub use crate::categorize::{Categorizer, ExperienceBase};
     pub use crate::cycle::{
         AnonymizationCycle, CycleConfig, CycleOutcome, CycleProfile, CycleTermination,
-        IterationRecord, StepGranularity, TupleOrder,
+        IterationRecord, StepGranularity, TupleOrder, WarmCycleProfile,
     };
     pub use crate::degrade::{
         suppress_all_risky, DegradeSummary, DegradeTrigger, FallbackPolicy, FallbackRecord,

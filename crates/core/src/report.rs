@@ -166,6 +166,20 @@ pub fn render_profile(profile: &CycleProfile) -> String {
             r.heuristic
         );
     }
+    let w = &profile.warm;
+    if *w != Default::default() {
+        let _ = writeln!(
+            out,
+            "warm-start — {} warm / {} cold evaluation(s), {} fact(s) patched, \
+             {} stratum(s) skipped, {} fallback(s) to cold, {} reused byte(s)",
+            w.warm_evals,
+            w.cold_evals,
+            w.patched_facts,
+            w.strata_skipped,
+            w.fallback_to_cold,
+            w.reused_index_bytes
+        );
+    }
     out
 }
 
@@ -277,12 +291,34 @@ mod tests {
             risk_eval_ns: 3_000_000,
             total_ns: 4_200_000,
             fallback: None,
+            warm: Default::default(),
         };
         let text = render_profile(&profile);
         assert!(text.contains("2 iteration(s)"));
         assert!(text.contains("fifo/all-risky → row 2"));
         assert!(text.contains("converged"));
         assert!(text.contains("(71.4%) in risk evaluation"));
+        // all-zero warm counters stay silent (cold runs render as before)
+        assert!(!text.contains("warm-start"));
+    }
+
+    #[test]
+    fn profile_table_renders_warm_counters() {
+        let profile = CycleProfile {
+            warm: crate::cycle::WarmCycleProfile {
+                warm_evals: 9,
+                cold_evals: 1,
+                patched_facts: 12,
+                strata_skipped: 0,
+                fallback_to_cold: 0,
+                reused_index_bytes: 4096,
+            },
+            ..CycleProfile::default()
+        };
+        let text = render_profile(&profile);
+        assert!(text.contains("9 warm / 1 cold evaluation(s)"));
+        assert!(text.contains("12 fact(s) patched"));
+        assert!(text.contains("4096 reused byte(s)"));
     }
 
     #[test]

@@ -26,7 +26,7 @@
 //!   individual-risk line of Figure 7e.
 
 use super::{MicrodataView, RiskError, RiskMeasure, RiskReport, TupleRiskDetail};
-use crate::maybe_match::group_stats;
+use crate::maybe_match::{group_stats, GroupStats};
 
 /// Which estimator of `E[1/F_k | f_k]` to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,14 +63,10 @@ impl IndividualRisk {
     pub fn new(estimator: IrEstimator) -> Self {
         IndividualRisk { estimator }
     }
-}
 
-impl RiskMeasure for IndividualRisk {
-    fn name(&self) -> &str {
-        "individual-risk"
-    }
-
-    fn evaluate(&self, view: &MicrodataView) -> Result<RiskReport, RiskError> {
+    /// Weights are mandatory and must be positive/finite. Shared by cold
+    /// and warm paths.
+    fn validate_weights(view: &MicrodataView) -> Result<(), RiskError> {
         let Some(weights) = &view.weights else {
             return Err(RiskError::View(
                 "individual risk requires sampling weights".into(),
@@ -81,9 +77,16 @@ impl RiskMeasure for IndividualRisk {
                 "sampling weights must be positive and finite, found {bad}"
             )));
         }
-        let stats = group_stats(&view.qi_rows, Some(weights), view.semantics);
-        let mut risks = Vec::with_capacity(view.len());
-        let mut details = Vec::with_capacity(view.len());
+        Ok(())
+    }
+
+    /// Map group statistics to the individual-risk report. Shared by
+    /// [`RiskMeasure::evaluate`] and the warm-start hook so identical
+    /// statistics yield bit-identical reports.
+    fn report(&self, stats: &GroupStats) -> RiskReport {
+        let n = stats.count.len();
+        let mut risks = Vec::with_capacity(n);
+        let mut details = Vec::with_capacity(n);
         let mut rng = XorShift::new(0x5eed_cafe_f00d_1234);
         // rows of the same equivalence class share (f, p): memoize so the
         // expensive estimators run once per class, not once per row
@@ -109,11 +112,23 @@ impl RiskMeasure for IndividualRisk {
                 note: format!("p̂={p:.6}"),
             });
         }
-        Ok(RiskReport {
+        RiskReport {
             measure: self.name().to_string(),
             risks,
             details,
-        })
+        }
+    }
+}
+
+impl RiskMeasure for IndividualRisk {
+    fn name(&self) -> &str {
+        "individual-risk"
+    }
+
+    fn evaluate(&self, view: &MicrodataView) -> Result<RiskReport, RiskError> {
+        Self::validate_weights(view)?;
+        let stats = group_stats(&view.qi_rows, view.weights.as_deref(), view.semantics);
+        Ok(self.report(&stats))
     }
 
     fn evaluate_tuple(&self, view: &MicrodataView, row: usize) -> Option<f64> {
@@ -135,6 +150,24 @@ impl RiskMeasure for IndividualRisk {
             }
         };
         Some(r.min(1.0))
+    }
+
+    fn report_from_groups(
+        &self,
+        view: &MicrodataView,
+        stats: &GroupStats,
+    ) -> Option<Result<RiskReport, RiskError>> {
+        // The simulated library deliberately models an out-of-process
+        // estimator (Figure 7e): serving it from patched statistics would
+        // skip exactly the overhead it exists to measure, so it opts out
+        // and the cycle falls back to a cold evaluation.
+        if matches!(self.estimator, IrEstimator::SimulatedLibrary { .. }) {
+            return None;
+        }
+        if let Err(e) = Self::validate_weights(view) {
+            return Some(Err(e));
+        }
+        Some(Ok(self.report(stats)))
     }
 }
 

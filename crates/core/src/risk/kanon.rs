@@ -12,7 +12,7 @@
 //! the threshold.
 
 use super::{MicrodataView, RiskError, RiskMeasure, RiskReport, TupleRiskDetail};
-use crate::maybe_match::group_stats;
+use crate::maybe_match::{group_stats, GroupStats};
 
 /// k-anonymity threshold risk (Algorithm 4).
 #[derive(Debug, Clone, Copy)]
@@ -26,15 +26,11 @@ impl KAnonymity {
     pub fn new(k: usize) -> Self {
         KAnonymity { k: k.max(1) }
     }
-}
 
-impl RiskMeasure for KAnonymity {
-    fn name(&self) -> &str {
-        "k-anonymity"
-    }
-
-    fn evaluate(&self, view: &MicrodataView) -> Result<RiskReport, RiskError> {
-        let stats = group_stats(&view.qi_rows, view.weights.as_deref(), view.semantics);
+    /// Map group statistics to the k-anonymity report. Shared by the cold
+    /// path ([`RiskMeasure::evaluate`]) and the warm-start hook so both
+    /// produce bit-identical output from identical statistics.
+    fn report(&self, stats: &GroupStats) -> RiskReport {
         let risks: Vec<f64> = stats
             .count
             .iter()
@@ -50,16 +46,35 @@ impl RiskMeasure for KAnonymity {
                 note: format!("class size {c} vs k={}", self.k),
             })
             .collect();
-        Ok(RiskReport {
+        RiskReport {
             measure: self.name().to_string(),
             risks,
             details,
-        })
+        }
+    }
+}
+
+impl RiskMeasure for KAnonymity {
+    fn name(&self) -> &str {
+        "k-anonymity"
+    }
+
+    fn evaluate(&self, view: &MicrodataView) -> Result<RiskReport, RiskError> {
+        let stats = group_stats(&view.qi_rows, view.weights.as_deref(), view.semantics);
+        Ok(self.report(&stats))
     }
 
     fn evaluate_tuple(&self, view: &MicrodataView, row: usize) -> Option<f64> {
         let (count, _) = super::tuple_group(view, row);
         Some(if count < self.k { 1.0 } else { 0.0 })
+    }
+
+    fn report_from_groups(
+        &self,
+        _view: &MicrodataView,
+        stats: &GroupStats,
+    ) -> Option<Result<RiskReport, RiskError>> {
+        Some(Ok(self.report(stats)))
     }
 }
 

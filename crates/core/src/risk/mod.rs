@@ -216,6 +216,24 @@ pub trait RiskMeasure {
     fn evaluate_tuple(&self, _view: &MicrodataView, _row: usize) -> Option<f64> {
         None
     }
+
+    /// Warm-start hook: produce the full report from precomputed
+    /// equivalence-group statistics instead of regrouping the whole view.
+    /// The cycle maintains `stats` incrementally across suppressions
+    /// (`GroupStats::apply_row_change`) and serves every re-evaluation
+    /// after the first through this hook.
+    ///
+    /// A measure may implement this only when its report is a pure,
+    /// deterministic function of per-tuple `(frequency, weight_sum)` — the
+    /// default `None` declares the measure unsupported and forces the
+    /// cycle back to a cold [`RiskMeasure::evaluate`] (correctness first).
+    fn report_from_groups(
+        &self,
+        _view: &MicrodataView,
+        _stats: &crate::maybe_match::GroupStats,
+    ) -> Option<Result<RiskReport, RiskError>> {
+        None
+    }
 }
 
 /// Count the rows of `view` matching `row` on every quasi-identifier under

@@ -14,18 +14,16 @@
 //! Figure 1 (the only North/Textiles/1000+ company) has risk `1/60 ≈ 0.016`.
 
 use super::{MicrodataView, RiskError, RiskMeasure, RiskReport, TupleRiskDetail};
-use crate::maybe_match::group_stats;
+use crate::maybe_match::{group_stats, GroupStats};
 
 /// Re-identification-based risk evaluation (Algorithm 3).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ReIdentification;
 
-impl RiskMeasure for ReIdentification {
-    fn name(&self) -> &str {
-        "re-identification"
-    }
-
-    fn evaluate(&self, view: &MicrodataView) -> Result<RiskReport, RiskError> {
+impl ReIdentification {
+    /// Validate the view's weights: the reciprocal-weight model needs
+    /// strictly positive, finite weights. Shared by cold and warm paths.
+    fn validate_weights(view: &MicrodataView) -> Result<(), RiskError> {
         if let Some(w) = &view.weights {
             if let Some(bad) = w.iter().find(|x| !x.is_finite() || **x <= 0.0) {
                 return Err(RiskError::View(format!(
@@ -33,7 +31,12 @@ impl RiskMeasure for ReIdentification {
                 )));
             }
         }
-        let stats = group_stats(&view.qi_rows, view.weights.as_deref(), view.semantics);
+        Ok(())
+    }
+
+    /// Map group statistics to the re-identification report. Shared by
+    /// [`RiskMeasure::evaluate`] and the warm-start hook.
+    fn report(&self, stats: &GroupStats) -> RiskReport {
         let risks: Vec<f64> = stats
             .weight_sum
             .iter()
@@ -49,11 +52,23 @@ impl RiskMeasure for ReIdentification {
                 note: String::new(),
             })
             .collect();
-        Ok(RiskReport {
+        RiskReport {
             measure: self.name().to_string(),
             risks,
             details,
-        })
+        }
+    }
+}
+
+impl RiskMeasure for ReIdentification {
+    fn name(&self) -> &str {
+        "re-identification"
+    }
+
+    fn evaluate(&self, view: &MicrodataView) -> Result<RiskReport, RiskError> {
+        Self::validate_weights(view)?;
+        let stats = group_stats(&view.qi_rows, view.weights.as_deref(), view.semantics);
+        Ok(self.report(&stats))
     }
 
     fn evaluate_tuple(&self, view: &MicrodataView, row: usize) -> Option<f64> {
@@ -63,6 +78,14 @@ impl RiskMeasure for ReIdentification {
         } else {
             1.0
         })
+    }
+
+    fn report_from_groups(
+        &self,
+        view: &MicrodataView,
+        stats: &GroupStats,
+    ) -> Option<Result<RiskReport, RiskError>> {
+        Some(Self::validate_weights(view).map(|()| self.report(stats)))
     }
 }
 

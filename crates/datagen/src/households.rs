@@ -1,4 +1,4 @@
-//! Household microdata generation (paper §4.4 / Hundepool et al. [26]).
+//! Household microdata generation (paper §4.4 / Hundepool et al. \[26\]).
 //!
 //! Risk propagation over linked respondents is not only about company
 //! groups: "finding members of the same family" is the paper's other

@@ -1,7 +1,7 @@
 //! Stratified semi-naive evaluation with chase-style existentials,
 //! monotonic aggregation and EGD enforcement.
 //!
-//! Evaluation proceeds stratum by stratum (see [`crate::stratify`]). Within
+//! Evaluation proceeds stratum by stratum (see [`mod@crate::stratify`]). Within
 //! a stratum:
 //!
 //! 1. Rules *without* aggregates run to a semi-naive fixpoint. Existential
@@ -38,7 +38,7 @@ use vadasa_obs::{Collector, Obs};
 /// Rows inserted in the previous semi-naive round, keyed by predicate.
 /// The rows are shared handles aliasing the stored rows, so building the
 /// delta costs one `Arc` bump per fact rather than a deep copy.
-type DeltaRows = HashMap<String, Vec<Row>>;
+pub(crate) type DeltaRows = HashMap<String, Vec<Row>>;
 
 /// Join-execution counters accumulated while evaluating one rule.
 #[derive(Debug, Default, Clone, Copy)]
@@ -320,6 +320,22 @@ pub struct ReasoningResult {
     pub termination: Termination,
 }
 
+/// Result of a warm-start re-evaluation pass (see [`Engine::run_warm`]):
+/// the incremental statistics/profile of the pass, not cumulative totals.
+#[derive(Debug)]
+pub(crate) struct WarmRun {
+    /// Statistics of this pass only.
+    pub stats: EvalStats,
+    /// Profile of this pass only.
+    pub profile: EngineProfile,
+    /// Provenance of facts derived this pass (when tracing is on).
+    pub trace: Vec<TraceEntry>,
+    /// How the pass ended.
+    pub termination: Termination,
+    /// Strata skipped because no seeded/derived predicate reached them.
+    pub strata_skipped: usize,
+}
+
 /// How one stratum (or one semi-naive fixpoint within it) ended: ran to
 /// completion, or was stopped early by the governor.
 enum StratumEnd {
@@ -480,6 +496,117 @@ impl Engine {
         })
     }
 
+    /// Warm-start re-evaluation: re-derive the consequences of `seed`
+    /// (freshly inserted rows, keyed by predicate) over an already
+    /// saturated database, using a pre-computed stratification.
+    ///
+    /// Soundness contract — the caller ([`crate::session::EngineSession`])
+    /// must have verified via dependency analysis that no predicate
+    /// reachable from the seed feeds a negated literal, an aggregate rule
+    /// or an EGD. Under that contract only plain (non-aggregate, non-EGD)
+    /// rules can derive anything new, so each stratum needs exactly one
+    /// semi-naive fixpoint seeded with the accumulated delta; strata whose
+    /// plain rules never read a seeded/derived predicate are skipped
+    /// outright.
+    pub(crate) fn run_warm(
+        &self,
+        program: &Program,
+        strat: &crate::stratify::Stratification,
+        db: &mut Database,
+        seed: DeltaRows,
+    ) -> Result<WarmRun, EngineError> {
+        let mut stats = EvalStats::default();
+        let mut trace = Vec::new();
+        let mut profile = EngineProfile::for_program(program);
+        let intern_before = crate::intern::stats();
+        let nulls_before = db.nulls_minted();
+        let run_start = Instant::now();
+        let governor = Governor::new(self.config.budget, self.config.cancel.clone());
+        let mut termination = Termination::Fixpoint;
+        let mut strata_skipped = 0usize;
+
+        // The accumulated delta: patch additions plus every fact derived in
+        // lower strata so far.
+        let mut accumulated = seed;
+
+        for (stratum_idx, stratum) in strat.strata.iter().enumerate() {
+            profile.strata.push(StratumProfile {
+                stratum: stratum_idx,
+                ..StratumProfile::default()
+            });
+            let plain: Vec<(usize, &Rule)> = stratum
+                .iter()
+                .map(|&i| (i, &program.rules[i]))
+                .filter(|(_, r)| !r.has_aggregate() && matches!(r.head, Head::Atoms(_)))
+                .collect();
+            let touched = plain.iter().any(|(_, r)| {
+                r.body.iter().any(|l| match l {
+                    Literal::Pos(a) => accumulated
+                        .get(&a.pred)
+                        .is_some_and(|rows| !rows.is_empty()),
+                    _ => false,
+                })
+            });
+            if !touched {
+                strata_skipped += 1;
+                continue;
+            }
+
+            let stratum_start = Instant::now();
+            let facts_before = stats.facts_derived;
+            profile.strata[stratum_idx].passes += 1;
+            let mut skolem: HashMap<(usize, Vec<Value>), HashMap<String, Value>> = HashMap::new();
+            let stratum_seed = accumulated.clone();
+            let mut derived: DeltaRows = HashMap::new();
+            let end = self.fixpoint_plain(
+                &plain,
+                db,
+                &mut skolem,
+                &mut stats,
+                &mut trace,
+                program,
+                &mut profile,
+                stratum_idx,
+                &governor,
+                nulls_before,
+                Some(stratum_seed),
+                Some(&mut derived),
+            )?;
+            for (pred, rows) in derived {
+                accumulated.entry(pred).or_default().extend(rows);
+            }
+
+            let s = &mut profile.strata[stratum_idx];
+            s.dur_ns = stratum_start.elapsed().as_nanos() as u64;
+            s.facts_derived = (stats.facts_derived - facts_before) as u64;
+
+            if let StratumEnd::Stopped(t) = end {
+                termination = t;
+                break;
+            }
+        }
+
+        stats.nulls_created = db.nulls_minted() - nulls_before;
+        profile.total_ns = run_start.elapsed().as_nanos() as u64;
+        profile.facts_derived = stats.facts_derived as u64;
+        profile.iterations = stats.iterations as u64;
+        profile.nulls_created = stats.nulls_created;
+        profile.unifications = stats.unifications as u64;
+        profile.intern_hits = crate::intern::stats()
+            .hits
+            .saturating_sub(intern_before.hits);
+        if let Some(collector) = &self.config.collector {
+            profile.emit(&Obs::new(Some(collector.as_ref())));
+        }
+        Ok(WarmRun {
+            stats,
+            profile,
+            trace,
+            termination,
+            strata_skipped,
+        })
+    }
+
     /// Evaluate one stratum to stability (or an early governed stop):
     /// plain rules to a semi-naive fixpoint, then aggregate rules, then
     /// EGDs, repeating until a pass changes nothing.
@@ -532,6 +659,8 @@ impl Engine {
                 stratum_idx,
                 governor,
                 nulls_base,
+                None,
+                None,
             )?;
             if let StratumEnd::Stopped(t) = end {
                 return Ok(StratumEnd::Stopped(t));
@@ -601,6 +730,13 @@ impl Engine {
     /// Semi-naive fixpoint over plain (non-aggregate, non-EGD) rules.
     /// Returns early — with a sound partial delta already inserted — when
     /// the governor reports a budget trip or cancellation.
+    ///
+    /// `seed` chooses how the first round runs: `None` treats everything
+    /// as delta (full evaluation — the cold path), `Some(rows)` runs
+    /// delta-focused plans against just those rows (the warm-start path,
+    /// see [`Engine::run_warm`]). When a `derived` sink is supplied, every
+    /// newly inserted row is also appended there, so a warm driver can
+    /// carry the deltas of lower strata into higher ones.
     #[allow(clippy::too_many_arguments)]
     fn fixpoint_plain(
         &self,
@@ -614,10 +750,11 @@ impl Engine {
         stratum_idx: usize,
         governor: &Governor,
         nulls_base: u64,
+        seed: Option<DeltaRows>,
+        mut derived: Option<&mut DeltaRows>,
     ) -> Result<StratumEnd, EngineError> {
         // Delta tracking: predicate → set of rows added in the previous round.
-        // First round: treat everything as delta (full evaluation).
-        let mut delta: Option<DeltaRows> = None;
+        let mut delta: Option<DeltaRows> = seed;
 
         loop {
             // Governed stop check, once per round. With no budget and no
@@ -720,6 +857,9 @@ impl Engine {
                             rule: rule_label(program, idx),
                             binding: binding.into_iter().collect(),
                         });
+                    }
+                    if let Some(sink) = derived.as_deref_mut() {
+                        sink.entry(pred.clone()).or_default().push(row.clone());
                     }
                     next_delta.entry(pred).or_default().push(row);
                     // Soft facts budget: stop inserting mid-round so the

@@ -1,6 +1,6 @@
 //! Global string interner backing [`Value::Str`](crate::value::Value).
 //!
-//! Every string that enters the engine through [`Value::str`] is routed
+//! Every string that enters the engine through [`crate::Value::str`] is routed
 //! through a process-wide intern table, so equal strings share one
 //! `Arc<str>` allocation. Two wins follow:
 //!

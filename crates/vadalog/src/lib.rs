@@ -50,6 +50,7 @@ pub mod printer;
 pub mod profile;
 pub mod query;
 pub mod routing;
+pub mod session;
 pub mod storage;
 pub mod stratify;
 pub mod value;
@@ -73,6 +74,7 @@ pub use printer::{print_expr, print_program, print_rule};
 pub use profile::{EngineProfile, RoundProfile, RuleProfile, StratumProfile};
 pub use query::{answers, AnswerMode};
 pub use routing::{AscendingBy, DescendingBy, Fifo, Router};
+pub use session::{EngineSession, FactPatch, PatchOutcome, SessionStats};
 pub use storage::{Database, Relation};
 pub use stratify::{stratify, Stratification, StratifyError};
 pub use value::{NullId, Value};

@@ -91,7 +91,7 @@ pub struct EngineProfile {
     /// probes means the planner found little to probe on.
     pub index_scans: u64,
     /// String-interner hits during this run (heap allocations avoided;
-    /// see [`crate::intern`]).
+    /// see [`mod@crate::intern`]).
     pub intern_hits: u64,
     /// Join plans where the planner deviated from source literal order.
     pub planner_reorders: u64,

@@ -170,6 +170,39 @@ impl Relation {
             self.insert(r);
         }
     }
+
+    /// Remove a row; returns `true` if it was present. Row order of the
+    /// survivors is preserved; indexes are dropped (their posting lists
+    /// hold positional row ids) and will be rebuilt lazily on the next
+    /// `ensure_index`.
+    pub fn remove(&mut self, row: &[Value]) -> bool {
+        if !self.dedup.remove(row) {
+            return false;
+        }
+        self.rows.retain(|r| r.as_slice() != row);
+        self.indexes.clear();
+        true
+    }
+
+    /// Approximate heap footprint of this relation's prebuilt hash
+    /// indexes, in bytes. Used by warm-start telemetry to report how much
+    /// index state a resumed session kept alive instead of rebuilding.
+    pub fn index_footprint_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.indexes
+            .iter()
+            .map(|(bound, idx)| {
+                let keys: usize = idx
+                    .map
+                    .iter()
+                    .map(|(k, postings)| {
+                        k.len() * size_of::<Value>() + postings.len() * size_of::<u32>()
+                    })
+                    .sum();
+                bound.len() * size_of::<usize>() + keys
+            })
+            .sum()
+    }
 }
 
 /// A database: named relations plus the labelled-null counter.
@@ -257,6 +290,23 @@ impl Database {
     /// Total number of facts across all relations.
     pub fn total_facts(&self) -> usize {
         self.relations.values().map(|r| r.len()).sum()
+    }
+
+    /// Remove a fact; returns `true` if it was present. Empty relations
+    /// are kept (cheap, and keeps relation names stable for reporting).
+    pub fn remove(&mut self, pred: &str, row: &[Value]) -> bool {
+        self.relations
+            .get_mut(pred)
+            .is_some_and(|rel| rel.remove(row))
+    }
+
+    /// Approximate heap footprint of all prebuilt hash indexes, in bytes
+    /// (see [`Relation::index_footprint_bytes`]).
+    pub fn index_footprint_bytes(&self) -> usize {
+        self.relations
+            .values()
+            .map(Relation::index_footprint_bytes)
+            .sum()
     }
 
     /// Apply a null-substitution: every occurrence of `Null(from)` becomes

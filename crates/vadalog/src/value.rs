@@ -40,7 +40,7 @@ pub enum Value {
 
 impl Value {
     /// Convenience constructor for string values. The string is routed
-    /// through the global interner ([`crate::intern`]), so equal strings
+    /// through the global interner ([`mod@crate::intern`]), so equal strings
     /// share one allocation and comparisons hit the pointer fast path.
     pub fn str(s: impl AsRef<str>) -> Self {
         Value::Str(crate::intern::intern(s.as_ref()))
