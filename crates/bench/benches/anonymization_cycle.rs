@@ -48,7 +48,7 @@ fn bench_tuple_ordering_ablation(c: &mut Criterion) {
             let risk = KAnonymity::new(2);
             let mut config = paper_cycle_config();
             config.tuple_order = order;
-            b.iter(|| run_paper_cycle(&db, &dict, &risk, config))
+            b.iter(|| run_paper_cycle(&db, &dict, &risk, config.clone()))
         });
     }
     group.finish();

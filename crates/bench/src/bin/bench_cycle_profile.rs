@@ -24,10 +24,23 @@
 //! CI `cycle-perf-smoke` gate. With `--baseline PATH` the warm median is
 //! compared against the committed baseline and the process exits non-zero
 //! on a >25% regression.
+//!
+//! Two journal sections ride along (the `cycle.e2e` numbers themselves
+//! stay unjournaled so the baseline gate is undisturbed):
+//!
+//! - `cycle.journal` — the same workload with the write-ahead journal
+//!   off / fsync-every-record / fsync-every-8, quantifying the
+//!   crash-safety overhead.
+//! - `cycle.recovery` — the journal of a completed run truncated at
+//!   mid-run, then resumed: recovery plus the remaining iterations,
+//!   verified equivalent to the uninterrupted outcome before timing is
+//!   reported.
 
 use std::io::Write;
+use std::path::PathBuf;
 use std::sync::Arc;
 use vadasa_bench::{read_baseline_median, time_it};
+use vadasa_core::journal::{record, JOURNAL_FILE};
 use vadasa_core::obs::JsonLinesWriter;
 use vadasa_core::prelude::*;
 use vadasa_core::report::render_profile;
@@ -150,6 +163,90 @@ fn main() {
         cold_s / warm_s
     };
 
+    // --- journal overhead: off vs every-record vs every-8 fsyncs ---
+    let tmp_root =
+        std::env::temp_dir().join(format!("vadasa-bench-journal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp_root);
+    let mut journal_seq = 0u32;
+    let mut journaled_run = |sync: SyncPolicy| -> (CycleOutcome, f64, PathBuf) {
+        journal_seq += 1;
+        let dir = tmp_root.join(format!("j{journal_seq}"));
+        let config = CycleConfig {
+            journal: Some(JournalConfig {
+                sync,
+                snapshot_every: Some(8),
+                ..JournalConfig::new(&dir)
+            }),
+            ..cycle_config(iteration_cap, true)
+        };
+        let (out, secs) = time_it(|| {
+            AnonymizationCycle::new(&risk, &anonymizer, config.clone())
+                .run(&db, &dict)
+                .expect("journaled run")
+        });
+        (out, secs, dir)
+    };
+    let mut journal_medians: Vec<(&str, f64)> = vec![("off", warm_s)];
+    let mut recovery_dir: Option<PathBuf> = None;
+    for (mode, sync) in [
+        ("every-record", SyncPolicy::EveryRecord),
+        ("every-8", SyncPolicy::EveryN(8)),
+    ] {
+        let mut times: Vec<f64> = Vec::with_capacity(runs);
+        for _ in 0..runs {
+            let (out, secs, dir) = journaled_run(sync);
+            // crash safety is an observer, not an intervention
+            assert_equivalent(&out, &warm_out);
+            times.push(secs);
+            if mode == "every-record" && recovery_dir.is_none() {
+                recovery_dir = Some(dir);
+            } else {
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+        }
+        times.sort_by(f64::total_cmp);
+        journal_medians.push((mode, times[times.len() / 2]));
+    }
+
+    // --- recovery: truncate the journal mid-run, resume, verify, time ---
+    let full_dir = recovery_dir.expect("an every-record journal was kept");
+    let bytes = std::fs::read(full_dir.join(JOURNAL_FILE)).expect("read journal");
+    let bounds = record::frame_boundaries(&bytes);
+    let cut = bounds
+        .iter()
+        .copied()
+        .rfind(|b| *b <= bytes.len() / 2)
+        .or_else(|| bounds.first().copied())
+        .expect("journal has frames");
+    let mut recovery_times: Vec<f64> = Vec::with_capacity(runs);
+    let mut replayed = 0u64;
+    for rep in 0..runs {
+        let dir = tmp_root.join(format!("recover-{rep}"));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(dir.join(JOURNAL_FILE), &bytes[..cut]).expect("write prefix");
+        for entry in std::fs::read_dir(&full_dir).expect("read dir").flatten() {
+            if entry.path().extension().is_some_and(|x| x == "vsnap") {
+                std::fs::copy(entry.path(), dir.join(entry.file_name())).expect("copy snapshot");
+            }
+        }
+        let config = CycleConfig {
+            journal: Some(JournalConfig::new(&dir)),
+            ..cycle_config(iteration_cap, true)
+        };
+        let (out, secs) = time_it(|| {
+            AnonymizationCycle::new(&risk, &anonymizer, config.clone())
+                .resume(&db, &dict)
+                .expect("resumed run")
+        });
+        assert_equivalent(&out, &warm_out);
+        replayed = out.profile.journal.replayed_actions;
+        recovery_times.push(secs);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    recovery_times.sort_by(f64::total_cmp);
+    let recovery_s = recovery_times[recovery_times.len() / 2];
+    let _ = std::fs::remove_dir_all(&tmp_root);
+
     // --- one profiled warm run feeds the telemetry stream ---
     let sink = match JsonLinesWriter::create(&out_path) {
         Ok(w) => Arc::new(w),
@@ -187,6 +284,20 @@ fn main() {
         rows, speedup
     )
     .expect("write bench line");
+    for (sync, secs) in &journal_medians {
+        writeln!(
+            file,
+            "{{\"bench\":\"cycle.journal\",\"rows\":{},\"iterations\":{},\"sync\":\"{}\",\"median_s\":{:.6},\"runs\":{}}}",
+            rows, warm_out.iterations, sync, secs, runs
+        )
+        .expect("write bench line");
+    }
+    writeln!(
+        file,
+        "{{\"bench\":\"cycle.recovery\",\"rows\":{},\"replayed_actions\":{},\"median_s\":{:.6},\"runs\":{}}}",
+        rows, replayed, recovery_s, runs
+    )
+    .expect("write bench line");
 
     // --- report ---
     println!(
@@ -201,6 +312,20 @@ fn main() {
     println!(
         "  warm profile: {} warm / {} cold evaluation(s), {} fact(s) patched, {} fallback(s) to cold\n",
         w.warm_evals, w.cold_evals, w.patched_facts, w.fallback_to_cold
+    );
+    for (sync, secs) in &journal_medians {
+        let overhead = if warm_s == 0.0 {
+            0.0
+        } else {
+            100.0 * (secs / warm_s - 1.0)
+        };
+        println!(
+            "  cycle.journal: sync={sync:<12} {secs:.3}s   ({overhead:+.1}% vs unjournaled warm)"
+        );
+    }
+    println!(
+        "  cycle.recovery: resume from mid-run journal {:.3}s ({} action(s) replayed)",
+        recovery_s, replayed
     );
     print!("{}", render_profile(&profiled.profile));
     println!("\ntelemetry stream + cycle.e2e medians written to {out_path}");

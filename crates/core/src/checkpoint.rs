@@ -1,0 +1,403 @@
+//! Atomic snapshots of the anonymization cycle's working state.
+//!
+//! A checkpoint freezes everything the cycle needs to restart from an
+//! iteration boundary: the working table (schema, rows, labelled-null
+//! counter), the exhausted-tuple set, the running counters and the
+//! [`WarmCycleProfile`]. Snapshots are written *atomically* — encode to
+//! `<name>.tmp`, fsync, rename over the final name — so a crash mid-write
+//! leaves either the previous snapshot or a temp file recovery ignores,
+//! never a half-written snapshot under the final name. The payload is
+//! CRC-guarded like a journal record; a corrupt snapshot is detected and
+//! skipped, falling back to an older snapshot or full replay from the
+//! original table.
+
+use crate::cycle::WarmCycleProfile;
+use crate::journal::io::{IoMode, OpenSink};
+use crate::journal::record::{crc32, DecodeError};
+use crate::model::MicrodataDb;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::io;
+use std::path::Path;
+use vadalog::Value;
+
+/// File magic identifying a Vada-SA cycle snapshot, version 1.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"VADASAS1";
+
+/// A frozen cycle state at an iteration boundary.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Completed iterations the state reflects.
+    pub iterations: u64,
+    /// Fingerprint of the run this snapshot belongs to (must match the
+    /// journal's `Begin` record to be eligible during recovery).
+    pub fingerprint: u64,
+    /// The working table, mid-anonymization.
+    pub db: MicrodataDb,
+    /// Labelled-null counter of the working table at snapshot time.
+    pub next_null: u64,
+    /// Rows the anonymizer has exhausted so far.
+    pub exhausted: BTreeSet<usize>,
+    /// Labelled nulls injected so far.
+    pub nulls_injected: u64,
+    /// Global recodings applied so far.
+    pub recodings: u64,
+    /// Tuples at risk before the first iteration.
+    pub initial_risky: u64,
+    /// Warm-start counters accumulated so far (informational; a resumed
+    /// run re-evaluates its first iteration cold regardless).
+    pub warm: WarmCycleProfile,
+}
+
+/// Why a snapshot file could not be loaded.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Reading the file failed.
+    Io(io::Error),
+    /// The payload is torn, checksummed wrong, or structurally invalid.
+    Corrupt(DecodeError),
+    /// The file does not start with [`SNAPSHOT_MAGIC`].
+    BadMagic,
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+            SnapshotError::Corrupt(e) => write!(f, "snapshot corrupt: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a vadasa snapshot file"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+// --- encoding (shares the little-endian primitives of the journal) ---
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or(DecodeError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn string(&mut self) -> Result<String, DecodeError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8)
+    }
+
+    fn value(&mut self) -> Result<Value, DecodeError> {
+        match self.take(1)?[0] {
+            0 => Ok(Value::Bool(self.take(1)?[0] != 0)),
+            1 => Ok(Value::Int(self.u64()? as i64)),
+            2 => Ok(Value::Float(f64::from_bits(self.u64()?))),
+            3 => Ok(Value::str(self.string()?)),
+            4 => Ok(Value::Null(self.u64()?)),
+            5 => {
+                let n = self.u32()? as usize;
+                if n > self.bytes.len().saturating_sub(self.pos) {
+                    return Err(DecodeError::Truncated);
+                }
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    items.push(self.value()?);
+                }
+                Ok(Value::set(items))
+            }
+            6 => {
+                let n = self.u32()? as usize;
+                if n > self.bytes.len().saturating_sub(self.pos) {
+                    return Err(DecodeError::Truncated);
+                }
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    items.push(self.value()?);
+                }
+                Ok(Value::Tuple(std::sync::Arc::new(items)))
+            }
+            t => Err(DecodeError::BadTag(t)),
+        }
+    }
+}
+
+impl Checkpoint {
+    /// Encode the checkpoint as a complete snapshot file image:
+    /// magic, payload length, payload CRC, payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut p = Vec::with_capacity(4096);
+        put_u64(&mut p, self.iterations);
+        put_u64(&mut p, self.fingerprint);
+        put_u64(&mut p, self.next_null);
+        put_u64(&mut p, self.nulls_injected);
+        put_u64(&mut p, self.recodings);
+        put_u64(&mut p, self.initial_risky);
+        let w = &self.warm;
+        for c in [
+            w.warm_evals,
+            w.cold_evals,
+            w.patched_facts,
+            w.strata_skipped,
+            w.fallback_to_cold,
+            w.reused_index_bytes,
+        ] {
+            put_u64(&mut p, c);
+        }
+        put_u32(&mut p, self.exhausted.len() as u32);
+        for row in &self.exhausted {
+            put_u64(&mut p, *row as u64);
+        }
+        put_str(&mut p, &self.db.name);
+        let attrs = self.db.attributes();
+        put_u32(&mut p, attrs.len() as u32);
+        for a in attrs {
+            put_str(&mut p, a);
+        }
+        put_u32(&mut p, self.db.len() as u32);
+        for row in self.db.iter_rows() {
+            for v in row {
+                crate::journal::record::put_value(&mut p, v);
+            }
+        }
+        let mut out = Vec::with_capacity(p.len() + 16);
+        out.extend_from_slice(SNAPSHOT_MAGIC);
+        put_u32(&mut out, p.len() as u32);
+        put_u32(&mut out, crc32(&p));
+        out.extend_from_slice(&p);
+        out
+    }
+
+    /// Decode a snapshot file image produced by [`encode`](Self::encode).
+    /// Total: every malformation maps to [`SnapshotError`], never a panic.
+    pub fn decode(bytes: &[u8]) -> Result<Checkpoint, SnapshotError> {
+        if bytes.len() < SNAPSHOT_MAGIC.len() + 8 {
+            return Err(SnapshotError::Corrupt(DecodeError::Truncated));
+        }
+        if &bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let mut c = Cursor {
+            bytes,
+            pos: SNAPSHOT_MAGIC.len(),
+        };
+        let len = c.u32().map_err(SnapshotError::Corrupt)? as usize;
+        let crc = c.u32().map_err(SnapshotError::Corrupt)?;
+        let payload = c.take(len).map_err(SnapshotError::Corrupt)?;
+        if crc32(payload) != crc {
+            return Err(SnapshotError::Corrupt(DecodeError::BadChecksum));
+        }
+        let mut c = Cursor {
+            bytes: payload,
+            pos: 0,
+        };
+        let de = SnapshotError::Corrupt;
+        let iterations = c.u64().map_err(de)?;
+        let fingerprint = c.u64().map_err(de)?;
+        let next_null = c.u64().map_err(de)?;
+        let nulls_injected = c.u64().map_err(de)?;
+        let recodings = c.u64().map_err(de)?;
+        let initial_risky = c.u64().map_err(de)?;
+        let warm = WarmCycleProfile {
+            warm_evals: c.u64().map_err(de)?,
+            cold_evals: c.u64().map_err(de)?,
+            patched_facts: c.u64().map_err(de)?,
+            strata_skipped: c.u64().map_err(de)?,
+            fallback_to_cold: c.u64().map_err(de)?,
+            reused_index_bytes: c.u64().map_err(de)?,
+        };
+        let n_exhausted = c.u32().map_err(de)? as usize;
+        if n_exhausted > payload.len() {
+            return Err(SnapshotError::Corrupt(DecodeError::Truncated));
+        }
+        let mut exhausted = BTreeSet::new();
+        for _ in 0..n_exhausted {
+            exhausted.insert(c.u64().map_err(de)? as usize);
+        }
+        let name = c.string().map_err(de)?;
+        let n_attrs = c.u32().map_err(de)? as usize;
+        if n_attrs > payload.len() {
+            return Err(SnapshotError::Corrupt(DecodeError::Truncated));
+        }
+        let mut attrs = Vec::with_capacity(n_attrs);
+        for _ in 0..n_attrs {
+            attrs.push(c.string().map_err(de)?);
+        }
+        // a duplicate attribute in a checksummed payload means the file
+        // was written by something else entirely — treat as corrupt
+        let mut db = MicrodataDb::new(name, attrs)
+            .map_err(|_| SnapshotError::Corrupt(DecodeError::Truncated))?;
+        let n_rows = c.u32().map_err(de)? as usize;
+        if n_rows > payload.len() {
+            return Err(SnapshotError::Corrupt(DecodeError::Truncated));
+        }
+        let width = db.attributes().len();
+        for _ in 0..n_rows {
+            let mut row = Vec::with_capacity(width);
+            for _ in 0..width {
+                row.push(c.value().map_err(de)?);
+            }
+            db.push_row(row)
+                .map_err(|_| SnapshotError::Corrupt(DecodeError::Truncated))?;
+        }
+        db.reserve_nulls(next_null);
+        Ok(Checkpoint {
+            iterations,
+            fingerprint,
+            db,
+            next_null,
+            exhausted,
+            nulls_injected,
+            recodings,
+            initial_risky,
+            warm,
+        })
+    }
+
+    /// File name a snapshot at this iteration boundary is stored under.
+    pub fn file_name(iterations: u64) -> String {
+        format!("snapshot-{iterations}.vsnap")
+    }
+
+    /// Write the snapshot atomically into `dir` through the supplied I/O
+    /// factory: encode → write `<name>.tmp` → fsync → rename. Returns
+    /// the final file name and the encoded size in bytes.
+    pub fn write_atomic(&self, dir: &Path, open: &OpenSink<'_>) -> io::Result<(String, u64)> {
+        let name = Self::file_name(self.iterations);
+        let final_path = dir.join(&name);
+        let tmp_path = dir.join(format!("{name}.tmp"));
+        let bytes = self.encode();
+        {
+            let mut sink = open(&tmp_path, IoMode::Snapshot)?;
+            sink.append(&bytes)?;
+            sink.sync()?;
+        }
+        std::fs::rename(&tmp_path, &final_path)?;
+        Ok((name, bytes.len() as u64))
+    }
+
+    /// Load and validate a snapshot file.
+    pub fn read(path: &Path) -> Result<Checkpoint, SnapshotError> {
+        let bytes = std::fs::read(path)?;
+        Checkpoint::decode(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        let mut db = MicrodataDb::new("t", ["Id", "Area", "Rev"]).unwrap();
+        db.push_row(vec![Value::Int(1), Value::str("North"), Value::Float(2.5)])
+            .unwrap();
+        db.push_row(vec![Value::Int(2), Value::Null(0), Value::Float(-1.0)])
+            .unwrap();
+        let _ = db.fresh_null();
+        Checkpoint {
+            iterations: 7,
+            fingerprint: 0xABCD,
+            next_null: db.nulls_minted(),
+            db,
+            exhausted: [1usize, 3].into_iter().collect(),
+            nulls_injected: 4,
+            recodings: 1,
+            initial_risky: 9,
+            warm: WarmCycleProfile {
+                warm_evals: 6,
+                cold_evals: 1,
+                patched_facts: 12,
+                strata_skipped: 0,
+                fallback_to_cold: 0,
+                reused_index_bytes: 4096,
+            },
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrips() {
+        let cp = sample();
+        let back = Checkpoint::decode(&cp.encode()).unwrap();
+        assert_eq!(back.iterations, cp.iterations);
+        assert_eq!(back.fingerprint, cp.fingerprint);
+        assert_eq!(back.exhausted, cp.exhausted);
+        assert_eq!(back.warm, cp.warm);
+        assert_eq!(back.db.name, cp.db.name);
+        assert_eq!(back.db.attributes(), cp.db.attributes());
+        assert_eq!(back.db.len(), cp.db.len());
+        for i in 0..cp.db.len() {
+            assert_eq!(back.db.row(i).unwrap(), cp.db.row(i).unwrap());
+        }
+        // the null counter survives so the next minted null is identical
+        assert_eq!(back.db.nulls_minted(), cp.next_null);
+    }
+
+    #[test]
+    fn corruption_is_detected_not_panicking() {
+        let bytes = sample().encode();
+        for k in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[k] ^= 0x5A;
+            assert!(Checkpoint::decode(&bad).is_err(), "flip at byte {k}");
+        }
+        for k in 0..bytes.len() {
+            assert!(Checkpoint::decode(&bytes[..k]).is_err(), "prefix {k}");
+        }
+    }
+
+    #[test]
+    fn atomic_write_then_read() {
+        let dir = std::env::temp_dir().join(format!("vadasa-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cp = sample();
+        let open = |p: &Path, _m: IoMode| -> io::Result<Box<dyn crate::journal::io::JournalIo>> {
+            Ok(Box::new(crate::journal::io::FileJournalIo::create(p)?))
+        };
+        let (name, bytes) = cp.write_atomic(&dir, &open).unwrap();
+        assert_eq!(name, "snapshot-7.vsnap");
+        assert!(bytes > 0);
+        assert!(!dir.join("snapshot-7.vsnap.tmp").exists());
+        let back = Checkpoint::read(&dir.join(&name)).unwrap();
+        assert_eq!(back.iterations, 7);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

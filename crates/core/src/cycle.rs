@@ -18,9 +18,12 @@
 //! explainability.
 
 use crate::anonymize::{AnonymizationAction, AnonymizeError, Anonymizer};
+use crate::checkpoint::Checkpoint;
 use crate::degrade::{self, DegradeTrigger, FallbackPolicy, FallbackRecord};
 use crate::dictionary::MetadataDictionary;
 use crate::explain::{AuditLog, Decision};
+use crate::journal::record::JournalRecord;
+use crate::journal::{self, JournalConfig, JournalError, JournalProfile, JournalWriter};
 use crate::maybe_match::{group_stats, weights_exactly_summable, GroupStats, NullSemantics};
 use crate::metrics::information_loss;
 use crate::model::MicrodataDb;
@@ -61,7 +64,7 @@ pub enum StepGranularity {
 }
 
 /// Cycle configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct CycleConfig {
     /// Risk threshold `T ∈ [0, 1]` (Algorithm 2).
     pub threshold: f64,
@@ -90,6 +93,12 @@ pub struct CycleConfig {
     /// summable. `false` restores the cold per-iteration rebuild — the
     /// equivalence baseline and the benchmark reference point.
     pub warm_start: bool,
+    /// Crash-safe persistence: when set, every committed action is
+    /// journaled and the working state is periodically snapshotted, so an
+    /// interrupted run can continue via [`AnonymizationCycle::resume`] —
+    /// bit-identically to a run that was never interrupted. `None` (the
+    /// default) keeps the cycle purely in-memory.
+    pub journal: Option<JournalConfig>,
 }
 
 impl Default for CycleConfig {
@@ -104,6 +113,7 @@ impl Default for CycleConfig {
             deadline: None,
             fallback: FallbackPolicy::default(),
             warm_start: true,
+            journal: None,
         }
     }
 }
@@ -195,6 +205,8 @@ pub struct CycleProfile {
     pub fallback: Option<FallbackRecord>,
     /// Warm-start counters (all zero on cold runs).
     pub warm: WarmCycleProfile,
+    /// Write-ahead-journal counters (all zero on unjournaled runs).
+    pub journal: JournalProfile,
 }
 
 impl CycleProfile {
@@ -268,6 +280,31 @@ impl CycleProfile {
                 fields![],
             );
         }
+        if self.journal != JournalProfile::default() {
+            let j = &self.journal;
+            obs.counter(
+                "cycle.journal.records",
+                j.records_written,
+                fields!["bytes" => j.bytes_written],
+            );
+            obs.counter("cycle.journal.fsyncs", j.fsyncs, fields![]);
+            obs.counter(
+                "cycle.journal.snapshots",
+                j.snapshots_written,
+                fields!["bytes" => j.snapshot_bytes],
+            );
+            obs.counter(
+                "cycle.journal.replayed_actions",
+                j.replayed_actions,
+                fields!["discarded" => j.discarded_actions],
+            );
+            obs.counter(
+                "cycle.journal.truncated_bytes",
+                j.truncated_bytes,
+                fields![],
+            );
+            obs.counter("cycle.journal.io_errors", j.io_errors, fields![]);
+        }
     }
 }
 
@@ -307,6 +344,10 @@ pub enum CycleError {
         /// The rendered panic payload.
         message: String,
     },
+    /// The write-ahead journal failed: creation refused, recovery found a
+    /// mismatched or unusable journal, or an I/O error occurred under
+    /// [`crate::journal::IoErrorPolicy::Fail`].
+    Journal(JournalError),
 }
 
 impl fmt::Display for CycleError {
@@ -325,6 +366,7 @@ impl fmt::Display for CycleError {
             CycleError::Plugin { plugin, message } => {
                 write!(f, "plug-in {plugin} panicked: {message}")
             }
+            CycleError::Journal(e) => write!(f, "{e}"),
         }
     }
 }
@@ -339,6 +381,11 @@ impl From<RiskError> for CycleError {
 impl From<AnonymizeError> for CycleError {
     fn from(e: AnonymizeError) -> Self {
         CycleError::Anonymize(e)
+    }
+}
+impl From<JournalError> for CycleError {
+    fn from(e: JournalError) -> Self {
+        CycleError::Journal(e)
     }
 }
 
@@ -465,22 +512,122 @@ impl<'a> AnonymizationCycle<'a> {
     }
 
     /// Run the cycle on a copy of `db`; the input table is untouched.
+    ///
+    /// With [`CycleConfig::journal`] set, a **fresh** journal is started
+    /// (an existing one is refused with
+    /// [`JournalError::AlreadyExists`] — use
+    /// [`resume`](Self::resume) for that).
     pub fn run(
         &self,
         db: &MicrodataDb,
         dict: &MetadataDictionary,
     ) -> Result<CycleOutcome, CycleError> {
-        let mut work = db.clone();
-        let mut audit = AuditLog::default();
+        self.run_with(db, dict, None)
+    }
+
+    /// Resume an interrupted journaled run: recover the journal in
+    /// [`CycleConfig::journal`] (truncating any torn tail), replay the
+    /// committed actions onto the newest valid snapshot or the original
+    /// table, and continue the cycle to its end. The outcome — final
+    /// table, risk report, audit trail — is bit-identical to a run that
+    /// was never interrupted.
+    pub fn resume(
+        &self,
+        db: &MicrodataDb,
+        dict: &MetadataDictionary,
+    ) -> Result<CycleOutcome, CycleError> {
+        let Some(jcfg) = &self.config.journal else {
+            return Err(CycleError::Journal(JournalError::NotConfigured));
+        };
+        let fp = journal::fingerprint(
+            db,
+            dict,
+            &self.config,
+            self.risk.name(),
+            self.anonymizer.name(),
+        );
+        let recovery = journal::recover(jcfg, db, self.config.threshold, fp)?;
+        self.run_with(db, dict, Some(recovery))
+    }
+
+    fn run_with(
+        &self,
+        db: &MicrodataDb,
+        dict: &MetadataDictionary,
+        recovery: Option<journal::Recovery>,
+    ) -> Result<CycleOutcome, CycleError> {
         let mut profile = CycleProfile::default();
-        let mut nulls_injected = 0usize;
-        let mut recodings = 0usize;
-        let mut exhausted: HashSet<usize> = HashSet::new();
-        let mut initial_risky = 0usize;
-        let mut iterations = 0usize;
+        let resumed = recovery.is_some();
+        let (
+            mut work,
+            mut audit,
+            mut exhausted,
+            mut iterations,
+            mut nulls_injected,
+            mut recodings,
+            mut initial_risky,
+            recovered_profile,
+            append_offset,
+        ) = match recovery {
+            Some(r) => (
+                r.db,
+                if self.config.audit {
+                    r.audit
+                } else {
+                    AuditLog::default()
+                },
+                r.exhausted,
+                r.iterations,
+                r.nulls_injected,
+                r.recodings,
+                r.initial_risky,
+                r.profile,
+                r.append_offset,
+            ),
+            None => (
+                db.clone(),
+                AuditLog::default(),
+                HashSet::new(),
+                0,
+                0,
+                0,
+                0,
+                JournalProfile::default(),
+                0,
+            ),
+        };
         let run_start = Instant::now();
         let t = self.config.threshold;
         let obs = Obs::new(self.collector.as_deref());
+
+        // The write-ahead journal: one Action record per committed step,
+        // one Commit per finished iteration, periodic atomic snapshots.
+        let run_fp = self.config.journal.as_ref().map(|_| {
+            journal::fingerprint(
+                db,
+                dict,
+                &self.config,
+                self.risk.name(),
+                self.anonymizer.name(),
+            )
+        });
+        let mut wal: Option<JournalWriter> = match (&self.config.journal, run_fp) {
+            (Some(jcfg), Some(fp)) => {
+                let begin = JournalRecord::Begin {
+                    version: crate::journal::record::FORMAT_VERSION,
+                    fingerprint: fp,
+                    measure: self.risk.name().to_string(),
+                    anonymizer: self.anonymizer.name().to_string(),
+                    rows: db.len() as u64,
+                };
+                Some(if resumed {
+                    JournalWriter::resume(jcfg, &begin, fp, append_offset, recovered_profile)?
+                } else {
+                    JournalWriter::create(jcfg, &begin, fp)?
+                })
+            }
+            _ => None,
+        };
 
         let qi_count = dict
             .quasi_identifiers(&work.name)
@@ -705,6 +852,15 @@ impl<'a> AnonymizationCycle<'a> {
                 if self.config.warm_start {
                     profile.warm.patched_facts += patched;
                 }
+                if let Some(w) = wal.as_mut() {
+                    w.append(&JournalRecord::Action {
+                        iteration: iterations as u64,
+                        row: row as u64,
+                        risk_bits: report.risks[row].to_bits(),
+                        measure: report.measure.clone(),
+                        action: action.clone(),
+                    })?;
+                }
                 if self.config.audit {
                     audit.record(Decision {
                         iteration: iterations,
@@ -721,12 +877,58 @@ impl<'a> AnonymizationCycle<'a> {
             profile.risk_eval_ns += risk_eval_ns;
             profile.iterations.push(record);
             iterations += 1;
+            // Iteration boundary: commit, then snapshot when due. A crash
+            // after the commit loses at most the (re-derivable) work of
+            // the next iteration.
+            if let Some(w) = wal.as_mut() {
+                w.append(&JournalRecord::Commit {
+                    iterations: iterations as u64,
+                    nulls_injected: nulls_injected as u64,
+                    recodings: recodings as u64,
+                    initial_risky: initial_risky as u64,
+                    exhausted: exhausted.len() as u64,
+                })?;
+                let due = self
+                    .config
+                    .journal
+                    .as_ref()
+                    .and_then(|j| j.snapshot_every)
+                    .is_some_and(|n| n > 0 && iterations % n as usize == 0);
+                if due {
+                    let cp = Checkpoint {
+                        iterations: iterations as u64,
+                        fingerprint: w.run_fingerprint(),
+                        next_null: work.nulls_minted(),
+                        db: work.clone(),
+                        exhausted: exhausted.iter().copied().collect(),
+                        nulls_injected: nulls_injected as u64,
+                        recodings: recodings as u64,
+                        initial_risky: initial_risky as u64,
+                        warm: profile.warm,
+                    };
+                    w.snapshot(&cp)?;
+                }
+            }
         };
 
         let report = match end {
             LoopEnd::Converged(report) => report,
             LoopEnd::Trigger(trigger, still_risky) => {
+                // Mark the degradation in the journal *before* the
+                // fallback mutates the table: fallback suppressions are
+                // deliberately not journaled, so a later resume truncates
+                // this marker and re-runs the loop toward convergence
+                // (e.g. under a raised iteration cap) instead of
+                // replaying a cap-shaped ending.
+                if let Some(w) = wal.as_mut() {
+                    w.append_durable(&JournalRecord::Degraded {
+                        trigger: trigger.to_string(),
+                    })?;
+                }
                 if self.config.fallback == FallbackPolicy::Error {
+                    if let Some(w) = wal.as_ref() {
+                        profile.journal = w.profile;
+                    }
                     profile.total_ns = run_start.elapsed().as_nanos() as u64;
                     profile.emit(&obs);
                     return Err(match trigger {
@@ -768,6 +970,10 @@ impl<'a> AnonymizationCycle<'a> {
                     cells_suppressed: summary.cells_suppressed,
                     residual_risky: summary.residual_risky,
                 });
+                if let Some(w) = wal.as_mut() {
+                    w.append_durable(&JournalRecord::Finished { converged: false })?;
+                    profile.journal = w.profile;
+                }
                 profile.total_ns = run_start.elapsed().as_nanos() as u64;
                 profile.emit(&obs);
                 // Fail closed when the measure could not re-verify: treat
@@ -797,6 +1003,10 @@ impl<'a> AnonymizationCycle<'a> {
             }
         };
 
+        if let Some(w) = wal.as_mut() {
+            w.append_durable(&JournalRecord::Finished { converged: true })?;
+            profile.journal = w.profile;
+        }
         profile.total_ns = run_start.elapsed().as_nanos() as u64;
         profile.emit(&obs);
         let final_risky = report
@@ -1174,7 +1384,7 @@ mod tests {
         let anon = LocalSuppression::default();
         let warm_cfg = CycleConfig {
             warm_start: true,
-            ..config
+            ..config.clone()
         };
         let cold_cfg = CycleConfig {
             warm_start: false,

@@ -14,11 +14,16 @@
 
 use crate::anonymize::{AnonymizationAction, AnonymizeError, Anonymizer};
 use crate::dictionary::MetadataDictionary;
+use crate::journal::io::{FileJournalIo, IoMode, JournalIo};
+use crate::journal::IoFactory;
 use crate::model::MicrodataDb;
 use crate::risk::{MicrodataView, RiskError, RiskMeasure, RiskReport};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::fmt;
+use std::io;
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use vadalog::CancelToken;
 
 /// One injectable fault.
@@ -221,6 +226,166 @@ impl Anonymizer for FaultyAnonymizer<'_> {
         }
         self.inner.anonymize_step(db, dict, row)
     }
+}
+
+/// One injectable journal-I/O fault, applied by [`FaultyJournalIo`] at a
+/// chosen operation ordinal. Ordinals count `append` calls (for write
+/// faults) or `sync` calls (for sync faults) across the whole run,
+/// 1-based, journal and snapshot streams together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalFault {
+    /// The `n`-th append persists only the first `k` bytes of its buffer
+    /// and then errors — a torn write, the canonical crash shape.
+    ShortWriteThenError {
+        /// Which append call tears, counting from 1.
+        at_append: usize,
+        /// How many bytes of that buffer still land on disk.
+        keep_bytes: usize,
+    },
+    /// The `n`-th append fails outright, persisting nothing.
+    WriteError {
+        /// Which append call fails, counting from 1.
+        at_append: usize,
+    },
+    /// The `n`-th fsync fails (data may or may not be durable — the
+    /// recovery contract must hold either way).
+    SyncError {
+        /// Which sync call fails, counting from 1.
+        at_sync: usize,
+    },
+    /// Every append from the `n`-th on fails with `ENOSPC`-like errors,
+    /// as a full disk does.
+    FullDisk {
+        /// First failing append call, counting from 1.
+        from_append: usize,
+    },
+    /// Every byte up to the `k`-th is persisted normally; at the `k`-th
+    /// byte the process "crashes": the write stops there and every later
+    /// operation fails. Sweeping `k` over a reference journal's length
+    /// yields a kill point at every record boundary and mid-record.
+    CrashAfterBytes {
+        /// Total journal bytes persisted before the crash.
+        bytes: usize,
+    },
+}
+
+impl fmt::Display for JournalFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalFault::ShortWriteThenError {
+                at_append,
+                keep_bytes,
+            } => write!(
+                f,
+                "short write at append #{at_append} (keeps {keep_bytes}B)"
+            ),
+            JournalFault::WriteError { at_append } => {
+                write!(f, "write error at append #{at_append}")
+            }
+            JournalFault::SyncError { at_sync } => write!(f, "fsync failure at sync #{at_sync}"),
+            JournalFault::FullDisk { from_append } => {
+                write!(f, "disk full from append #{from_append}")
+            }
+            JournalFault::CrashAfterBytes { bytes } => write!(f, "crash after {bytes} bytes"),
+        }
+    }
+}
+
+/// Shared fault state so one [`JournalFault`] spans every sink a run
+/// opens (the journal file and each snapshot temp file).
+struct JournalFaultState {
+    fault: JournalFault,
+    appends: AtomicUsize,
+    syncs: AtomicUsize,
+    bytes: AtomicUsize,
+}
+
+/// A [`JournalIo`] wrapper that injects the planned fault and otherwise
+/// delegates to a real file sink.
+pub struct FaultyJournalIo {
+    inner: FileJournalIo,
+    state: Arc<JournalFaultState>,
+}
+
+impl JournalIo for FaultyJournalIo {
+    fn append(&mut self, buf: &[u8]) -> io::Result<()> {
+        let call = self.state.appends.fetch_add(1, Ordering::Relaxed) + 1;
+        match self.state.fault {
+            JournalFault::ShortWriteThenError {
+                at_append,
+                keep_bytes,
+            } if call == at_append => {
+                let keep = keep_bytes.min(buf.len());
+                self.inner.append(&buf[..keep])?;
+                let _ = self.inner.sync(); // the torn prefix really lands
+                Err(io::Error::other("injected short write"))
+            }
+            JournalFault::WriteError { at_append } if call == at_append => {
+                Err(io::Error::other("injected write error"))
+            }
+            JournalFault::FullDisk { from_append } if call >= from_append => Err(io::Error::new(
+                io::ErrorKind::StorageFull,
+                "injected disk full",
+            )),
+            JournalFault::CrashAfterBytes { bytes } => {
+                let written = self.state.bytes.load(Ordering::Relaxed);
+                if written >= bytes {
+                    return Err(io::Error::other("injected crash"));
+                }
+                let keep = (bytes - written).min(buf.len());
+                self.inner.append(&buf[..keep])?;
+                let _ = self.inner.sync();
+                self.state.bytes.fetch_add(keep, Ordering::Relaxed);
+                if keep < buf.len() {
+                    Err(io::Error::other("injected crash"))
+                } else {
+                    Ok(())
+                }
+            }
+            _ => {
+                self.state.bytes.fetch_add(buf.len(), Ordering::Relaxed);
+                self.inner.append(buf)
+            }
+        }
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        let call = self.state.syncs.fetch_add(1, Ordering::Relaxed) + 1;
+        match self.state.fault {
+            JournalFault::SyncError { at_sync } if call == at_sync => {
+                Err(io::Error::other("injected fsync failure"))
+            }
+            JournalFault::CrashAfterBytes { bytes }
+                if self.state.bytes.load(Ordering::Relaxed) >= bytes =>
+            {
+                Err(io::Error::other("injected crash"))
+            }
+            _ => self.inner.sync(),
+        }
+    }
+}
+
+/// Build a [`JournalConfig::io_factory`](crate::journal::JournalConfig)
+/// that injects `fault` into every sink the run opens. Ordinals are
+/// counted across all sinks, so one plan covers journal appends and
+/// snapshot writes alike.
+pub fn faulty_io_factory(fault: JournalFault) -> IoFactory {
+    let state = Arc::new(JournalFaultState {
+        fault,
+        appends: AtomicUsize::new(0),
+        syncs: AtomicUsize::new(0),
+        bytes: AtomicUsize::new(0),
+    });
+    Arc::new(move |path: &Path, mode: IoMode| {
+        let inner = match mode {
+            IoMode::Journal => FileJournalIo::append_create(path)?,
+            IoMode::Snapshot => FileJournalIo::create(path)?,
+        };
+        Ok(Box::new(FaultyJournalIo {
+            inner,
+            state: state.clone(),
+        }) as Box<dyn JournalIo>)
+    })
 }
 
 #[cfg(test)]

@@ -161,21 +161,32 @@ pub fn read_csv(name: &str, text: &str) -> Result<MicrodataDb, CsvError> {
     }
 
     let mut db = MicrodataDb::new(name, header.iter().map(|h| h.as_str()))?;
-    for r in body {
-        let row: Vec<Value> = r
-            .iter()
-            .enumerate()
-            .map(|(c, cell)| {
-                if let Some(n) = parse_null(cell) {
-                    return Value::Null(n);
+    for (i, r) in body.iter().enumerate() {
+        let mut row: Vec<Value> = Vec::with_capacity(width);
+        for (c, cell) in r.iter().enumerate() {
+            if let Some(n) = parse_null(cell) {
+                row.push(Value::Null(n));
+                continue;
+            }
+            // The second pass re-parses what inference already accepted,
+            // so a failure here is unreachable in practice — but the
+            // importer must be total on hostile input, so it reports
+            // instead of trusting the first pass.
+            let typed = match col_ty[c] {
+                ColTy::Int => cell.parse().map(Value::Int).map_err(|e| e.to_string()),
+                ColTy::Float => cell.parse().map(Value::Float).map_err(|e| e.to_string()),
+                ColTy::Str => Ok(Value::str(cell.as_str())),
+            };
+            match typed {
+                Ok(v) => row.push(v),
+                Err(message) => {
+                    return Err(CsvError::Parse {
+                        line: i + 2,
+                        message: format!("cell '{cell}' failed typed parse: {message}"),
+                    })
                 }
-                match col_ty[c] {
-                    ColTy::Int => Value::Int(cell.parse().expect("inferred int")),
-                    ColTy::Float => Value::Float(cell.parse().expect("inferred float")),
-                    ColTy::Str => Value::str(cell.as_str()),
-                }
-            })
-            .collect();
+            }
+        }
         db.push_row(row)?;
     }
     Ok(db)
@@ -299,6 +310,23 @@ mod tests {
         assert!(matches!(
             read_csv("t", "a\nmid\"quote\n"),
             Err(CsvError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_header_names_are_rejected() {
+        // Journal replay binds recorded actions to columns *by name*, so
+        // an ambiguous header must never produce a table. The model layer
+        // rejects it; pin that the CSV path surfaces the error cleanly.
+        let err = read_csv("t", "a,b,a\n1,2,3\n").unwrap_err();
+        match err {
+            CsvError::Model(ModelError::DuplicateAttribute(name)) => assert_eq!(name, "a"),
+            other => panic!("expected DuplicateAttribute, got {other:?}"),
+        }
+        // quoted duplicates collapse to the same name and are equally bad
+        assert!(matches!(
+            read_csv("t", "\"x\",x\n1,2\n"),
+            Err(CsvError::Model(ModelError::DuplicateAttribute(_)))
         ));
     }
 

@@ -1,0 +1,99 @@
+//! The byte sink behind the journal writer.
+//!
+//! Production uses [`FileJournalIo`] (an append-mode `File`). The fault
+//! harness ([`crate::faults`]) supplies failing implementations — short
+//! writes, write errors, fsync failures, full disks — through
+//! [`JournalConfig::io_factory`](crate::journal::JournalConfig), so
+//! every I/O failure mode is testable without touching a real disk's
+//! error paths.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// An append-only byte sink with explicit durability points.
+///
+/// `append` must either write the whole buffer or return an error; a
+/// *short* write (some bytes persisted, then failure) is modelled by
+/// writing a prefix and then erroring, which is exactly what a crashing
+/// kernel produces and what recovery's truncate-at-tear logic absorbs.
+pub trait JournalIo: Send {
+    /// Append `buf` at the end of the sink.
+    fn append(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// Make everything appended so far durable (fsync).
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+/// How a [`JournalIo`] sink will be used; passed to the I/O factory so a
+/// fault plan can target the journal and the snapshot stream separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoMode {
+    /// The write-ahead journal file itself.
+    Journal,
+    /// A snapshot temp file (atomically renamed into place afterwards).
+    Snapshot,
+}
+
+/// Borrowed form of [`IoFactory`](crate::journal::IoFactory): opens one
+/// sink for a path in the given [`IoMode`].
+pub type OpenSink<'a> = dyn Fn(&Path, IoMode) -> io::Result<Box<dyn JournalIo>> + 'a;
+
+/// The real thing: a buffered append to a file plus `File::sync_all`.
+pub struct FileJournalIo {
+    file: File,
+}
+
+impl FileJournalIo {
+    /// Create `path` (truncating any existing file) for appending.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(FileJournalIo { file })
+    }
+
+    /// Open an existing `path` for appending (used by resume).
+    pub fn append_to(path: &Path) -> io::Result<Self> {
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(FileJournalIo { file })
+    }
+
+    /// Open `path` for appending, creating it if missing — the default
+    /// mode for the journal file (fresh runs create, resumes append).
+    pub fn append_create(path: &Path) -> io::Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(FileJournalIo { file })
+    }
+}
+
+impl JournalIo for FileJournalIo {
+    fn append(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.file.write_all(buf)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_io_appends_and_syncs() {
+        let dir = std::env::temp_dir().join(format!("vadasa-io-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j.log");
+        {
+            let mut io = FileJournalIo::create(&path).unwrap();
+            io.append(b"hello ").unwrap();
+            io.sync().unwrap();
+        }
+        {
+            let mut io = FileJournalIo::append_to(&path).unwrap();
+            io.append(b"world").unwrap();
+            io.sync().unwrap();
+        }
+        assert_eq!(std::fs::read(&path).unwrap(), b"hello world");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -65,12 +65,14 @@
 pub mod anonymize;
 pub mod business;
 pub mod categorize;
+pub mod checkpoint;
 pub mod cycle;
 pub mod degrade;
 pub mod dictionary;
 pub mod explain;
 pub mod faults;
 pub mod io;
+pub mod journal;
 pub mod maybe_match;
 pub mod metrics;
 pub mod model;
@@ -100,6 +102,9 @@ pub mod prelude {
     };
     pub use crate::dictionary::{Category, MetadataDictionary};
     pub use crate::explain::{AuditLog, Decision};
+    pub use crate::journal::{
+        IoErrorPolicy, JournalConfig, JournalError, JournalProfile, SyncPolicy,
+    };
     pub use crate::maybe_match::NullSemantics;
     pub use crate::model::MicrodataDb;
     pub use crate::risk::{

@@ -175,6 +175,16 @@ impl MicrodataDb {
         self.next_null
     }
 
+    /// Raise the labelled-null counter to at least `n`, so the next
+    /// [`fresh_null`](Self::fresh_null) mints `⊥n` or later. Used by
+    /// checkpoint restore to reproduce the exact null labels an
+    /// interrupted run would have minted; never lowers the counter.
+    pub fn reserve_nulls(&mut self, n: u64) {
+        if n > self.next_null {
+            self.next_null = n;
+        }
+    }
+
     /// Count of null cells across the listed attributes (all if empty).
     pub fn null_cells(&self, attrs: &[String]) -> usize {
         let cols: Vec<usize> = if attrs.is_empty() {

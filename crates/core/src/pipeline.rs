@@ -29,6 +29,7 @@ use crate::categorize::{Categorizer, ExperienceBase};
 use crate::cycle::{AnonymizationCycle, CycleConfig, CycleError, CycleOutcome};
 use crate::degrade::FallbackPolicy;
 use crate::dictionary::MetadataDictionary;
+use crate::journal::JournalConfig;
 use crate::model::MicrodataDb;
 use crate::prelude::{
     Anonymizer, IndividualRisk, IrEstimator, KAnonymity, LocalSuppression, MicrodataView,
@@ -102,6 +103,7 @@ pub struct Vadasa {
     summary_top_n: usize,
     collector: Option<Arc<dyn Collector>>,
     cancel: Option<CancelToken>,
+    resume: bool,
 }
 
 impl Default for Vadasa {
@@ -115,6 +117,7 @@ impl Default for Vadasa {
             summary_top_n: 5,
             collector: None,
             cancel: None,
+            resume: false,
         }
     }
 }
@@ -210,6 +213,24 @@ impl Vadasa {
         self
     }
 
+    /// Journal the anonymization cycle into `config.dir`, making an
+    /// interrupted run recoverable with [`resume`](Self::resume). See
+    /// [`CycleConfig::journal`].
+    pub fn journal(mut self, config: JournalConfig) -> Self {
+        self.config.journal = Some(config);
+        self
+    }
+
+    /// Resume the journal configured via [`journal`](Self::journal)
+    /// instead of starting fresh: committed work is replayed and the
+    /// cycle continues, bit-identical to a run that was never
+    /// interrupted. Without a journal configuration, `run` fails with
+    /// [`JournalError::NotConfigured`](crate::journal::JournalError).
+    pub fn resume(mut self) -> Self {
+        self.resume = true;
+        self
+    }
+
     /// Attach a telemetry collector: the anonymization cycle's
     /// per-iteration profile is replayed into it (see
     /// [`CycleProfile::emit`](crate::cycle::CycleProfile::emit)), and the
@@ -257,14 +278,20 @@ impl Vadasa {
             MeasureChoice::Suda(t) => Box::new(Suda::new(t)),
         };
         let anonymizer: Box<dyn Anonymizer> = Box::new(LocalSuppression::default());
-        let mut cycle = AnonymizationCycle::new(measure.as_ref(), anonymizer.as_ref(), self.config);
+        let mut cycle =
+            AnonymizationCycle::new(measure.as_ref(), anonymizer.as_ref(), self.config.clone());
         if let Some(collector) = self.collector {
             cycle = cycle.with_collector(collector);
         }
         if let Some(token) = self.cancel {
             cycle = cycle.with_cancel(token);
         }
-        let outcome = cycle.run(db, &dict).map_err(PipelineError::Cycle)?;
+        let outcome = if self.resume {
+            cycle.resume(db, &dict)
+        } else {
+            cycle.run(db, &dict)
+        }
+        .map_err(PipelineError::Cycle)?;
 
         // --- summarize the released table ---
         // The summary re-evaluates the measure on the released table; a
@@ -338,6 +365,42 @@ mod tests {
             let release = build.run(&survey()).unwrap();
             assert_eq!(release.outcome.final_risky, 0);
         }
+    }
+
+    #[test]
+    fn journaled_pipeline_runs_and_resumes() {
+        let dir = std::env::temp_dir().join(format!("vadasa-pipeline-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let db = survey();
+
+        let journaled = Vadasa::new()
+            .journal(JournalConfig::new(&dir))
+            .run(&db)
+            .unwrap();
+        assert!(journaled.outcome.profile.journal.records_written > 0);
+        assert!(dir.join(crate::journal::JOURNAL_FILE).exists());
+
+        // The completed journal resumes to the same release.
+        let resumed = Vadasa::new()
+            .journal(JournalConfig::new(&dir))
+            .resume()
+            .run(&db)
+            .unwrap();
+        assert_eq!(
+            resumed.outcome.nulls_injected,
+            journaled.outcome.nulls_injected
+        );
+        assert_eq!(resumed.outcome.iterations, journaled.outcome.iterations);
+        assert_eq!(resumed.summary, journaled.summary);
+
+        // Resuming without a journal configuration is a structured error.
+        match Vadasa::new().resume().run(&db) {
+            Err(PipelineError::Cycle(CycleError::Journal(
+                crate::journal::JournalError::NotConfigured,
+            ))) => {}
+            other => panic!("expected NotConfigured, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

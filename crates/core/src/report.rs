@@ -180,6 +180,23 @@ pub fn render_profile(profile: &CycleProfile) -> String {
             w.reused_index_bytes
         );
     }
+    let j = &profile.journal;
+    if *j != Default::default() {
+        let _ = writeln!(
+            out,
+            "journal — {} record(s) / {} byte(s) written, {} fsync(s), {} snapshot(s); \
+             recovery replayed {} action(s), truncated {} byte(s), discarded {} action(s), \
+             {} i/o error(s) absorbed",
+            j.records_written,
+            j.bytes_written,
+            j.fsyncs,
+            j.snapshots_written,
+            j.replayed_actions,
+            j.truncated_bytes,
+            j.discarded_actions,
+            j.io_errors
+        );
+    }
     out
 }
 
@@ -292,6 +309,7 @@ mod tests {
             total_ns: 4_200_000,
             fallback: None,
             warm: Default::default(),
+            journal: Default::default(),
         };
         let text = render_profile(&profile);
         assert!(text.contains("2 iteration(s)"));
@@ -300,6 +318,31 @@ mod tests {
         assert!(text.contains("(71.4%) in risk evaluation"));
         // all-zero warm counters stay silent (cold runs render as before)
         assert!(!text.contains("warm-start"));
+        // same for an unjournaled run
+        assert!(!text.contains("journal —"));
+    }
+
+    #[test]
+    fn profile_table_renders_journal_counters() {
+        let profile = CycleProfile {
+            journal: crate::journal::JournalProfile {
+                records_written: 11,
+                bytes_written: 640,
+                fsyncs: 11,
+                snapshots_written: 2,
+                snapshot_bytes: 512,
+                replayed_actions: 3,
+                truncated_bytes: 17,
+                discarded_actions: 1,
+                io_errors: 0,
+            },
+            ..CycleProfile::default()
+        };
+        let text = render_profile(&profile);
+        assert!(text.contains("11 record(s) / 640 byte(s) written"));
+        assert!(text.contains("2 snapshot(s)"));
+        assert!(text.contains("replayed 3 action(s)"));
+        assert!(text.contains("truncated 17 byte(s)"));
     }
 
     #[test]

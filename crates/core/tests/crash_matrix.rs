@@ -1,0 +1,709 @@
+//! The crash matrix: kill the journaled anonymization cycle at **every**
+//! record boundary and mid-record, resume, and require the outcome to be
+//! bit-identical to a run that was never interrupted.
+//!
+//! Four layers of coverage:
+//!
+//! 1. **Kill-point sweep** — truncate a completed run's journal at every
+//!    frame boundary (and every midpoint inside a frame, and inside the
+//!    magic header) and resume each prefix.
+//! 2. **Injected-crash sweep** — re-run with a `CrashAfterBytes` fault in
+//!    the I/O layer, so the torn file is produced by the writer itself
+//!    (short write + dead sink), then resume with clean I/O.
+//! 3. **Fault policies** — `IoErrorPolicy::Fail` surfaces structured
+//!    errors; `IoErrorPolicy::Disable` finishes the run in memory with
+//!    the same outcome, leaving a torn-but-resumable journal behind.
+//! 4. **Hostile files** — alien bytes, wrong format version, fingerprint
+//!    mismatches, corrupt or missing snapshots, and a mutation property
+//!    test (random truncate/flip/insert): recovery is `Ok` with an
+//!    identical transcript or a structured `CycleError::Journal`, never
+//!    a panic.
+
+use proptest::prelude::*;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use vadalog::Value;
+use vadasa_core::cycle::{
+    AnonymizationCycle, CycleConfig, CycleError, CycleOutcome, StepGranularity,
+};
+use vadasa_core::dictionary::{Category, MetadataDictionary};
+use vadasa_core::faults::{faulty_io_factory, JournalFault};
+use vadasa_core::journal::record::{self, JournalRecord, MAGIC};
+use vadasa_core::journal::{IoErrorPolicy, JournalConfig, JournalError, JOURNAL_FILE};
+use vadasa_core::model::MicrodataDb;
+use vadasa_core::prelude::{KAnonymity, LocalSuppression};
+use vadasa_core::risk::RiskMeasure;
+use vadasa_datagen::generate_households;
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// A unique, initially-empty temp directory (tests run in parallel).
+fn fresh_dir(tag: &str) -> PathBuf {
+    let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("vadasa-crash-{}-{n}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Every observable output of a run, rendered canonically: if two
+/// transcripts are equal, the runs were indistinguishable — same table,
+/// same (bitwise) risks, same audit trail, same termination.
+fn transcript(o: &CycleOutcome) -> String {
+    let mut t = String::new();
+    let _ = writeln!(
+        t,
+        "iterations={} nulls={} recodings={} initial_risky={} final_risky={}",
+        o.iterations, o.nulls_injected, o.recodings, o.initial_risky, o.final_risky
+    );
+    let _ = writeln!(
+        t,
+        "termination={:?} loss_bits={:016x}",
+        o.termination,
+        o.information_loss.to_bits()
+    );
+    for (i, r) in o.final_report.risks.iter().enumerate() {
+        let _ = writeln!(t, "risk[{i}]={:016x}", r.to_bits());
+    }
+    for d in &o.final_report.details {
+        let _ = writeln!(t, "detail: {d:?}");
+    }
+    for d in &o.audit.decisions {
+        let _ = writeln!(
+            t,
+            "audit iter={} row={} measure={} risk={:016x} action={:?}",
+            d.iteration,
+            d.row,
+            d.measure,
+            d.risk.to_bits(),
+            d.action
+        );
+    }
+    for r in 0..o.db.len() {
+        let _ = writeln!(t, "row[{r}]={:?}", o.db.row(r).expect("row in range"));
+    }
+    t
+}
+
+/// The Fig. 5 table from the paper: 7 rows, one-tuple-per-iteration, so
+/// the journal carries several iterations of single actions.
+fn fig5() -> (MicrodataDb, MetadataDictionary) {
+    let mut db =
+        MicrodataDb::new("fig5", ["Id", "Area", "Sector", "Employees", "ResRev", "W"]).unwrap();
+    let rows = [
+        ("099876", "Roma", "Textiles", "1000+", "0-30", 10),
+        ("765389", "Roma", "Commerce", "1000+", "0-30", 20),
+        ("231654", "Roma", "Commerce", "1000+", "0-30", 20),
+        ("097302", "Roma", "Financial", "1000+", "0-30", 30),
+        ("120967", "Roma", "Financial", "1000+", "0-30", 30),
+        ("232498", "Milano", "Construction", "0-200", "60-90", 5),
+        ("340901", "Torino", "Construction", "0-200", "60-90", 5),
+    ];
+    for (id, a, s, e, r, w) in rows {
+        db.push_row(vec![
+            Value::str(id),
+            Value::str(a),
+            Value::str(s),
+            Value::str(e),
+            Value::str(r),
+            Value::Int(w),
+        ])
+        .unwrap();
+    }
+    let mut dict = MetadataDictionary::new();
+    for a in ["Id", "Area", "Sector", "Employees", "ResRev", "W"] {
+        dict.register_attr("fig5", a, "");
+    }
+    dict.set_category("fig5", "Id", Category::Identifier)
+        .unwrap();
+    for a in ["Area", "Sector", "Employees", "ResRev"] {
+        dict.set_category("fig5", a, Category::QuasiIdentifier)
+            .unwrap();
+    }
+    dict.set_category("fig5", "W", Category::Weight).unwrap();
+    (db, dict)
+}
+
+fn fig5_config() -> CycleConfig {
+    CycleConfig {
+        granularity: StepGranularity::OneTuplePerIteration,
+        ..CycleConfig::default()
+    }
+}
+
+/// Run once with `journal: None` — the uninterrupted reference.
+fn reference_run(
+    db: &MicrodataDb,
+    dict: &MetadataDictionary,
+    risk: &dyn RiskMeasure,
+    config: &CycleConfig,
+) -> CycleOutcome {
+    let anon = LocalSuppression::default();
+    AnonymizationCycle::new(
+        risk,
+        &anon,
+        CycleConfig {
+            journal: None,
+            ..config.clone()
+        },
+    )
+    .run(db, dict)
+    .expect("reference run")
+}
+
+fn run_journaled(
+    db: &MicrodataDb,
+    dict: &MetadataDictionary,
+    risk: &dyn RiskMeasure,
+    config: &CycleConfig,
+    jcfg: JournalConfig,
+) -> Result<CycleOutcome, CycleError> {
+    let anon = LocalSuppression::default();
+    AnonymizationCycle::new(
+        risk,
+        &anon,
+        CycleConfig {
+            journal: Some(jcfg),
+            ..config.clone()
+        },
+    )
+    .run(db, dict)
+}
+
+fn resume_journaled(
+    db: &MicrodataDb,
+    dict: &MetadataDictionary,
+    risk: &dyn RiskMeasure,
+    config: &CycleConfig,
+    jcfg: JournalConfig,
+) -> Result<CycleOutcome, CycleError> {
+    let anon = LocalSuppression::default();
+    AnonymizationCycle::new(
+        risk,
+        &anon,
+        CycleConfig {
+            journal: Some(jcfg),
+            ..config.clone()
+        },
+    )
+    .resume(db, dict)
+}
+
+/// Every kill point of a journal byte buffer: offsets inside the magic
+/// header, every frame boundary, and the midpoint of every frame.
+fn kill_points(bytes: &[u8]) -> Vec<usize> {
+    let bounds = record::frame_boundaries(bytes);
+    let mut kills = vec![0, MAGIC.len() / 2, MAGIC.len()];
+    let mut prev = MAGIC.len();
+    for &b in &bounds {
+        kills.push(prev + (b - prev) / 2); // mid-record
+        kills.push(b); // record boundary
+        prev = b;
+    }
+    kills.sort_unstable();
+    kills.dedup();
+    kills
+}
+
+/// Copy `dir`'s snapshot files (if any) next to a truncated journal, so
+/// recovery exercises the snapshot fast-path wherever the journal prefix
+/// still references one.
+fn copy_snapshots(from: &Path, to: &Path) {
+    let Ok(entries) = fs::read_dir(from) else {
+        return;
+    };
+    for e in entries.flatten() {
+        let name = e.file_name();
+        if name.to_string_lossy().ends_with(".vsnap") {
+            fs::copy(e.path(), to.join(&name)).expect("copy snapshot");
+        }
+    }
+}
+
+#[test]
+fn fig5_killed_at_every_boundary_and_midpoint_resumes_identically() {
+    let (db, dict) = fig5();
+    let risk = KAnonymity::new(2);
+    let config = fig5_config();
+    let reference = transcript(&reference_run(&db, &dict, &risk, &config));
+
+    // The uninterrupted journaled run is itself equivalent — journaling
+    // is an observer, not an intervention.
+    let ref_dir = fresh_dir("fig5-ref");
+    let jcfg = JournalConfig {
+        snapshot_every: Some(2),
+        ..JournalConfig::new(&ref_dir)
+    };
+    let journaled = run_journaled(&db, &dict, &risk, &config, jcfg).expect("journaled run");
+    assert_eq!(
+        transcript(&journaled),
+        reference,
+        "journaling changed the run"
+    );
+    assert!(journaled.profile.journal.records_written > 2);
+    assert!(journaled.profile.journal.snapshots_written >= 1);
+    assert!(journaled.profile.journal.fsyncs > 0);
+
+    let bytes = fs::read(ref_dir.join(JOURNAL_FILE)).expect("journal on disk");
+    let kills = kill_points(&bytes);
+    assert!(kills.len() >= 7, "workload too small to matter: {kills:?}");
+
+    for &k in &kills {
+        let dir = fresh_dir(&format!("fig5-kill-{k}"));
+        fs::create_dir_all(&dir).expect("mkdir");
+        fs::write(dir.join(JOURNAL_FILE), &bytes[..k]).expect("write prefix");
+        copy_snapshots(&ref_dir, &dir);
+        let resumed = resume_journaled(&db, &dict, &risk, &config, JournalConfig::new(&dir))
+            .unwrap_or_else(|e| panic!("kill at byte {k}: resume failed: {e}"));
+        assert_eq!(
+            transcript(&resumed),
+            reference,
+            "kill at byte {k} of {} diverged",
+            bytes.len()
+        );
+        // A mid-record kill always leaves a torn tail to truncate; a kill
+        // at a clean boundary may legitimately have no recovery work
+        // (e.g. exactly after `Begin`).
+        if k > MAGIC.len() && !record::frame_boundaries(&bytes).contains(&k) {
+            assert!(
+                resumed.profile.journal.truncated_bytes > 0,
+                "kill at byte {k}: torn tail was not truncated"
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    // A resumed journal is itself resumable: crash-after-resume is just
+    // another kill point.
+    let dir = fresh_dir("fig5-rekill");
+    fs::create_dir_all(&dir).expect("mkdir");
+    let mid = kills[kills.len() / 2];
+    fs::write(dir.join(JOURNAL_FILE), &bytes[..mid]).expect("write prefix");
+    let once = resume_journaled(&db, &dict, &risk, &config, JournalConfig::new(&dir))
+        .expect("first resume");
+    let twice = resume_journaled(&db, &dict, &risk, &config, JournalConfig::new(&dir))
+        .expect("second resume");
+    assert_eq!(transcript(&once), reference);
+    assert_eq!(transcript(&twice), reference);
+    let _ = fs::remove_dir_all(&dir);
+    let _ = fs::remove_dir_all(&ref_dir);
+}
+
+#[test]
+fn households_kill_sweep_with_snapshots_and_warm_cold_cross_resume() {
+    // A bigger workload: 24 households, all-risky granularity, snapshot
+    // every iteration. The journal was written by a *warm* run and each
+    // prefix is resumed by a *cold* run (and one the other way round) —
+    // the fingerprint deliberately ignores the evaluation strategy.
+    let survey = generate_households(24, 0xC4A5);
+    let risk = KAnonymity::new(3);
+    let config = CycleConfig {
+        granularity: StepGranularity::AllRiskyPerIteration,
+        warm_start: true,
+        ..CycleConfig::default()
+    };
+    let cold_config = CycleConfig {
+        warm_start: false,
+        ..config.clone()
+    };
+    let reference = transcript(&reference_run(&survey.db, &survey.dict, &risk, &config));
+    assert_eq!(
+        reference,
+        transcript(&reference_run(
+            &survey.db,
+            &survey.dict,
+            &risk,
+            &cold_config
+        )),
+        "warm/cold reference runs must agree before crash testing means anything"
+    );
+
+    let ref_dir = fresh_dir("hh-ref");
+    let jcfg = JournalConfig {
+        snapshot_every: Some(1),
+        ..JournalConfig::new(&ref_dir)
+    };
+    let journaled =
+        run_journaled(&survey.db, &survey.dict, &risk, &config, jcfg).expect("journaled run");
+    assert_eq!(transcript(&journaled), reference);
+    assert!(journaled.profile.journal.snapshots_written >= 1);
+
+    let bytes = fs::read(ref_dir.join(JOURNAL_FILE)).expect("journal on disk");
+    for (i, &k) in kill_points(&bytes).iter().enumerate() {
+        let dir = fresh_dir(&format!("hh-kill-{k}"));
+        fs::create_dir_all(&dir).expect("mkdir");
+        fs::write(dir.join(JOURNAL_FILE), &bytes[..k]).expect("write prefix");
+        copy_snapshots(&ref_dir, &dir);
+        // alternate the resuming strategy: warm journal, cold resume and
+        // warm resume must both land on the reference transcript
+        let resume_cfg = if i % 2 == 0 { &cold_config } else { &config };
+        let resumed = resume_journaled(
+            &survey.db,
+            &survey.dict,
+            &risk,
+            resume_cfg,
+            JournalConfig::new(&dir),
+        )
+        .unwrap_or_else(|e| panic!("kill at byte {k}: resume failed: {e}"));
+        assert_eq!(transcript(&resumed), reference, "kill at byte {k} diverged");
+        let _ = fs::remove_dir_all(&dir);
+    }
+    let _ = fs::remove_dir_all(&ref_dir);
+}
+
+#[test]
+fn injected_crash_at_every_byte_budget_then_clean_resume() {
+    // The writer itself produces the torn file: a CrashAfterBytes fault
+    // persists exactly k bytes (tearing mid-record where k falls inside
+    // one) and then fails every later operation, like a dying disk.
+    let (db, dict) = fig5();
+    let risk = KAnonymity::new(2);
+    let config = fig5_config();
+    let reference = transcript(&reference_run(&db, &dict, &risk, &config));
+
+    // Byte budgets from an uninterrupted journal of the same run; no
+    // snapshots so the budget maps 1:1 onto journal-file offsets.
+    let ref_dir = fresh_dir("crash-ref");
+    let jcfg = JournalConfig {
+        snapshot_every: None,
+        ..JournalConfig::new(&ref_dir)
+    };
+    run_journaled(&db, &dict, &risk, &config, jcfg).expect("journaled run");
+    let bytes = fs::read(ref_dir.join(JOURNAL_FILE)).expect("journal on disk");
+    let _ = fs::remove_dir_all(&ref_dir);
+
+    for &k in kill_points(&bytes).iter().filter(|&&k| k < bytes.len()) {
+        let dir = fresh_dir(&format!("crash-{k}"));
+        let faulty = JournalConfig {
+            snapshot_every: None,
+            io_factory: Some(faulty_io_factory(JournalFault::CrashAfterBytes {
+                bytes: k,
+            })),
+            ..JournalConfig::new(&dir)
+        };
+        match run_journaled(&db, &dict, &risk, &config, faulty) {
+            Err(CycleError::Journal(_)) => {}
+            Ok(_) => panic!("crash after {k} bytes: run should not have completed"),
+            Err(other) => panic!("crash after {k} bytes: wrong error kind: {other}"),
+        }
+        let on_disk = fs::read(dir.join(JOURNAL_FILE)).expect("torn journal exists");
+        assert!(
+            on_disk.len() <= k,
+            "crash after {k} bytes left {} bytes",
+            on_disk.len()
+        );
+        let resumed = resume_journaled(&db, &dict, &risk, &config, JournalConfig::new(&dir))
+            .unwrap_or_else(|e| panic!("crash after {k} bytes: resume failed: {e}"));
+        assert_eq!(
+            transcript(&resumed),
+            reference,
+            "crash after {k} bytes diverged"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn io_error_policy_fail_surfaces_structured_errors() {
+    let (db, dict) = fig5();
+    let risk = KAnonymity::new(2);
+    let config = fig5_config();
+    let faults = [
+        JournalFault::WriteError { at_append: 4 },
+        JournalFault::ShortWriteThenError {
+            at_append: 4,
+            keep_bytes: 5,
+        },
+        JournalFault::SyncError { at_sync: 2 },
+        JournalFault::FullDisk { from_append: 3 },
+    ];
+    for fault in faults {
+        let dir = fresh_dir("fail-policy");
+        let jcfg = JournalConfig {
+            on_io_error: IoErrorPolicy::Fail,
+            io_factory: Some(faulty_io_factory(fault)),
+            ..JournalConfig::new(&dir)
+        };
+        match run_journaled(&db, &dict, &risk, &config, jcfg) {
+            Err(CycleError::Journal(JournalError::Io { .. })) => {}
+            Err(other) => panic!("{fault}: expected a journal i/o error, got {other}"),
+            Ok(_) => panic!("{fault}: run should have failed under IoErrorPolicy::Fail"),
+        }
+        // Whatever the fault left behind (torn record, missing tail) is
+        // recoverable with healthy I/O.
+        let reference = transcript(&reference_run(&db, &dict, &risk, &config));
+        let resumed = resume_journaled(&db, &dict, &risk, &config, JournalConfig::new(&dir))
+            .unwrap_or_else(|e| panic!("{fault}: resume after failure: {e}"));
+        assert_eq!(transcript(&resumed), reference, "{fault}: resume diverged");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn io_error_policy_disable_finishes_in_memory_with_identical_outcome() {
+    let (db, dict) = fig5();
+    let risk = KAnonymity::new(2);
+    let config = fig5_config();
+    let reference = transcript(&reference_run(&db, &dict, &risk, &config));
+    let faults = [
+        JournalFault::WriteError { at_append: 4 },
+        JournalFault::ShortWriteThenError {
+            at_append: 4,
+            keep_bytes: 5,
+        },
+        JournalFault::SyncError { at_sync: 2 },
+        JournalFault::FullDisk { from_append: 3 },
+    ];
+    for fault in faults {
+        let dir = fresh_dir("disable-policy");
+        let jcfg = JournalConfig {
+            on_io_error: IoErrorPolicy::Disable,
+            io_factory: Some(faulty_io_factory(fault)),
+            ..JournalConfig::new(&dir)
+        };
+        let outcome = run_journaled(&db, &dict, &risk, &config, jcfg)
+            .unwrap_or_else(|e| panic!("{fault}: Disable policy must not error: {e}"));
+        assert_eq!(transcript(&outcome), reference, "{fault}: outcome changed");
+        assert!(
+            outcome.profile.journal.io_errors >= 1,
+            "{fault}: absorbed error not counted"
+        );
+        // The truncated journal the dead writer left behind still resumes.
+        let resumed = resume_journaled(&db, &dict, &risk, &config, JournalConfig::new(&dir))
+            .unwrap_or_else(|e| panic!("{fault}: torn journal resume: {e}"));
+        assert_eq!(transcript(&resumed), reference, "{fault}: resume diverged");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn hostile_journals_are_structured_errors_never_panics() {
+    let (db, dict) = fig5();
+    let risk = KAnonymity::new(2);
+    let config = fig5_config();
+    let reference = transcript(&reference_run(&db, &dict, &risk, &config));
+    let expect_journal_err = |r: Result<CycleOutcome, CycleError>, what: &str| match r {
+        Err(CycleError::Journal(e)) => e,
+        Err(other) => panic!("{what}: wrong error kind: {other}"),
+        Ok(_) => panic!("{what}: should not have resumed"),
+    };
+
+    // Missing directory / missing file.
+    let dir = fresh_dir("hostile-missing");
+    let e = expect_journal_err(
+        resume_journaled(&db, &dict, &risk, &config, JournalConfig::new(&dir)),
+        "missing journal",
+    );
+    assert!(matches!(e, JournalError::Missing(_)), "{e}");
+
+    // Resume without journal configured at all.
+    let anon = LocalSuppression::default();
+    let e = match AnonymizationCycle::new(&risk, &anon, config.clone()).resume(&db, &dict) {
+        Err(CycleError::Journal(e)) => e,
+        other => panic!("unconfigured resume must fail, got {other:?}"),
+    };
+    assert!(matches!(e, JournalError::NotConfigured), "{e}");
+
+    // An empty file is a crash during creation: resume restarts cleanly.
+    let dir = fresh_dir("hostile-empty");
+    fs::create_dir_all(&dir).expect("mkdir");
+    fs::write(dir.join(JOURNAL_FILE), b"").expect("write");
+    let resumed = resume_journaled(&db, &dict, &risk, &config, JournalConfig::new(&dir))
+        .expect("empty journal restarts");
+    assert_eq!(transcript(&resumed), reference);
+    let _ = fs::remove_dir_all(&dir);
+
+    // Alien bytes under the journal's name are not ours to touch.
+    let dir = fresh_dir("hostile-alien");
+    fs::create_dir_all(&dir).expect("mkdir");
+    fs::write(dir.join(JOURNAL_FILE), b"\x89PNG\r\n\x1a\nnot a journal").expect("write");
+    let e = expect_journal_err(
+        resume_journaled(&db, &dict, &risk, &config, JournalConfig::new(&dir)),
+        "alien file",
+    );
+    assert!(matches!(e, JournalError::Mismatch(_)), "{e}");
+    let _ = fs::remove_dir_all(&dir);
+
+    // A future format version is refused, not misread.
+    let dir = fresh_dir("hostile-version");
+    fs::create_dir_all(&dir).expect("mkdir");
+    let begin = JournalRecord::Begin {
+        version: record::FORMAT_VERSION + 1,
+        fingerprint: 0,
+        measure: "k-anonymity".into(),
+        anonymizer: "local-suppression".into(),
+        rows: db.len() as u64,
+    };
+    let mut alien = MAGIC.to_vec();
+    alien.extend_from_slice(&begin.encode());
+    fs::write(dir.join(JOURNAL_FILE), &alien).expect("write");
+    let e = expect_journal_err(
+        resume_journaled(&db, &dict, &risk, &config, JournalConfig::new(&dir)),
+        "future version",
+    );
+    assert!(matches!(e, JournalError::Mismatch(_)), "{e}");
+    let _ = fs::remove_dir_all(&dir);
+
+    // A real journal resumed under a different configuration or table.
+    let dir = fresh_dir("hostile-fingerprint");
+    run_journaled(&db, &dict, &risk, &config, JournalConfig::new(&dir)).expect("seed journal");
+    let other_threshold = CycleConfig {
+        threshold: 0.25,
+        ..config.clone()
+    };
+    let e = expect_journal_err(
+        resume_journaled(
+            &db,
+            &dict,
+            &risk,
+            &other_threshold,
+            JournalConfig::new(&dir),
+        ),
+        "changed threshold",
+    );
+    assert!(matches!(e, JournalError::Mismatch(_)), "{e}");
+    let mut grown = db.clone();
+    grown
+        .push_row(vec![
+            Value::str("999999"),
+            Value::str("Bari"),
+            Value::str("Textiles"),
+            Value::str("0-200"),
+            Value::str("0-30"),
+            Value::Int(1),
+        ])
+        .expect("push");
+    let e = expect_journal_err(
+        resume_journaled(&grown, &dict, &risk, &config, JournalConfig::new(&dir)),
+        "changed table",
+    );
+    assert!(matches!(e, JournalError::Mismatch(_)), "{e}");
+
+    // And `run` refuses to silently overwrite it.
+    let e = match run_journaled(&db, &dict, &risk, &config, JournalConfig::new(&dir)) {
+        Err(CycleError::Journal(e)) => e,
+        other => panic!("re-run over a journal must fail, got {other:?}"),
+    };
+    assert!(matches!(e, JournalError::AlreadyExists(_)), "{e}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_or_missing_snapshots_fall_back_without_changing_the_outcome() {
+    let survey = generate_households(24, 0xC4A5);
+    let risk = KAnonymity::new(3);
+    let config = CycleConfig {
+        granularity: StepGranularity::AllRiskyPerIteration,
+        ..CycleConfig::default()
+    };
+    let reference = transcript(&reference_run(&survey.db, &survey.dict, &risk, &config));
+
+    let ref_dir = fresh_dir("snap-ref");
+    let jcfg = JournalConfig {
+        snapshot_every: Some(1),
+        ..JournalConfig::new(&ref_dir)
+    };
+    run_journaled(&survey.db, &survey.dict, &risk, &config, jcfg).expect("journaled run");
+    let bytes = fs::read(ref_dir.join(JOURNAL_FILE)).expect("journal");
+    let snapshots: Vec<PathBuf> = fs::read_dir(&ref_dir)
+        .expect("read dir")
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "vsnap"))
+        .collect();
+    assert!(!snapshots.is_empty(), "workload produced no snapshots");
+    // Kill right at the end: the journal references every snapshot.
+    let kill = *record::frame_boundaries(&bytes).last().expect("frames");
+
+    // (a) every snapshot byte-corrupted → replay from the original table
+    let dir = fresh_dir("snap-corrupt");
+    fs::create_dir_all(&dir).expect("mkdir");
+    fs::write(dir.join(JOURNAL_FILE), &bytes[..kill]).expect("write");
+    for s in &snapshots {
+        let mut content = fs::read(s).expect("snapshot");
+        let mid = content.len() / 2;
+        content[mid] ^= 0x40;
+        fs::write(dir.join(s.file_name().expect("name")), &content).expect("write");
+    }
+    let resumed = resume_journaled(
+        &survey.db,
+        &survey.dict,
+        &risk,
+        &config,
+        JournalConfig::new(&dir),
+    )
+    .expect("resume past corrupt snapshots");
+    assert_eq!(transcript(&resumed), reference, "corrupt-snapshot fallback");
+    let _ = fs::remove_dir_all(&dir);
+
+    // (b) snapshots deleted outright → same fallback
+    let dir = fresh_dir("snap-missing");
+    fs::create_dir_all(&dir).expect("mkdir");
+    fs::write(dir.join(JOURNAL_FILE), &bytes[..kill]).expect("write");
+    let resumed = resume_journaled(
+        &survey.db,
+        &survey.dict,
+        &risk,
+        &config,
+        JournalConfig::new(&dir),
+    )
+    .expect("resume without snapshots");
+    assert_eq!(transcript(&resumed), reference, "missing-snapshot fallback");
+    let _ = fs::remove_dir_all(&dir);
+    let _ = fs::remove_dir_all(&ref_dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random single mutations of a valid journal — truncate anywhere,
+    /// flip any byte, insert a byte anywhere — either resume to the
+    /// reference transcript or fail with a structured journal error.
+    #[test]
+    fn mutated_journals_resume_identically_or_error_structurally(seed in 0u64..1_000_000) {
+        let (db, dict) = fig5();
+        let risk = KAnonymity::new(2);
+        let config = fig5_config();
+        let reference = transcript(&reference_run(&db, &dict, &risk, &config));
+
+        let ref_dir = fresh_dir(&format!("mut-ref-{seed}"));
+        let jcfg = JournalConfig {
+            snapshot_every: None,
+            ..JournalConfig::new(&ref_dir)
+        };
+        run_journaled(&db, &dict, &risk, &config, jcfg).expect("journaled run");
+        let mut bytes = fs::read(ref_dir.join(JOURNAL_FILE)).expect("journal");
+        let _ = fs::remove_dir_all(&ref_dir);
+
+        // xorshift for cheap in-test randomness
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        match next() % 3 {
+            0 => bytes.truncate((next() as usize) % (bytes.len() + 1)),
+            1 => {
+                let i = (next() as usize) % bytes.len();
+                bytes[i] ^= (next() % 255 + 1) as u8;
+            }
+            _ => {
+                let i = (next() as usize) % (bytes.len() + 1);
+                bytes.insert(i, next() as u8);
+            }
+        }
+
+        let dir = fresh_dir(&format!("mut-{seed}"));
+        fs::create_dir_all(&dir).expect("mkdir");
+        fs::write(dir.join(JOURNAL_FILE), &bytes).expect("write");
+        match resume_journaled(&db, &dict, &risk, &config, JournalConfig::new(&dir)) {
+            Ok(resumed) => prop_assert_eq!(transcript(&resumed), reference.clone()),
+            Err(CycleError::Journal(_)) => {} // structured refusal is fine
+            Err(other) => prop_assert!(false, "unexpected error kind: {other}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

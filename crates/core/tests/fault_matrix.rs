@@ -9,6 +9,7 @@ use std::time::Duration;
 use vadalog::CancelToken;
 use vadasa_core::cycle::{AnonymizationCycle, CycleConfig, CycleTermination};
 use vadasa_core::faults::{Fault, FaultPlan, FaultyAnonymizer, FaultyRisk};
+use vadasa_core::journal::JournalConfig;
 use vadasa_core::obs::Recorder;
 use vadasa_core::prelude::*;
 use vadasa_datagen::generate_households;
@@ -117,7 +118,7 @@ fn unfaulted_wrappers_are_transparent() {
         ..CycleConfig::default()
     };
 
-    let plain = AnonymizationCycle::new(&inner_risk, &inner_anon, config)
+    let plain = AnonymizationCycle::new(&inner_risk, &inner_anon, config.clone())
         .run(&survey.db, &survey.dict)
         .expect("plain run");
 
@@ -133,6 +134,118 @@ fn unfaulted_wrappers_are_transparent() {
     assert_eq!(plain.final_risky, wrapped.final_risky);
     assert!(risk.evals() > 0);
     assert!(anon.steps() > 0);
+}
+
+#[test]
+fn governor_terminations_leave_resumable_journals() {
+    // The governor (iteration cap, deadline, cancellation) and the
+    // journal compose: a run the governor cuts short leaves a journal
+    // that — resumed under an *unbounded* configuration — lands on the
+    // exact outcome of a run that was never bounded. The fallback
+    // suppressions a degraded run applies are deliberately not journaled
+    // and its `Degraded` marker is truncated on recovery, so resume
+    // continues toward convergence instead of replaying the bail-out.
+    let survey = generate_households(40, 0xFA17);
+    let inner_risk = KAnonymity::new(2);
+    let inner_anon = LocalSuppression::default();
+    let unbounded = CycleConfig {
+        threshold: THRESHOLD,
+        ..CycleConfig::default()
+    };
+    let plain = AnonymizationCycle::new(&inner_risk, &inner_anon, unbounded.clone())
+        .run(&survey.db, &survey.dict)
+        .expect("plain unbounded run");
+    assert!(plain.termination.is_converged());
+
+    let cases = [
+        ("iteration-cap", Fault::IterationCap(1)),
+        ("immediate-deadline", Fault::ImmediateDeadline),
+        ("cancel-after-1-eval", Fault::CancelAfterEvals(1)),
+    ];
+    for (name, fault) in cases {
+        let dir = std::env::temp_dir().join(format!(
+            "vadasa-governor-journal-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut config = CycleConfig {
+            journal: Some(JournalConfig::new(&dir)),
+            ..unbounded.clone()
+        };
+        let mut risk = FaultyRisk::new(&inner_risk);
+        let mut cancel: Option<CancelToken> = None;
+        match fault {
+            Fault::IterationCap(n) => config.max_iterations = n,
+            Fault::ImmediateDeadline => config.deadline = Some(Duration::ZERO),
+            Fault::CancelAfterEvals(n) => {
+                let token = CancelToken::new();
+                risk = risk.cancel_after(n, token.clone());
+                cancel = Some(token);
+            }
+            _ => unreachable!("not a governor fault"),
+        }
+        let mut cycle = AnonymizationCycle::new(&risk, &inner_anon, config);
+        if let Some(token) = cancel {
+            cycle = cycle.with_cancel(token);
+        }
+        let bounded = cycle
+            .run(&survey.db, &survey.dict)
+            .unwrap_or_else(|e| panic!("{name}: bounded run must degrade, not error: {e}"));
+        assert!(
+            matches!(bounded.termination, CycleTermination::Degraded { .. }),
+            "{name}: governor did not fire"
+        );
+
+        let resumed = AnonymizationCycle::new(
+            &inner_risk,
+            &inner_anon,
+            CycleConfig {
+                journal: Some(JournalConfig::new(&dir)),
+                ..unbounded.clone()
+            },
+        )
+        .resume(&survey.db, &survey.dict)
+        .unwrap_or_else(|e| panic!("{name}: resume failed: {e}"));
+
+        assert!(resumed.termination.is_converged(), "{name}: not converged");
+        assert_eq!(resumed.iterations, plain.iterations, "{name}: iterations");
+        assert_eq!(
+            resumed.nulls_injected, plain.nulls_injected,
+            "{name}: nulls"
+        );
+        assert_eq!(resumed.recodings, plain.recodings, "{name}: recodings");
+        assert_eq!(
+            resumed.initial_risky, plain.initial_risky,
+            "{name}: initial risky"
+        );
+        assert_eq!(
+            resumed.final_risky, plain.final_risky,
+            "{name}: final risky"
+        );
+        assert_eq!(
+            resumed.information_loss.to_bits(),
+            plain.information_loss.to_bits(),
+            "{name}: information loss"
+        );
+        assert_eq!(
+            resumed.final_report.risks, plain.final_report.risks,
+            "{name}: final risks"
+        );
+        assert_eq!(
+            resumed.audit.decisions.len(),
+            plain.audit.decisions.len(),
+            "{name}: audit length"
+        );
+        for i in 0..survey.db.len() {
+            assert_eq!(
+                resumed.db.row(i).unwrap(),
+                plain.db.row(i).unwrap(),
+                "{name}: row {i} of the released table"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
 
 #[test]

@@ -70,7 +70,7 @@ fn assert_warm_equals_cold(
         &anon,
         CycleConfig {
             warm_start: true,
-            ..config
+            ..config.clone()
         },
     )
     .run(db, dict)
