@@ -2,7 +2,7 @@
 //! anonymization run, plus the telemetry event stream of one profiled
 //! warm run, all written to `BENCH_cycle.json`.
 //!
-//! Usage: `bench_cycle_profile [--quick] [--out PATH] [--baseline PATH]`
+//! Usage: `bench_cycle_profile [--quick] [--out PATH] [--baseline PATH] [--obs-gate]`
 //!
 //! The workload runs the paper's standard cycle (k-anonymity `k = 2`,
 //! local suppression, `T = 0.5`) at one-tuple-per-iteration granularity
@@ -35,13 +35,24 @@
 //!   mid-run, then resumed: recovery plus the remaining iterations,
 //!   verified equivalent to the uninterrupted outcome before timing is
 //!   reported.
+//!
+//! A third section, `cycle.obs_overhead`, times the same warm workload
+//! with telemetry off, with an in-process `Recorder`, with a JSON-lines
+//! file sink, and with full trace building (recorder + both exporters).
+//! The four modes are interleaved within each repetition so clock drift
+//! penalizes none of them, and the reported statistic is the *minimum*
+//! over the repetitions (noise only ever adds time). With `--obs-gate`
+//! the process exits non-zero if any telemetry mode costs more than 2%
+//! over "off" *and* more than 15 ms absolute — observability must stay
+//! near-free.
 
 use std::io::Write;
 use std::path::PathBuf;
 use std::sync::Arc;
 use vadasa_bench::{read_baseline_median, time_it};
 use vadasa_core::journal::{record, JOURNAL_FILE};
-use vadasa_core::obs::JsonLinesWriter;
+use vadasa_core::obs::trace::TraceBuilder;
+use vadasa_core::obs::{JsonLinesWriter, Recorder};
 use vadasa_core::prelude::*;
 use vadasa_core::report::render_profile;
 use vadasa_datagen::generator::{generate, DatasetSpec, Regime};
@@ -49,6 +60,14 @@ use vadasa_datagen::generator::{generate, DatasetSpec, Regime};
 /// The regression threshold the CI perf-smoke gate enforces (same as
 /// `bench_engine`).
 const MAX_REGRESSION: f64 = 1.25;
+
+/// The observability-overhead gate: telemetry may cost at most this
+/// fraction over a bare run, unless the absolute difference is still
+/// under [`MAX_OBS_OVERHEAD_ABS_S`] (short workloads drown in noise).
+const MAX_OBS_OVERHEAD_FRAC: f64 = 0.02;
+
+/// Absolute floor for the observability gate, in seconds.
+const MAX_OBS_OVERHEAD_ABS_S: f64 = 0.015;
 
 fn cycle_config(iteration_cap: usize, warm_start: bool) -> CycleConfig {
     CycleConfig {
@@ -109,6 +128,7 @@ fn assert_equivalent(warm: &CycleOutcome, cold: &CycleOutcome) {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let obs_gate = args.iter().any(|a| a == "--obs-gate");
     let flag = |name: &str| {
         args.iter()
             .position(|a| a == name)
@@ -247,6 +267,65 @@ fn main() {
     let recovery_s = recovery_times[recovery_times.len() / 2];
     let _ = std::fs::remove_dir_all(&tmp_root);
 
+    // --- observability overhead: off vs recorder vs file vs trace ---
+    const OBS_MODES: [&str; 4] = ["off", "recorder", "json-lines", "trace-building"];
+    let obs_tmp =
+        std::env::temp_dir().join(format!("vadasa-bench-obs-{}.jsonl", std::process::id()));
+    let mut obs_times: [Vec<f64>; 4] = std::array::from_fn(|_| Vec::with_capacity(runs));
+    let build_cycle =
+        || AnonymizationCycle::new(&risk, &anonymizer, cycle_config(iteration_cap, true));
+    for _ in 0..runs {
+        // interleaved within the repetition so clock drift is shared
+        let (out, secs) = time_it(|| run_once(true));
+        assert_equivalent(&out, &warm_out);
+        obs_times[0].push(secs);
+
+        let rec = Arc::new(Recorder::new());
+        let (out, secs) = time_it(|| {
+            build_cycle()
+                .with_collector(rec.clone())
+                .run(&db, &dict)
+                .expect("recorder run")
+        });
+        assert_equivalent(&out, &warm_out);
+        obs_times[1].push(secs);
+
+        let sink = Arc::new(JsonLinesWriter::create(&obs_tmp).expect("create obs scratch file"));
+        let (out, secs) = time_it(|| {
+            let out = build_cycle()
+                .with_collector(sink.clone())
+                .run(&db, &dict)
+                .expect("json-lines run");
+            sink.flush().expect("flush obs scratch file");
+            out
+        });
+        assert_equivalent(&out, &warm_out);
+        obs_times[2].push(secs);
+
+        let rec = Arc::new(Recorder::new());
+        let (out, secs) = time_it(|| {
+            let out = build_cycle()
+                .with_collector(rec.clone())
+                .run(&db, &dict)
+                .expect("trace run");
+            let tree = TraceBuilder::from_recorder(&rec);
+            let _ = tree.chrome_trace_json();
+            let _ = tree.collapsed_stacks();
+            out
+        });
+        assert_equivalent(&out, &warm_out);
+        obs_times[3].push(secs);
+    }
+    let _ = std::fs::remove_file(&obs_tmp);
+    // Minimum over the repetitions, not the median: scheduler noise only
+    // ever *adds* time, so the min isolates the cost of the code itself —
+    // which is what an overhead gate needs to compare.
+    let obs_mins: Vec<f64> = obs_times
+        .iter()
+        .map(|t| t.iter().copied().fold(f64::INFINITY, f64::min))
+        .collect();
+    let obs_off_s = obs_mins[0];
+
     // --- one profiled warm run feeds the telemetry stream ---
     let sink = match JsonLinesWriter::create(&out_path) {
         Ok(w) => Arc::new(w),
@@ -298,6 +377,14 @@ fn main() {
         rows, replayed, recovery_s, runs
     )
     .expect("write bench line");
+    for (mode, secs) in OBS_MODES.iter().zip(&obs_mins) {
+        writeln!(
+            file,
+            "{{\"bench\":\"cycle.obs_overhead\",\"rows\":{},\"iterations\":{},\"mode\":\"{}\",\"min_s\":{:.6},\"runs\":{}}}",
+            rows, warm_out.iterations, mode, secs, runs
+        )
+        .expect("write bench line");
+    }
 
     // --- report ---
     println!(
@@ -327,8 +414,39 @@ fn main() {
         "  cycle.recovery: resume from mid-run journal {:.3}s ({} action(s) replayed)",
         recovery_s, replayed
     );
+    for (mode, secs) in OBS_MODES.iter().zip(&obs_mins) {
+        let overhead = if obs_off_s == 0.0 {
+            0.0
+        } else {
+            100.0 * (secs / obs_off_s - 1.0)
+        };
+        println!(
+            "  cycle.obs_overhead: mode={mode:<15} min {secs:.3}s   ({overhead:+.1}% vs telemetry off)"
+        );
+    }
     print!("{}", render_profile(&profiled.profile));
     println!("\ntelemetry stream + cycle.e2e medians written to {out_path}");
+
+    if obs_gate {
+        for (mode, secs) in OBS_MODES.iter().zip(&obs_mins).skip(1) {
+            let over = secs - obs_off_s;
+            if over > obs_off_s * MAX_OBS_OVERHEAD_FRAC && over > MAX_OBS_OVERHEAD_ABS_S {
+                eprintln!(
+                    "OBS OVERHEAD: mode={mode} costs {over:.3}s over a bare run \
+                     ({:.1}% > {:.0}% and > {:.0} ms)",
+                    100.0 * over / obs_off_s,
+                    100.0 * MAX_OBS_OVERHEAD_FRAC,
+                    1000.0 * MAX_OBS_OVERHEAD_ABS_S
+                );
+                std::process::exit(1);
+            }
+        }
+        println!(
+            "obs overhead gate passed — every telemetry mode within {:.0}% or {:.0} ms of off",
+            100.0 * MAX_OBS_OVERHEAD_FRAC,
+            1000.0 * MAX_OBS_OVERHEAD_ABS_S
+        );
+    }
 
     if let Some(path) = baseline {
         match read_baseline_median(&path, "cycle.e2e", "warm") {

@@ -1,7 +1,7 @@
 //! Determinism probe: run the Figure-5 anonymization cycle and a
 //! warm-startable engine workload, printing a byte-stable transcript.
 //!
-//! Usage: `fig5_cycle [--threads N] [--warm|--cold]`
+//! Usage: `fig5_cycle [--threads N] [--warm|--cold] [--telemetry-out FILE]`
 //!
 //! The output deliberately contains **no timings, no thread counts and no
 //! mode echo**: a warm run must print exactly what a cold run prints, a
@@ -19,10 +19,18 @@
 //! 2. an engine transitive-closure workload — evaluated either as one
 //!    cold run (`--cold`) or as a session plus fact patch (`--warm`),
 //!    printed as sorted fact sets.
+//!
+//! With `--telemetry-out FILE` the run additionally streams its telemetry
+//! events — cycle and engine — as JSON lines with **redacted timings**
+//! (every `t_ns`/`dur_ns`/`*_ns` quantity zeroed), so two runs of the
+//! same threads × mode combination must produce byte-identical telemetry
+//! too. The CI determinism job diffs these files per combination.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 use vadalog::{parse_program, Database, Engine, EngineConfig, FactPatch, JoinMode, Value};
 use vadasa_bench::render_table;
+use vadasa_core::obs::{Collector, JsonLinesWriter};
 use vadasa_core::prelude::*;
 use vadasa_datagen::fixtures::local_suppression_fig5a;
 
@@ -56,6 +64,17 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(1);
+    let sink: Option<Arc<JsonLinesWriter<_>>> = args
+        .iter()
+        .position(|a| a == "--telemetry-out")
+        .and_then(|i| args.get(i + 1))
+        .map(|path| {
+            Arc::new(
+                JsonLinesWriter::create(path)
+                    .expect("create telemetry file")
+                    .redact_timings(),
+            )
+        });
 
     // --- segment 1: the Figure-5 anonymization cycle ---
     let (db, dict) = local_suppression_fig5a();
@@ -66,9 +85,11 @@ fn main() {
         warm_start: warm,
         ..CycleConfig::default()
     };
-    let out = AnonymizationCycle::new(&risk, &anonymizer, config)
-        .run(&db, &dict)
-        .expect("fig5 cycle converges");
+    let mut cycle = AnonymizationCycle::new(&risk, &anonymizer, config);
+    if let Some(s) = &sink {
+        cycle = cycle.with_collector(s.clone());
+    }
+    let out = cycle.run(&db, &dict).expect("fig5 cycle converges");
 
     println!("== fig5 cycle ==");
     println!(
@@ -127,6 +148,7 @@ fn main() {
     let engine = Engine::with_config(EngineConfig {
         join_mode: JoinMode::Indexed,
         threads,
+        collector: sink.clone().map(|s| s as Arc<dyn Collector>),
         ..EngineConfig::default()
     });
     let db_of = |facts: &[(String, Vec<Value>)]| {
@@ -158,4 +180,8 @@ fn main() {
     println!("== engine closure ==");
     println!("termination: {termination}");
     print_fact_sets(&sets);
+
+    if let Some(s) = &sink {
+        s.flush().expect("flush telemetry");
+    }
 }

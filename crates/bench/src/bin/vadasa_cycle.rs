@@ -7,7 +7,23 @@
 //!              [--journal DIR] [--resume]
 //!              [--sync every-record|every-N|on-snapshot]
 //!              [--snapshot-every N]
+//!              [--telemetry-out FILE] [--trace-out FILE]
+//!              [--collapsed-out FILE] [--metrics-out FILE]
 //! ```
+//!
+//! Observability outputs (all optional, all write-once at the end of the
+//! run):
+//!
+//! - `--telemetry-out FILE` streams every telemetry event as JSON lines
+//!   (deterministically ordered; one object per line).
+//! - `--trace-out FILE` writes the run's span timeline as Chrome
+//!   `trace_event` JSON — open in `chrome://tracing` or Perfetto.
+//! - `--collapsed-out FILE` writes collapsed stacks for flamegraph
+//!   renderers.
+//! - `--metrics-out FILE` writes the final live-gauge snapshot (current
+//!   iteration, rows at risk, convergence trend/ETA) as one JSON object.
+//!   For *live* monitoring of a journaled run, point `vadasa_status
+//!   --watch` at the `--journal` directory instead.
 //!
 //! With `--journal DIR` every committed anonymization action is written
 //! to a write-ahead journal in `DIR` (and the working table is
@@ -22,8 +38,12 @@
 //! ```
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use vadasa_core::cycle::CycleConfig;
 use vadasa_core::io::{read_csv, write_csv};
+use vadasa_core::obs::metrics::MetricsRegistry;
+use vadasa_core::obs::trace::TraceBuilder;
+use vadasa_core::obs::{Collector, Fanout, JsonLinesWriter, Recorder};
 use vadasa_core::pipeline::Vadasa;
 use vadasa_core::prelude::{JournalConfig, SyncPolicy};
 use vadasa_core::report::render_profile;
@@ -33,7 +53,9 @@ fn usage() -> ExitCode {
         "usage: vadasa_cycle --input FILE.csv [--name NAME] [--k K] [--threshold T]\n\
          \x20                   [--max-iterations N] [--out released.csv]\n\
          \x20                   [--journal DIR] [--resume]\n\
-         \x20                   [--sync every-record|every-N|on-snapshot] [--snapshot-every N]"
+         \x20                   [--sync every-record|every-N|on-snapshot] [--snapshot-every N]\n\
+         \x20                   [--telemetry-out FILE] [--trace-out FILE]\n\
+         \x20                   [--collapsed-out FILE] [--metrics-out FILE]"
     );
     ExitCode::from(2)
 }
@@ -124,7 +146,54 @@ fn main() -> ExitCode {
     if let Some(n) = max_iterations {
         config.max_iterations = n;
     }
+    let telemetry_out = flag("--telemetry-out");
+    let trace_out = flag("--trace-out");
+    let collapsed_out = flag("--collapsed-out");
+    let metrics_out = flag("--metrics-out");
+
+    let sink: Option<Arc<JsonLinesWriter<std::io::BufWriter<std::fs::File>>>> = match &telemetry_out
+    {
+        Some(path) => match JsonLinesWriter::create(path) {
+            Ok(w) => Some(Arc::new(w)),
+            Err(e) => {
+                eprintln!("cannot create {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    // Trace exports replay the cycle's profile events into a recorder;
+    // fan out when the JSON-lines sink is also requested.
+    let recorder: Option<Arc<Recorder>> = if trace_out.is_some() || collapsed_out.is_some() {
+        Some(Arc::new(Recorder::new()))
+    } else {
+        None
+    };
+    let mut collectors: Vec<Arc<dyn Collector>> = Vec::new();
+    if let Some(s) = &sink {
+        collectors.push(s.clone());
+    }
+    if let Some(r) = &recorder {
+        collectors.push(r.clone());
+    }
+    let collector: Option<Arc<dyn Collector>> = match collectors.len() {
+        0 => None,
+        1 => collectors.pop(),
+        _ => Some(Arc::new(Fanout::new(collectors))),
+    };
+    let metrics: Option<Arc<MetricsRegistry>> = if metrics_out.is_some() {
+        Some(Arc::new(MetricsRegistry::new()))
+    } else {
+        None
+    };
+
     let mut pipeline = Vadasa::new().k_anonymity(k).cycle_config(config);
+    if let Some(c) = collector {
+        pipeline = pipeline.collector(c);
+    }
+    if let Some(m) = &metrics {
+        pipeline = pipeline.metrics(m.clone());
+    }
     if let Some(dir) = flag("--journal") {
         pipeline = pipeline.journal(JournalConfig {
             sync,
@@ -146,6 +215,36 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if let Some(sink) = &sink {
+        if let Err(e) = sink.flush() {
+            eprintln!("cannot write telemetry: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(rec) = &recorder {
+        let tree = TraceBuilder::from_recorder(rec);
+        if let Some(path) = &trace_out {
+            if let Err(e) = std::fs::write(path, tree.chrome_trace_json()) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Some(path) = &collapsed_out {
+            if let Err(e) = std::fs::write(path, tree.collapsed_stacks()) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let (Some(m), Some(path)) = (&metrics, &metrics_out) {
+        let mut snapshot = m.snapshot_json();
+        snapshot.push('\n');
+        if let Err(e) = std::fs::write(path, snapshot) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
 
     let csv = write_csv(&release.outcome.db);
     match flag("--out") {

@@ -5,6 +5,8 @@
 
 #![warn(missing_docs)]
 
+pub mod status;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use vadalog::Value;

@@ -1,0 +1,283 @@
+//! Acceptance test for `vadasa_status`: kill a journaled run mid-flight,
+//! read the journal with the read-only status scanner, and require the
+//! convergence estimate to bracket the *actual* number of iterations the
+//! resumed run still needed.
+//!
+//! The estimator's contract is `eta_band()`: the least-squares ETA plus a
+//! slack that widens as the fit confidence drops. "Actual remaining
+//! iterations" is measured from the resumed run's own profile — each
+//! iteration record there is one evaluation performed after the kill
+//! point, which is exactly the quantity the ETA predicts (iterations from
+//! the last journal sample until the rows-at-risk series reaches its
+//! end state).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use vadalog::Value;
+use vadasa_bench::status::read_status;
+use vadasa_core::cycle::{AnonymizationCycle, CycleConfig, CycleOutcome, StepGranularity};
+use vadasa_core::dictionary::{Category, MetadataDictionary};
+use vadasa_core::journal::record::{decode_frame, JournalRecord, MAGIC};
+use vadasa_core::journal::{JournalConfig, JOURNAL_FILE};
+use vadasa_core::model::MicrodataDb;
+use vadasa_core::prelude::{KAnonymity, LocalSuppression};
+use vadasa_core::risk::RiskMeasure;
+use vadasa_datagen::generate_households;
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("vadasa-status-kp-{}-{n}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The Fig. 5 table from the paper, categorized by hand.
+fn fig5() -> (MicrodataDb, MetadataDictionary) {
+    let mut db =
+        MicrodataDb::new("fig5", ["Id", "Area", "Sector", "Employees", "ResRev", "W"]).unwrap();
+    let rows = [
+        ("099876", "Roma", "Textiles", "1000+", "0-30", 10),
+        ("765389", "Roma", "Commerce", "1000+", "0-30", 20),
+        ("231654", "Roma", "Commerce", "1000+", "0-30", 20),
+        ("097302", "Roma", "Financial", "1000+", "0-30", 30),
+        ("120967", "Roma", "Financial", "1000+", "0-30", 30),
+        ("232498", "Milano", "Construction", "0-200", "60-90", 5),
+        ("340901", "Torino", "Construction", "0-200", "60-90", 5),
+    ];
+    for (id, a, s, e, r, w) in rows {
+        db.push_row(vec![
+            Value::str(id),
+            Value::str(a),
+            Value::str(s),
+            Value::str(e),
+            Value::str(r),
+            Value::Int(w),
+        ])
+        .unwrap();
+    }
+    let mut dict = MetadataDictionary::new();
+    for a in ["Id", "Area", "Sector", "Employees", "ResRev", "W"] {
+        dict.register_attr("fig5", a, "");
+    }
+    dict.set_category("fig5", "Id", Category::Identifier)
+        .unwrap();
+    for a in ["Area", "Sector", "Employees", "ResRev"] {
+        dict.set_category("fig5", a, Category::QuasiIdentifier)
+            .unwrap();
+    }
+    dict.set_category("fig5", "W", Category::Weight).unwrap();
+    (db, dict)
+}
+
+fn run_journaled(
+    db: &MicrodataDb,
+    dict: &MetadataDictionary,
+    risk: &dyn RiskMeasure,
+    config: &CycleConfig,
+    dir: &Path,
+) -> CycleOutcome {
+    let anon = LocalSuppression::default();
+    AnonymizationCycle::new(
+        risk,
+        &anon,
+        CycleConfig {
+            journal: Some(JournalConfig {
+                snapshot_every: Some(2),
+                ..JournalConfig::new(dir)
+            }),
+            ..config.clone()
+        },
+    )
+    .run(db, dict)
+    .expect("journaled run")
+}
+
+fn resume_journaled(
+    db: &MicrodataDb,
+    dict: &MetadataDictionary,
+    risk: &dyn RiskMeasure,
+    config: &CycleConfig,
+    dir: &Path,
+) -> CycleOutcome {
+    let anon = LocalSuppression::default();
+    AnonymizationCycle::new(
+        risk,
+        &anon,
+        CycleConfig {
+            journal: Some(JournalConfig::new(dir)),
+            ..config.clone()
+        },
+    )
+    .resume(db, dict)
+    .expect("resume")
+}
+
+/// Byte offset of the frame boundary just after the `n`-th `Commit`
+/// record (1-based), plus the total number of commits in the journal.
+fn commit_boundaries(bytes: &[u8]) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut offset = MAGIC.len();
+    while let Ok((rec, next)) = decode_frame(bytes, offset) {
+        if matches!(rec, JournalRecord::Commit { .. }) {
+            out.push(next);
+        }
+        offset = next;
+    }
+    out
+}
+
+fn copy_snapshots(from: &Path, to: &Path) {
+    for e in fs::read_dir(from).expect("read dir").flatten() {
+        let name = e.file_name();
+        if name.to_string_lossy().ends_with(".vsnap") {
+            fs::copy(e.path(), to.join(&name)).expect("copy snapshot");
+        }
+    }
+}
+
+/// The shared scenario: run to completion, kill at a mid-run commit
+/// boundary, read the status, resume, and check the ETA band against the
+/// resumed run's actual iteration count.
+fn kill_read_resume_check(
+    tag: &str,
+    db: &MicrodataDb,
+    dict: &MetadataDictionary,
+    risk: &dyn RiskMeasure,
+    config: &CycleConfig,
+) {
+    let ref_dir = fresh_dir(&format!("{tag}-ref"));
+    let full = run_journaled(db, dict, risk, config, &ref_dir);
+    let bytes = fs::read(ref_dir.join(JOURNAL_FILE)).expect("journal on disk");
+    let commits = commit_boundaries(&bytes);
+    assert!(
+        commits.len() >= 3,
+        "{tag}: workload too small for a mid-run kill ({} commits)",
+        commits.len()
+    );
+
+    // Kill just past ~60% of the commits: enough trajectory behind the
+    // estimator, enough run left for the prediction to be about anything.
+    let m = ((commits.len() * 3).div_ceil(5))
+        .max(2)
+        .min(commits.len() - 1);
+    let kill = commits[m - 1];
+
+    let dir = fresh_dir(&format!("{tag}-kill"));
+    fs::create_dir_all(&dir).expect("mkdir");
+    fs::write(dir.join(JOURNAL_FILE), &bytes[..kill]).expect("write prefix");
+    copy_snapshots(&ref_dir, &dir);
+
+    // --- read-only status on the torn job ---
+    let status = read_status(&dir).expect("status");
+    assert_eq!(
+        status.committed_iterations, m as u64,
+        "{tag}: committed count"
+    );
+    assert_eq!(status.state(), "running", "{tag}: no finish marker yet");
+    assert_eq!(
+        status.rows_at_risk.len(),
+        m,
+        "{tag}: one Progress sample per commit"
+    );
+    if let Some(s) = &status.snapshot {
+        assert!(s.present, "{tag}: referenced snapshot must exist on disk");
+        assert!(s.iterations <= m as u64);
+    }
+    let estimate = status.estimate.expect("estimate from the trajectory");
+    assert!(
+        estimate.trend < 0.0,
+        "{tag}: rows at risk should be falling mid-run, got {:+.3}",
+        estimate.trend
+    );
+    let (lo, hi) = estimate
+        .eta_band()
+        .unwrap_or_else(|| panic!("{tag}: a falling trend must yield an ETA band: {estimate:?}"));
+
+    // The JSON rendering carries the same numbers (what `vadasa_status
+    // --json` prints).
+    let json = vadasa_core::obs::json::parse(&status.to_json().to_string()).expect("json");
+    assert_eq!(
+        json.get("committed")
+            .and_then(|c| c.get("iterations"))
+            .and_then(|v| v.as_f64()),
+        Some(m as f64)
+    );
+    assert_eq!(json.get("state").and_then(|v| v.as_str()), Some("running"));
+    let band = json.get("progress").and_then(|p| p.get("eta_band"));
+    assert!(band.is_some(), "{tag}: eta_band missing from JSON");
+
+    // --- resume and measure the actual remaining iterations ---
+    let resumed = resume_journaled(db, dict, risk, config, &dir);
+    assert_eq!(
+        resumed.iterations, full.iterations,
+        "{tag}: resume diverged"
+    );
+    assert_eq!(
+        resumed.nulls_injected, full.nulls_injected,
+        "{tag}: resume diverged"
+    );
+    // Every iteration record in the resumed profile is one evaluation
+    // performed after the kill point — the quantity the ETA predicts.
+    let actual = resumed.profile.iterations.len() as u64;
+    assert!(
+        (lo..=hi).contains(&actual),
+        "{tag}: actual remaining iterations {actual} outside ETA band {lo}..={hi} \
+         (estimate {estimate:?}, series {:?})",
+        status.rows_at_risk
+    );
+
+    let _ = fs::remove_dir_all(&dir);
+    let _ = fs::remove_dir_all(&ref_dir);
+}
+
+#[test]
+fn fig5_kill_point_status_brackets_actual_remaining_iterations() {
+    // k = 3 makes every equivalence class of the 7-row table violate the
+    // threshold, so the one-tuple-per-iteration run commits enough
+    // iterations to kill in the middle of.
+    let (db, dict) = fig5();
+    let risk = KAnonymity::new(3);
+    let config = CycleConfig {
+        granularity: StepGranularity::OneTuplePerIteration,
+        ..CycleConfig::default()
+    };
+    kill_read_resume_check("fig5", &db, &dict, &risk, &config);
+}
+
+#[test]
+fn households_kill_point_status_brackets_actual_remaining_iterations() {
+    let survey = generate_households(24, 0xC4A5);
+    let risk = KAnonymity::new(3);
+    let config = CycleConfig {
+        granularity: StepGranularity::OneTuplePerIteration,
+        ..CycleConfig::default()
+    };
+    kill_read_resume_check("households", &survey.db, &survey.dict, &risk, &config);
+}
+
+#[test]
+fn finished_journal_reports_finished_state_and_zero_rows() {
+    let (db, dict) = fig5();
+    let risk = KAnonymity::new(2);
+    let config = CycleConfig {
+        granularity: StepGranularity::OneTuplePerIteration,
+        ..CycleConfig::default()
+    };
+    let dir = fresh_dir("fig5-done");
+    let outcome = run_journaled(&db, &dict, &risk, &config, &dir);
+    let status = read_status(&dir).expect("status");
+    assert_eq!(status.state(), "finished");
+    assert_eq!(status.finished, Some(true));
+    assert_eq!(status.committed_iterations, outcome.iterations as u64);
+    // The finish boundary writes a last Progress sample: a converged run
+    // reports its end state, not the last mid-run count.
+    assert_eq!(status.rows_at_risk.last(), Some(&0));
+    let estimate = status.estimate.expect("estimate");
+    assert_eq!(estimate.rows_at_risk, 0);
+    assert_eq!(estimate.eta_iterations, Some(0));
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -27,6 +27,7 @@ use crate::journal::{self, JournalConfig, JournalError, JournalProfile, JournalW
 use crate::maybe_match::{group_stats, weights_exactly_summable, GroupStats, NullSemantics};
 use crate::metrics::information_loss;
 use crate::model::MicrodataDb;
+use crate::progress::{self, ProgressEstimate};
 use crate::risk::{MicrodataView, RiskError, RiskMeasure, RiskReport, TupleRiskDetail};
 use std::collections::HashSet;
 use std::fmt;
@@ -34,7 +35,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use vadalog::CancelToken;
-use vadasa_obs::{fields, Collector, Obs};
+use vadasa_obs::metrics::MetricsRegistry;
+use vadasa_obs::{fields, next_span_id, Collector, Obs};
 
 /// Which violating tuples to anonymize first (paper §4.4).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -207,6 +209,9 @@ pub struct CycleProfile {
     pub warm: WarmCycleProfile,
     /// Write-ahead-journal counters (all zero on unjournaled runs).
     pub journal: JournalProfile,
+    /// Final convergence estimate fitted from the per-iteration
+    /// rows-at-risk series (`None` when no iteration ever ran).
+    pub progress: Option<ProgressEstimate>,
 }
 
 impl CycleProfile {
@@ -216,16 +221,28 @@ impl CycleProfile {
         self.risk_eval_ns as f64 / 1e9
     }
 
-    /// Replay the profile into a collector: one `cycle.iteration` span
-    /// per record, plus run totals.
+    /// Replay the profile into a collector as an explicitly placed trace
+    /// tree: one `cycle.run` root covering the whole run, one
+    /// `cycle.iteration` child per record at its cumulative offset, and
+    /// one `cycle.iter.risk_eval` grandchild carrying each iteration's
+    /// risk-evaluation share. Child intervals are clamped into their
+    /// parent's, so exporters always see properly nested spans.
     pub fn emit(&self, obs: &Obs<'_>) {
         if !obs.enabled() {
             return;
         }
+        let run_id = next_span_id();
+        let mut cursor = 0u64;
         for r in &self.iterations {
-            obs.span_at(
+            let start = cursor.min(self.total_ns);
+            let dur = r.dur_ns.min(self.total_ns - start);
+            let iter_id = next_span_id();
+            obs.span_in(
                 "cycle.iteration",
-                r.dur_ns,
+                iter_id,
+                run_id,
+                start,
+                dur,
                 fields![
                     "iteration" => r.iteration,
                     "risky" => r.risky,
@@ -240,17 +257,46 @@ impl CycleProfile {
                     "risk_eval_ns" => r.risk_eval_ns
                 ],
             );
+            obs.span_in(
+                "cycle.iter.risk_eval",
+                next_span_id(),
+                iter_id,
+                start,
+                r.risk_eval_ns.min(dur),
+                fields!["iteration" => r.iteration],
+            );
+            cursor = cursor.saturating_add(r.dur_ns);
         }
-        obs.span_at(
+        obs.span_in(
             "cycle.risk_eval",
-            self.risk_eval_ns,
+            next_span_id(),
+            run_id,
+            0,
+            self.risk_eval_ns.min(self.total_ns),
             fields!["iterations" => self.iterations.len()],
         );
-        obs.span_at(
+        obs.span_in(
             "cycle.run",
+            run_id,
+            0,
+            0,
             self.total_ns,
             fields!["iterations" => self.iterations.len()],
         );
+        if let Some(p) = &self.progress {
+            obs.counter(
+                "cycle.progress.rows_at_risk",
+                p.rows_at_risk,
+                fields!["trend" => p.trend, "confidence" => p.confidence],
+            );
+            if let Some(eta) = p.eta_iterations {
+                obs.counter(
+                    "cycle.progress.eta_iterations",
+                    eta,
+                    fields!["confidence" => p.confidence],
+                );
+            }
+        }
         if let Some(fb) = &self.fallback {
             obs.counter(
                 "cycle.fallback",
@@ -476,6 +522,7 @@ pub struct AnonymizationCycle<'a> {
     pub config: CycleConfig,
     collector: Option<Arc<dyn Collector>>,
     cancel: Option<CancelToken>,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl<'a> AnonymizationCycle<'a> {
@@ -491,6 +538,7 @@ impl<'a> AnonymizationCycle<'a> {
             config,
             collector: None,
             cancel: None,
+            metrics: None,
         }
     }
 
@@ -508,6 +556,16 @@ impl<'a> AnonymizationCycle<'a> {
     /// dataset.
     pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
         self.cancel = Some(cancel);
+        self
+    }
+
+    /// Attach a live metrics registry. Unlike the collector (which sees
+    /// the profile replayed *after* the run), the registry is updated at
+    /// every iteration boundary — `cycle.iteration`,
+    /// `cycle.rows_at_risk`, `cycle.eta_iterations` and friends — so
+    /// another thread can poll a mid-flight run.
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
         self
     }
 
@@ -644,6 +702,12 @@ impl<'a> AnonymizationCycle<'a> {
         let mut warm_stats: Option<GroupStats> = None;
         let mut groups_supported = self.config.warm_start;
 
+        // Rows-above-threshold per evaluation, in order: the convergence
+        // trajectory [`crate::progress::estimate`] fits. A resumed run
+        // restarts the in-process series; the journal's `Progress`
+        // records carry the full history for external monitors.
+        let mut rows_series: Vec<u64> = Vec::new();
+
         let end: LoopEnd = 'cycle: loop {
             // Cooperative degradation checks, once per iteration.
             if let Some(token) = &self.cancel {
@@ -765,6 +829,29 @@ impl<'a> AnonymizationCycle<'a> {
                 record.min_risk = 0.0;
             }
 
+            // Convergence trajectory: fit the series up to and including
+            // this evaluation, publish it live, and carry the latest
+            // estimate on the profile so every exit path reports it.
+            rows_series.push(risky.len() as u64);
+            profile.progress = progress::estimate(&rows_series);
+            if let Some(m) = &self.metrics {
+                m.set_gauge("cycle.iteration", iterations as f64);
+                m.set_gauge("cycle.rows_at_risk", risky.len() as f64);
+                m.set_gauge("cycle.exhausted", exhausted.len() as f64);
+                m.set_gauge("cycle.mean_risk", record.mean_risk);
+                m.set_gauge("cycle.max_risk", record.max_risk);
+                m.inc_counter("cycle.risk_evals", 1);
+                m.observe_rate("cycle.iterations_per_sec", iterations as f64);
+                if let Some(e) = &profile.progress {
+                    m.set_gauge("cycle.trend", e.trend);
+                    m.set_gauge("cycle.eta_confidence", e.confidence);
+                    m.set_gauge(
+                        "cycle.eta_iterations",
+                        e.eta_iterations.map(|n| n as f64).unwrap_or(-1.0),
+                    );
+                }
+            }
+
             if risky.is_empty() {
                 record.heuristic = "converged".to_string();
                 record.dur_ns = iter_start.elapsed().as_nanos() as u64;
@@ -881,6 +968,10 @@ impl<'a> AnonymizationCycle<'a> {
             // after the commit loses at most the (re-derivable) work of
             // the next iteration.
             if let Some(w) = wal.as_mut() {
+                w.append(&JournalRecord::Progress {
+                    iteration: (iterations - 1) as u64,
+                    rows_at_risk: rows_series.last().copied().unwrap_or(0),
+                })?;
                 w.append(&JournalRecord::Commit {
                     iterations: iterations as u64,
                     nulls_injected: nulls_injected as u64,
@@ -971,6 +1062,12 @@ impl<'a> AnonymizationCycle<'a> {
                     residual_risky: summary.residual_risky,
                 });
                 if let Some(w) = wal.as_mut() {
+                    // final trajectory sample, so a monitor reading the
+                    // journal sees the state the run ended on
+                    w.append(&JournalRecord::Progress {
+                        iteration: iterations as u64,
+                        rows_at_risk: rows_series.last().copied().unwrap_or(0),
+                    })?;
                     w.append_durable(&JournalRecord::Finished { converged: false })?;
                     profile.journal = w.profile;
                 }
@@ -1004,6 +1101,12 @@ impl<'a> AnonymizationCycle<'a> {
         };
 
         if let Some(w) = wal.as_mut() {
+            // final trajectory sample, so a monitor reading the journal
+            // sees the converged (or exhausted-only) end state
+            w.append(&JournalRecord::Progress {
+                iteration: iterations as u64,
+                rows_at_risk: rows_series.last().copied().unwrap_or(0),
+            })?;
             w.append_durable(&JournalRecord::Finished { converged: true })?;
             profile.journal = w.profile;
         }

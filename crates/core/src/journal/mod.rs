@@ -651,7 +651,11 @@ pub fn recover(
                     keep_offset = *end;
                 }
             }
+            // Progress samples ride just ahead of their Commit; keeping
+            // the offset at the Commit boundary keeps them in the kept
+            // region without making them a boundary of their own.
             JournalRecord::Action { .. }
+            | JournalRecord::Progress { .. }
             | JournalRecord::Degraded { .. }
             | JournalRecord::Finished { .. }
             | JournalRecord::Begin { .. } => {}

@@ -23,7 +23,8 @@ use vadalog::Value;
 pub const MAGIC: &[u8; 8] = b"VADASAJ1";
 
 /// Record-format version carried in the [`JournalRecord::Begin`] record.
-pub const FORMAT_VERSION: u32 = 1;
+/// Version 2 added the [`JournalRecord::Progress`] record.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// One record of the action journal.
 #[derive(Debug, Clone, PartialEq)]
@@ -88,6 +89,17 @@ pub enum JournalRecord {
     Finished {
         /// `true` when the cycle converged (risk ≤ T everywhere).
         converged: bool,
+    },
+    /// Convergence trajectory sample, written just before each `Commit`:
+    /// how many tuples still violated the threshold when the iteration
+    /// started. External monitors (`vadasa_status`) fit this series via
+    /// [`crate::progress`] to estimate remaining iterations; recovery
+    /// ignores it.
+    Progress {
+        /// 0-based iteration the sample belongs to.
+        iteration: u64,
+        /// Tuples above the risk threshold at the start of the iteration.
+        rows_at_risk: u64,
     },
 }
 
@@ -401,6 +413,14 @@ impl JournalRecord {
                 payload.push(5);
                 payload.push(u8::from(*converged));
             }
+            JournalRecord::Progress {
+                iteration,
+                rows_at_risk,
+            } => {
+                payload.push(6);
+                put_u64(&mut payload, *iteration);
+                put_u64(&mut payload, *rows_at_risk);
+            }
         }
         let mut frame = Vec::with_capacity(payload.len() + 8);
         put_u32(&mut frame, payload.len() as u32);
@@ -444,6 +464,10 @@ impl JournalRecord {
             },
             5 => JournalRecord::Finished {
                 converged: c.u8()? != 0,
+            },
+            6 => JournalRecord::Progress {
+                iteration: c.u64()?,
+                rows_at_risk: c.u64()?,
             },
             t => return Err(DecodeError::BadTag(t)),
         };
@@ -551,6 +575,10 @@ mod tests {
                 trigger: "deadline expired".into(),
             },
             JournalRecord::Finished { converged: true },
+            JournalRecord::Progress {
+                iteration: 4,
+                rows_at_risk: 2,
+            },
         ]
     }
 

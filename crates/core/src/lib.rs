@@ -78,6 +78,7 @@ pub mod metrics;
 pub mod model;
 pub mod pipeline;
 pub mod programs;
+pub mod progress;
 pub mod report;
 pub mod risk;
 pub mod weights;
@@ -107,6 +108,7 @@ pub mod prelude {
     };
     pub use crate::maybe_match::NullSemantics;
     pub use crate::model::MicrodataDb;
+    pub use crate::progress::ProgressEstimate;
     pub use crate::risk::{
         IndividualRisk, IrEstimator, KAnonymity, LDiversity, MicrodataView, PresenceRisk,
         ReIdentification, RiskMeasure, RiskReport, Suda, TCloseness,

@@ -41,6 +41,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Duration;
 use vadalog::CancelToken;
+use vadasa_obs::metrics::MetricsRegistry;
 use vadasa_obs::Collector;
 
 /// Which off-the-shelf risk measure the facade should use.
@@ -102,6 +103,7 @@ pub struct Vadasa {
     dictionary: Option<MetadataDictionary>,
     summary_top_n: usize,
     collector: Option<Arc<dyn Collector>>,
+    metrics: Option<Arc<MetricsRegistry>>,
     cancel: Option<CancelToken>,
     resume: bool,
 }
@@ -116,6 +118,7 @@ impl Default for Vadasa {
             dictionary: None,
             summary_top_n: 5,
             collector: None,
+            metrics: None,
             cancel: None,
             resume: false,
         }
@@ -240,6 +243,15 @@ impl Vadasa {
         self
     }
 
+    /// Attach a live metrics registry: the cycle publishes its current
+    /// iteration, rows-at-risk, risk statistics and convergence estimate
+    /// into it after every risk evaluation, so another thread (or a
+    /// monitoring endpoint) can snapshot mid-run state.
+    pub fn metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
     /// Run the pipeline: categorize (unless a dictionary was supplied),
     /// anonymize to the threshold, and summarize the released table.
     pub fn run(self, db: &MicrodataDb) -> Result<Release, PipelineError> {
@@ -282,6 +294,9 @@ impl Vadasa {
             AnonymizationCycle::new(measure.as_ref(), anonymizer.as_ref(), self.config.clone());
         if let Some(collector) = self.collector {
             cycle = cycle.with_collector(collector);
+        }
+        if let Some(metrics) = self.metrics {
+            cycle = cycle.with_metrics(metrics);
         }
         if let Some(token) = self.cancel {
             cycle = cycle.with_cancel(token);

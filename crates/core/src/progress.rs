@@ -1,0 +1,193 @@
+//! Convergence tracking and time-to-convergence estimation for the
+//! anonymization cycle (DESIGN.md §11).
+//!
+//! The cycle drives the tuples-above-`T` count toward zero, one minimal
+//! action batch per iteration. That series — `rows_at_risk` as a
+//! function of the iteration number — is the best available signal for
+//! "how much longer will this run take?". [`estimate`] fits a
+//! least-squares line through the most recent window of the series and
+//! extrapolates it to zero:
+//!
+//! - **trend** — the fitted slope, in rows per iteration (negative when
+//!   the cycle is making progress);
+//! - **eta_iterations** — `ceil(rows / -trend)` when the trend is
+//!   negative, `Some(0)` once the series reached zero, `None` when the
+//!   series is flat or rising (no honest extrapolation exists);
+//! - **confidence** — the fit's R² damped by a small-sample factor
+//!   `1 - 1/n`, in `[0, 1]`; the estimator's own statement of how much
+//!   to trust the ETA.
+//!
+//! [`ProgressEstimate::eta_band`] widens the point estimate into an
+//! interval that grows as confidence shrinks — the acceptance contract
+//! for `vadasa_status` is that the true remaining-iterations count of a
+//! resumed run falls inside this band.
+
+/// How many trailing samples the least-squares fit considers. Older
+/// samples describe a different phase of the run (e.g. the heuristic
+/// switching from suppression to recoding) and would bias the slope.
+pub const FIT_WINDOW: usize = 16;
+
+/// A convergence estimate fitted from the rows-at-risk series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgressEstimate {
+    /// Most recent rows-above-threshold sample.
+    pub rows_at_risk: u64,
+    /// Fitted slope of the series, in rows per iteration. Negative
+    /// means converging.
+    pub trend: f64,
+    /// Estimated iterations until `rows_at_risk` reaches zero.
+    /// `Some(0)` when already converged; `None` when the trend is flat
+    /// or rising.
+    pub eta_iterations: Option<u64>,
+    /// Trust in the ETA, in `[0, 1]`: R² of the fit damped by a
+    /// small-sample factor.
+    pub confidence: f64,
+}
+
+impl ProgressEstimate {
+    /// The inclusive `[lo, hi]` iteration band the true remaining count
+    /// is expected to fall in: the point estimate widened by
+    /// `ceil(eta · (1 - confidence)) + 1` on each side (clamped at 0).
+    /// Returns `None` when there is no point estimate.
+    pub fn eta_band(&self) -> Option<(u64, u64)> {
+        let eta = self.eta_iterations?;
+        let slack = ((eta as f64) * (1.0 - self.confidence)).ceil() as u64 + 1;
+        Some((eta.saturating_sub(slack), eta.saturating_add(slack)))
+    }
+}
+
+/// Fit the trailing [`FIT_WINDOW`] samples of a rows-at-risk series and
+/// extrapolate to convergence. `series[i]` is the rows-above-threshold
+/// count at the start of iteration `i` (or any evenly spaced sampling).
+/// Returns `None` on an empty series; never panics.
+pub fn estimate(series: &[u64]) -> Option<ProgressEstimate> {
+    let last = *series.last()?;
+    if last == 0 {
+        return Some(ProgressEstimate {
+            rows_at_risk: 0,
+            trend: 0.0,
+            eta_iterations: Some(0),
+            confidence: 1.0,
+        });
+    }
+    let window = &series[series.len().saturating_sub(FIT_WINDOW)..];
+    let n = window.len();
+    if n < 2 {
+        // one sample: no slope, no ETA, no trust
+        return Some(ProgressEstimate {
+            rows_at_risk: last,
+            trend: 0.0,
+            eta_iterations: None,
+            confidence: 0.0,
+        });
+    }
+    // Least squares of y = a + b·x over x = 0..n.
+    let nf = n as f64;
+    let mean_x = (nf - 1.0) / 2.0;
+    let mean_y = window.iter().map(|&y| y as f64).sum::<f64>() / nf;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (i, &y) in window.iter().enumerate() {
+        let dx = i as f64 - mean_x;
+        let dy = y as f64 - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    // n ≥ 2 ⇒ sxx > 0; syy == 0 means a perfectly flat series.
+    let slope = sxy / sxx;
+    let r2 = if syy > 0.0 {
+        (sxy * sxy) / (sxx * syy)
+    } else {
+        0.0
+    };
+    let confidence = (r2 * (1.0 - 1.0 / nf)).clamp(0.0, 1.0);
+    let eps = 1e-9;
+    let eta_iterations = if slope < -eps {
+        Some((last as f64 / -slope).ceil() as u64)
+    } else {
+        None
+    };
+    Some(ProgressEstimate {
+        rows_at_risk: last,
+        trend: slope,
+        eta_iterations,
+        confidence,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_series_has_no_estimate() {
+        assert_eq!(estimate(&[]), None);
+    }
+
+    #[test]
+    fn converged_series_is_certain() {
+        let e = estimate(&[5, 2, 0]).unwrap();
+        assert_eq!(e.rows_at_risk, 0);
+        assert_eq!(e.eta_iterations, Some(0));
+        assert_eq!(e.confidence, 1.0);
+        assert_eq!(e.eta_band(), Some((0, 1)));
+    }
+
+    #[test]
+    fn single_sample_has_no_trend() {
+        let e = estimate(&[7]).unwrap();
+        assert_eq!(e.rows_at_risk, 7);
+        assert_eq!(e.trend, 0.0);
+        assert_eq!(e.eta_iterations, None);
+        assert_eq!(e.confidence, 0.0);
+        assert_eq!(e.eta_band(), None);
+    }
+
+    #[test]
+    fn linear_decay_extrapolates_exactly() {
+        // 10, 8, 6, 4: slope −2, R² = 1, confidence = 1·(1 − 1/4) = 0.75,
+        // ETA = ceil(4 / 2) = 2.
+        let e = estimate(&[10, 8, 6, 4]).unwrap();
+        assert_eq!(e.rows_at_risk, 4);
+        assert!((e.trend - (-2.0)).abs() < 1e-12, "trend {}", e.trend);
+        assert_eq!(e.eta_iterations, Some(2));
+        assert!((e.confidence - 0.75).abs() < 1e-12, "conf {}", e.confidence);
+        // slack = ceil(2·0.25) + 1 = 2 → band [0, 4]
+        assert_eq!(e.eta_band(), Some((0, 4)));
+    }
+
+    #[test]
+    fn flat_and_rising_series_decline_to_estimate() {
+        let flat = estimate(&[5, 5, 5, 5]).unwrap();
+        assert_eq!(flat.eta_iterations, None);
+        assert_eq!(flat.confidence, 0.0);
+        let rising = estimate(&[2, 4, 6]).unwrap();
+        assert_eq!(rising.eta_iterations, None);
+        assert!(rising.trend > 0.0);
+    }
+
+    #[test]
+    fn fit_uses_only_the_trailing_window() {
+        // a long flat prefix followed by a clean decay: the window must
+        // see only the decay
+        let mut series = vec![100u64; 50];
+        for k in 0..FIT_WINDOW as u64 {
+            series.push(100 - 5 * (k + 1));
+        }
+        let e = estimate(&series).unwrap();
+        assert!((e.trend - (-5.0)).abs() < 1e-9, "trend {}", e.trend);
+        assert_eq!(e.rows_at_risk, 100 - 5 * FIT_WINDOW as u64);
+    }
+
+    #[test]
+    fn noisy_decay_keeps_confidence_below_perfect() {
+        let e = estimate(&[10, 9, 6, 5, 3]).unwrap();
+        assert!(e.trend < 0.0);
+        assert!(e.confidence > 0.5 && e.confidence < 1.0);
+        let (lo, hi) = e.eta_band().unwrap();
+        let eta = e.eta_iterations.unwrap();
+        assert!(lo <= eta && eta <= hi);
+    }
+}

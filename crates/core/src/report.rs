@@ -197,6 +197,21 @@ pub fn render_profile(profile: &CycleProfile) -> String {
             j.io_errors
         );
     }
+    if let Some(p) = &profile.progress {
+        let eta = match p.eta_iterations {
+            Some(0) => "converged".to_string(),
+            Some(n) => format!("~{n} iteration(s) to convergence"),
+            None => "no downward trend".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "progress — {} row(s) at risk, trend {:+.2} row(s)/iteration, {eta} \
+             (confidence {:.0}%)",
+            p.rows_at_risk,
+            p.trend,
+            p.confidence * 100.0
+        );
+    }
     out
 }
 
@@ -310,6 +325,7 @@ mod tests {
             fallback: None,
             warm: Default::default(),
             journal: Default::default(),
+            progress: None,
         };
         let text = render_profile(&profile);
         assert!(text.contains("2 iteration(s)"));

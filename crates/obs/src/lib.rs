@@ -37,16 +37,59 @@
 //! `seq` is a per-collector sequence number, `t_ns` the monotonic offset
 //! from collector creation; `span` events add `dur_ns`, `counter` and
 //! `observe` events add `value`. `fields` holds event-specific context.
+//!
+//! Span events additionally carry `span_id` / `parent_id` (and, for
+//! replayed profile spans, an explicit `start_ns`) so a stream can be
+//! folded back into a trace tree — see [`trace::TraceBuilder`] and the
+//! Chrome-trace / collapsed-stack exporters in [`trace`].
 
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod metrics;
+pub mod trace;
 
 use json::Json;
 use std::borrow::Cow;
+use std::cell::RefCell;
 use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+
+/// Process-wide span-id allocator. Ids are never 0 (0 means "no span" /
+/// "no parent") and are only minted while a collector is attached, so a
+/// single-threaded instrumented run produces a deterministic id sequence.
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Stack of in-flight span ids on this thread; the top is the parent
+    /// of the next span started here.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Allocate a fresh nonzero span id (for replaying pre-measured spans
+/// with explicit parent linkage; live [`Span`]s allocate their own).
+pub fn next_span_id() -> u64 {
+    NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+fn current_parent_id() -> u64 {
+    SPAN_STACK.with(|s| s.borrow().last().copied().unwrap_or(0))
+}
+
+fn push_span(id: u64) {
+    SPAN_STACK.with(|s| s.borrow_mut().push(id));
+}
+
+fn pop_span(id: u64) {
+    SPAN_STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        if let Some(pos) = stack.iter().rposition(|&x| x == id) {
+            stack.remove(pos);
+        }
+    });
+}
 
 /// A field value attached to an event.
 #[derive(Debug, Clone, PartialEq)]
@@ -140,6 +183,14 @@ pub struct Event {
     pub name: Cow<'static, str>,
     /// Event-specific context fields.
     pub fields: Vec<(Cow<'static, str>, FieldValue)>,
+    /// Span identity (0 for counters/observations and legacy spans).
+    pub span_id: u64,
+    /// Id of the enclosing span (0 = root / unknown).
+    pub parent_id: u64,
+    /// Explicit span start as a monotonic offset, when known. Live spans
+    /// leave this `None` (start ≈ record time − duration); replayed
+    /// profile spans set it so trace trees get exact timelines.
+    pub start_ns: Option<u64>,
 }
 
 impl Event {
@@ -160,6 +211,11 @@ impl Event {
         match &self.kind {
             EventKind::Span { dur_ns } => {
                 members.push(("dur_ns".to_string(), Json::Num(*dur_ns as f64)));
+                members.push(("span_id".to_string(), Json::Num(self.span_id as f64)));
+                members.push(("parent_id".to_string(), Json::Num(self.parent_id as f64)));
+                if let Some(start) = self.start_ns {
+                    members.push(("start_ns".to_string(), Json::Num(start as f64)));
+                }
             }
             EventKind::Counter { delta } => {
                 members.push(("value".to_string(), Json::Num(*delta as f64)));
@@ -212,14 +268,37 @@ impl<'c> Obs<'c> {
         self.collector.is_some()
     }
 
-    /// Start a span; time runs until [`Span::finish`] (or drop).
+    /// Start a span; time runs until [`Span::finish`] (or drop). The new
+    /// span nests under the innermost span still in flight on this
+    /// thread, and its own id becomes the parent for spans started while
+    /// it is open.
     pub fn span(&self, name: impl Into<Cow<'static, str>>) -> Span<'c> {
+        let span_id = if self.collector.is_some() {
+            let id = next_span_id();
+            push_span(id);
+            id
+        } else {
+            0
+        };
         Span {
             collector: self.collector,
             name: name.into(),
             fields: Vec::new(),
             start: Instant::now(),
             finished: false,
+            span_id,
+            parent_id: if span_id == 0 {
+                0
+            } else {
+                SPAN_STACK.with(|s| {
+                    let stack = s.borrow();
+                    if stack.len() >= 2 {
+                        stack[stack.len() - 2]
+                    } else {
+                        0
+                    }
+                })
+            },
         }
     }
 
@@ -235,6 +314,9 @@ impl<'c> Obs<'c> {
                 kind: EventKind::Counter { delta },
                 name: name.into(),
                 fields,
+                span_id: 0,
+                parent_id: current_parent_id(),
+                start_ns: None,
             });
         }
     }
@@ -251,12 +333,18 @@ impl<'c> Obs<'c> {
                 kind: EventKind::Observe { value },
                 name: name.into(),
                 fields,
+                span_id: 0,
+                parent_id: current_parent_id(),
+                start_ns: None,
             });
         }
     }
 
     /// Record a pre-measured span (for profiles assembled outside the
-    /// collector, e.g. the engine's always-on `EngineProfile`).
+    /// collector, e.g. the engine's always-on `EngineProfile`). The span
+    /// gets a fresh id and nests under the innermost live span, but has
+    /// no explicit start; prefer [`Obs::span_in`] when replaying a whole
+    /// profile so the trace tree gets exact parent links and offsets.
     pub fn span_at(
         &self,
         name: impl Into<Cow<'static, str>>,
@@ -268,6 +356,34 @@ impl<'c> Obs<'c> {
                 kind: EventKind::Span { dur_ns },
                 name: name.into(),
                 fields,
+                span_id: next_span_id(),
+                parent_id: current_parent_id(),
+                start_ns: None,
+            });
+        }
+    }
+
+    /// Record a pre-measured span with explicit tree placement: its id,
+    /// its parent's id (0 = root) and its start offset. This is the
+    /// replay primitive profile emitters use to rebuild a full timeline
+    /// after the fact (allocate ids with [`next_span_id`]).
+    pub fn span_in(
+        &self,
+        name: impl Into<Cow<'static, str>>,
+        span_id: u64,
+        parent_id: u64,
+        start_ns: u64,
+        dur_ns: u64,
+        fields: Vec<(Cow<'static, str>, FieldValue)>,
+    ) {
+        if let Some(c) = self.collector {
+            c.record(Event {
+                kind: EventKind::Span { dur_ns },
+                name: name.into(),
+                fields,
+                span_id,
+                parent_id,
+                start_ns: Some(start_ns),
             });
         }
     }
@@ -289,6 +405,8 @@ pub struct Span<'c> {
     fields: Vec<(Cow<'static, str>, FieldValue)>,
     start: Instant,
     finished: bool,
+    span_id: u64,
+    parent_id: u64,
 }
 
 impl Span<'_> {
@@ -299,6 +417,11 @@ impl Span<'_> {
         }
     }
 
+    /// This span's id (0 when no collector is attached).
+    pub fn id(&self) -> u64 {
+        self.span_id
+    }
+
     /// Finish the span, recording its duration; returns elapsed nanos.
     pub fn finish(mut self) -> u64 {
         self.finish_inner()
@@ -306,11 +429,17 @@ impl Span<'_> {
 
     fn finish_inner(&mut self) -> u64 {
         let dur_ns = self.start.elapsed().as_nanos() as u64;
+        if self.span_id != 0 {
+            pop_span(self.span_id);
+        }
         if let Some(c) = self.collector.take() {
             c.record(Event {
                 kind: EventKind::Span { dur_ns },
                 name: std::mem::replace(&mut self.name, Cow::Borrowed("")),
                 fields: std::mem::take(&mut self.fields),
+                span_id: self.span_id,
+                parent_id: self.parent_id,
+                start_ns: None,
             });
         }
         self.finished = true;
@@ -382,7 +511,8 @@ impl Histogram {
     }
 
     /// Upper-bound estimate of the `q`-quantile (`q ∈ [0, 1]`): the upper
-    /// edge of the bucket containing it.
+    /// edge of the bucket containing it. Bucket 0 holds only the value 0,
+    /// so an all-zero histogram reports 0 (not the bucket-1 edge).
     pub fn quantile_ceil(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -392,10 +522,24 @@ impl Histogram {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= target {
-                return if i >= 64 { u64::MAX } else { 1u64 << i };
+                return match i {
+                    0 => 0,
+                    64.. => u64::MAX,
+                    _ => 1u64 << i,
+                };
             }
         }
         u64::MAX
+    }
+
+    /// Fold another histogram into this one (bucket-wise; used to
+    /// aggregate per-thread histograms from parallel rounds).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b = b.saturating_add(*o);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
     }
 
     /// Render non-empty buckets as `[lo, hi): count` lines.
@@ -415,15 +559,26 @@ impl Histogram {
 #[derive(Default)]
 struct RecorderState {
     events: Vec<Event>,
+    /// `(seq, t_ns)` per event, parallel to `events`.
+    meta: Vec<(u64, u64)>,
     counters: Vec<(String, u64)>,
     histograms: Vec<(String, Histogram)>,
 }
 
 /// In-memory collector: keeps every event and aggregates counters and
 /// histograms by name. Intended for tests and for post-run reporting.
-#[derive(Default)]
 pub struct Recorder {
     state: Mutex<RecorderState>,
+    start: Instant,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder {
+            state: Mutex::new(RecorderState::default()),
+            start: Instant::now(),
+        }
+    }
 }
 
 impl Recorder {
@@ -434,12 +589,24 @@ impl Recorder {
 
     /// Snapshot of all recorded events, in order.
     pub fn events(&self) -> Vec<Event> {
-        self.state.lock().unwrap().events.clone()
+        lock_unpoisoned(&self.state).events.clone()
+    }
+
+    /// Snapshot of all recorded events with their `(seq, t_ns)` envelope,
+    /// in record order — the input [`trace::TraceBuilder`] folds.
+    pub fn timeline(&self) -> Vec<(u64, u64, Event)> {
+        let state = lock_unpoisoned(&self.state);
+        state
+            .meta
+            .iter()
+            .zip(state.events.iter())
+            .map(|(&(seq, t_ns), e)| (seq, t_ns, e.clone()))
+            .collect()
     }
 
     /// Total of a counter across all increments (0 when never seen).
     pub fn counter_total(&self, name: &str) -> u64 {
-        let state = self.state.lock().unwrap();
+        let state = lock_unpoisoned(&self.state);
         state
             .counters
             .iter()
@@ -450,7 +617,7 @@ impl Recorder {
 
     /// Aggregated histogram for an observation (or span-duration) name.
     pub fn histogram(&self, name: &str) -> Option<Histogram> {
-        let state = self.state.lock().unwrap();
+        let state = lock_unpoisoned(&self.state);
         state
             .histograms
             .iter()
@@ -460,9 +627,7 @@ impl Recorder {
 
     /// Events with a given name.
     pub fn events_named(&self, name: &str) -> Vec<Event> {
-        self.state
-            .lock()
-            .unwrap()
+        lock_unpoisoned(&self.state)
             .events
             .iter()
             .filter(|e| e.name == name)
@@ -471,9 +636,21 @@ impl Recorder {
     }
 }
 
+/// Lock a mutex, recovering the data from a poisoned lock — telemetry
+/// must never take the instrumented program down.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
 impl Collector for Recorder {
     fn record(&self, event: Event) {
-        let mut state = self.state.lock().unwrap();
+        let t_ns = self.start.elapsed().as_nanos() as u64;
+        let mut state = lock_unpoisoned(&self.state);
+        let seq = state.meta.len() as u64;
+        state.meta.push((seq, t_ns));
         match &event.kind {
             EventKind::Counter { delta } => {
                 if let Some((_, v)) = state
@@ -507,10 +684,31 @@ impl Collector for Recorder {
     }
 }
 
+/// A buffered JSON line, keyed for the deterministic flush order.
+struct BufferedLine {
+    seq: u64,
+    span_id: u64,
+    line: String,
+}
+
+struct JsonLinesState<W> {
+    writer: W,
+    seq: u64,
+    buf: Vec<BufferedLine>,
+}
+
 /// Streaming collector: one JSON object per event, newline-terminated.
+///
+/// Lines are buffered and written on [`flush`](Self::flush) /
+/// [`into_inner`](Self::into_inner) / drop, after a stable sort by
+/// `(seq, span_id)` — so the byte output is deterministic even when
+/// multiple threads race to record (sequence numbers are assigned under
+/// the same lock that buffers the line, so `seq` stays gapless and in
+/// output order).
 pub struct JsonLinesWriter<W: Write + Send> {
-    inner: Mutex<(W, u64)>,
+    inner: Mutex<Option<JsonLinesState<W>>>,
     start: Instant,
+    redact_timings: bool,
 }
 
 impl JsonLinesWriter<std::io::BufWriter<std::fs::File>> {
@@ -525,33 +723,141 @@ impl<W: Write + Send> JsonLinesWriter<W> {
     /// Wrap any writer.
     pub fn new(writer: W) -> Self {
         JsonLinesWriter {
-            inner: Mutex::new((writer, 0)),
+            inner: Mutex::new(Some(JsonLinesState {
+                writer,
+                seq: 0,
+                buf: Vec::new(),
+            })),
             start: Instant::now(),
+            redact_timings: false,
+        }
+    }
+
+    /// Redact wall-clock timings (`t_ns`, `dur_ns`, `start_ns`, and any
+    /// field named `*_ns`) to 0 so the byte output depends only on the
+    /// logical event stream — for byte-for-byte determinism diffs.
+    pub fn redact_timings(mut self) -> Self {
+        self.redact_timings = true;
+        self
+    }
+
+    fn drain(state: &mut JsonLinesState<W>) {
+        state.buf.sort_by_key(|l| (l.seq, l.span_id));
+        for l in state.buf.drain(..) {
+            // Telemetry must never take the instrumented program down.
+            let _ = writeln!(state.writer, "{}", l.line);
         }
     }
 
     /// Flush and return the underlying writer.
     pub fn into_inner(self) -> W {
-        let (mut w, _) = self.inner.into_inner().unwrap();
-        let _ = w.flush();
-        w
+        let mut guard = lock_unpoisoned(&self.inner);
+        match guard.take() {
+            Some(mut state) => {
+                Self::drain(&mut state);
+                let _ = state.writer.flush();
+                drop(guard);
+                state.writer
+            }
+            // Unreachable: the state is only taken here and in drop.
+            None => unreachable!("JsonLinesWriter state already taken"),
+        }
     }
 
-    /// Flush buffered output.
+    /// Write out buffered lines and flush the sink.
     pub fn flush(&self) -> std::io::Result<()> {
-        self.inner.lock().unwrap().0.flush()
+        let mut guard = lock_unpoisoned(&self.inner);
+        match guard.as_mut() {
+            Some(state) => {
+                Self::drain(state);
+                state.writer.flush()
+            }
+            None => Ok(()),
+        }
+    }
+}
+
+impl<W: Write + Send> Drop for JsonLinesWriter<W> {
+    fn drop(&mut self) {
+        let mut guard = lock_unpoisoned(&self.inner);
+        if let Some(state) = guard.as_mut() {
+            Self::drain(state);
+            let _ = state.writer.flush();
+        }
     }
 }
 
 impl<W: Write + Send> Collector for JsonLinesWriter<W> {
     fn record(&self, event: Event) {
-        let t_ns = self.start.elapsed().as_nanos() as u64;
-        let mut guard = self.inner.lock().unwrap();
-        let (writer, seq) = &mut *guard;
-        let line = event.to_json_line(*seq, t_ns);
-        *seq += 1;
-        // Telemetry must never take the instrumented program down.
-        let _ = writeln!(writer, "{line}");
+        let t_ns = if self.redact_timings {
+            0
+        } else {
+            self.start.elapsed().as_nanos() as u64
+        };
+        let mut guard = lock_unpoisoned(&self.inner);
+        let Some(state) = guard.as_mut() else {
+            return;
+        };
+        let seq = state.seq;
+        state.seq += 1;
+        let line = if self.redact_timings {
+            redact_event_timings(&event).to_json_line(seq, t_ns)
+        } else {
+            event.to_json_line(seq, t_ns)
+        };
+        state.buf.push(BufferedLine {
+            seq,
+            span_id: event.span_id,
+            line,
+        });
+    }
+}
+
+/// A copy of `event` with every wall-clock quantity zeroed: span
+/// duration, explicit start, and numeric fields whose name ends in
+/// `_ns`. Logical fields (iteration numbers, deltas, counts) survive.
+fn redact_event_timings(event: &Event) -> Event {
+    let mut e = event.clone();
+    if let EventKind::Span { dur_ns } = &mut e.kind {
+        *dur_ns = 0;
+    }
+    if e.start_ns.is_some() {
+        e.start_ns = Some(0);
+    }
+    for (name, value) in &mut e.fields {
+        if name.ends_with("_ns") {
+            match value {
+                FieldValue::Int(v) => *v = 0,
+                FieldValue::UInt(v) => *v = 0,
+                FieldValue::Float(v) => *v = 0.0,
+                _ => {}
+            }
+        }
+    }
+    e
+}
+
+/// Fan an event stream out to several collectors (e.g. a [`Recorder`]
+/// for trace building plus a [`JsonLinesWriter`] for streaming).
+pub struct Fanout {
+    sinks: Vec<std::sync::Arc<dyn Collector>>,
+}
+
+impl Fanout {
+    /// A fanout over the given collectors.
+    pub fn new(sinks: Vec<std::sync::Arc<dyn Collector>>) -> Self {
+        Fanout { sinks }
+    }
+}
+
+impl Collector for Fanout {
+    fn record(&self, event: Event) {
+        if let Some((last, rest)) = self.sinks.split_last() {
+            for sink in rest {
+                sink.record(event.clone());
+            }
+            last.record(event);
+        }
     }
 }
 
@@ -653,5 +959,166 @@ mod tests {
         assert!(h.quantile_ceil(0.5) <= 8);
         assert!(h.quantile_ceil(1.0) >= 100);
         assert!(h.render().contains("): "));
+    }
+
+    /// Hand-checked edge cases: empty and all-zero histograms. Bucket 0
+    /// contains only the value 0, so its quantile ceiling is 0 — the old
+    /// code reported the bucket-1 edge (1) for a stream of zeros.
+    #[test]
+    fn histogram_empty_and_zero_edge_cases() {
+        let empty = Histogram::default();
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.quantile_ceil(0.0), 0);
+        assert_eq!(empty.quantile_ceil(0.5), 0);
+        assert_eq!(empty.quantile_ceil(1.0), 0);
+
+        let mut zeros = Histogram::default();
+        zeros.observe(0);
+        zeros.observe(0);
+        zeros.observe(0);
+        assert_eq!(zeros.mean(), 0.0);
+        assert_eq!(zeros.quantile_ceil(0.5), 0, "all-zero stream: p50 is 0");
+        assert_eq!(zeros.quantile_ceil(1.0), 0, "all-zero stream: max is 0");
+
+        // Mixed: {0, 0, 3} — p50 is still in bucket 0, p100 in [2, 4).
+        let mut mixed = Histogram::default();
+        mixed.observe(0);
+        mixed.observe(0);
+        mixed.observe(3);
+        assert_eq!(mixed.quantile_ceil(0.5), 0);
+        assert_eq!(mixed.quantile_ceil(1.0), 4);
+        assert!((mixed.mean() - 1.0).abs() < 1e-9);
+    }
+
+    /// Exact values for `merge`: {1, 2} ∪ {2, 100} observation by
+    /// observation.
+    #[test]
+    fn histogram_merge_is_bucketwise_sum() {
+        let mut a = Histogram::default();
+        a.observe(1);
+        a.observe(2);
+        let mut b = Histogram::default();
+        b.observe(2);
+        b.observe(100);
+        a.merge(&b);
+        assert_eq!(a.count, 4);
+        assert_eq!(a.sum, 105);
+        assert_eq!(a.buckets[1], 1); // value 1 ∈ [1, 2)
+        assert_eq!(a.buckets[2], 2); // both 2s ∈ [2, 4)
+        assert_eq!(a.buckets[7], 1); // 100 ∈ [64, 128)
+        assert!((a.mean() - 26.25).abs() < 1e-9);
+        assert_eq!(a.quantile_ceil(0.5), 4);
+        assert_eq!(a.quantile_ceil(1.0), 128);
+
+        // Merging an empty histogram is a no-op.
+        let before = (a.count, a.sum);
+        a.merge(&Histogram::default());
+        assert_eq!((a.count, a.sum), before);
+    }
+
+    /// Live spans link to the innermost open span on the same thread.
+    #[test]
+    fn nested_spans_carry_parent_ids() {
+        let rec = Recorder::new();
+        let obs = Obs::new(Some(&rec));
+        let outer = obs.span("outer");
+        let outer_id = outer.id();
+        assert_ne!(outer_id, 0);
+        {
+            let inner = obs.span("inner");
+            assert_ne!(inner.id(), outer_id);
+            inner.finish();
+        }
+        outer.finish();
+        let sibling = obs.span("sibling");
+        sibling.finish();
+
+        let inner_ev = &rec.events_named("inner")[0];
+        let outer_ev = &rec.events_named("outer")[0];
+        let sibling_ev = &rec.events_named("sibling")[0];
+        assert_eq!(inner_ev.parent_id, outer_ev.span_id);
+        assert_eq!(outer_ev.parent_id, 0);
+        assert_eq!(sibling_ev.parent_id, 0, "stack must pop on finish");
+    }
+
+    /// `span_in` replays explicit tree placement; the JSON line carries
+    /// the span/parent ids and the explicit start offset.
+    #[test]
+    fn span_in_round_trips_tree_placement() {
+        let writer = JsonLinesWriter::new(Vec::<u8>::new());
+        let obs = Obs::new(Some(&writer));
+        let root = next_span_id();
+        let child = next_span_id();
+        obs.span_in("child", child, root, 25, 50, vec![]);
+        obs.span_in("root", root, 0, 0, 100, vec![]);
+        let text = String::from_utf8(writer.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("span_id").unwrap().as_f64(), Some(child as f64));
+        assert_eq!(first.get("parent_id").unwrap().as_f64(), Some(root as f64));
+        assert_eq!(first.get("start_ns").unwrap().as_f64(), Some(25.0));
+        assert_eq!(first.get("dur_ns").unwrap().as_f64(), Some(50.0));
+    }
+
+    /// Redaction zeroes every wall-clock quantity but preserves logical
+    /// fields, so two identical logical runs produce identical bytes.
+    #[test]
+    fn redacted_output_is_timing_free() {
+        let run = || {
+            let writer = JsonLinesWriter::new(Vec::<u8>::new()).redact_timings();
+            let obs = Obs::new(Some(&writer));
+            obs.counter(
+                "c",
+                7,
+                fields!["iteration" => 3u64, "risk_eval_ns" => 1234u64],
+            );
+            obs.span_in("s", 1, 0, 500, 900, fields!["delta" => 4u64]);
+            String::from_utf8(writer.into_inner()).unwrap()
+        };
+        let text = run();
+        for line in text.lines() {
+            let v = json::parse(line).unwrap();
+            assert_eq!(v.get("t_ns").unwrap().as_f64(), Some(0.0));
+            if let Some(d) = v.get("dur_ns") {
+                assert_eq!(d.as_f64(), Some(0.0));
+            }
+            if let Some(s) = v.get("start_ns") {
+                assert_eq!(s.as_f64(), Some(0.0));
+            }
+        }
+        let first = json::parse(text.lines().next().unwrap()).unwrap();
+        let fields = first.get("fields").unwrap();
+        assert_eq!(fields.get("iteration").unwrap().as_f64(), Some(3.0));
+        assert_eq!(fields.get("risk_eval_ns").unwrap().as_f64(), Some(0.0));
+        assert_eq!(text, run(), "same logical stream, same bytes");
+    }
+
+    /// Fanout delivers every event to every sink.
+    #[test]
+    fn fanout_feeds_all_sinks() {
+        let a = std::sync::Arc::new(Recorder::new());
+        let b = std::sync::Arc::new(Recorder::new());
+        let fan = Fanout::new(vec![a.clone(), b.clone()]);
+        let obs = Obs::new(Some(&fan));
+        obs.counter("c", 2, vec![]);
+        obs.counter("c", 3, vec![]);
+        assert_eq!(a.counter_total("c"), 5);
+        assert_eq!(b.counter_total("c"), 5);
+    }
+
+    /// The recorder's timeline exposes gapless sequence numbers.
+    #[test]
+    fn recorder_timeline_is_gapless() {
+        let rec = Recorder::new();
+        let obs = Obs::new(Some(&rec));
+        obs.counter("a", 1, vec![]);
+        obs.observe("b", 2, vec![]);
+        obs.span_at("c", 3, vec![]);
+        let timeline = rec.timeline();
+        assert_eq!(timeline.len(), 3);
+        for (i, (seq, _, _)) in timeline.iter().enumerate() {
+            assert_eq!(*seq, i as u64);
+        }
     }
 }

@@ -1,0 +1,272 @@
+//! Live metrics: gauges, monotone counters and windowed rates.
+//!
+//! Profiles (`EngineProfile`, `CycleProfile`) are post-hoc: they only
+//! exist once the run finishes. A [`MetricsRegistry`] is the live
+//! counterpart — the engine and the anonymization cycle publish their
+//! current position (stratum, iteration, rows-at-risk, delta sizes)
+//! into it *while running*, and any thread can snapshot the whole
+//! registry as a single JSON object at any time. This is the substrate
+//! a job server polls for `/status`.
+//!
+//! Three instrument kinds:
+//!
+//! - **gauge** — a last-write-wins `f64` ("current stratum is 3");
+//! - **counter** — a monotone `u64` total ("suppressions so far");
+//! - **rate** — a windowed series of cumulative values; the registry
+//!   reports the average increase per second across the retained window
+//!   ("iterations/s").
+//!
+//! All methods take `&self` and are thread-safe; a poisoned lock is
+//! recovered, never propagated — telemetry must not take the run down.
+
+use crate::json::Json;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Default rate window: observations older than this are dropped.
+const DEFAULT_WINDOW_NS: u64 = 10_000_000_000; // 10 s
+
+struct RateWindow {
+    /// `(t_ns, cumulative_value)` samples, oldest first.
+    samples: VecDeque<(u64, f64)>,
+}
+
+impl RateWindow {
+    fn push(&mut self, t_ns: u64, value: f64, window_ns: u64) {
+        self.samples.push_back((t_ns, value));
+        let horizon = t_ns.saturating_sub(window_ns);
+        while let Some(&(t, _)) = self.samples.front() {
+            if t < horizon && self.samples.len() > 2 {
+                self.samples.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Average increase per second across the retained window.
+    fn per_sec(&self) -> Option<f64> {
+        let (&(t0, v0), &(t1, v1)) = (self.samples.front()?, self.samples.back()?);
+        if t1 <= t0 {
+            return None;
+        }
+        Some((v1 - v0) / ((t1 - t0) as f64 / 1e9))
+    }
+}
+
+#[derive(Default)]
+struct MetricsState {
+    gauges: Vec<(String, f64)>,
+    counters: Vec<(String, u64)>,
+    rates: Vec<(String, RateWindow)>,
+}
+
+/// A registry of live gauges, monotone counters and windowed rates,
+/// snapshot-able to one JSON object.
+pub struct MetricsRegistry {
+    state: Mutex<MetricsState>,
+    start: Instant,
+    window_ns: u64,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry {
+            state: Mutex::new(MetricsState::default()),
+            start: Instant::now(),
+            window_ns: DEFAULT_WINDOW_NS,
+        }
+    }
+}
+
+impl MetricsRegistry {
+    /// A fresh registry with the default 10 s rate window.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A registry whose rates average over the given window.
+    pub fn with_rate_window_ns(window_ns: u64) -> Self {
+        MetricsRegistry {
+            window_ns: window_ns.max(1),
+            ..Self::default()
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MetricsState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    /// Set a gauge (last write wins).
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        let mut state = self.lock();
+        match state.gauges.iter_mut().find(|(n, _)| n == name) {
+            Some((_, v)) => *v = value,
+            None => state.gauges.push((name.to_string(), value)),
+        }
+    }
+
+    /// Increment a monotone counter.
+    pub fn inc_counter(&self, name: &str, delta: u64) {
+        let mut state = self.lock();
+        match state.counters.iter_mut().find(|(n, _)| n == name) {
+            Some((_, v)) => *v = v.saturating_add(delta),
+            None => state.counters.push((name.to_string(), delta)),
+        }
+    }
+
+    /// Record a cumulative value into a rate window at "now".
+    pub fn observe_rate(&self, name: &str, cumulative: f64) {
+        self.observe_rate_at(name, self.now_ns(), cumulative);
+    }
+
+    /// Record a cumulative value at an explicit monotonic offset (for
+    /// deterministic tests).
+    pub fn observe_rate_at(&self, name: &str, t_ns: u64, cumulative: f64) {
+        let window_ns = self.window_ns;
+        let mut state = self.lock();
+        match state.rates.iter_mut().find(|(n, _)| n == name) {
+            Some((_, w)) => w.push(t_ns, cumulative, window_ns),
+            None => {
+                let mut w = RateWindow {
+                    samples: VecDeque::new(),
+                };
+                w.push(t_ns, cumulative, window_ns);
+                state.rates.push((name.to_string(), w));
+            }
+        }
+    }
+
+    /// Current gauge value, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.lock()
+            .gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Current counter total (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.lock()
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Average increase per second across the rate's retained window
+    /// (`None` until two samples with distinct timestamps exist).
+    pub fn rate_per_sec(&self, name: &str) -> Option<f64> {
+        self.lock()
+            .rates
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, w)| w.per_sec())
+    }
+
+    /// Snapshot the whole registry as one JSON object:
+    /// `{"t_ns":…,"gauges":{…},"counters":{…},"rates_per_sec":{…}}`,
+    /// members sorted by name.
+    pub fn snapshot_json(&self) -> String {
+        let t_ns = self.now_ns();
+        let state = self.lock();
+        let mut gauges: Vec<(String, Json)> = state
+            .gauges
+            .iter()
+            .map(|(n, v)| (n.clone(), Json::Num(*v)))
+            .collect();
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut counters: Vec<(String, Json)> = state
+            .counters
+            .iter()
+            .map(|(n, v)| (n.clone(), Json::Num(*v as f64)))
+            .collect();
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut rates: Vec<(String, Json)> = state
+            .rates
+            .iter()
+            .filter_map(|(n, w)| w.per_sec().map(|r| (n.clone(), Json::Num(r))))
+            .collect();
+        rates.sort_by(|a, b| a.0.cmp(&b.0));
+        Json::Obj(vec![
+            ("t_ns".to_string(), Json::Num(t_ns as f64)),
+            ("gauges".to_string(), Json::Obj(gauges)),
+            ("counters".to_string(), Json::Obj(counters)),
+            ("rates_per_sec".to_string(), Json::Obj(rates)),
+        ])
+        .to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn gauges_are_last_write_wins() {
+        let m = MetricsRegistry::new();
+        assert_eq!(m.gauge("cycle.iteration"), None);
+        m.set_gauge("cycle.iteration", 1.0);
+        m.set_gauge("cycle.iteration", 5.0);
+        assert_eq!(m.gauge("cycle.iteration"), Some(5.0));
+    }
+
+    #[test]
+    fn counters_are_monotone() {
+        let m = MetricsRegistry::new();
+        m.inc_counter("sup", 3);
+        m.inc_counter("sup", 4);
+        assert_eq!(m.counter("sup"), 7);
+        assert_eq!(m.counter("never"), 0);
+    }
+
+    #[test]
+    fn rates_average_over_the_window() {
+        let m = MetricsRegistry::with_rate_window_ns(1_000_000_000);
+        assert_eq!(m.rate_per_sec("it"), None);
+        m.observe_rate_at("it", 0, 0.0);
+        assert_eq!(m.rate_per_sec("it"), None, "one sample is not a rate");
+        m.observe_rate_at("it", 500_000_000, 10.0);
+        assert_eq!(m.rate_per_sec("it"), Some(20.0));
+        // Old samples age out: only the last window's increase counts —
+        // (15 − 10) over the final 0.5 s, not the lifetime average.
+        m.observe_rate_at("it", 2_000_000_000, 10.0);
+        m.observe_rate_at("it", 2_500_000_000, 15.0);
+        let r = m.rate_per_sec("it").unwrap();
+        assert!((r - 10.0).abs() < 1e-9, "expected 5/0.5s = 10, got {r}");
+    }
+
+    #[test]
+    fn snapshot_is_one_sorted_json_object() {
+        let m = MetricsRegistry::new();
+        m.set_gauge("b", 2.0);
+        m.set_gauge("a", 1.0);
+        m.inc_counter("c", 9);
+        m.observe_rate_at("r", 0, 0.0);
+        m.observe_rate_at("r", 1_000_000_000, 4.0);
+        let v = json::parse(&m.snapshot_json()).unwrap();
+        assert!(v.get("t_ns").and_then(|t| t.as_f64()).is_some());
+        let gauges = v.get("gauges").unwrap();
+        assert_eq!(gauges.get("a").unwrap().as_f64(), Some(1.0));
+        assert_eq!(gauges.get("b").unwrap().as_f64(), Some(2.0));
+        assert_eq!(
+            v.get("counters").unwrap().get("c").unwrap().as_f64(),
+            Some(9.0)
+        );
+        assert_eq!(
+            v.get("rates_per_sec").unwrap().get("r").unwrap().as_f64(),
+            Some(4.0)
+        );
+    }
+}

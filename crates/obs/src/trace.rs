@@ -1,0 +1,416 @@
+//! Trace trees: fold a span stream back into a timeline.
+//!
+//! Span events carry `span_id` / `parent_id` (and an explicit `start_ns`
+//! when replayed from a profile), so a flat [`Recorder`] or JSON-lines
+//! stream can be rebuilt into a tree of intervals with self-vs-child
+//! time attribution. Two zero-dependency exporters ship with the tree:
+//!
+//! - [`TraceTree::chrome_trace_json`] — Chrome `trace_event` JSON,
+//!   loadable in `chrome://tracing` and Perfetto (`ph: "X"` complete
+//!   events with microsecond `ts`/`dur`);
+//! - [`TraceTree::collapsed_stacks`] — collapsed-stack text
+//!   (`root;child;leaf <self-ns>` lines), the input format of
+//!   `flamegraph.pl` and `inferno`.
+//!
+//! Orphan spans (parent id 0, or a parent that never appears in the
+//! stream) become roots. Start offsets come from `start_ns` when the
+//! emitter provided one, otherwise they are derived as
+//! `record-time − duration`, which is exact for live [`Span`]s finished
+//! at record time.
+//!
+//! [`Span`]: crate::Span
+//! [`Recorder`]: crate::Recorder
+
+use crate::json::{self, Json};
+use crate::{Event, EventKind, FieldValue, Recorder};
+use std::collections::BTreeMap;
+
+/// One span interval in a [`TraceTree`].
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// Event name.
+    pub name: String,
+    /// Span id as recorded (nonzero).
+    pub span_id: u64,
+    /// Recorded parent id (0 = root).
+    pub parent_id: u64,
+    /// Start offset in nanoseconds.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Context fields, stringified keys.
+    pub fields: Vec<(String, FieldValue)>,
+    /// Indices of child nodes, in push order.
+    pub children: Vec<usize>,
+    /// Index of the parent node, when linked.
+    pub parent: Option<usize>,
+}
+
+impl SpanNode {
+    /// End offset in nanoseconds (saturating).
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns.saturating_add(self.dur_ns)
+    }
+}
+
+/// Incrementally folds span events into a [`TraceTree`].
+#[derive(Debug, Default)]
+pub struct TraceBuilder {
+    spans: Vec<SpanNode>,
+}
+
+impl TraceBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        TraceBuilder::default()
+    }
+
+    /// Fold one event in. Non-span events are ignored; span events with
+    /// id 0 (recorded with no collector-side identity) are skipped too,
+    /// since they cannot be linked.
+    pub fn push(&mut self, t_ns: u64, event: &Event) {
+        let EventKind::Span { dur_ns } = event.kind else {
+            return;
+        };
+        if event.span_id == 0 {
+            return;
+        }
+        let start_ns = event
+            .start_ns
+            .unwrap_or_else(|| t_ns.saturating_sub(dur_ns));
+        self.spans.push(SpanNode {
+            name: event.name.to_string(),
+            span_id: event.span_id,
+            parent_id: event.parent_id,
+            start_ns,
+            dur_ns,
+            fields: event
+                .fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+            children: Vec::new(),
+            parent: None,
+        });
+    }
+
+    /// Build the tree from everything a [`Recorder`] saw.
+    pub fn from_recorder(recorder: &Recorder) -> TraceTree {
+        let mut b = TraceBuilder::new();
+        for (_seq, t_ns, event) in recorder.timeline() {
+            b.push(t_ns, &event);
+        }
+        b.build()
+    }
+
+    /// Build the tree from JSON-lines telemetry text (the
+    /// [`JsonLinesWriter`](crate::JsonLinesWriter) schema). Lines that
+    /// fail to parse or are not span events are skipped.
+    pub fn from_json_lines(text: &str) -> TraceTree {
+        let mut b = TraceBuilder::new();
+        for line in text.lines() {
+            let Ok(value) = json::parse(line) else {
+                continue;
+            };
+            if value.get("type").and_then(|v| v.as_str()) != Some("span") {
+                continue;
+            }
+            let Some(name) = value.get("name").and_then(|v| v.as_str()) else {
+                continue;
+            };
+            let num = |key: &str| value.get(key).and_then(|v| v.as_f64());
+            let as_u64 = |v: f64| {
+                if v.is_finite() && v >= 0.0 {
+                    v as u64
+                } else {
+                    0
+                }
+            };
+            let event = Event {
+                kind: EventKind::Span {
+                    dur_ns: as_u64(num("dur_ns").unwrap_or(0.0)),
+                },
+                name: std::borrow::Cow::Owned(name.to_string()),
+                fields: match value.get("fields") {
+                    Some(Json::Obj(members)) => members
+                        .iter()
+                        .map(|(k, v)| (std::borrow::Cow::Owned(k.clone()), json_to_field_value(v)))
+                        .collect(),
+                    _ => Vec::new(),
+                },
+                span_id: as_u64(num("span_id").unwrap_or(0.0)),
+                parent_id: as_u64(num("parent_id").unwrap_or(0.0)),
+                start_ns: num("start_ns").map(as_u64),
+            };
+            b.push(as_u64(num("t_ns").unwrap_or(0.0)), &event);
+        }
+        b.build()
+    }
+
+    /// Link parents to children and return the finished tree. When the
+    /// same span id appears more than once, the first occurrence wins as
+    /// the link target.
+    pub fn build(self) -> TraceTree {
+        let mut nodes = self.spans;
+        let mut by_id: BTreeMap<u64, usize> = BTreeMap::new();
+        for (i, n) in nodes.iter().enumerate() {
+            by_id.entry(n.span_id).or_insert(i);
+        }
+        let mut roots = Vec::new();
+        for i in 0..nodes.len() {
+            let parent_idx = match by_id.get(&nodes[i].parent_id) {
+                Some(&p) if nodes[i].parent_id != 0 && p != i => Some(p),
+                _ => None,
+            };
+            match parent_idx {
+                Some(p) => {
+                    nodes[i].parent = Some(p);
+                    nodes[p].children.push(i);
+                }
+                None => roots.push(i),
+            }
+        }
+        TraceTree { nodes, roots }
+    }
+}
+
+fn json_to_field_value(v: &Json) -> FieldValue {
+    match v {
+        Json::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < 9e15 {
+                if *n >= 0.0 {
+                    FieldValue::UInt(*n as u64)
+                } else {
+                    FieldValue::Int(*n as i64)
+                }
+            } else {
+                FieldValue::Float(*n)
+            }
+        }
+        Json::Str(s) => FieldValue::Str(s.clone()),
+        Json::Bool(b) => FieldValue::Bool(*b),
+        other => FieldValue::Str(other.to_string()),
+    }
+}
+
+/// A finished trace: span nodes plus root indices.
+#[derive(Debug, Default)]
+pub struct TraceTree {
+    /// All span nodes, in stream order.
+    pub nodes: Vec<SpanNode>,
+    /// Indices of root spans, in stream order.
+    pub roots: Vec<usize>,
+}
+
+impl TraceTree {
+    /// Self time of a node: its duration minus the time covered by its
+    /// children (saturating — overlapping children cannot drive it
+    /// negative).
+    pub fn self_ns(&self, index: usize) -> u64 {
+        let node = &self.nodes[index];
+        let child_ns: u64 = node
+            .children
+            .iter()
+            .map(|&c| self.nodes[c].dur_ns)
+            .fold(0u64, |acc, d| acc.saturating_add(d));
+        node.dur_ns.saturating_sub(child_ns)
+    }
+
+    /// Depth-first pre-order over the tree (parents before children),
+    /// deterministic in stream order.
+    fn dfs(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.nodes.len());
+        let mut stack: Vec<usize> = self.roots.iter().rev().copied().collect();
+        while let Some(i) = stack.pop() {
+            order.push(i);
+            for &c in self.nodes[i].children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        order
+    }
+
+    /// Export as Chrome `trace_event` JSON — an object with a
+    /// `traceEvents` array of `ph: "X"` complete events (`ts`/`dur` in
+    /// microseconds), loadable in `chrome://tracing` and Perfetto.
+    pub fn chrome_trace_json(&self) -> String {
+        let mut events = Vec::with_capacity(self.nodes.len());
+        for i in self.dfs() {
+            let node = &self.nodes[i];
+            let mut args: Vec<(String, Json)> = node
+                .fields
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_json()))
+                .collect();
+            args.push((
+                "self_us".to_string(),
+                Json::Num(self.self_ns(i) as f64 / 1e3),
+            ));
+            events.push(Json::Obj(vec![
+                ("name".to_string(), Json::Str(node.name.clone())),
+                ("cat".to_string(), Json::Str("vadasa".to_string())),
+                ("ph".to_string(), Json::Str("X".to_string())),
+                ("ts".to_string(), Json::Num(node.start_ns as f64 / 1e3)),
+                ("dur".to_string(), Json::Num(node.dur_ns as f64 / 1e3)),
+                ("pid".to_string(), Json::Num(1.0)),
+                ("tid".to_string(), Json::Num(1.0)),
+                ("args".to_string(), Json::Obj(args)),
+            ]));
+        }
+        Json::Obj(vec![
+            ("traceEvents".to_string(), Json::Arr(events)),
+            ("displayTimeUnit".to_string(), Json::Str("ms".to_string())),
+        ])
+        .to_string()
+    }
+
+    /// Export as collapsed-stack text: one `a;b;leaf <self-ns>` line per
+    /// distinct stack with nonzero self time, sorted lexicographically —
+    /// the input `flamegraph.pl` / `inferno-flamegraph` consume.
+    pub fn collapsed_stacks(&self) -> String {
+        let mut weights: BTreeMap<String, u128> = BTreeMap::new();
+        for i in self.dfs() {
+            let self_ns = self.self_ns(i);
+            if self_ns == 0 {
+                continue;
+            }
+            *weights.entry(self.stack_of(i)).or_insert(0) += self_ns as u128;
+        }
+        let mut out = String::new();
+        for (stack, w) in &weights {
+            out.push_str(stack);
+            out.push(' ');
+            out.push_str(&w.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// `;`-joined names from the root down to node `index`.
+    fn stack_of(&self, index: usize) -> String {
+        let mut names = Vec::new();
+        let mut cur = Some(index);
+        while let Some(i) = cur {
+            names.push(self.nodes[i].name.as_str());
+            cur = self.nodes[i].parent;
+        }
+        names.reverse();
+        names.join(";")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{fields, Obs};
+
+    /// A three-span tree replayed via `span_in`: root [0, 100),
+    /// child a [0, 60), child b [60, 100), grandchild [10, 30) under a.
+    fn sample_tree() -> TraceTree {
+        let rec = Recorder::new();
+        let obs = Obs::new(Some(&rec));
+        let root = crate::next_span_id();
+        let a = crate::next_span_id();
+        let b = crate::next_span_id();
+        let g = crate::next_span_id();
+        obs.span_in("a", a, root, 0, 60, fields!["k" => 1u64]);
+        obs.span_in("g", g, a, 10, 20, vec![]);
+        obs.span_in("b", b, root, 60, 40, vec![]);
+        obs.span_in("root", root, 0, 0, 100, vec![]);
+        TraceBuilder::from_recorder(&rec)
+    }
+
+    #[test]
+    fn builds_tree_with_late_parents() {
+        let tree = sample_tree();
+        assert_eq!(tree.nodes.len(), 4);
+        assert_eq!(tree.roots.len(), 1);
+        let root = &tree.nodes[tree.roots[0]];
+        assert_eq!(root.name, "root");
+        assert_eq!(root.children.len(), 2);
+        let a_idx = root.children[0];
+        assert_eq!(tree.nodes[a_idx].name, "a");
+        assert_eq!(tree.nodes[a_idx].children.len(), 1);
+    }
+
+    #[test]
+    fn self_time_subtracts_children() {
+        let tree = sample_tree();
+        let root_idx = tree.roots[0];
+        assert_eq!(tree.self_ns(root_idx), 0); // 100 − 60 − 40
+        let a_idx = tree.nodes[root_idx].children[0];
+        assert_eq!(tree.self_ns(a_idx), 40); // 60 − 20
+    }
+
+    #[test]
+    fn chrome_trace_has_required_keys_and_microseconds() {
+        let tree = sample_tree();
+        let text = tree.chrome_trace_json();
+        let v = json::parse(&text).unwrap();
+        let events = match v.get("traceEvents") {
+            Some(Json::Arr(events)) => events,
+            other => panic!("traceEvents missing: {other:?}"),
+        };
+        assert_eq!(events.len(), 4);
+        for e in events {
+            for key in ["name", "cat", "ph", "ts", "dur", "pid", "tid", "args"] {
+                assert!(e.get(key).is_some(), "missing {key}");
+            }
+            assert_eq!(e.get("ph").unwrap().as_str(), Some("X"));
+        }
+        // DFS pre-order: root first; ts/dur in µs.
+        assert_eq!(events[0].get("name").unwrap().as_str(), Some("root"));
+        assert_eq!(events[0].get("dur").unwrap().as_f64(), Some(0.1));
+        assert_eq!(events[1].get("name").unwrap().as_str(), Some("a"));
+        assert_eq!(events[2].get("ts").unwrap().as_f64(), Some(0.01));
+    }
+
+    #[test]
+    fn collapsed_stacks_weight_self_time() {
+        let tree = sample_tree();
+        let text = tree.collapsed_stacks();
+        let lines: Vec<&str> = text.lines().collect();
+        // root has 0 self time → absent; three leaves-with-self-time.
+        assert_eq!(
+            lines,
+            vec!["root;a 40", "root;a;g 20", "root;b 40"],
+            "unexpected collapsed output:\n{text}"
+        );
+    }
+
+    #[test]
+    fn json_lines_round_trip_to_tree() {
+        let writer = crate::JsonLinesWriter::new(Vec::<u8>::new());
+        let obs = Obs::new(Some(&writer));
+        let root = crate::next_span_id();
+        let child = crate::next_span_id();
+        obs.counter("noise", 1, vec![]);
+        obs.span_in("child", child, root, 5, 10, vec![]);
+        obs.span_in("root", root, 0, 0, 50, vec![]);
+        let text = String::from_utf8(writer.into_inner()).unwrap();
+        let tree = TraceBuilder::from_json_lines(&text);
+        assert_eq!(tree.nodes.len(), 2, "counter line must be skipped");
+        assert_eq!(tree.roots.len(), 1);
+        let r = &tree.nodes[tree.roots[0]];
+        assert_eq!(r.name, "root");
+        assert_eq!(r.children.len(), 1);
+        assert_eq!(tree.nodes[r.children[0]].start_ns, 5);
+    }
+
+    #[test]
+    fn orphan_spans_become_roots() {
+        let mut b = TraceBuilder::new();
+        let ev = Event {
+            kind: EventKind::Span { dur_ns: 7 },
+            name: std::borrow::Cow::Borrowed("lost"),
+            fields: vec![],
+            span_id: 99,
+            parent_id: 12345, // never recorded
+            start_ns: None,
+        };
+        b.push(20, &ev);
+        let tree = b.build();
+        assert_eq!(tree.roots, vec![0]);
+        assert_eq!(tree.nodes[0].start_ns, 13); // t_ns − dur
+    }
+}

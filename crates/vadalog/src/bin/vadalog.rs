@@ -13,6 +13,11 @@
 //!                        derived-fact / join-candidate counts
 //!   --profile-json PATH  stream telemetry events to PATH as JSON lines
 //!                        (one event object per line; see vadasa-obs docs)
+//!   --trace-out PATH     write the run's span timeline as Chrome
+//!                        trace_event JSON (open in chrome://tracing or
+//!                        Perfetto)
+//!   --collapsed-out PATH write the run's span timeline as collapsed
+//!                        stacks (pipe into a flamegraph renderer)
 //!   --deadline-ms N      soft wall-clock budget: stop at the next check
 //!                        point after N ms and print the partial result
 //!   --max-facts N        soft derived-fact budget: stop once N facts have
@@ -46,7 +51,8 @@ use std::collections::BTreeSet;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
-use vadalog::obs::JsonLinesWriter;
+use vadalog::obs::trace::TraceBuilder;
+use vadalog::obs::{Fanout, JsonLinesWriter, Recorder};
 use vadalog::{
     parse_program, print_rule, warded_analyze, Budget, Database, Engine, EngineConfig, EngineError,
     Fact, Head, JoinMode, Termination,
@@ -54,7 +60,7 @@ use vadalog::{
 
 fn usage() -> ! {
     eprintln!(
-        "usage: vadalog PROGRAM.vada [FACTS.vada ...] [--output PRED]... [--trace] [--warded] [--stats] [--profile] [--profile-json PATH] [--deadline-ms N] [--max-facts N] [--threads N] [--reference-join]"
+        "usage: vadalog PROGRAM.vada [FACTS.vada ...] [--output PRED]... [--trace] [--warded] [--stats] [--profile] [--profile-json PATH] [--trace-out PATH] [--collapsed-out PATH] [--deadline-ms N] [--max-facts N] [--threads N] [--reference-join]"
     );
     std::process::exit(2);
 }
@@ -67,6 +73,8 @@ fn main() -> ExitCode {
     let mut stats = false;
     let mut profile = false;
     let mut profile_json: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut collapsed_out: Option<String> = None;
     let mut budget = Budget::unlimited();
     let mut threads = 1usize;
     let mut join_mode = JoinMode::Indexed;
@@ -84,6 +92,14 @@ fn main() -> ExitCode {
             "--profile" => profile = true,
             "--profile-json" => match args.next() {
                 Some(p) => profile_json = Some(p),
+                None => usage(),
+            },
+            "--trace-out" => match args.next() {
+                Some(p) => trace_out = Some(p),
+                None => usage(),
+            },
+            "--collapsed-out" => match args.next() {
+                Some(p) => collapsed_out = Some(p),
                 None => usage(),
             },
             "--deadline-ms" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
@@ -155,9 +171,28 @@ fn main() -> ExitCode {
         },
         None => None,
     };
+    // Trace exports need the events replayed into a recorder; fan out
+    // when the JSON-lines sink is also requested.
+    let recorder: Option<Arc<Recorder>> = if trace_out.is_some() || collapsed_out.is_some() {
+        Some(Arc::new(Recorder::new()))
+    } else {
+        None
+    };
+    let mut collectors: Vec<Arc<dyn vadalog::obs::Collector>> = Vec::new();
+    if let Some(s) = &sink {
+        collectors.push(s.clone());
+    }
+    if let Some(r) = &recorder {
+        collectors.push(r.clone());
+    }
+    let collector: Option<Arc<dyn vadalog::obs::Collector>> = match collectors.len() {
+        0 => None,
+        1 => collectors.pop(),
+        _ => Some(Arc::new(Fanout::new(collectors))),
+    };
     let engine = Engine::with_config(EngineConfig {
         trace,
-        collector: sink.clone().map(|s| s as Arc<dyn vadalog::obs::Collector>),
+        collector,
         budget,
         threads,
         join_mode,
@@ -205,6 +240,21 @@ fn main() -> ExitCode {
         if let Err(e) = sink.flush() {
             eprintln!("cannot write telemetry: {e}");
             return ExitCode::FAILURE;
+        }
+    }
+    if let Some(rec) = &recorder {
+        let tree = TraceBuilder::from_recorder(rec);
+        if let Some(path) = &trace_out {
+            if let Err(e) = std::fs::write(path, tree.chrome_trace_json()) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Some(path) = &collapsed_out {
+            if let Err(e) = std::fs::write(path, tree.collapsed_stacks()) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
 

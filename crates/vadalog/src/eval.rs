@@ -96,6 +96,11 @@ pub struct EngineConfig {
     /// collector additionally receives the profile replayed as events
     /// after the run — see [`EngineProfile::emit`].
     pub collector: Option<Arc<dyn Collector>>,
+    /// Optional live metrics registry. Where the collector sees the
+    /// profile replayed *after* the run, the registry is updated at
+    /// every fixpoint round — current stratum, round ordinal, delta
+    /// size, facts/s — so another thread can poll a run in flight.
+    pub metrics: Option<Arc<vadasa_obs::metrics::MetricsRegistry>>,
     /// Soft resource budget. Unlike the hard caps above (which abort with
     /// an error), a tripped budget ends the run *gracefully*: the engine
     /// returns the sound partial result derived so far, tagged with
@@ -124,6 +129,7 @@ impl Default for EngineConfig {
             router: None,
             egd_policy: EgdPolicy::default(),
             collector: None,
+            metrics: None,
             budget: Budget::default(),
             cancel: None,
             join_mode: JoinMode::default(),
@@ -141,6 +147,7 @@ impl fmt::Debug for EngineConfig {
             .field("router", &self.router.as_ref().map(|r| r.name()))
             .field("egd_policy", &self.egd_policy)
             .field("collector", &self.collector.is_some())
+            .field("metrics", &self.metrics.is_some())
             .field("budget", &self.budget)
             .field("cancel", &self.cancel.is_some())
             .field("join_mode", &self.join_mode)
@@ -445,6 +452,9 @@ impl Engine {
                 stratum: stratum_idx,
                 ..StratumProfile::default()
             });
+            if let Some(m) = &self.config.metrics {
+                m.set_gauge("engine.stratum", stratum_idx as f64);
+            }
             let stratum_start = Instant::now();
             let facts_before = stats.facts_derived;
 
@@ -886,6 +896,12 @@ impl Engine {
                 delta: inserted,
                 dur_ns: round_start.elapsed().as_nanos() as u64,
             });
+            if let Some(m) = &self.config.metrics {
+                m.set_gauge("engine.stratum", stratum_idx as f64);
+                m.set_gauge("engine.round", (s.rounds.len() - 1) as f64);
+                m.set_gauge("engine.delta_rows", inserted as f64);
+                m.observe_rate("engine.facts_per_sec", stats.facts_derived as f64);
+            }
             if let Some(t) = stopped {
                 return Ok(StratumEnd::Stopped(t));
             }

@@ -12,7 +12,7 @@
 //! run, so the hot path never formats or allocates for telemetry.
 
 use std::fmt::Write as _;
-use vadasa_obs::{fields, Obs};
+use vadasa_obs::{fields, next_span_id, Obs};
 
 use crate::ast::{Head, Program};
 
@@ -204,24 +204,42 @@ impl EngineProfile {
         out
     }
 
-    /// Replay the profile into a collector as telemetry events: one span
-    /// per run, per stratum and per round; one counter per rule metric
-    /// and per scalar total.
+    /// Replay the profile into a collector as an explicitly placed trace
+    /// tree: one `engine.run` root, one `engine.stratum` child per
+    /// stratum at its cumulative offset, one `engine.round` grandchild
+    /// per fixpoint round; one counter per rule metric and per scalar
+    /// total. Child intervals are clamped into their parent's so
+    /// exporters always see properly nested spans.
     pub fn emit(&self, obs: &Obs<'_>) {
         if !obs.enabled() {
             return;
         }
+        let run_id = next_span_id();
+        let mut run_cursor = 0u64;
         for s in &self.strata {
+            let s_start = run_cursor.min(self.total_ns);
+            let s_dur = s.dur_ns.min(self.total_ns - s_start);
+            let stratum_id = next_span_id();
+            let mut round_cursor = s_start;
             for r in &s.rounds {
-                obs.span_at(
+                let r_start = round_cursor.min(s_start + s_dur);
+                let r_dur = r.dur_ns.min(s_start + s_dur - r_start);
+                obs.span_in(
                     "engine.round",
-                    r.dur_ns,
+                    next_span_id(),
+                    stratum_id,
+                    r_start,
+                    r_dur,
                     fields!["stratum" => s.stratum, "round" => r.round, "delta" => r.delta],
                 );
+                round_cursor = round_cursor.saturating_add(r.dur_ns);
             }
-            obs.span_at(
+            obs.span_in(
                 "engine.stratum",
-                s.dur_ns,
+                stratum_id,
+                run_id,
+                s_start,
+                s_dur,
                 fields![
                     "stratum" => s.stratum,
                     "passes" => s.passes,
@@ -229,6 +247,7 @@ impl EngineProfile {
                     "facts" => s.facts_derived
                 ],
             );
+            run_cursor = run_cursor.saturating_add(s.dur_ns);
         }
         for r in &self.rules {
             obs.counter(
@@ -268,8 +287,11 @@ impl EngineProfile {
             vec![],
         );
         obs.counter("engine.join.parallel_rounds", self.parallel_rounds, vec![]);
-        obs.span_at(
+        obs.span_in(
             "engine.run",
+            run_id,
+            0,
+            0,
             self.total_ns,
             fields!["strata" => self.strata.len(), "rules" => self.rules.len()],
         );

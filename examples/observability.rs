@@ -1,6 +1,16 @@
+//! Observability tour: live gauges polled from a monitor thread while
+//! the cycle runs, the recorded span tree exported as a Chrome
+//! `trace_event` timeline and as collapsed flamegraph stacks, and the
+//! JSON-lines stream shown to reassemble into the same tree.
+//!
+//! Run with `cargo run --release --example observability`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use vadalog::Value;
-use vadasa_core::obs::Recorder;
+use vadasa_core::obs::metrics::MetricsRegistry;
+use vadasa_core::obs::trace::TraceBuilder;
+use vadasa_core::obs::{Collector, Fanout, JsonLinesWriter, Recorder};
 use vadasa_core::pipeline::Vadasa;
 use vadasa_core::report::render_profile;
 
@@ -10,15 +20,74 @@ fn main() {
         db.push_row(vec![Value::Int(id), Value::str(area), Value::Int(w)])
             .unwrap();
     }
+
+    // --- live gauges: poll the registry from another thread mid-run ---
+    let metrics = Arc::new(MetricsRegistry::new());
+    let done = Arc::new(AtomicBool::new(false));
+    let monitor = {
+        let (metrics, done) = (metrics.clone(), done.clone());
+        std::thread::spawn(move || {
+            let mut polls = 0u32;
+            while !done.load(Ordering::Relaxed) {
+                let _ = metrics.gauge("cycle.rows_at_risk");
+                polls += 1;
+                std::thread::yield_now();
+            }
+            polls
+        })
+    };
+
+    // --- collectors: an in-process recorder + a JSON-lines sink ---
     let rec = Arc::new(Recorder::new());
+    let sink = Arc::new(JsonLinesWriter::new(Vec::<u8>::new()));
+    let fanout = Arc::new(Fanout::new(vec![
+        rec.clone() as Arc<dyn Collector>,
+        sink.clone(),
+    ]));
+
     let release = Vadasa::new()
         .k_anonymity(2)
-        .collector(rec.clone())
+        .collector(fanout)
+        .metrics(metrics.clone())
         .run(&db)
         .unwrap();
+    done.store(true, Ordering::Relaxed);
+    let polls = monitor.join().unwrap();
+
     print!("{}", render_profile(&release.outcome.profile));
     println!(
-        "collector saw {} cycle.iteration spans",
-        rec.events_named("cycle.iteration").len()
+        "monitor thread polled the registry {polls} time(s) during the run; \
+         final gauges: iteration {:?}, rows at risk {:?}",
+        metrics.gauge("cycle.iteration"),
+        metrics.gauge("cycle.rows_at_risk"),
+    );
+    println!("metrics snapshot: {}", metrics.snapshot_json());
+
+    // --- the recorded events reassemble into a span tree ---
+    let tree = TraceBuilder::from_recorder(&rec);
+    println!(
+        "\nspan tree: {} span(s), {} root(s)",
+        tree.nodes.len(),
+        tree.roots.len()
+    );
+    println!("chrome trace (open in chrome://tracing or Perfetto):");
+    println!("{}", tree.chrome_trace_json());
+    println!("collapsed stacks (pipe into a flamegraph renderer):");
+    print!("{}", tree.collapsed_stacks());
+
+    // --- the JSON-lines stream carries the same tree ---
+    let Ok(sink) = Arc::try_unwrap(sink) else {
+        panic!("sink still shared");
+    };
+    let text = String::from_utf8(sink.into_inner()).unwrap();
+    let from_lines = TraceBuilder::from_json_lines(&text);
+    assert_eq!(
+        from_lines.collapsed_stacks(),
+        tree.collapsed_stacks(),
+        "offline reassembly from the JSON-lines stream matches the recorder"
+    );
+    println!(
+        "\nJSON-lines stream: {} line(s); offline reassembly matches the in-process tree",
+        text.lines().count()
     );
 }
