@@ -1,0 +1,281 @@
+//! `server_soak` — multi-job soak for the supervised anonymization
+//! service, with injected faults and an optional hard mid-flight kill.
+//!
+//! ```text
+//! server_soak --jobs-root DIR [--jobs N] [--workers N] [--seed S]
+//!             [--kill-after-ms T]        # phase 1: submit, then exit(9) mid-flight
+//! server_soak --jobs-root DIR [--workers N] --verify
+//!                                        # phase 2: recover, drain, verify
+//! ```
+//!
+//! **Phase 1** starts a server, submits a mixed batch — healthy jobs,
+//! jobs with transient journal-append faults (which must retry and
+//! converge), and one worker-panic job (which must fail with a
+//! structured error while the supervisor survives). With
+//! `--kill-after-ms` the process hard-exits with code **9** mid-flight,
+//! simulating a crash of the whole fleet; without it the batch drains
+//! normally.
+//!
+//! **Phase 2** restarts a server over the same root (recovering every
+//! journaled job), waits for the fleet to settle, and verifies that
+//! every job either released a table **byte-identical** to the
+//! uninterrupted reference recomputed from its on-disk manifest, or
+//! carries a structured terminal error (only allowed for the
+//! deliberately-panicking job — and only if its panic fired before the
+//! kill; injected faults are in-memory, so a recovered panic job runs
+//! clean and must then converge). Exit code 0 = verified, 1 = mismatch.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use vadasa_core::cycle::{AnonymizationCycle, StepGranularity};
+use vadasa_core::faults::ServerFault;
+use vadasa_core::io::write_csv;
+use vadasa_core::prelude::LocalSuppression;
+use vadasa_datagen::households::generate_households;
+use vadasa_server::spec::{MANIFEST_FILE, RELEASED_FILE};
+use vadasa_server::{
+    JobServer, JobSpec, JobState, MeasureSpec, RetryPolicy, ServerConfig, ShutdownMode,
+};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: server_soak --jobs-root DIR [--jobs N] [--workers N] [--seed S] \
+         [--kill-after-ms T] [--verify]"
+    );
+    ExitCode::from(2)
+}
+
+/// The uninterrupted reference for a manifest: run the cycle without a
+/// journal and render the released table.
+fn reference_csv(spec: &JobSpec) -> Result<String, String> {
+    let db = spec.table().map_err(|e| e.to_string())?;
+    let dict = spec.dictionary().map_err(|e| e.to_string())?;
+    let measure = spec.measure.build();
+    let anonymizer = LocalSuppression::default();
+    let cycle = AnonymizationCycle::new(measure.as_ref(), &anonymizer, spec.cycle_config());
+    let outcome = cycle.run(&db, &dict).map_err(|e| e.to_string())?;
+    Ok(write_csv(&outcome.db))
+}
+
+fn submit_phase(
+    root: &std::path::Path,
+    jobs: usize,
+    workers: usize,
+    seed: u64,
+    kill_after: Option<Duration>,
+) -> ExitCode {
+    let mut cfg = ServerConfig::new(root);
+    cfg.workers = workers;
+    cfg.queue_capacity = jobs.max(4) + 2;
+    cfg.retry = RetryPolicy {
+        base: Duration::from_millis(10),
+        ..RetryPolicy::default()
+    };
+    let server = match JobServer::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot start server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(delay) = kill_after {
+        // A detached timer thread hard-kills the whole fleet mid-flight:
+        // no Drop runs, no drain, no marker writes — exactly a crash.
+        std::thread::spawn(move || {
+            std::thread::sleep(delay);
+            eprintln!("server_soak: hard exit(9) mid-flight");
+            std::process::exit(9);
+        });
+    }
+    let mut ids = Vec::new();
+    for i in 0..jobs {
+        let survey = generate_households(10 + (i % 5) * 2, seed.wrapping_add(i as u64));
+        let measure = match i % 3 {
+            0 => MeasureSpec::KAnonymity(2 + i % 3),
+            1 => MeasureSpec::ReIdentification,
+            _ => MeasureSpec::Suda(2),
+        };
+        let mut spec = match JobSpec::new(&survey.db, &survey.dict, measure) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("spec {i}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        spec.granularity = StepGranularity::OneTuplePerIteration;
+        spec.snapshot_every = Some(4);
+        let id = match i {
+            0 => {
+                spec.fault = ServerFault::none().panic_on_attempt(1);
+                format!("panic-{i}")
+            }
+            _ if i % 3 == 1 => {
+                spec.fault = ServerFault::none().transient_appends(1);
+                format!("flaky-{i}")
+            }
+            _ => format!("soak-{i}"),
+        };
+        if let Some(t) = kill_after {
+            // Stagger starts across ~1.5× the kill window so the kill
+            // reliably lands on a mix of done, mid-journal, sleeping and
+            // still-queued jobs. The delay is an in-memory fault and is
+            // never persisted, so recovered jobs restart without it.
+            let stagger = t.mul_f64(1.5 * i as f64 / jobs as f64);
+            spec.fault = spec.fault.delay_start(stagger);
+        }
+        match server.submit(&id, spec) {
+            Ok(_) => ids.push(id),
+            Err(e) => {
+                eprintln!("submit {id}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!(
+        "server_soak: submitted {} job(s) under {}",
+        ids.len(),
+        root.display()
+    );
+    // Without a kill timer this drains normally; with one, exit(9)
+    // interrupts us somewhere in here.
+    for id in &ids {
+        match server.wait(id, Duration::from_secs(300)) {
+            Some(r) => println!("server_soak: {id} → {}", r.state.name()),
+            None => eprintln!("server_soak: {id} unknown?"),
+        }
+    }
+    server.shutdown(ShutdownMode::Drain);
+    ExitCode::SUCCESS
+}
+
+fn verify_phase(root: &std::path::Path, workers: usize) -> ExitCode {
+    let mut cfg = ServerConfig::new(root);
+    cfg.workers = workers;
+    cfg.retry = RetryPolicy {
+        base: Duration::from_millis(10),
+        ..RetryPolicy::default()
+    };
+    let server = match JobServer::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot restart server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let recovered = server.metrics().counter("server.recovered");
+    let ids: Vec<String> = server.list().iter().map(|r| r.id.clone()).collect();
+    println!(
+        "server_soak: verify over {} job(s), {recovered} recovered mid-flight",
+        ids.len()
+    );
+    let mut failures = 0usize;
+    for id in &ids {
+        let Some(report) = server.wait(id, Duration::from_secs(300)) else {
+            eprintln!("FAIL {id}: vanished");
+            failures += 1;
+            continue;
+        };
+        match report.state {
+            JobState::Done => {
+                let manifest_path = root.join(id).join(MANIFEST_FILE);
+                let spec = std::fs::read_to_string(&manifest_path)
+                    .map_err(|e| e.to_string())
+                    .and_then(|t| JobSpec::from_manifest_json(&t).map_err(|e| e.to_string()));
+                let released = std::fs::read_to_string(root.join(id).join(RELEASED_FILE));
+                match (spec.and_then(|s| reference_csv(&s)), released) {
+                    (Ok(reference), Ok(released)) if reference == released => {
+                        println!("ok   {id}: bit-identical to uninterrupted reference");
+                    }
+                    (Ok(_), Ok(_)) => {
+                        eprintln!("FAIL {id}: released table differs from reference");
+                        failures += 1;
+                    }
+                    (Err(e), _) => {
+                        eprintln!("FAIL {id}: cannot recompute reference: {e}");
+                        failures += 1;
+                    }
+                    (_, Err(e)) => {
+                        eprintln!("FAIL {id}: cannot read released.csv: {e}");
+                        failures += 1;
+                    }
+                }
+            }
+            JobState::Failed if id.starts_with("panic-") => {
+                // Allowed: the injected panic fired before the kill.
+                println!(
+                    "ok   {id}: structured failure as injected ({})",
+                    report.error.as_deref().unwrap_or("no error?")
+                );
+            }
+            other => {
+                eprintln!(
+                    "FAIL {id}: state {} (error {:?})",
+                    other.name(),
+                    report.error
+                );
+                failures += 1;
+            }
+        }
+    }
+    server.shutdown(ShutdownMode::Drain);
+    if failures > 0 {
+        eprintln!("server_soak: {failures} verification failure(s)");
+        return ExitCode::FAILURE;
+    }
+    println!("server_soak: fleet verified");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let switch = |name: &str| args.iter().any(|a| a == name);
+    if switch("--help") || switch("-h") {
+        return usage();
+    }
+    let Some(root) = flag("--jobs-root") else {
+        eprintln!("missing required --jobs-root DIR");
+        return usage();
+    };
+    let root = std::path::PathBuf::from(root);
+    let parse = |name: &str, default: usize| -> Result<usize, ExitCode> {
+        match flag(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| {
+                eprintln!("{name} must be a non-negative integer");
+                usage()
+            }),
+        }
+    };
+    let workers = match parse("--workers", 2) {
+        Ok(n) => n.max(1),
+        Err(c) => return c,
+    };
+    if switch("--verify") {
+        return verify_phase(&root, workers);
+    }
+    let jobs = match parse("--jobs", 6) {
+        Ok(n) => n.max(1),
+        Err(c) => return c,
+    };
+    let seed = match parse("--seed", 42) {
+        Ok(n) => n as u64,
+        Err(c) => return c,
+    };
+    let kill_after = match flag("--kill-after-ms") {
+        None => None,
+        Some(v) => match v.parse::<u64>() {
+            Ok(ms) => Some(Duration::from_millis(ms)),
+            Err(_) => {
+                eprintln!("--kill-after-ms must be milliseconds");
+                return usage();
+            }
+        },
+    };
+    submit_phase(&root, jobs, workers, seed, kill_after)
+}

@@ -2,8 +2,11 @@
 //!
 //! ```text
 //! vadasa_status --journal DIR [--telemetry FILE] [--json] [--watch SECS]
+//! vadasa_status --jobs-root DIR [--json] [--watch SECS]
 //!
-//!   --journal DIR     journal directory of the run (required)
+//!   --journal DIR     journal directory of one run
+//!   --jobs-root DIR   a vadasa_server fleet root: list every job under
+//!                     it (state, progress, ETA band, torn bytes)
 //!   --telemetry FILE  also summarize a JSON-lines telemetry file: span
 //!                     count and the hottest spans by self time
 //!   --json            emit one JSON object instead of text
@@ -21,11 +24,16 @@
 //! degradation/finish markers, and any torn tail bytes.
 
 use std::process::ExitCode;
-use vadasa_bench::status::{read_status, JobStatus, StatusError};
+use vadasa_bench::status::{
+    jobs_to_json, read_jobs_root, read_status, render_jobs_table, JobStatus, StatusError,
+};
 use vadasa_core::obs::trace::{TraceBuilder, TraceTree};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: vadasa_status --journal DIR [--telemetry FILE] [--json] [--watch SECS]");
+    eprintln!(
+        "usage: vadasa_status --journal DIR [--telemetry FILE] [--json] [--watch SECS]\n\
+         \x20      vadasa_status --jobs-root DIR [--json] [--watch SECS]"
+    );
     ExitCode::from(2)
 }
 
@@ -92,10 +100,6 @@ fn main() -> ExitCode {
     if switch("--help") || switch("-h") {
         return usage();
     }
-    let Some(dir) = flag("--journal") else {
-        eprintln!("missing required --journal DIR");
-        return usage();
-    };
     let telemetry_path = flag("--telemetry");
     let json = switch("--json");
     let watch: Option<u64> = match flag("--watch") {
@@ -109,6 +113,46 @@ fn main() -> ExitCode {
         },
     };
 
+    if let Some(root) = flag("--jobs-root") {
+        if flag("--journal").is_some() {
+            eprintln!("--journal and --jobs-root are mutually exclusive");
+            return usage();
+        }
+        let root = std::path::PathBuf::from(root);
+        loop {
+            let jobs = match read_jobs_root(&root) {
+                Ok(jobs) => jobs,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if json {
+                println!("{}", jobs_to_json(&jobs));
+            } else {
+                print!("{}", render_jobs_table(&jobs));
+            }
+            // Keep watching while any job is still making progress.
+            let all_settled = jobs
+                .iter()
+                .all(|j| !matches!(j.state(), "running" | "queued"));
+            match watch {
+                Some(secs) if !all_settled => {
+                    if !json {
+                        println!("---");
+                    }
+                    std::thread::sleep(std::time::Duration::from_secs(secs));
+                }
+                _ => break,
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let Some(dir) = flag("--journal") else {
+        eprintln!("missing required --journal DIR (or --jobs-root DIR)");
+        return usage();
+    };
     let dir = std::path::PathBuf::from(dir);
     loop {
         let status = match read_status(&dir) {

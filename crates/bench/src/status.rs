@@ -428,6 +428,176 @@ pub fn read_status(dir: &Path) -> Result<JobStatus, StatusError> {
     Ok(status)
 }
 
+// --- jobs-root listing (vadasa_server fleets) ------------------------------
+
+/// One job directory under a [`vadasa_server`] jobs root, as seen from
+/// the outside: the durable marker (if the job reached a terminal
+/// state), plus the same read-only journal inspection [`read_status`]
+/// gives a single run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobDirStatus {
+    /// Job id (= directory name).
+    pub id: String,
+    /// `state.json` marker state (`done`/`failed`/`cancelled`/
+    /// `interrupted`), when present.
+    pub marker: Option<String>,
+    /// Structured error carried by a `failed` marker.
+    pub error: Option<String>,
+    /// Journal inspection; `None` when the job has not journaled yet.
+    pub status: Option<JobStatus>,
+    /// Why the journal could not be inspected (rendered), if it failed.
+    pub status_error: Option<String>,
+}
+
+impl JobDirStatus {
+    /// Best-effort one-word state: the durable marker wins, then the
+    /// journal's own state, then `queued` (manifest but no journal yet).
+    pub fn state(&self) -> &str {
+        if let Some(m) = &self.marker {
+            return m;
+        }
+        match &self.status {
+            Some(s) => s.state(),
+            None => "queued",
+        }
+    }
+}
+
+/// Scan a `vadasa_server` jobs root: every subdirectory with a
+/// `job.json` manifest becomes one [`JobDirStatus`], sorted by id.
+/// Read-only and safe against a live server.
+pub fn read_jobs_root(root: &Path) -> Result<Vec<JobDirStatus>, StatusError> {
+    let entries = std::fs::read_dir(root).map_err(|e| StatusError::Io {
+        path: root.to_path_buf(),
+        message: e.to_string(),
+    })?;
+    let mut dirs: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir() && p.join(vadasa_server::spec::MANIFEST_FILE).is_file())
+        .collect();
+    dirs.sort();
+    let mut jobs = Vec::with_capacity(dirs.len());
+    for dir in dirs {
+        let Some(id) = dir.file_name().and_then(|n| n.to_str()).map(String::from) else {
+            continue;
+        };
+        let (marker, mut error) = match vadasa_server::spec::Marker::read(&dir) {
+            Ok(Some(m)) => (Some(m.state), m.error),
+            Ok(None) => (None, None),
+            Err(e) => (None, Some(format!("unreadable marker: {e}"))),
+        };
+        let (status, status_error) = match read_status(&dir) {
+            Ok(s) => (Some(s), None),
+            // No journal yet is a normal queued job, not an error.
+            Err(StatusError::Io { .. }) => (None, None),
+            Err(e) => (None, Some(e.to_string())),
+        };
+        if error.is_none() {
+            error = status_error.clone();
+        }
+        jobs.push(JobDirStatus {
+            id,
+            marker,
+            error,
+            status,
+            status_error,
+        });
+    }
+    Ok(jobs)
+}
+
+/// Render a jobs-root listing as an aligned table.
+pub fn render_jobs_table(jobs: &[JobDirStatus]) -> String {
+    use std::fmt::Write as _;
+    let mut rows: Vec<[String; 6]> = vec![[
+        "JOB".into(),
+        "STATE".into(),
+        "ITER".into(),
+        "AT-RISK".into(),
+        "ETA".into(),
+        "TORN".into(),
+    ]];
+    for j in jobs {
+        let (iter, at_risk, eta, torn) = match &j.status {
+            Some(s) => (
+                s.committed_iterations.to_string(),
+                s.rows_at_risk
+                    .last()
+                    .map_or_else(|| "—".to_string(), |n| n.to_string()),
+                match s.estimate.as_ref().and_then(|e| e.eta_band()) {
+                    Some((lo, hi)) => format!("{lo}..={hi}"),
+                    None => "—".to_string(),
+                },
+                s.torn_bytes.to_string(),
+            ),
+            None => ("—".into(), "—".into(), "—".into(), "—".into()),
+        };
+        rows.push([
+            j.id.clone(),
+            j.state().to_string(),
+            iter,
+            at_risk,
+            eta,
+            torn,
+        ]);
+    }
+    let mut widths = [0usize; 6];
+    for row in &rows {
+        for (w, cell) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    for row in &rows {
+        for (i, (cell, w)) in row.iter().zip(widths.iter()).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let pad = w.saturating_sub(cell.chars().count());
+            out.push_str(cell);
+            for _ in 0..pad {
+                out.push(' ');
+            }
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    }
+    for j in jobs {
+        if let Some(e) = &j.error {
+            let _ = writeln!(out, "{}: {e}", j.id);
+        }
+    }
+    out
+}
+
+/// Render a jobs-root listing as one JSON object.
+pub fn jobs_to_json(jobs: &[JobDirStatus]) -> Json {
+    let arr = jobs
+        .iter()
+        .map(|j| {
+            let mut members: Vec<(String, Json)> = vec![
+                ("id".into(), Json::Str(j.id.clone())),
+                ("state".into(), Json::Str(j.state().to_string())),
+            ];
+            if let Some(e) = &j.error {
+                members.push(("error".into(), Json::Str(e.clone())));
+            }
+            members.push((
+                "journal".into(),
+                match &j.status {
+                    Some(s) => s.to_json(),
+                    None => Json::Null,
+                },
+            ));
+            Json::Obj(members)
+        })
+        .collect();
+    Json::Obj(vec![("jobs".into(), Json::Arr(arr))])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -638,5 +808,70 @@ mod tests {
             Some("running")
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn jobs_root_listing_covers_done_failed_and_queued() {
+        use vadasa_server::{JobServer, JobSpec, MeasureSpec, ServerConfig, ShutdownMode};
+        let root = fresh_dir("jobs-root");
+        let server = JobServer::start(ServerConfig::new(&root)).unwrap();
+        let spec = JobSpec::from_csv(
+            "survey",
+            "id,area,weight\n1,North,9\n2,North,2\n3,South,5\n4,South,1\n",
+            MeasureSpec::KAnonymity(2),
+        )
+        .unwrap();
+        server.submit("good", spec).unwrap();
+        server
+            .wait("good", std::time::Duration::from_secs(60))
+            .unwrap();
+        server.shutdown(ShutdownMode::Drain);
+        // A hand-made queued job: manifest, no journal, no marker.
+        let queued = root.join("later");
+        std::fs::create_dir_all(&queued).unwrap();
+        std::fs::write(
+            queued.join(vadasa_server::spec::MANIFEST_FILE),
+            "{\"name\":\"t\",\"csv\":\"a\\n1\\n\",\"categories\":{\"a\":\"identifier\"},\"measure\":\"re-identification\"}",
+        )
+        .unwrap();
+        // A failed job: marker only.
+        let failed = root.join("broken");
+        std::fs::create_dir_all(&failed).unwrap();
+        std::fs::write(
+            failed.join(vadasa_server::spec::MANIFEST_FILE),
+            "{\"name\":\"t\",\"csv\":\"a\\n1\\n\",\"categories\":{\"a\":\"identifier\"},\"measure\":\"re-identification\"}",
+        )
+        .unwrap();
+        std::fs::write(
+            failed.join("state.json"),
+            "{\"state\":\"failed\",\"attempts\":2,\"error\":\"cycle: boom\",\"summary\":null}",
+        )
+        .unwrap();
+        // A stray non-job directory is ignored.
+        std::fs::create_dir_all(root.join("not-a-job")).unwrap();
+
+        let jobs = read_jobs_root(&root).unwrap();
+        let ids: Vec<&str> = jobs.iter().map(|j| j.id.as_str()).collect();
+        assert_eq!(
+            ids,
+            vec!["broken", "good", "later"],
+            "sorted, strays ignored"
+        );
+        let by_id = |id: &str| jobs.iter().find(|j| j.id == id).unwrap();
+        assert_eq!(by_id("good").state(), "done");
+        assert!(by_id("good")
+            .status
+            .as_ref()
+            .is_some_and(|s| s.finished == Some(true)));
+        assert_eq!(by_id("broken").state(), "failed");
+        assert_eq!(by_id("broken").error.as_deref(), Some("cycle: boom"));
+        assert_eq!(by_id("later").state(), "queued");
+
+        let table = render_jobs_table(&jobs);
+        assert!(table.starts_with("JOB"), "{table}");
+        assert!(table.contains("broken") && table.contains("cycle: boom"));
+        let json = jobs_to_json(&jobs).to_string();
+        assert!(json.contains("\"state\":\"queued\""), "{json}");
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

@@ -312,6 +312,10 @@ impl Checkpoint {
             sink.sync()?;
         }
         std::fs::rename(&tmp_path, &final_path)?;
+        // Make the rename itself durable: without a directory fsync the
+        // snapshot's dirent may not survive a crash even though its
+        // contents were synced above.
+        crate::journal::io::fsync_dir(dir)?;
         Ok((name, bytes.len() as u64))
     }
 

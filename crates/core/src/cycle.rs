@@ -333,7 +333,11 @@ impl CycleProfile {
                 j.records_written,
                 fields!["bytes" => j.bytes_written],
             );
-            obs.counter("cycle.journal.fsyncs", j.fsyncs, fields![]);
+            obs.counter(
+                "cycle.journal.fsyncs",
+                j.fsyncs,
+                fields!["dir" => j.dir_fsyncs],
+            );
             obs.counter(
                 "cycle.journal.snapshots",
                 j.snapshots_written,

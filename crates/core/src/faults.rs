@@ -267,6 +267,17 @@ pub enum JournalFault {
         /// Total journal bytes persisted before the crash.
         bytes: usize,
     },
+    /// The first `failing` appends fail transiently (persisting
+    /// nothing); every later append succeeds. Because the factory's
+    /// ordinal counter is shared across every sink it opens — including
+    /// across *retry attempts* that reuse the same factory — this models
+    /// a fault that heals by the time a supervisor retries the job: the
+    /// canonical transient-then-ok shape the server's retry/backoff path
+    /// must absorb.
+    TransientAppends {
+        /// How many leading appends fail, counting from 1.
+        failing: usize,
+    },
 }
 
 impl fmt::Display for JournalFault {
@@ -287,6 +298,9 @@ impl fmt::Display for JournalFault {
                 write!(f, "disk full from append #{from_append}")
             }
             JournalFault::CrashAfterBytes { bytes } => write!(f, "crash after {bytes} bytes"),
+            JournalFault::TransientAppends { failing } => {
+                write!(f, "first {failing} append(s) fail transiently")
+            }
         }
     }
 }
@@ -323,6 +337,10 @@ impl JournalIo for FaultyJournalIo {
             JournalFault::WriteError { at_append } if call == at_append => {
                 Err(io::Error::other("injected write error"))
             }
+            JournalFault::TransientAppends { failing } if call <= failing => Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                "injected transient append failure",
+            )),
             JournalFault::FullDisk { from_append } if call >= from_append => Err(io::Error::new(
                 io::ErrorKind::StorageFull,
                 "injected disk full",
@@ -388,6 +406,75 @@ pub fn faulty_io_factory(fault: JournalFault) -> IoFactory {
     })
 }
 
+/// Server-level fault injection: what a *job* submitted to the
+/// `vadasa-server` supervisor should do wrong, and when. Unlike the
+/// plug-in wrappers above (which a caller wires manually), a
+/// `ServerFault` rides on the job specification and the server's worker
+/// arms the corresponding machinery itself — so the retry/backoff,
+/// panic-isolation and delayed-admission paths are all deterministically
+/// testable from the outside.
+///
+/// Faults are an in-memory testing surface only: they are **not**
+/// persisted into the job manifest, so a recovered job restarts clean
+/// (exactly what a real transient fault looks like across a restart).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerFault {
+    /// Panic in the worker thread itself — outside the cycle's plug-in
+    /// guard — when it begins the given attempt (1-based). Exercises the
+    /// supervisor's `catch_unwind` isolation: the job must end `Failed`
+    /// with a structured error while the worker pool keeps serving.
+    pub panic_on_attempt: Option<u32>,
+    /// Arm a [`FaultyRisk`] wrapper that panics on the `n`-th risk
+    /// evaluation (1-based) — the in-cycle plug-in-panic path, handled
+    /// by the cycle's own isolation per its fallback policy.
+    pub risk_panic_at_eval: Option<usize>,
+    /// Arm a [`JournalFault::TransientAppends`] I/O factory: the first
+    /// `n` journal appends fail, later ones succeed. With the default
+    /// fail-fast I/O policy the first attempt dies with a transient
+    /// journal error and the retry converges — the retry/backoff path.
+    pub transient_appends: Option<usize>,
+    /// Sleep this long in the worker before the job actually starts —
+    /// holds a worker slot deterministically so admission-control and
+    /// cancellation windows can be pinned in tests.
+    pub delay_start: Option<std::time::Duration>,
+}
+
+impl ServerFault {
+    /// No faults armed (what `Default` also gives you).
+    pub fn none() -> Self {
+        ServerFault::default()
+    }
+
+    /// Is any fault armed?
+    pub fn is_armed(&self) -> bool {
+        *self != ServerFault::default()
+    }
+
+    /// Panic in the worker at the start of `attempt` (1-based).
+    pub fn panic_on_attempt(mut self, attempt: u32) -> Self {
+        self.panic_on_attempt = Some(attempt);
+        self
+    }
+
+    /// Panic inside the risk measure at evaluation `n` (1-based).
+    pub fn risk_panic_at_eval(mut self, n: usize) -> Self {
+        self.risk_panic_at_eval = Some(n);
+        self
+    }
+
+    /// Fail the first `n` journal appends, then heal.
+    pub fn transient_appends(mut self, n: usize) -> Self {
+        self.transient_appends = Some(n);
+        self
+    }
+
+    /// Delay the job's start by `d`.
+    pub fn delay_start(mut self, d: std::time::Duration) -> Self {
+        self.delay_start = Some(d);
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -417,5 +504,36 @@ mod tests {
             kinds(&FaultPlan::scenarios(1)),
             kinds(&FaultPlan::scenarios(2))
         );
+    }
+
+    #[test]
+    fn transient_appends_heal_across_reopened_sinks() {
+        let dir = std::env::temp_dir().join(format!("vadasa-transient-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let factory = faulty_io_factory(JournalFault::TransientAppends { failing: 2 });
+        // First sink: both appends fail (ordinals 1 and 2)...
+        let mut a = factory(&dir.join("a.wal"), IoMode::Journal).unwrap();
+        assert!(a.append(b"x").is_err());
+        assert!(a.append(b"y").is_err());
+        // ...and a *new* sink from the same factory — a retry attempt —
+        // continues the shared count, so its appends succeed.
+        let mut b = factory(&dir.join("b.wal"), IoMode::Journal).unwrap();
+        b.append(b"z").unwrap();
+        b.sync().unwrap();
+        assert_eq!(std::fs::read(dir.join("b.wal")).unwrap(), b"z");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn server_fault_builders_compose() {
+        let f = ServerFault::none()
+            .panic_on_attempt(1)
+            .transient_appends(3)
+            .delay_start(std::time::Duration::from_millis(5));
+        assert!(f.is_armed());
+        assert_eq!(f.panic_on_attempt, Some(1));
+        assert_eq!(f.transient_appends, Some(3));
+        assert!(!ServerFault::none().is_armed());
     }
 }

@@ -196,8 +196,12 @@ pub struct JournalProfile {
     pub records_written: u64,
     /// Bytes appended to the journal file.
     pub bytes_written: u64,
-    /// `fsync` calls issued.
+    /// `fsync` calls issued on the journal/snapshot files.
     pub fsyncs: u64,
+    /// `fsync` calls issued on the journal *directory* (after creating
+    /// `journal.wal` and after renaming a snapshot into place), so the
+    /// dirents themselves survive a crash.
+    pub dir_fsyncs: u64,
     /// Snapshot files atomically written.
     pub snapshots_written: u64,
     /// Total bytes of snapshot files written.
@@ -314,6 +318,13 @@ impl JournalWriter {
         writer.profile.records_written = 1;
         writer.profile.bytes_written = (MAGIC.len() + frame.len()) as u64;
         writer.profile.fsyncs = 1;
+        // The file contents are durable; now make the *dirent* durable
+        // too, or a crash can leave a fully-synced journal that simply
+        // does not exist under its name.
+        if let Err(e) = io::fsync_dir(&cfg.dir) {
+            return writer.absorb(e, "fsyncing journal directory");
+        }
+        writer.profile.dir_fsyncs = 1;
         writer.io = Some(io);
         Ok(writer)
     }
@@ -415,6 +426,8 @@ impl JournalWriter {
             Ok((file, bytes)) => {
                 self.profile.snapshots_written += 1;
                 self.profile.snapshot_bytes += bytes;
+                self.profile.dir_fsyncs += 1; // write_atomic fsynced the dir
+
                 self.append(&JournalRecord::Snapshot {
                     iterations: cp.iterations,
                     file,

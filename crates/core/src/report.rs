@@ -184,12 +184,13 @@ pub fn render_profile(profile: &CycleProfile) -> String {
     if *j != Default::default() {
         let _ = writeln!(
             out,
-            "journal — {} record(s) / {} byte(s) written, {} fsync(s), {} snapshot(s); \
+            "journal — {} record(s) / {} byte(s) written, {} fsync(s) (+{} dir), {} snapshot(s); \
              recovery replayed {} action(s), truncated {} byte(s), discarded {} action(s), \
              {} i/o error(s) absorbed",
             j.records_written,
             j.bytes_written,
             j.fsyncs,
+            j.dir_fsyncs,
             j.snapshots_written,
             j.replayed_actions,
             j.truncated_bytes,
@@ -345,6 +346,7 @@ mod tests {
                 records_written: 11,
                 bytes_written: 640,
                 fsyncs: 11,
+                dir_fsyncs: 3,
                 snapshots_written: 2,
                 snapshot_bytes: 512,
                 replayed_actions: 3,

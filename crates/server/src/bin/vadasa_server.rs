@@ -1,0 +1,184 @@
+//! `vadasa_server` — the supervised multi-job anonymization service.
+//!
+//! ```text
+//! vadasa_server --jobs-root DIR [--workers N] [--queue N] [--max-rows N]
+//!               [--retries N] [--socket PATH | --stdin]
+//!
+//!   --jobs-root DIR   root directory; one subdirectory per job (required)
+//!   --workers N       worker threads (default 2)
+//!   --queue N         in-flight job cap for admission control (default 32)
+//!   --max-rows N      row budget across all in-flight jobs (default unlimited)
+//!   --retries N       max retries per job for transient faults (default 3)
+//!   --socket PATH     serve the NDJSON protocol on a unix socket
+//!   --stdin           serve the NDJSON protocol on stdin/stdout (default)
+//! ```
+//!
+//! On start the server **always recovers the whole fleet**: every job
+//! directory under the root is re-registered, and jobs that were
+//! mid-flight when the previous process died resume from their
+//! write-ahead journals — bit-identically to a run that was never
+//! interrupted.
+//!
+//! Transport is newline-delimited JSON (see [`vadasa_server::protocol`]);
+//! there is deliberately no HTTP. EOF on stdin is a drain shutdown. On a
+//! socket, each connection is served in turn; a `shutdown` command ends
+//! the process after the requested drain/stop completes.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::ExitCode;
+use vadasa_server::protocol::{handle_line, Disposition};
+use vadasa_server::{JobServer, RetryPolicy, ServerConfig, ShutdownMode};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: vadasa_server --jobs-root DIR [--workers N] [--queue N] [--max-rows N] \
+         [--retries N] [--socket PATH | --stdin]"
+    );
+    ExitCode::from(2)
+}
+
+/// Serve one line-oriented reader/writer pair until EOF or shutdown.
+/// Returns the shutdown mode if a `shutdown` command arrived.
+fn serve<R: BufRead, W: Write>(
+    server: &JobServer,
+    reader: R,
+    mut writer: W,
+) -> Option<ShutdownMode> {
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break, // client went away
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, disposition) = handle_line(server, &line);
+        if writeln!(writer, "{response}")
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+        if let Disposition::Shutdown(mode) = disposition {
+            return Some(mode);
+        }
+    }
+    None
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let switch = |name: &str| args.iter().any(|a| a == name);
+    if switch("--help") || switch("-h") {
+        return usage();
+    }
+    let Some(jobs_root) = flag("--jobs-root") else {
+        eprintln!("missing required --jobs-root DIR");
+        return usage();
+    };
+    let mut config = ServerConfig::new(&jobs_root);
+    let parse_num = |name: &str| -> Result<Option<usize>, ExitCode> {
+        match flag(name) {
+            None => Ok(None),
+            Some(v) => match v.parse() {
+                Ok(n) => Ok(Some(n)),
+                Err(_) => {
+                    eprintln!("{name} must be a non-negative integer");
+                    Err(usage())
+                }
+            },
+        }
+    };
+    match parse_num("--workers") {
+        Ok(Some(n)) if n >= 1 => config.workers = n,
+        Ok(Some(_)) => {
+            eprintln!("--workers must be >= 1");
+            return usage();
+        }
+        Ok(None) => {}
+        Err(code) => return code,
+    }
+    match parse_num("--queue") {
+        Ok(Some(n)) if n >= 1 => config.queue_capacity = n,
+        Ok(Some(_)) => {
+            eprintln!("--queue must be >= 1");
+            return usage();
+        }
+        Ok(None) => {}
+        Err(code) => return code,
+    }
+    match parse_num("--max-rows") {
+        Ok(n) => config.budget.max_facts = n.or(config.budget.max_facts),
+        Err(code) => return code,
+    }
+    match parse_num("--retries") {
+        Ok(Some(n)) => {
+            config.retry = RetryPolicy {
+                max_retries: n as u32,
+                ..RetryPolicy::default()
+            }
+        }
+        Ok(None) => {}
+        Err(code) => return code,
+    }
+
+    let server = match JobServer::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot start server over {jobs_root}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "vadasa_server: supervising {} (recovered {} job(s))",
+        jobs_root,
+        server.metrics().counter("server.recovered")
+    );
+
+    let mode = match flag("--socket") {
+        Some(path) => {
+            let _ = std::fs::remove_file(&path);
+            let listener = match std::os::unix::net::UnixListener::bind(&path) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("cannot bind {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            eprintln!("vadasa_server: listening on {path}");
+            let mut mode = None;
+            // Connections are served one at a time: the protocol is
+            // cheap request/response; the heavy lifting happens on the
+            // worker pool.
+            while mode.is_none() {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let reader = BufReader::new(match stream.try_clone() {
+                            Ok(s) => s,
+                            Err(_) => continue,
+                        });
+                        mode = serve(&server, reader, stream);
+                    }
+                    Err(e) => {
+                        eprintln!("accept: {e}");
+                        break;
+                    }
+                }
+            }
+            let _ = std::fs::remove_file(&path);
+            mode.unwrap_or(ShutdownMode::Drain)
+        }
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            serve(&server, stdin.lock(), stdout.lock()).unwrap_or(ShutdownMode::Drain)
+        }
+    };
+    server.shutdown(mode);
+    ExitCode::SUCCESS
+}
