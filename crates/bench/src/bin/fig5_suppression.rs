@@ -6,7 +6,7 @@
 use vadasa_bench::render_table;
 use vadasa_core::anonymize::italian_geography;
 use vadasa_core::anonymize::{AnonymizationAction, Anonymizer, GlobalRecoding, LocalSuppression};
-use vadasa_core::maybe_match::{group_stats, NullSemantics};
+use vadasa_core::maybe_match::NullSemantics;
 use vadasa_core::risk::MicrodataView;
 use vadasa_datagen::fixtures::local_suppression_fig5a;
 
@@ -16,7 +16,7 @@ fn print_state(
     dict: &vadasa_core::dictionary::MetadataDictionary,
 ) {
     let view = MicrodataView::from_db_with(db, dict, NullSemantics::MaybeMatch, None).unwrap();
-    let stats = group_stats(&view.qi_rows, None, NullSemantics::MaybeMatch);
+    let stats = view.group_stats_with(None, NullSemantics::MaybeMatch);
     let mut rows = Vec::new();
     for i in 0..db.len() {
         let r = db.row(i).unwrap();

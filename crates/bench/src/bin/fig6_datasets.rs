@@ -2,7 +2,7 @@
 //! risky-tuple counts justifying the W/U/V regime labels.
 
 use vadasa_bench::render_table;
-use vadasa_core::maybe_match::{group_stats, NullSemantics};
+use vadasa_core::maybe_match::NullSemantics;
 use vadasa_core::risk::MicrodataView;
 use vadasa_datagen::catalog::{figure6_specs, CATALOG_SEED};
 use vadasa_datagen::generator::generate;
@@ -13,7 +13,7 @@ fn main() {
     for spec in figure6_specs() {
         let (db, dict) = generate(&spec, CATALOG_SEED);
         let view = MicrodataView::from_db_with(&db, &dict, NullSemantics::Standard, None).unwrap();
-        let stats = group_stats(&view.qi_rows, None, NullSemantics::Standard);
+        let stats = view.group_stats_with(None, NullSemantics::Standard);
         let uniques = stats.count.iter().filter(|&&c| c == 1).count();
         let risky2 = stats.count.iter().filter(|&&c| c < 2).count();
         let provenance = match spec.name.as_str() {

@@ -26,8 +26,8 @@ fn main() {
         rows.push(vec![
             format!("{t}"),
             out.nulls_injected.to_string(),
-            format!("{:.2}%", suppression_ratio(&view.qi_rows) * 100.0),
-            format!("{:.3}", class_entropy(&view.qi_rows)),
+            format!("{:.2}%", suppression_ratio(&view) * 100.0),
+            format!("{:.3}", class_entropy(&view)),
             format!("{:.2}", global.expected_reidentifications),
             format!("{:.4}", global.max_risk),
         ]);

@@ -4,12 +4,22 @@
 //! ```text
 //! vadasa_cycle --input survey.csv [--name NAME] [--k K] [--threshold T]
 //!              [--max-iterations N] [--out released.csv]
+//!              [--batch one-tuple|per-class|top-N] [--risk-threads N]
 //!              [--journal DIR] [--resume]
 //!              [--sync every-record|every-N|on-snapshot]
 //!              [--snapshot-every N]
 //!              [--telemetry-out FILE] [--trace-out FILE]
 //!              [--collapsed-out FILE] [--metrics-out FILE]
 //! ```
+//!
+//! `--batch` selects the iteration heuristic: `one-tuple` acts on the
+//! single highest-priority row per iteration, `per-class` clears one
+//! whole equivalence class, `top-N` (e.g. `top-64`) clears up to N
+//! classes per iteration — the million-row configuration. `--risk-threads`
+//! shards risk evaluation across a deterministic thread pool (the outcome
+//! is bit-identical at any thread count). Note that batching is part of a
+//! journal's identity: a `--resume` must use the same `--batch` as the
+//! run that wrote the journal.
 //!
 //! Observability outputs (all optional, all write-once at the end of the
 //! run):
@@ -39,7 +49,7 @@
 
 use std::process::ExitCode;
 use std::sync::Arc;
-use vadasa_core::cycle::CycleConfig;
+use vadasa_core::cycle::{BatchStrategy, CycleConfig};
 use vadasa_core::io::{read_csv, write_csv};
 use vadasa_core::obs::metrics::MetricsRegistry;
 use vadasa_core::obs::trace::TraceBuilder;
@@ -52,6 +62,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: vadasa_cycle --input FILE.csv [--name NAME] [--k K] [--threshold T]\n\
          \x20                   [--max-iterations N] [--out released.csv]\n\
+         \x20                   [--batch one-tuple|per-class|top-N] [--risk-threads N]\n\
          \x20                   [--journal DIR] [--resume]\n\
          \x20                   [--sync every-record|every-N|on-snapshot] [--snapshot-every N]\n\
          \x20                   [--telemetry-out FILE] [--trace-out FILE]\n\
@@ -123,6 +134,29 @@ fn main() -> ExitCode {
             }
         },
     };
+    let batch: Option<BatchStrategy> = match flag("--batch").as_deref() {
+        None => None,
+        Some("one-tuple") => Some(BatchStrategy::OneTuple),
+        Some("per-class") => Some(BatchStrategy::PerClass),
+        Some(s) => match s.strip_prefix("top-").and_then(|n| n.parse::<usize>().ok()) {
+            Some(n) if n > 0 => Some(BatchStrategy::TopN(n)),
+            _ => {
+                eprintln!("--batch must be one-tuple, per-class or top-N, got '{s}'");
+                return usage();
+            }
+        },
+    };
+    let risk_threads: usize = match flag("--risk-threads").as_deref().unwrap_or("1").parse() {
+        Ok(0) => {
+            eprintln!("--risk-threads must be at least 1");
+            return usage();
+        }
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("--risk-threads must be an integer: {e}");
+            return usage();
+        }
+    };
 
     let text = match std::fs::read_to_string(&input) {
         Ok(t) => t,
@@ -141,6 +175,8 @@ fn main() -> ExitCode {
 
     let mut config = CycleConfig {
         threshold,
+        batch,
+        risk_threads,
         ..CycleConfig::default()
     };
     if let Some(n) = max_iterations {

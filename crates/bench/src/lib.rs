@@ -120,7 +120,7 @@ pub fn synthetic_ownership_focused(
     focus_rows: &[usize],
     focus_prob: f64,
 ) -> OwnershipGraph {
-    let ids: Vec<Value> = db.column(id_attr).expect("id column exists");
+    let ids: Vec<&Value> = db.column(id_attr).expect("id column exists");
     let mut rng = StdRng::seed_from_u64(seed ^ 0x0B05_E55E);
     let mut graph = OwnershipGraph::new();
     if ids.len() < 2 {

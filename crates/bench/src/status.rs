@@ -100,6 +100,10 @@ pub struct JobStatus {
     /// `Action` records decoded after the newest `Snapshot` record
     /// (the replay distance a recovery would have to cover).
     pub actions_since_snapshot: u64,
+    /// Actions per iteration ordinal — the *realized* batch size series.
+    /// A one-tuple run shows `1` everywhere; a batched run shows how many
+    /// rows each iteration actually anonymized.
+    pub batch_sizes: Vec<u64>,
     /// The newest snapshot the journal references, if any.
     pub snapshot: Option<SnapshotStatus>,
     /// Rows-at-risk trajectory from the `Progress` samples, in order.
@@ -156,6 +160,16 @@ impl JobStatus {
             self.initial_risky,
             self.exhausted
         );
+        if !self.batch_sizes.is_empty() {
+            let last = *self.batch_sizes.last().unwrap_or(&0);
+            let max = self.batch_sizes.iter().copied().max().unwrap_or(0);
+            let mean = self.actions_total as f64 / self.batch_sizes.len() as f64;
+            let _ = writeln!(
+                out,
+                "batch     {mean:.1} action(s)/iteration (last {last}, max {max}) over {} acting iteration(s)",
+                self.batch_sizes.len()
+            );
+        }
         match &self.snapshot {
             Some(s) => {
                 let _ = writeln!(
@@ -302,6 +316,15 @@ impl JobStatus {
                         "since_snapshot".into(),
                         Json::Num(self.actions_since_snapshot as f64),
                     ),
+                    (
+                        "per_iteration".into(),
+                        Json::Arr(
+                            self.batch_sizes
+                                .iter()
+                                .map(|&n| Json::Num(n as f64))
+                                .collect(),
+                        ),
+                    ),
                 ]),
             ),
             ("snapshot".into(), snapshot),
@@ -362,6 +385,7 @@ pub fn read_status(dir: &Path) -> Result<JobStatus, StatusError> {
         exhausted: 0,
         actions_total: 0,
         actions_since_snapshot: 0,
+        batch_sizes: Vec::new(),
         snapshot: None,
         rows_at_risk: Vec::new(),
         estimate: None,
@@ -389,9 +413,14 @@ pub fn read_status(dir: &Path) -> Result<JobStatus, StatusError> {
                 status.anonymizer = Some(anonymizer);
                 status.rows = Some(rows);
             }
-            JournalRecord::Action { .. } => {
+            JournalRecord::Action { iteration, .. } => {
                 status.actions_total += 1;
                 status.actions_since_snapshot += 1;
+                let slot = iteration as usize;
+                if status.batch_sizes.len() <= slot {
+                    status.batch_sizes.resize(slot + 1, 0);
+                }
+                status.batch_sizes[slot] += 1;
             }
             JournalRecord::Commit {
                 iterations,
@@ -706,6 +735,10 @@ mod tests {
         assert_eq!(s.nulls_injected, 2);
         assert_eq!(s.actions_total, 2);
         assert_eq!(s.actions_since_snapshot, 1);
+        assert_eq!(s.batch_sizes, vec![1, 1], "one action in each iteration");
+        assert!(s
+            .render_text()
+            .contains("batch     1.0 action(s)/iteration"));
         let snap = s.snapshot.as_ref().unwrap();
         assert_eq!(snap.file, "snapshot-1.vsnap");
         assert_eq!(snap.iterations, 1);

@@ -151,8 +151,7 @@ pub(crate) fn candidate_attrs(
             let mut keyed: Vec<(usize, String)> = Vec::with_capacity(candidates.len());
             for attr in candidates {
                 let v = db.value(row, &attr)?.clone();
-                let col = db.column(&attr)?;
-                let freq = col.iter().filter(|x| **x == v).count();
+                let freq = db.column(&attr)?.into_iter().filter(|x| **x == v).count();
                 keyed.push((freq, attr));
             }
             keyed.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));

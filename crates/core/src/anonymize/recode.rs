@@ -151,20 +151,23 @@ impl Anonymizer for GlobalRecoding {
             let Some(to) = self.hierarchy.roll_up(&from) else {
                 continue;
             };
-            // global: rewrite every occurrence in the column
-            let col_values = db.column(&attr)?;
-            let mut rows_affected = 0usize;
-            for (r, v) in col_values.iter().enumerate() {
-                if *v == from {
-                    db.set_value(r, &attr, to.clone())?;
-                    rows_affected += 1;
-                }
+            // global: rewrite every occurrence in the column (indices
+            // first — the borrowed column view ends before the writes)
+            let rows_to_change: Vec<usize> = db
+                .column(&attr)?
+                .into_iter()
+                .enumerate()
+                .filter(|(_, v)| **v == from)
+                .map(|(r, _)| r)
+                .collect();
+            for &r in &rows_to_change {
+                db.set_value(r, &attr, to.clone())?;
             }
             return Ok(AnonymizationAction::Recode {
                 attr,
                 from,
                 to,
-                rows_affected,
+                rows_affected: rows_to_change.len(),
             });
         }
         Ok(AnonymizationAction::Exhausted { row })

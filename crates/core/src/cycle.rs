@@ -24,12 +24,12 @@ use crate::dictionary::MetadataDictionary;
 use crate::explain::{AuditLog, Decision};
 use crate::journal::record::JournalRecord;
 use crate::journal::{self, JournalConfig, JournalError, JournalProfile, JournalWriter};
-use crate::maybe_match::{group_stats, weights_exactly_summable, GroupStats, NullSemantics};
+use crate::maybe_match::{weights_exactly_summable, GroupStats, NullSemantics};
 use crate::metrics::information_loss;
 use crate::model::MicrodataDb;
 use crate::progress::{self, ProgressEstimate};
 use crate::risk::{MicrodataView, RiskError, RiskMeasure, RiskReport, TupleRiskDetail};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -63,6 +63,30 @@ pub enum StepGranularity {
     /// each step sees the effect of the previous one, at the price of one
     /// risk evaluation per step.
     OneTuplePerIteration,
+}
+
+/// How many equivalence classes one batched iteration anonymizes (the
+/// million-row heuristic). With batching on, the cycle hands the
+/// anonymizer *all* rows of the selected classes in one iteration and
+/// recomputes group statistics once afterwards — one `O(n)` regroup per
+/// iteration instead of one `O(n)` statistics repair per row.
+///
+/// Suppressing one member of an exact equivalence class never changes its
+/// siblings' match sets (the suppressed row still maybe-matches its old
+/// class), so whole-class batching skips no within-class defusal; only
+/// cross-class defusal inside one batch is conceded, which can at worst
+/// over-suppress — never end less safe than the one-tuple path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchStrategy {
+    /// One row per iteration — the naive baseline the scale benchmark
+    /// compares against (equivalent to
+    /// [`StepGranularity::OneTuplePerIteration`] with per-row rechecks).
+    OneTuple,
+    /// All rows of the single highest-priority equivalence class.
+    PerClass,
+    /// All rows of the `n` highest-priority equivalence classes
+    /// (`TopN(1)` ≡ [`BatchStrategy::PerClass`]).
+    TopN(usize),
 }
 
 /// Cycle configuration.
@@ -101,6 +125,15 @@ pub struct CycleConfig {
     /// bit-identically to a run that was never interrupted. `None` (the
     /// default) keeps the cycle purely in-memory.
     pub journal: Option<JournalConfig>,
+    /// Batched heuristic (§4.4 at scale): `None` (the default) keeps the
+    /// legacy per-tuple behaviour byte-for-byte; `Some` selects how many
+    /// equivalence classes each iteration anonymizes at once.
+    pub batch: Option<BatchStrategy>,
+    /// Worker threads for partitioned risk evaluation (group-stats
+    /// regrouping and per-row scoring). `1` keeps everything sequential;
+    /// more threads shard the row space and merge deterministically, so
+    /// any thread count yields bitwise-identical reports.
+    pub risk_threads: usize,
 }
 
 impl Default for CycleConfig {
@@ -116,6 +149,8 @@ impl Default for CycleConfig {
             fallback: FallbackPolicy::default(),
             warm_start: true,
             journal: None,
+            batch: None,
+            risk_threads: 1,
         }
     }
 }
@@ -498,15 +533,39 @@ impl CycleOutcome {
     }
 }
 
-/// Estimated bytes of retained warm-start state: the live view's QI cells
-/// plus the maintained group statistics — the allocation a cold iteration
-/// would have rebuilt from scratch.
+/// Estimated bytes of retained warm-start state: the live columnar view
+/// (code arrays, null bitmaps, dictionaries) plus the maintained group
+/// statistics — the allocation a cold iteration would have rebuilt from
+/// scratch.
 fn retained_bytes(view: &MicrodataView, stats: &GroupStats) -> u64 {
-    let cells = view.qi_rows.len() * view.width();
-    let view_bytes = cells * std::mem::size_of::<vadalog::Value>();
     let stats_bytes =
         stats.count.len() * (std::mem::size_of::<usize>() + std::mem::size_of::<f64>());
-    (view_bytes + stats_bytes) as u64
+    (view.retained_bytes() + stats_bytes) as u64
+}
+
+/// Group the heuristic-ordered risky rows into exact equivalence classes
+/// (keyed by their coded QI row — equal codes ⇔ equal cells) and keep the
+/// first `classes` classes, class-major: all rows of the first class, then
+/// all rows of the second, … Rows of unselected classes are left for later
+/// iterations. Returns the selected rows and the class count.
+fn select_batch(risky: &[usize], view: &MicrodataView, classes: usize) -> (Vec<usize>, usize) {
+    let mut members: Vec<Vec<usize>> = Vec::new();
+    let mut index: HashMap<Vec<u32>, usize> = HashMap::new();
+    for &row in risky {
+        let key = view.row_codes(row).to_vec();
+        match index.get(&key) {
+            Some(&i) => members[i].push(row),
+            None => {
+                if members.len() >= classes {
+                    continue;
+                }
+                index.insert(key, members.len());
+                members.push(vec![row]);
+            }
+        }
+    }
+    let count = members.len();
+    (members.into_iter().flatten().collect(), count)
 }
 
 /// How the main loop of [`AnonymizationCycle::run`] ended.
@@ -738,6 +797,7 @@ impl<'a> AnonymizationCycle<'a> {
                     )?)
                 }
             };
+            view.risk_threads = self.config.risk_threads.max(1);
             let t0 = Instant::now();
             // Warm path: serve the report from the maintained group
             // statistics when the measure supports it; otherwise (or on
@@ -751,11 +811,7 @@ impl<'a> AnonymizationCycle<'a> {
                 let had_stats = warm_stats.is_some();
                 if !had_stats {
                     if weights_exactly_summable(view.weights.as_deref()) {
-                        warm_stats = Some(group_stats(
-                            &view.qi_rows,
-                            view.weights.as_deref(),
-                            view.semantics,
-                        ));
+                        warm_stats = Some(view.group_stats());
                     } else {
                         // fractional weights: incremental ± updates would
                         // not be bit-identical to a cold regroup
@@ -875,35 +931,83 @@ impl<'a> AnonymizationCycle<'a> {
             }
 
             self.order_tuples(&mut risky, &report, view);
-            if self.config.granularity == StepGranularity::OneTuplePerIteration {
-                risky.truncate(1);
+            let order_name = match self.config.tuple_order {
+                TupleOrder::LessSignificantFirst => "less-significant-first",
+                TupleOrder::MostRiskyFirst => "most-risky-first",
+                TupleOrder::Fifo => "fifo",
+            };
+            // `batched` ⇔ this iteration may take several actions whose
+            // combined statistics repair would cost more than one regroup:
+            // per-row rechecks and incremental patches are skipped and the
+            // group statistics are recomputed once, next iteration.
+            let mut batched = false;
+            match self.config.batch {
+                None => {
+                    // legacy path, byte-stable transcripts
+                    if self.config.granularity == StepGranularity::OneTuplePerIteration {
+                        risky.truncate(1);
+                    }
+                    record.heuristic = format!(
+                        "{}/{} → row {}",
+                        order_name,
+                        match self.config.granularity {
+                            StepGranularity::AllRiskyPerIteration => "all-risky",
+                            StepGranularity::OneTuplePerIteration => "one-tuple",
+                        },
+                        risky[0]
+                    );
+                }
+                Some(BatchStrategy::OneTuple) => {
+                    risky.truncate(1);
+                    record.heuristic =
+                        format!("{}/batch(one-tuple) → row {}", order_name, risky[0]);
+                }
+                Some(BatchStrategy::PerClass) | Some(BatchStrategy::TopN(_)) => {
+                    let classes = match self.config.batch {
+                        Some(BatchStrategy::TopN(n)) => n.max(1),
+                        _ => 1,
+                    };
+                    let (selected, class_count) = select_batch(&risky, view, classes);
+                    risky = selected;
+                    batched = true;
+                    record.heuristic = format!(
+                        "{}/batch({} class(es)) → {} row(s), head row {}",
+                        order_name,
+                        class_count,
+                        risky.len(),
+                        risky[0]
+                    );
+                }
             }
-            record.heuristic = format!(
-                "{}/{} → row {}",
-                match self.config.tuple_order {
-                    TupleOrder::LessSignificantFirst => "less-significant-first",
-                    TupleOrder::MostRiskyFirst => "most-risky-first",
-                    TupleOrder::Fifo => "fifo",
-                },
-                match self.config.granularity {
-                    StepGranularity::AllRiskyPerIteration => "all-risky",
-                    StepGranularity::OneTuplePerIteration => "one-tuple",
-                },
-                risky[0]
-            );
             record.targets = risky.len();
 
+            let mut data_changed = false;
             for row in risky {
                 // Monotonic-aggregation semantics (§4.3): suppressions made
                 // earlier in this iteration already count. If this tuple's
                 // risk has been defused by a neighbour's labelled null, skip
-                // it rather than remove more information.
-                let t1 = Instant::now();
-                let current = self.risk.evaluate_tuple(view, row);
-                risk_eval_ns += t1.elapsed().as_nanos() as u64;
-                if let Some(r) = current {
-                    if r <= t {
-                        continue;
+                // it rather than remove more information. Batched
+                // iterations skip the recheck: their targets were validated
+                // by this iteration's report, within-class siblings cannot
+                // defuse each other, and cross-class defusal inside one
+                // batch at worst over-suppresses — never under-protects.
+                if !batched {
+                    let t1 = Instant::now();
+                    let current = match warm_stats.as_ref() {
+                        // O(1) recheck from the maintained statistics when
+                        // the measure supports it (bit-identical to
+                        // `evaluate_tuple` by contract)
+                        Some(stats) => self
+                            .risk
+                            .tuple_risk_from_stats(view, stats, row)
+                            .or_else(|| self.risk.evaluate_tuple(view, row)),
+                        None => self.risk.evaluate_tuple(view, row),
+                    };
+                    risk_eval_ns += t1.elapsed().as_nanos() as u64;
+                    if let Some(r) = current {
+                        if r <= t {
+                            continue;
+                        }
                     }
                 }
                 let stepped = catch_unwind(AssertUnwindSafe(|| {
@@ -939,7 +1043,17 @@ impl<'a> AnonymizationCycle<'a> {
                         exhausted.insert(row);
                     }
                 }
-                let patched = self.patch_view(view, &work, &action, warm_stats.as_mut());
+                let patched = self.patch_view(
+                    view,
+                    &work,
+                    &action,
+                    // batched iterations defer the statistics to one
+                    // regroup at the next latch instead of per-row repairs
+                    if batched { None } else { warm_stats.as_mut() },
+                );
+                if patched > 0 {
+                    data_changed = true;
+                }
                 if self.config.warm_start {
                     profile.warm.patched_facts += patched;
                 }
@@ -962,6 +1076,12 @@ impl<'a> AnonymizationCycle<'a> {
                         action,
                     });
                 }
+            }
+            if batched && data_changed {
+                // One parallel regroup at the next iteration's latch costs
+                // O(n) total; repairing the statistics per batched row
+                // would have cost O(batch · n).
+                warm_stats = None;
             }
             record.risk_eval_ns = risk_eval_ns;
             record.dur_ns = iter_start.elapsed().as_nanos() as u64;
@@ -1136,64 +1256,38 @@ impl<'a> AnonymizationCycle<'a> {
         })
     }
 
-    /// Reflect an anonymization action into the live view so that
+    /// Reflect an anonymization action into the live columnar view so that
     /// `evaluate_tuple` rechecks (and, warm-started, the *next iteration's*
     /// risk evaluation) see the current state — this is the patch that
     /// replaces rebuilding the whole [`MicrodataView`]. When `stats` is
     /// supplied the maintained group statistics are repaired row by row
-    /// ([`GroupStats::apply_row_change`] needs each change applied against
-    /// the state the statistics currently describe). Returns the number of
-    /// view rows patched.
+    /// (each change must be applied against the state the statistics
+    /// currently describe). Returns the number of view rows patched.
     fn patch_view(
         &self,
         view: &mut MicrodataView,
         work: &MicrodataDb,
         action: &AnonymizationAction,
-        mut stats: Option<&mut GroupStats>,
+        stats: Option<&mut GroupStats>,
     ) -> u64 {
-        let mut patched = 0u64;
         match action {
             AnonymizationAction::Suppress { row, attr, .. } => {
                 if let Some(col) = view.qi_names.iter().position(|q| q == attr) {
                     if let Ok(v) = work.value(*row, attr) {
-                        let old = view.qi_rows[*row].clone();
-                        view.qi_rows[*row][col] = v.clone();
-                        if let Some(stats) = stats.as_deref_mut() {
-                            stats.apply_row_change(
-                                &view.qi_rows,
-                                view.weights.as_deref(),
-                                view.semantics,
-                                *row,
-                                &old,
-                            );
-                        }
-                        patched += 1;
+                        view.patch_cell(*row, col, v, stats);
+                        return 1;
                     }
                 }
+                0
             }
             AnonymizationAction::Recode { attr, from, to, .. } => {
-                if let Some(col) = view.qi_names.iter().position(|q| q == attr) {
-                    for r in 0..view.qi_rows.len() {
-                        if view.qi_rows[r][col] == *from {
-                            let old = view.qi_rows[r].clone();
-                            view.qi_rows[r][col] = to.clone();
-                            if let Some(stats) = stats.as_deref_mut() {
-                                stats.apply_row_change(
-                                    &view.qi_rows,
-                                    view.weights.as_deref(),
-                                    view.semantics,
-                                    r,
-                                    &old,
-                                );
-                            }
-                            patched += 1;
-                        }
-                    }
+                match view.qi_names.iter().position(|q| q == attr) {
+                    Some(col) => view.patch_recode(col, from, to, stats).len() as u64,
+                    None => 0,
                 }
             }
-            AnonymizationAction::Exhausted { .. } => {}
+            AnonymizationAction::Exhausted { .. } => 0,
         }
-        patched
     }
 
     fn order_tuples(&self, risky: &mut [usize], report: &RiskReport, view: &MicrodataView) {
@@ -1607,6 +1701,91 @@ mod tests {
             assert_warm_equals_cold(&db, &dict, &KAnonymity::new(2), CycleConfig::default());
         assert_eq!(warm.profile.warm.warm_evals, 0);
         assert!(warm.profile.warm.fallback_to_cold >= 1);
+    }
+
+    #[test]
+    fn batched_per_class_converges_on_figure5() {
+        let (db, dict) = fig5_db();
+        let risk = KAnonymity::new(2);
+        let anon = LocalSuppression::new(AttributeOrder::MostSelectiveFirst);
+        let cycle = AnonymizationCycle::new(
+            &risk,
+            &anon,
+            CycleConfig {
+                batch: Some(BatchStrategy::PerClass),
+                ..CycleConfig::default()
+            },
+        );
+        let out = cycle.run(&db, &dict).unwrap();
+        assert_eq!(out.final_risky, 0);
+        assert!(out.final_report.risky_tuples(0.5).is_empty());
+        assert!(out
+            .profile
+            .iterations
+            .iter()
+            .any(|r| r.heuristic.contains("batch(")));
+    }
+
+    #[test]
+    fn batched_is_never_less_safe_than_one_tuple() {
+        let (db, dict) = fig5_db();
+        let risk = KAnonymity::new(2);
+        let anon = LocalSuppression::new(AttributeOrder::MostSelectiveFirst);
+        let one = AnonymizationCycle::new(
+            &risk,
+            &anon,
+            CycleConfig {
+                batch: Some(BatchStrategy::OneTuple),
+                ..CycleConfig::default()
+            },
+        )
+        .run(&db, &dict)
+        .unwrap();
+        let batched = AnonymizationCycle::new(
+            &risk,
+            &anon,
+            CycleConfig {
+                batch: Some(BatchStrategy::TopN(4)),
+                ..CycleConfig::default()
+            },
+        )
+        .run(&db, &dict)
+        .unwrap();
+        assert_eq!(one.final_risky, 0);
+        assert_eq!(batched.final_risky, 0);
+        assert!(batched.final_report.risky_tuples(0.5).is_empty());
+        // batching may over-suppress across classes, never under-protect
+        assert!(batched.nulls_injected >= one.nulls_injected);
+        assert!(batched.iterations <= one.iterations);
+    }
+
+    #[test]
+    fn risk_threads_do_not_change_the_outcome() {
+        let (db, dict) = fig5_db();
+        let risk = KAnonymity::new(2);
+        let anon = LocalSuppression::new(AttributeOrder::MostSelectiveFirst);
+        let run_with_threads = |threads: usize| {
+            AnonymizationCycle::new(
+                &risk,
+                &anon,
+                CycleConfig {
+                    batch: Some(BatchStrategy::TopN(2)),
+                    risk_threads: threads,
+                    ..CycleConfig::default()
+                },
+            )
+            .run(&db, &dict)
+            .unwrap()
+        };
+        let a = run_with_threads(1);
+        let b = run_with_threads(4);
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.nulls_injected, b.nulls_injected);
+        assert_eq!(a.final_report.risks, b.final_report.risks);
+        assert_eq!(a.audit.decisions.len(), b.audit.decisions.len());
+        for i in 0..db.len() {
+            assert_eq!(a.db.row(i).unwrap(), b.db.row(i).unwrap(), "row {i}");
+        }
     }
 
     #[test]

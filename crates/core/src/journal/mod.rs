@@ -473,10 +473,13 @@ impl Fnv {
 /// Fingerprint of everything the cycle's trajectory depends on: table
 /// content, dictionary roles, result-affecting configuration, and plug-in
 /// names. Governor knobs (`max_iterations`, `deadline`), `fallback`,
-/// `audit` and `warm_start` are deliberately **excluded**: they bound or
-/// observe the trajectory without changing it, so a journal written by a
-/// capped, warm, or audited run resumes cleanly under different settings
-/// of those knobs.
+/// `audit`, `warm_start` and `risk_threads` are deliberately **excluded**:
+/// they bound or observe the trajectory without changing it (partitioned
+/// risk evaluation is bit-identical to sequential), so a journal written
+/// by a capped, warm, audited or parallel run resumes cleanly under
+/// different settings of those knobs. The batch strategy **is** included:
+/// batching changes which cells each iteration touches, so a journal is
+/// only replayable under the strategy that wrote it.
 pub fn fingerprint(
     db: &MicrodataDb,
     dict: &MetadataDictionary,
@@ -513,6 +516,15 @@ pub fn fingerprint(
     h.u64(config.tuple_order as u64);
     h.u64(config.granularity as u64);
     h.u64(config.semantics as u64);
+    match config.batch {
+        None => h.u64(0),
+        Some(crate::cycle::BatchStrategy::OneTuple) => h.u64(1),
+        Some(crate::cycle::BatchStrategy::PerClass) => h.u64(2),
+        Some(crate::cycle::BatchStrategy::TopN(n)) => {
+            h.u64(3);
+            h.u64(n as u64);
+        }
+    }
     h.str(risk_name);
     h.str(anonymizer_name);
     h.0

@@ -66,6 +66,7 @@ pub mod anonymize;
 pub mod business;
 pub mod categorize;
 pub mod checkpoint;
+pub mod columnar;
 pub mod cycle;
 pub mod degrade;
 pub mod dictionary;
@@ -95,8 +96,8 @@ pub mod prelude {
     pub use crate::business::{ClusterMap, ClusterRisk, OwnershipGraph};
     pub use crate::categorize::{Categorizer, ExperienceBase};
     pub use crate::cycle::{
-        AnonymizationCycle, CycleConfig, CycleOutcome, CycleProfile, CycleTermination,
-        IterationRecord, StepGranularity, TupleOrder, WarmCycleProfile,
+        AnonymizationCycle, BatchStrategy, CycleConfig, CycleOutcome, CycleProfile,
+        CycleTermination, IterationRecord, StepGranularity, TupleOrder, WarmCycleProfile,
     };
     pub use crate::degrade::{
         suppress_all_risky, DegradeSummary, DegradeTrigger, FallbackPolicy, FallbackRecord,

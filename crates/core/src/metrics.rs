@@ -6,8 +6,8 @@
 //! be removed — the quasi-identifier cells of the tuples that were risky
 //! w.r.t. the threshold before anonymization started.
 
-use crate::maybe_match::{group_stats, NullSemantics};
-use vadalog::Value;
+use crate::maybe_match::NullSemantics;
+use crate::risk::MicrodataView;
 
 /// Information loss per the paper's Figure 7b definition.
 ///
@@ -30,49 +30,47 @@ pub fn information_loss(
 }
 
 /// Fraction of suppressed quasi-identifier cells over all QI cells.
-pub fn suppression_ratio(qi_rows: &[Vec<Value>]) -> f64 {
-    let total: usize = qi_rows.iter().map(|r| r.len()).sum();
+pub fn suppression_ratio(view: &MicrodataView) -> f64 {
+    let total = view.len() * view.width();
     if total == 0 {
         return 0.0;
     }
-    let nulls: usize = qi_rows
-        .iter()
-        .map(|r| r.iter().filter(|v| v.is_null()).count())
-        .sum();
-    nulls as f64 / total as f64
+    view.null_cell_count() as f64 / total as f64
 }
 
 /// Discernibility metric (Bayardo & Agrawal): sum over tuples of their
 /// equivalence-class size. Smaller is better for utility; suppression
 /// inflates it because maybe-matching enlarges classes.
-pub fn discernibility(qi_rows: &[Vec<Value>], sem: NullSemantics) -> u64 {
-    let stats = group_stats(qi_rows, None, sem);
+pub fn discernibility(view: &MicrodataView, sem: NullSemantics) -> u64 {
+    let stats = view.group_stats_with(None, sem);
     stats.count.iter().map(|&c| c as u64).sum()
 }
 
 /// Average equivalence-class size `n / #classes` computed under the
 /// *standard* semantics (classes partition the table only there).
-pub fn average_class_size(qi_rows: &[Vec<Value>]) -> f64 {
-    if qi_rows.is_empty() {
+pub fn average_class_size(view: &MicrodataView) -> f64 {
+    if view.is_empty() {
         return 0.0;
     }
     use std::collections::HashSet;
-    let classes: HashSet<&[Value]> = qi_rows.iter().map(|r| r.as_slice()).collect();
-    qi_rows.len() as f64 / classes.len() as f64
+    // two rows are class-mates iff their code slices agree (interning maps
+    // equal values, including same-label nulls, to equal codes)
+    let classes: HashSet<&[u32]> = (0..view.len()).map(|r| view.row_codes(r)).collect();
+    view.len() as f64 / classes.len() as f64
 }
 
 /// Shannon entropy (bits) of the equivalence-class distribution under the
 /// standard semantics. Anonymization lowers it: coarser data, less spread.
-pub fn class_entropy(qi_rows: &[Vec<Value>]) -> f64 {
-    if qi_rows.is_empty() {
+pub fn class_entropy(view: &MicrodataView) -> f64 {
+    if view.is_empty() {
         return 0.0;
     }
     use std::collections::HashMap;
-    let mut counts: HashMap<&[Value], usize> = HashMap::new();
-    for r in qi_rows {
-        *counts.entry(r.as_slice()).or_insert(0) += 1;
+    let mut counts: HashMap<&[u32], usize> = HashMap::new();
+    for r in 0..view.len() {
+        *counts.entry(view.row_codes(r)).or_insert(0) += 1;
     }
-    let n = qi_rows.len() as f64;
+    let n = view.len() as f64;
     counts
         .values()
         .map(|&c| {
@@ -85,9 +83,16 @@ pub fn class_entropy(qi_rows: &[Vec<Value>]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vadalog::Value;
 
     fn s(x: &str) -> Value {
         Value::str(x)
+    }
+
+    fn view(rows: Vec<Vec<Value>>) -> MicrodataView {
+        let w = rows.first().map_or(0, |r| r.len());
+        let names = (0..w).map(|i| format!("q{i}")).collect();
+        MicrodataView::from_rows(names, rows, None, NullSemantics::Standard)
     }
 
     #[test]
@@ -101,15 +106,15 @@ mod tests {
 
     #[test]
     fn suppression_ratio_counts_nulls() {
-        let rows = vec![vec![s("a"), Value::Null(0)], vec![s("b"), s("c")]];
-        assert!((suppression_ratio(&rows) - 0.25).abs() < 1e-12);
-        assert_eq!(suppression_ratio(&[]), 0.0);
+        let v = view(vec![vec![s("a"), Value::Null(0)], vec![s("b"), s("c")]]);
+        assert!((suppression_ratio(&v) - 0.25).abs() < 1e-12);
+        assert_eq!(suppression_ratio(&view(vec![])), 0.0);
     }
 
     #[test]
     fn discernibility_grows_with_suppression() {
-        let before = vec![vec![s("a")], vec![s("b")]];
-        let after = vec![vec![Value::Null(0)], vec![s("b")]];
+        let before = view(vec![vec![s("a")], vec![s("b")]]);
+        let after = view(vec![vec![Value::Null(0)], vec![s("b")]]);
         let d0 = discernibility(&before, NullSemantics::MaybeMatch);
         let d1 = discernibility(&after, NullSemantics::MaybeMatch);
         assert_eq!(d0, 2);
@@ -119,11 +124,11 @@ mod tests {
 
     #[test]
     fn average_class_size_and_entropy() {
-        let rows = vec![vec![s("a")], vec![s("a")], vec![s("b")], vec![s("c")]];
-        assert!((average_class_size(&rows) - 4.0 / 3.0).abs() < 1e-12);
+        let v = view(vec![vec![s("a")], vec![s("a")], vec![s("b")], vec![s("c")]]);
+        assert!((average_class_size(&v) - 4.0 / 3.0).abs() < 1e-12);
         // entropy of {1/2, 1/4, 1/4} = 1.5 bits
-        assert!((class_entropy(&rows) - 1.5).abs() < 1e-12);
-        assert_eq!(class_entropy(&[]), 0.0);
-        assert_eq!(average_class_size(&[]), 0.0);
+        assert!((class_entropy(&v) - 1.5).abs() < 1e-12);
+        assert_eq!(class_entropy(&view(vec![])), 0.0);
+        assert_eq!(average_class_size(&view(vec![])), 0.0);
     }
 }

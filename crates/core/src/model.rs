@@ -201,23 +201,29 @@ impl MicrodataDb {
             .sum()
     }
 
-    /// Extract an entire column by attribute name.
-    pub fn column(&self, attr: &str) -> Result<Vec<Value>, ModelError> {
+    /// Borrow an entire column by attribute name. Returns one reference
+    /// per row — no cell is cloned (callers that need owned values clone
+    /// selectively at the use site).
+    pub fn column(&self, attr: &str) -> Result<Vec<&Value>, ModelError> {
         let col = self.attr_position(attr)?;
-        Ok(self.rows.iter().map(|r| r[col].clone()).collect())
+        Ok(self.rows.iter().map(|r| &r[col]).collect())
     }
 
-    /// Project the listed attributes into a row-major matrix.
-    pub fn project(&self, attrs: &[String]) -> Result<Vec<Vec<Value>>, ModelError> {
+    /// An indexed, borrowed projection of the listed attributes: column
+    /// positions are resolved once and cells are reached by reference, so
+    /// projecting costs O(columns) instead of O(cells) clones.
+    pub fn project(&self, attrs: &[String]) -> Result<Projection<'_>, ModelError> {
         let cols: Vec<usize> = attrs
             .iter()
             .map(|a| self.attr_position(a))
             .collect::<Result<_, _>>()?;
-        Ok(self
-            .rows
-            .iter()
-            .map(|r| cols.iter().map(|&c| r[c].clone()).collect())
-            .collect())
+        Ok(Projection { db: self, cols })
+    }
+
+    /// Raw column positions for the listed attributes (projection
+    /// plumbing for callers that keep their own row loop).
+    pub fn positions(&self, attrs: &[String]) -> Result<Vec<usize>, ModelError> {
+        attrs.iter().map(|a| self.attr_position(a)).collect()
     }
 
     /// Numeric view of a column (errors on the first non-numeric cell).
@@ -233,6 +239,54 @@ impl MicrodataDb {
                     ))
                 })
             })
+            .collect()
+    }
+}
+
+/// A borrowed, indexed projection of a [`MicrodataDb`] onto a subset of
+/// its attributes. Holds only the source reference and the resolved
+/// column positions; every cell access borrows from the table.
+#[derive(Debug, Clone)]
+pub struct Projection<'a> {
+    db: &'a MicrodataDb,
+    cols: Vec<usize>,
+}
+
+impl<'a> Projection<'a> {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.db.len()
+    }
+
+    /// Is the projection empty?
+    pub fn is_empty(&self) -> bool {
+        self.db.is_empty()
+    }
+
+    /// Number of projected columns.
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Borrow the cell at `(row, col)` (col indexes the projection).
+    pub fn value(&self, row: usize, col: usize) -> &'a Value {
+        &self.db.rows[row][self.cols[col]]
+    }
+
+    /// One projected row as cell references.
+    pub fn row(&self, row: usize) -> Vec<&'a Value> {
+        self.cols.iter().map(|&c| &self.db.rows[row][c]).collect()
+    }
+
+    /// Iterate projected rows as cell references.
+    pub fn iter_rows(&self) -> impl Iterator<Item = Vec<&'a Value>> + '_ {
+        (0..self.len()).map(|r| self.row(r))
+    }
+
+    /// Owned escape hatch: materialize the projection (O(cells) clones).
+    pub fn to_rows(&self) -> Vec<Vec<Value>> {
+        self.iter_rows()
+            .map(|r| r.into_iter().cloned().collect())
             .collect()
     }
 }
@@ -307,7 +361,12 @@ mod tests {
     fn projection_and_numeric_column() {
         let db = sample();
         let proj = db.project(&["area".to_string(), "id".to_string()]).unwrap();
-        assert_eq!(proj[1], vec![Value::str("South"), Value::Int(2)]);
+        assert_eq!(proj.len(), 2);
+        assert_eq!(proj.width(), 2);
+        assert_eq!(proj.row(1), vec![&Value::str("South"), &Value::Int(2)]);
+        assert_eq!(proj.value(0, 0), &Value::str("North"));
+        assert_eq!(proj.to_rows()[1], vec![Value::str("South"), Value::Int(2)]);
+        assert_eq!(db.positions(&["w".to_string()]).unwrap(), vec![2]);
         assert_eq!(db.numeric_column("w").unwrap(), vec![10.0, 20.0]);
         assert!(db.numeric_column("area").is_err());
     }

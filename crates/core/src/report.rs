@@ -8,7 +8,7 @@
 //! suitable for an RDC review meeting.
 
 use crate::cycle::CycleProfile;
-use crate::maybe_match::{group_stats, NullSemantics};
+use crate::maybe_match::NullSemantics;
 use crate::risk::{MicrodataView, RiskReport};
 use std::fmt::Write;
 
@@ -37,7 +37,7 @@ pub struct DatasetRisk {
 
 /// Compute the dataset-level indicators from a view and a risk report.
 pub fn dataset_risk(view: &MicrodataView, report: &RiskReport, threshold: f64) -> DatasetRisk {
-    let stats = group_stats(&view.qi_rows, None, NullSemantics::Standard);
+    let stats = view.group_stats_with(None, NullSemantics::Standard);
     let sample_uniques = stats.count.iter().filter(|&&c| c == 1).count();
     let mut histogram = [(1usize, 0usize), (2, 0), (5, 0), (10, 0), (usize::MAX, 0)];
     for &c in &stats.count {

@@ -26,7 +26,7 @@
 //!   individual-risk line of Figure 7e.
 
 use super::{MicrodataView, RiskError, RiskMeasure, RiskReport, TupleRiskDetail};
-use crate::maybe_match::{group_stats, GroupStats};
+use crate::maybe_match::GroupStats;
 
 /// Which estimator of `E[1/F_k | f_k]` to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,7 +127,7 @@ impl RiskMeasure for IndividualRisk {
 
     fn evaluate(&self, view: &MicrodataView) -> Result<RiskReport, RiskError> {
         Self::validate_weights(view)?;
-        let stats = group_stats(&view.qi_rows, view.weights.as_deref(), view.semantics);
+        let stats = view.group_stats();
         Ok(self.report(&stats))
     }
 
@@ -145,6 +145,33 @@ impl RiskMeasure for IndividualRisk {
             IrEstimator::Simple => p,
             // the incremental fast path always uses the exact series; the
             // simulated-library overhead only applies to full evaluations
+            IrEstimator::PosteriorMean | IrEstimator::SimulatedLibrary { .. } => {
+                bf_posterior_mean(f, p)
+            }
+        };
+        Some(r.min(1.0))
+    }
+
+    fn tuple_risk_from_stats(
+        &self,
+        view: &MicrodataView,
+        stats: &GroupStats,
+        row: usize,
+    ) -> Option<f64> {
+        let weights = view.weights.as_ref()?;
+        if weights.len() != view.len() {
+            return None;
+        }
+        let f = stats.count[row];
+        let wsum = stats.weight_sum[row];
+        if f == 0 || wsum <= 0.0 {
+            return Some(1.0);
+        }
+        let p = (f as f64 / wsum).clamp(f64::MIN_POSITIVE, 1.0);
+        let r = match self.estimator {
+            IrEstimator::Simple => p,
+            // mirrors `evaluate_tuple`: the incremental fast path always
+            // uses the exact series
             IrEstimator::PosteriorMean | IrEstimator::SimulatedLibrary { .. } => {
                 bf_posterior_mean(f, p)
             }

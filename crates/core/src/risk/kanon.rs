@@ -12,7 +12,9 @@
 //! the threshold.
 
 use super::{MicrodataView, RiskError, RiskMeasure, RiskReport, TupleRiskDetail};
-use crate::maybe_match::{group_stats, GroupStats};
+use crate::columnar::par_map_rows;
+use crate::maybe_match::GroupStats;
+use std::collections::HashMap;
 
 /// k-anonymity threshold risk (Algorithm 4).
 #[derive(Debug, Clone, Copy)]
@@ -29,23 +31,29 @@ impl KAnonymity {
 
     /// Map group statistics to the k-anonymity report. Shared by the cold
     /// path ([`RiskMeasure::evaluate`]) and the warm-start hook so both
-    /// produce bit-identical output from identical statistics.
-    fn report(&self, stats: &GroupStats) -> RiskReport {
-        let risks: Vec<f64> = stats
-            .count
-            .iter()
-            .map(|&c| if c < self.k { 1.0 } else { 0.0 })
-            .collect();
-        let details = stats
-            .count
-            .iter()
-            .zip(stats.weight_sum.iter())
-            .map(|(&c, &s)| TupleRiskDetail {
-                frequency: c,
-                weight_sum: s,
-                note: format!("class size {c} vs k={}", self.k),
-            })
-            .collect();
+    /// produce bit-identical output from identical statistics. Scoring is
+    /// a pure per-row map, so it shards across `threads` workers; notes
+    /// are formatted once per distinct class size and cloned per row
+    /// (identical strings, a fraction of the allocations at scale).
+    fn report(&self, threads: usize, stats: &GroupStats) -> RiskReport {
+        let n = stats.count.len();
+        let risks: Vec<f64> =
+            par_map_rows(
+                n,
+                threads,
+                |i| if stats.count[i] < self.k { 1.0 } else { 0.0 },
+            );
+        let mut notes: HashMap<usize, String> = HashMap::new();
+        for &c in &stats.count {
+            notes
+                .entry(c)
+                .or_insert_with(|| format!("class size {c} vs k={}", self.k));
+        }
+        let details = par_map_rows(n, threads, |i| TupleRiskDetail {
+            frequency: stats.count[i],
+            weight_sum: stats.weight_sum[i],
+            note: notes[&stats.count[i]].clone(),
+        });
         RiskReport {
             measure: self.name().to_string(),
             risks,
@@ -60,8 +68,8 @@ impl RiskMeasure for KAnonymity {
     }
 
     fn evaluate(&self, view: &MicrodataView) -> Result<RiskReport, RiskError> {
-        let stats = group_stats(&view.qi_rows, view.weights.as_deref(), view.semantics);
-        Ok(self.report(&stats))
+        let stats = view.group_stats();
+        Ok(self.report(view.risk_threads, &stats))
     }
 
     fn evaluate_tuple(&self, view: &MicrodataView, row: usize) -> Option<f64> {
@@ -69,12 +77,21 @@ impl RiskMeasure for KAnonymity {
         Some(if count < self.k { 1.0 } else { 0.0 })
     }
 
-    fn report_from_groups(
+    fn tuple_risk_from_stats(
         &self,
         _view: &MicrodataView,
         stats: &GroupStats,
+        row: usize,
+    ) -> Option<f64> {
+        Some(if stats.count[row] < self.k { 1.0 } else { 0.0 })
+    }
+
+    fn report_from_groups(
+        &self,
+        view: &MicrodataView,
+        stats: &GroupStats,
     ) -> Option<Result<RiskReport, RiskError>> {
-        Some(Ok(self.report(stats)))
+        Some(Ok(self.report(view.risk_threads, stats)))
     }
 }
 
@@ -130,7 +147,7 @@ mod tests {
         view.semantics = NullSemantics::MaybeMatch;
         let before = KAnonymity::new(2).evaluate(&view).unwrap();
         assert_eq!(before.risks[0], 1.0);
-        view.qi_rows[0][1] = Value::Null(0);
+        view.patch_cell(0, 1, &Value::Null(0), None);
         let after = KAnonymity::new(2).evaluate(&view).unwrap();
         assert_eq!(after.risks[0], 0.0);
         // and the suppressed row enlarged the others' classes too
@@ -143,7 +160,7 @@ mod tests {
             vec![vec!["Roma", "Textiles"], vec!["Roma", "Commerce"]],
             None,
         );
-        view.qi_rows[0][1] = Value::Null(0);
+        view.patch_cell(0, 1, &Value::Null(0), None);
         view.semantics = NullSemantics::Standard;
         let report = KAnonymity::new(2).evaluate(&view).unwrap();
         assert_eq!(report.risks, vec![1.0, 1.0]);

@@ -21,7 +21,6 @@
 
 use super::{MicrodataView, RiskError, RiskMeasure, RiskReport, TupleRiskDetail};
 use crate::dictionary::{Category, MetadataDictionary};
-use crate::maybe_match::rows_match;
 use crate::model::MicrodataDb;
 use std::collections::HashSet;
 use vadalog::Value;
@@ -55,7 +54,7 @@ impl LDiversity {
         Ok(LDiversity {
             l: l.max(1),
             sensitive_attr: attr.clone(),
-            sensitive: db.column(attr)?,
+            sensitive: db.column(attr)?.into_iter().cloned().collect(),
         })
     }
 
@@ -102,13 +101,9 @@ impl RiskMeasure for LDiversity {
         // the "class" of a tuple is its match set (classes may overlap)
         let mut risks = Vec::with_capacity(view.len());
         let mut details = Vec::with_capacity(view.len());
-        for target in view.qi_rows.iter() {
-            let members: Vec<usize> = view
-                .qi_rows
-                .iter()
-                .enumerate()
-                .filter(|(_, r)| rows_match(target, r, view.semantics))
-                .map(|(i, _)| i)
+        for target in 0..view.len() {
+            let members: Vec<usize> = (0..view.len())
+                .filter(|&j| view.rows_match(target, j))
                 .collect();
             let d = self.diversity(&members);
             risks.push(if d < self.l { 1.0 } else { 0.0 });
@@ -132,13 +127,8 @@ impl RiskMeasure for LDiversity {
         if self.sensitive.len() != view.len() {
             return None;
         }
-        let target = &view.qi_rows[row];
-        let members: Vec<usize> = view
-            .qi_rows
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| rows_match(target, r, view.semantics))
-            .map(|(i, _)| i)
+        let members: Vec<usize> = (0..view.len())
+            .filter(|&j| view.rows_match(row, j))
             .collect();
         Some(if self.diversity(&members) < self.l {
             1.0

@@ -14,6 +14,12 @@
 //! - [`IndividualRisk`] — Algorithm 5: Benedetti–Franconi style posterior
 //!   estimation of `1/F_k` from sample frequency and weight sum;
 //! - [`Suda`] — Algorithm 6: minimal sample uniques.
+//!
+//! Since the million-row rework the view stores its quasi-identifier
+//! cells *columnarly* (per-column [`ColumnDict`]s, flat `u32` codes and a
+//! per-row null bitmask — see [`crate::columnar`]) instead of
+//! `Vec<Vec<Value>>`, so group formation and per-row scoring never clone
+//! a `Value` and can shard across `risk_threads` scoped workers.
 
 mod individual;
 mod kanon;
@@ -31,8 +37,9 @@ pub use reident::ReIdentification;
 pub use suda::{dis_scores, minimal_sample_uniques, MsuSet, Suda};
 pub use tcloseness::TCloseness;
 
+use crate::columnar::{apply_cell_change_codes, codes_match, group_stats_codes, ColumnDict};
 use crate::dictionary::{Category, DictionaryError, MetadataDictionary};
-use crate::maybe_match::NullSemantics;
+use crate::maybe_match::{GroupStats, NullSemantics};
 use crate::model::{MicrodataDb, ModelError};
 use std::fmt;
 use vadalog::Value;
@@ -71,18 +78,36 @@ impl From<ModelError> for RiskError {
     }
 }
 
-/// The projection of a microdata DB a risk measure works on: QI columns,
-/// optional sampling weights and the null semantics for group formation.
+/// The projection of a microdata DB a risk measure works on:
+/// dictionary-encoded QI columns, optional sampling weights and the null
+/// semantics for group formation.
+///
+/// Storage is columnar: `dicts[c]` interns every distinct `Value` of
+/// column `c`, `codes` holds the row-major `u32` codes (stride =
+/// [`width`](Self::width)), and `null_masks[r]` has bit `c` set when row
+/// `r` is a labelled null in column `c`. Cells are reached through
+/// [`value`](Self::value) / [`patch_cell`](Self::patch_cell); the
+/// row-major `Vec<Vec<Value>>` of earlier versions is gone from the hot
+/// path (use [`to_rows`](Self::to_rows) where owned rows are genuinely
+/// needed).
 #[derive(Debug, Clone)]
 pub struct MicrodataView {
     /// Names of the projected quasi-identifier attributes.
     pub qi_names: Vec<String>,
-    /// Row-major QI cells (same row order as the source table).
-    pub qi_rows: Vec<Vec<Value>>,
+    /// Per-column value dictionaries (code → `Value`).
+    dicts: Vec<ColumnDict>,
+    /// Row-major cell codes, `len = rows × width`.
+    codes: Vec<u32>,
+    /// Per-row bitmask of null columns.
+    null_masks: Vec<u64>,
     /// Sampling weights, if a weight column is categorized.
     pub weights: Option<Vec<f64>>,
     /// Null semantics used to form equivalence groups.
     pub semantics: NullSemantics,
+    /// Worker threads for group formation and per-row scoring (1 =
+    /// sequential; sharding only engages when exact, see
+    /// [`crate::columnar`]).
+    pub risk_threads: usize,
 }
 
 impl MicrodataView {
@@ -118,7 +143,31 @@ impl MicrodataView {
                 db.name
             )));
         }
-        let qi_rows = db.project(&qi_names)?;
+        if qi_names.len() > 64 {
+            return Err(RiskError::View(format!(
+                "{} quasi-identifiers exceed the 64-column null-bitmask limit",
+                qi_names.len()
+            )));
+        }
+        let cols: Vec<usize> = qi_names
+            .iter()
+            .map(|q| db.attr_position(q))
+            .collect::<Result<_, _>>()?;
+        let width = cols.len();
+        let mut dicts: Vec<ColumnDict> = (0..width).map(|_| ColumnDict::new()).collect();
+        let mut codes: Vec<u32> = Vec::with_capacity(db.len() * width);
+        let mut null_masks: Vec<u64> = Vec::with_capacity(db.len());
+        for r in db.iter_rows() {
+            let mut mask = 0u64;
+            for (k, &c) in cols.iter().enumerate() {
+                let v = &r[c];
+                if v.is_null() {
+                    mask |= 1 << k;
+                }
+                codes.push(dicts[k].intern(v));
+            }
+            null_masks.push(mask);
+        }
         let weights = match dict
             .attrs_with_category(&db.name, Category::Weight)?
             .first()
@@ -128,25 +177,235 @@ impl MicrodataView {
         };
         Ok(MicrodataView {
             qi_names,
-            qi_rows,
+            dicts,
+            codes,
+            null_masks,
             weights,
             semantics,
+            risk_threads: 1,
         })
+    }
+
+    /// Build a view directly from owned rows (row-major, one `Value` per
+    /// quasi-identifier). `rows` must all have `qi_names.len()` cells.
+    pub fn from_rows(
+        qi_names: Vec<String>,
+        rows: Vec<Vec<Value>>,
+        weights: Option<Vec<f64>>,
+        semantics: NullSemantics,
+    ) -> Self {
+        let width = qi_names.len();
+        let mut dicts: Vec<ColumnDict> = (0..width).map(|_| ColumnDict::new()).collect();
+        let mut codes: Vec<u32> = Vec::with_capacity(rows.len() * width);
+        let mut null_masks: Vec<u64> = Vec::with_capacity(rows.len());
+        for r in &rows {
+            debug_assert_eq!(r.len(), width, "row arity must match qi_names");
+            let mut mask = 0u64;
+            for (k, v) in r.iter().enumerate() {
+                if v.is_null() {
+                    mask |= 1 << k;
+                }
+                codes.push(dicts[k].intern(v));
+            }
+            null_masks.push(mask);
+        }
+        MicrodataView {
+            qi_names,
+            dicts,
+            codes,
+            null_masks,
+            weights,
+            semantics,
+            risk_threads: 1,
+        }
     }
 
     /// Number of tuples.
     pub fn len(&self) -> usize {
-        self.qi_rows.len()
+        self.null_masks.len()
     }
 
     /// Is the view empty?
     pub fn is_empty(&self) -> bool {
-        self.qi_rows.is_empty()
+        self.null_masks.is_empty()
     }
 
     /// Number of quasi-identifier columns.
     pub fn width(&self) -> usize {
         self.qi_names.len()
+    }
+
+    /// Borrow the cell value at `(row, col)`.
+    pub fn value(&self, row: usize, col: usize) -> &Value {
+        self.dicts[col].value(self.codes[row * self.width() + col])
+    }
+
+    /// The row's coded cells (stride slice into the flat code array).
+    pub fn row_codes(&self, row: usize) -> &[u32] {
+        let w = self.width();
+        &self.codes[row * w..(row + 1) * w]
+    }
+
+    /// The row's null bitmask (bit `c` ⇔ column `c` holds a labelled null).
+    pub fn null_mask(&self, row: usize) -> u64 {
+        self.null_masks[row]
+    }
+
+    /// Owned clone of one row's quasi-identifier cells.
+    pub fn row_values(&self, row: usize) -> Vec<Value> {
+        (0..self.width())
+            .map(|c| self.value(row, c).clone())
+            .collect()
+    }
+
+    /// Materialize the whole projection as owned rows (compatibility /
+    /// test escape hatch — O(cells) clones, avoid on hot paths).
+    pub fn to_rows(&self) -> Vec<Vec<Value>> {
+        (0..self.len()).map(|r| self.row_values(r)).collect()
+    }
+
+    /// Do rows `i` and `j` match on every column under the view's
+    /// semantics?
+    pub fn rows_match(&self, i: usize, j: usize) -> bool {
+        self.rows_match_with(i, j, self.semantics)
+    }
+
+    /// Like [`rows_match`](Self::rows_match) with explicit semantics.
+    pub fn rows_match_with(&self, i: usize, j: usize, sem: NullSemantics) -> bool {
+        codes_match(
+            self.row_codes(i),
+            self.null_masks[i],
+            self.row_codes(j),
+            self.null_masks[j],
+            sem,
+        )
+    }
+
+    /// Equivalence-group statistics under the view's own weights,
+    /// semantics and thread count.
+    pub fn group_stats(&self) -> GroupStats {
+        self.group_stats_with(self.weights.as_deref(), self.semantics)
+    }
+
+    /// Group statistics with explicit weights and semantics (threads from
+    /// the view).
+    pub fn group_stats_with(&self, weights: Option<&[f64]>, sem: NullSemantics) -> GroupStats {
+        let all: Vec<usize> = (0..self.width()).collect();
+        group_stats_codes(
+            &self.codes,
+            &self.null_masks,
+            self.width(),
+            &all,
+            weights,
+            sem,
+            self.risk_threads,
+        )
+    }
+
+    /// Group statistics over a sub-projection: only the listed column
+    /// positions participate in matching (SUDA's per-subset scans).
+    pub fn group_stats_on(
+        &self,
+        positions: &[usize],
+        weights: Option<&[f64]>,
+        sem: NullSemantics,
+    ) -> GroupStats {
+        group_stats_codes(
+            &self.codes,
+            &self.null_masks,
+            self.width(),
+            positions,
+            weights,
+            sem,
+            self.risk_threads,
+        )
+    }
+
+    /// Overwrite the cell at `(row, col)` and, when `stats` is given,
+    /// incrementally repair the group statistics (columnar
+    /// flip-then-rescan, same exactness caveat as
+    /// [`GroupStats::apply_row_change`]).
+    pub fn patch_cell(
+        &mut self,
+        row: usize,
+        col: usize,
+        v: &Value,
+        stats: Option<&mut GroupStats>,
+    ) {
+        let w = self.width();
+        let old_mask = self.null_masks[row];
+        let code = self.dicts[col].intern(v);
+        let mut old_codes = [0u32; 64];
+        let old_codes = &mut old_codes[..w];
+        old_codes.copy_from_slice(&self.codes[row * w..(row + 1) * w]);
+        self.codes[row * w + col] = code;
+        if v.is_null() {
+            self.null_masks[row] |= 1 << col;
+        } else {
+            self.null_masks[row] &= !(1 << col);
+        }
+        if let Some(stats) = stats {
+            apply_cell_change_codes(
+                &self.codes,
+                &self.null_masks,
+                w,
+                self.weights.as_deref(),
+                self.semantics,
+                row,
+                old_codes,
+                old_mask,
+                stats,
+            );
+        }
+    }
+
+    /// Rewrite every cell of column `col` equal to `from` into `to`,
+    /// repairing `stats` row by row when given (mirrors the sequential
+    /// per-row patch order of the cycle's recode path). Returns the
+    /// indices of the patched rows.
+    pub fn patch_recode(
+        &mut self,
+        col: usize,
+        from: &Value,
+        to: &Value,
+        mut stats: Option<&mut GroupStats>,
+    ) -> Vec<usize> {
+        let mut patched = Vec::new();
+        let Some(from_code) = self.dicts[col].code(from) else {
+            return patched;
+        };
+        let w = self.width();
+        for r in 0..self.len() {
+            if self.codes[r * w + col] == from_code {
+                self.patch_cell(r, col, to, stats.as_deref_mut());
+                patched.push(r);
+            }
+        }
+        patched
+    }
+
+    /// Number of null quasi-identifier cells across the view.
+    pub fn null_cell_count(&self) -> usize {
+        self.null_masks
+            .iter()
+            .map(|m| m.count_ones() as usize)
+            .sum()
+    }
+
+    /// Approximate retained heap bytes of the columnar storage.
+    pub fn retained_bytes(&self) -> usize {
+        self.codes.len() * std::mem::size_of::<u32>()
+            + self.null_masks.len() * std::mem::size_of::<u64>()
+            + self
+                .dicts
+                .iter()
+                .map(ColumnDict::retained_bytes)
+                .sum::<usize>()
+            + self
+                .weights
+                .as_ref()
+                .map(|w| w.len() * std::mem::size_of::<f64>())
+                .unwrap_or(0)
     }
 }
 
@@ -217,6 +476,22 @@ pub trait RiskMeasure {
         None
     }
 
+    /// Constant-time single-tuple risk from maintained group statistics.
+    /// Where [`RiskMeasure::evaluate_tuple`] rescans the table (`O(n)`),
+    /// this hook reads the tuple's `(frequency, weight_sum)` straight out
+    /// of `stats` — which the cycle keeps patched across suppressions —
+    /// so per-row rechecks cost `O(1)`. Implementations must return
+    /// exactly the value `evaluate_tuple` would compute on the same view;
+    /// the default `None` falls back to the scanning path.
+    fn tuple_risk_from_stats(
+        &self,
+        _view: &MicrodataView,
+        _stats: &crate::maybe_match::GroupStats,
+        _row: usize,
+    ) -> Option<f64> {
+        None
+    }
+
     /// Warm-start hook: produce the full report from precomputed
     /// equivalence-group statistics instead of regrouping the whole view.
     /// The cycle maintains `stats` incrementally across suppressions
@@ -240,12 +515,10 @@ pub trait RiskMeasure {
 /// the view's null semantics, and their weight sum. Shared by the
 /// incremental fast paths.
 pub(crate) fn tuple_group(view: &MicrodataView, row: usize) -> (usize, f64) {
-    use crate::maybe_match::rows_match;
-    let target = &view.qi_rows[row];
     let mut count = 0usize;
     let mut wsum = 0.0f64;
-    for (i, r) in view.qi_rows.iter().enumerate() {
-        if rows_match(target, r, view.semantics) {
+    for i in 0..view.len() {
+        if view.rows_match(row, i) {
             count += 1;
             wsum += view.weights.as_ref().map(|w| w[i]).unwrap_or(1.0);
         }
@@ -260,15 +533,14 @@ pub(crate) mod test_support {
     /// A small helper building a view directly from string rows.
     pub fn view_of(rows: Vec<Vec<&str>>, weights: Option<Vec<f64>>) -> MicrodataView {
         let width = rows.first().map(|r| r.len()).unwrap_or(0);
-        MicrodataView {
-            qi_names: (0..width).map(|i| format!("q{i}")).collect(),
-            qi_rows: rows
-                .into_iter()
+        MicrodataView::from_rows(
+            (0..width).map(|i| format!("q{i}")).collect(),
+            rows.into_iter()
                 .map(|r| r.into_iter().map(Value::str).collect())
                 .collect(),
             weights,
-            semantics: NullSemantics::MaybeMatch,
-        }
+            NullSemantics::MaybeMatch,
+        )
     }
 }
 
@@ -301,7 +573,8 @@ mod tests {
 
         let view = MicrodataView::from_db(&db, &dict).unwrap();
         assert_eq!(view.qi_names, vec!["area"]);
-        assert_eq!(view.qi_rows[0], vec![Value::str("North")]);
+        assert_eq!(view.value(0, 0), &Value::str("North"));
+        assert_eq!(view.row_values(0), vec![Value::str("North")]);
         assert_eq!(view.weights, Some(vec![10.0]));
     }
 
@@ -357,5 +630,50 @@ mod tests {
         let v = view_of(vec![vec!["a", "b"], vec!["a", "c"]], None);
         assert_eq!(v.len(), 2);
         assert_eq!(v.width(), 2);
+    }
+
+    #[test]
+    fn patch_cell_updates_values_masks_and_stats() {
+        let mut v = view_of(vec![vec!["a", "x"], vec!["b", "x"], vec!["b", "y"]], None);
+        let mut stats = v.group_stats();
+        assert_eq!(stats.count, vec![1, 1, 1]);
+        v.patch_cell(0, 0, &Value::Null(0), Some(&mut stats));
+        assert_eq!(v.null_mask(0), 1);
+        assert!(v.value(0, 0).is_null());
+        // ⊥,x maybe-matches b,x
+        assert_eq!(stats.count, vec![2, 2, 1]);
+        let cold = v.group_stats();
+        assert_eq!(stats.count, cold.count);
+        assert_eq!(stats.weight_sum, cold.weight_sum);
+    }
+
+    #[test]
+    fn patch_recode_rewrites_all_matching_cells() {
+        let mut v = view_of(vec![vec!["a"], vec!["b"], vec!["a"]], None);
+        let mut stats = v.group_stats();
+        let patched = v.patch_recode(0, &Value::str("a"), &Value::str("b"), Some(&mut stats));
+        assert_eq!(patched, vec![0, 2]);
+        assert_eq!(stats.count, vec![3, 3, 3]);
+        assert_eq!(v.value(0, 0), &Value::str("b"));
+        // recoding a value the column never held is a no-op
+        let none = v.patch_recode(0, &Value::str("zz"), &Value::str("b"), Some(&mut stats));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn to_rows_roundtrips_through_from_rows() {
+        let rows = vec![
+            vec![Value::str("a"), Value::Null(3)],
+            vec![Value::Int(7), Value::str("b")],
+        ];
+        let v = MicrodataView::from_rows(
+            vec!["q0".into(), "q1".into()],
+            rows.clone(),
+            None,
+            NullSemantics::Standard,
+        );
+        assert_eq!(v.to_rows(), rows);
+        assert_eq!(v.null_cell_count(), 1);
+        assert!(v.retained_bytes() > 0);
     }
 }

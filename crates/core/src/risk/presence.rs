@@ -25,7 +25,6 @@
 //! pushes `ρ` down.
 
 use super::{MicrodataView, RiskError, RiskMeasure, RiskReport, TupleRiskDetail};
-use crate::maybe_match::group_stats;
 
 /// DP-inspired membership-disclosure risk (`ρ = w_t / Σw_group`).
 #[derive(Debug, Clone, Copy, Default)]
@@ -59,7 +58,7 @@ impl RiskMeasure for PresenceRisk {
                 "sampling weights must be positive and finite, found {bad}"
             )));
         }
-        let stats = group_stats(&view.qi_rows, Some(weights), view.semantics);
+        let stats = view.group_stats();
         let mut risks = Vec::with_capacity(view.len());
         let mut details = Vec::with_capacity(view.len());
         for (i, (&f, &wsum)) in stats.count.iter().zip(stats.weight_sum.iter()).enumerate() {
@@ -152,7 +151,7 @@ mod tests {
         );
         view.semantics = NullSemantics::MaybeMatch;
         let before = PresenceRisk.evaluate(&view).unwrap().risks[0];
-        view.qi_rows[0][1] = Value::Null(0);
+        view.patch_cell(0, 1, &Value::Null(0), None);
         let after = PresenceRisk.evaluate(&view).unwrap().risks[0];
         assert!(after < before);
     }

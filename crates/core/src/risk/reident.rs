@@ -14,7 +14,8 @@
 //! Figure 1 (the only North/Textiles/1000+ company) has risk `1/60 ≈ 0.016`.
 
 use super::{MicrodataView, RiskError, RiskMeasure, RiskReport, TupleRiskDetail};
-use crate::maybe_match::{group_stats, GroupStats};
+use crate::columnar::par_map_rows;
+use crate::maybe_match::GroupStats;
 
 /// Re-identification-based risk evaluation (Algorithm 3).
 #[derive(Debug, Clone, Copy, Default)]
@@ -35,23 +36,24 @@ impl ReIdentification {
     }
 
     /// Map group statistics to the re-identification report. Shared by
-    /// [`RiskMeasure::evaluate`] and the warm-start hook.
-    fn report(&self, stats: &GroupStats) -> RiskReport {
-        let risks: Vec<f64> = stats
-            .weight_sum
-            .iter()
-            .map(|&s| if s > 0.0 { (1.0 / s).min(1.0) } else { 1.0 })
-            .collect();
-        let details = stats
-            .count
-            .iter()
-            .zip(stats.weight_sum.iter())
-            .map(|(&c, &s)| TupleRiskDetail {
-                frequency: c,
-                weight_sum: s,
-                note: String::new(),
-            })
-            .collect();
+    /// [`RiskMeasure::evaluate`] and the warm-start hook. Per-row scoring
+    /// is a pure map over the statistics, so it shards across `threads`
+    /// workers with order-preserving reassembly.
+    fn report(&self, threads: usize, stats: &GroupStats) -> RiskReport {
+        let n = stats.count.len();
+        let risks: Vec<f64> = par_map_rows(n, threads, |i| {
+            let s = stats.weight_sum[i];
+            if s > 0.0 {
+                (1.0 / s).min(1.0)
+            } else {
+                1.0
+            }
+        });
+        let details = par_map_rows(n, threads, |i| TupleRiskDetail {
+            frequency: stats.count[i],
+            weight_sum: stats.weight_sum[i],
+            note: String::new(),
+        });
         RiskReport {
             measure: self.name().to_string(),
             risks,
@@ -67,12 +69,26 @@ impl RiskMeasure for ReIdentification {
 
     fn evaluate(&self, view: &MicrodataView) -> Result<RiskReport, RiskError> {
         Self::validate_weights(view)?;
-        let stats = group_stats(&view.qi_rows, view.weights.as_deref(), view.semantics);
-        Ok(self.report(&stats))
+        let stats = view.group_stats();
+        Ok(self.report(view.risk_threads, &stats))
     }
 
     fn evaluate_tuple(&self, view: &MicrodataView, row: usize) -> Option<f64> {
         let (_, wsum) = super::tuple_group(view, row);
+        Some(if wsum > 0.0 {
+            (1.0 / wsum).min(1.0)
+        } else {
+            1.0
+        })
+    }
+
+    fn tuple_risk_from_stats(
+        &self,
+        _view: &MicrodataView,
+        stats: &GroupStats,
+        row: usize,
+    ) -> Option<f64> {
+        let wsum = stats.weight_sum[row];
         Some(if wsum > 0.0 {
             (1.0 / wsum).min(1.0)
         } else {
@@ -85,7 +101,7 @@ impl RiskMeasure for ReIdentification {
         view: &MicrodataView,
         stats: &GroupStats,
     ) -> Option<Result<RiskReport, RiskError>> {
-        Some(Self::validate_weights(view).map(|()| self.report(stats)))
+        Some(Self::validate_weights(view).map(|()| self.report(view.risk_threads, stats)))
     }
 }
 
@@ -155,7 +171,7 @@ mod tests {
             Some(vec![10.0, 10.0]),
         );
         let before = ReIdentification.evaluate(&view).unwrap().risks[0];
-        view.qi_rows[0][1] = Value::Null(0);
+        view.patch_cell(0, 1, &Value::Null(0), None);
         view.semantics = NullSemantics::MaybeMatch;
         let after = ReIdentification.evaluate(&view).unwrap().risks[0];
         assert!(after < before);

@@ -24,7 +24,6 @@
 //! combinatorial blowup in Figure 7f.
 
 use super::{MicrodataView, RiskError, RiskMeasure, RiskReport, TupleRiskDetail};
-use crate::maybe_match::{group_stats, group_stats_on};
 
 /// The minimal sample uniques of one tuple, as column bitmasks.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -96,11 +95,7 @@ pub fn minimal_sample_uniques(view: &MicrodataView, max_size: Option<usize>) -> 
 
     for mask in masks {
         let positions: Vec<usize> = (0..m).filter(|c| mask & (1 << c) != 0).collect();
-        let stats = if positions.len() == m {
-            group_stats(&view.qi_rows, None, view.semantics)
-        } else {
-            group_stats_on(&view.qi_rows, &positions, None, view.semantics)
-        };
+        let stats = view.group_stats_on(&positions, None, view.semantics);
         for (row, &count) in stats.count.iter().enumerate() {
             if count == 1 {
                 // minimal iff no recorded MSU of this row is a subset
@@ -241,14 +236,14 @@ mod tests {
                 let positions: Vec<usize> =
                     (0..view.width()).filter(|c| mask & (1 << c) != 0).collect();
                 // sample unique
-                let stats = group_stats_on(&view.qi_rows, &positions, None, view.semantics);
+                let stats = view.group_stats_on(&positions, None, view.semantics);
                 assert_eq!(stats.count[row], 1, "row {row} mask {mask:b} not unique");
                 // minimal: every proper subset is non-unique
                 let mut sub = (mask.wrapping_sub(1)) & mask;
                 while sub != 0 {
                     let sub_pos: Vec<usize> =
                         (0..view.width()).filter(|c| sub & (1 << c) != 0).collect();
-                    let s = group_stats_on(&view.qi_rows, &sub_pos, None, view.semantics);
+                    let s = view.group_stats_on(&sub_pos, None, view.semantics);
                     assert!(
                         s.count[row] > 1,
                         "row {row}: subset {sub:b} of MSU {mask:b} is also unique"

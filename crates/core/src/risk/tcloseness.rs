@@ -17,7 +17,6 @@
 
 use super::{MicrodataView, RiskError, RiskMeasure, RiskReport, TupleRiskDetail};
 use crate::dictionary::{Category, MetadataDictionary};
-use crate::maybe_match::rows_match;
 use crate::model::MicrodataDb;
 use std::collections::HashMap;
 use vadalog::Value;
@@ -47,7 +46,7 @@ impl TCloseness {
         Ok(TCloseness {
             t: t.clamp(0.0, 1.0),
             sensitive_attr: attr.clone(),
-            sensitive: db.column(attr)?,
+            sensitive: db.column(attr)?.into_iter().cloned().collect(),
         })
     }
 
@@ -107,13 +106,9 @@ impl RiskMeasure for TCloseness {
         let global = self.distribution(0..view.len());
         let mut risks = Vec::with_capacity(view.len());
         let mut details = Vec::with_capacity(view.len());
-        for target in &view.qi_rows {
-            let members: Vec<usize> = view
-                .qi_rows
-                .iter()
-                .enumerate()
-                .filter(|(_, r)| rows_match(target, r, view.semantics))
-                .map(|(i, _)| i)
+        for target in 0..view.len() {
+            let members: Vec<usize> = (0..view.len())
+                .filter(|&j| view.rows_match(target, j))
                 .collect();
             let class = self.distribution(members.iter().copied());
             let distance = total_variation(&class, &global);
@@ -139,13 +134,7 @@ impl RiskMeasure for TCloseness {
             return None;
         }
         let global = self.distribution(0..view.len());
-        let target = &view.qi_rows[row];
-        let members = view
-            .qi_rows
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| rows_match(target, r, view.semantics))
-            .map(|(i, _)| i);
+        let members = (0..view.len()).filter(|&j| view.rows_match(row, j));
         let class = self.distribution(members);
         Some(if total_variation(&class, &global) > self.t {
             1.0

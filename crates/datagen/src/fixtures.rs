@@ -290,11 +290,10 @@ mod tests {
 
     #[test]
     fn figure5a_frequencies_match_paper() {
-        use vadasa_core::maybe_match::group_stats;
         let (db, dict) = local_suppression_fig5a();
         let view =
             MicrodataView::from_db_with(&db, &dict, NullSemantics::MaybeMatch, None).unwrap();
-        let stats = group_stats(&view.qi_rows, None, NullSemantics::MaybeMatch);
+        let stats = view.group_stats_with(None, NullSemantics::MaybeMatch);
         assert_eq!(stats.count, vec![1, 2, 2, 2, 2, 1, 1]);
     }
 }

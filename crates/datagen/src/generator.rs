@@ -293,12 +293,12 @@ pub fn generate(spec: &DatasetSpec, seed: u64) -> (MicrodataDb, MetadataDictiona
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vadasa_core::maybe_match::{group_stats, NullSemantics};
+    use vadasa_core::maybe_match::NullSemantics;
     use vadasa_core::risk::MicrodataView;
 
     fn uniques(db: &MicrodataDb, dict: &MetadataDictionary) -> usize {
         let view = MicrodataView::from_db_with(db, dict, NullSemantics::Standard, None).unwrap();
-        let stats = group_stats(&view.qi_rows, None, NullSemantics::Standard);
+        let stats = view.group_stats_with(None, NullSemantics::Standard);
         stats.count.iter().filter(|&&c| c == 1).count()
     }
 

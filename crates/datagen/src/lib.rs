@@ -22,9 +22,11 @@ pub mod fixtures;
 pub mod generator;
 pub mod households;
 pub mod oracle;
+pub mod scale;
 
 pub use catalog::{by_name, figure6_specs, CATALOG_SEED};
 pub use fixtures::{inflation_growth_fig1, local_suppression_fig5a};
 pub use generator::{generate, DatasetSpec, Regime};
 pub use households::{generate_households, HouseholdSurvey};
 pub use oracle::{IdentityOracle, OracleRecord};
+pub use scale::{generate_scale, ScaleSpec};

@@ -83,14 +83,15 @@ impl IdentityOracle {
 
         let mut records = Vec::new();
         let mut identity_counter = 0u64;
-        for (i, qi) in qi_rows.iter().enumerate() {
+        for i in 0..qi_rows.len() {
+            let qi: Vec<Value> = qi_rows.row(i).into_iter().cloned().collect();
             identity_counter += 1;
             records.push(OracleRecord {
                 id: ids[i].clone(),
                 qi: qi.clone(),
                 identity: format!("IDENT-{identity_counter:08}"),
             });
-            let w = weights.as_ref().map(|w| w[i]).unwrap_or(1.0);
+            let w: f64 = weights.as_ref().map(|w| w[i]).unwrap_or(1.0);
             let lookalikes = ((w.round() as usize).saturating_sub(1)).min(max_lookalikes);
             for _ in 0..lookalikes {
                 identity_counter += 1;

@@ -1,0 +1,252 @@
+//! Streaming million-row generation for the `cycle.scale` benchmarks.
+//!
+//! The Figure 6 generator ([`crate::generator`]) materializes an
+//! intermediate combination table and then takes a frequency pass to
+//! synthesize weights — fine at 100k rows, wasteful at 10^6. This regime
+//! streams rows straight into the [`MicrodataDb`]: equivalence-class sizes
+//! are fixed up front in a small ledger (heavy-tailed, harmonic decay with
+//! a floor of 3), so each row's weight is known analytically and no
+//! whole-table clone or second pass ever happens.
+//!
+//! The risk structure is deliberately simple and *scale-independent*:
+//!
+//! - **heavy classes** — every non-risky row belongs to a class of size
+//!   ≥ 3, so it is safe under k-anonymity with `k = 2`;
+//! - **risky singletons** — `risky` rows (default 256) are each
+//!   sample-unique: they copy a heavy *donor* class on three of the four
+//!   quasi-identifiers and carry a globally unique rare value in the
+//!   first column. Suppressing that one cell maybe-matches the row into
+//!   its donor class, so exactly one suppression defuses each singleton.
+//!
+//! That makes the dataset an honest yardstick for the batched cycle: the
+//! one-tuple path needs `risky` full risk evaluations, while the batched
+//! path clears the same table in a handful of iterations — the work ratio
+//! is the heuristic overhead, not an artifact of the data.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vadalog::Value;
+use vadasa_core::dictionary::{Category, MetadataDictionary};
+use vadasa_core::model::MicrodataDb;
+
+/// Quasi-identifier columns of the scale regime.
+pub const SCALE_QI_NAMES: [&str; 4] = ["Area", "Sector", "Employees", "ResRev"];
+
+/// Distinct base values per quasi-identifier column (prime, so mixed-radix
+/// class digits spread evenly); the combination space is `97^4 ≈ 8.9·10^7`,
+/// far above any realistic class count.
+const CARD: usize = 97;
+
+/// Population look-alikes per sample row in a heavy class.
+const POP_SCALE: usize = 10;
+
+/// A scale-regime specification.
+#[derive(Debug, Clone)]
+pub struct ScaleSpec {
+    /// Total number of rows to stream.
+    pub rows: usize,
+    /// Number of risky sample-unique singletons among them.
+    pub risky: usize,
+    /// Deterministic seed (only the non-identifying payload is random).
+    pub seed: u64,
+}
+
+impl ScaleSpec {
+    /// Default spec: 256 risky singletons (fewer on tiny tables).
+    pub fn new(rows: usize) -> Self {
+        ScaleSpec {
+            rows,
+            risky: 256.min(rows / 64).max(1),
+            seed: 0x5CA1_AB1E,
+        }
+    }
+}
+
+/// Mixed-radix digits of a class index: four column-value indices,
+/// distinct for every `k < CARD^4`. The index is first scrambled by a
+/// multiplier coprime to `CARD^4` (a bijection on the combination space)
+/// so consecutive classes differ in *every* column — without it, classes
+/// 0..96 would all share the last three digits and a suppressed singleton
+/// would maybe-match siblings from other donors.
+fn class_digits(k: usize) -> [usize; 4] {
+    const SPACE: usize = CARD * CARD * CARD * CARD;
+    let k = k.wrapping_mul(48_271) % SPACE;
+    [
+        k % CARD,
+        (k / CARD) % CARD,
+        (k / (CARD * CARD)) % CARD,
+        (k / (CARD * CARD * CARD)) % CARD,
+    ]
+}
+
+/// Stream a heavy-tailed table with `spec.risky` sample-unique rows.
+///
+/// Deterministic for a given spec; runs in O(rows) time and O(classes)
+/// auxiliary memory (the class-size ledger and the per-column value pools).
+pub fn generate_scale(spec: &ScaleSpec) -> (MicrodataDb, MetadataDictionary) {
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x05CA_1E00);
+    let name = format!("S{}k", spec.rows / 1000);
+    let mut attrs: Vec<String> = vec!["Id".to_string()];
+    attrs.extend(SCALE_QI_NAMES.iter().map(|n| n.to_string()));
+    attrs.push("Growth".to_string());
+    attrs.push("Weight".to_string());
+    let mut db = MicrodataDb::new(&name, attrs).expect("unique attr names");
+
+    // class ledger: harmonic sizes with a floor of 3, absorbing the tail
+    // so no heavy class ends up accidentally risky
+    let normal_rows = spec.rows.saturating_sub(spec.risky);
+    let base = (normal_rows / 20).max(3);
+    let mut class_sizes: Vec<usize> = Vec::new();
+    let mut remaining = normal_rows;
+    while remaining > 0 {
+        let mut size = (base / (class_sizes.len() + 1)).max(3);
+        if size + 3 > remaining {
+            size = remaining;
+        }
+        class_sizes.push(size);
+        remaining -= size;
+    }
+
+    // per-column value pools, cloned per cell (no per-row formatting)
+    let pools: Vec<Vec<Value>> = SCALE_QI_NAMES
+        .iter()
+        .map(|col| {
+            (0..CARD)
+                .map(|d| Value::str(format!("{col}-{d}")))
+                .collect()
+        })
+        .collect();
+
+    let risky_interval = (spec.rows / spec.risky.max(1)).max(1);
+    let mut risky_emitted = 0usize;
+    let mut row_id = 0usize;
+    for (class, &size) in class_sizes.iter().enumerate() {
+        let digits = class_digits(class);
+        for _ in 0..size {
+            let mut row: Vec<Value> = Vec::with_capacity(7);
+            row.push(Value::Int(100_000 + row_id as i64));
+            for (c, &d) in digits.iter().enumerate() {
+                row.push(pools[c][d].clone());
+            }
+            row.push(Value::Int(rng.gen_range(-30..300)));
+            row.push(Value::Int((size * POP_SCALE) as i64));
+            db.push_row(row).expect("arity matches schema");
+            row_id += 1;
+        }
+        // interleave risky singletons so they are spread through the
+        // stream rather than clustered at the end
+        while risky_emitted < spec.risky
+            && (row_id + risky_emitted) >= (risky_emitted + 1) * risky_interval
+        {
+            let donor = risky_emitted % class_sizes.len();
+            let digits = class_digits(donor);
+            let mut row: Vec<Value> = Vec::with_capacity(7);
+            row.push(Value::Int(900_000_000 + risky_emitted as i64));
+            row.push(Value::str(format!("Rare-{risky_emitted}")));
+            for (c, &d) in digits.iter().enumerate().skip(1) {
+                row.push(pools[c][d].clone());
+            }
+            row.push(Value::Int(0));
+            row.push(Value::Int(1));
+            db.push_row(row).expect("arity matches schema");
+            risky_emitted += 1;
+        }
+    }
+    // any singletons the interleaving did not reach (tiny tables)
+    while risky_emitted < spec.risky {
+        let donor = risky_emitted % class_sizes.len().max(1);
+        let digits = class_digits(donor);
+        let mut row: Vec<Value> = Vec::with_capacity(7);
+        row.push(Value::Int(900_000_000 + risky_emitted as i64));
+        row.push(Value::str(format!("Rare-{risky_emitted}")));
+        for (c, &d) in digits.iter().enumerate().skip(1) {
+            row.push(pools[c][d].clone());
+        }
+        row.push(Value::Int(0));
+        row.push(Value::Int(1));
+        db.push_row(row).expect("arity matches schema");
+        risky_emitted += 1;
+    }
+
+    let mut dict = MetadataDictionary::new();
+    dict.register_attr(&name, "Id", "Synthetic company identifier");
+    dict.set_category(&name, "Id", Category::Identifier)
+        .expect("registered");
+    for col in SCALE_QI_NAMES {
+        dict.register_attr(&name, col, "Synthetic survey attribute");
+        dict.set_category(&name, col, Category::QuasiIdentifier)
+            .expect("registered");
+    }
+    dict.register_attr(&name, "Growth", "Revenue growth, last 6 months");
+    dict.set_category(&name, "Growth", Category::NonIdentifying)
+        .expect("registered");
+    dict.register_attr(&name, "Weight", "Sampling weight");
+    dict.set_category(&name, "Weight", Category::Weight)
+        .expect("registered");
+
+    (db, dict)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vadasa_core::maybe_match::NullSemantics;
+    use vadasa_core::prelude::*;
+    use vadasa_core::risk::MicrodataView;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = ScaleSpec::new(5_000);
+        let (a, _) = generate_scale(&spec);
+        let (b, _) = generate_scale(&spec);
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            assert_eq!(a.row(i).unwrap(), b.row(i).unwrap());
+        }
+    }
+
+    #[test]
+    fn sample_uniques_are_exactly_the_risky_singletons() {
+        let spec = ScaleSpec {
+            rows: 20_000,
+            risky: 16,
+            seed: 1,
+        };
+        let (db, dict) = generate_scale(&spec);
+        assert_eq!(db.len(), 20_000);
+        let view = MicrodataView::from_db_with(&db, &dict, NullSemantics::Standard, None).unwrap();
+        let stats = view.group_stats_with(None, NullSemantics::Standard);
+        let uniques = stats.count.iter().filter(|&&c| c == 1).count();
+        assert_eq!(uniques, 16);
+        // every non-risky row sits in a class of size >= 3
+        assert!(stats.count.iter().all(|&c| c == 1 || c >= 3));
+    }
+
+    #[test]
+    fn weights_are_integral_and_positive() {
+        let (db, _) = generate_scale(&ScaleSpec::new(3_000));
+        let w = db.numeric_column("Weight").unwrap();
+        assert!(w.iter().all(|&x| x >= 1.0 && x.fract() == 0.0));
+    }
+
+    #[test]
+    fn one_suppression_defuses_each_singleton() {
+        let spec = ScaleSpec {
+            rows: 5_000,
+            risky: 8,
+            seed: 2,
+        };
+        let (db, dict) = generate_scale(&spec);
+        let risk = KAnonymity::new(2);
+        let anonymizer = LocalSuppression::new(AttributeOrder::SchemaOrder);
+        let config = CycleConfig {
+            threshold: 0.5,
+            ..CycleConfig::default()
+        };
+        let outcome = AnonymizationCycle::new(&risk, &anonymizer, config)
+            .run(&db, &dict)
+            .unwrap();
+        assert_eq!(outcome.final_risky, 0);
+        assert_eq!(outcome.nulls_injected, 8, "one suppression per singleton");
+    }
+}

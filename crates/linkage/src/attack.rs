@@ -10,6 +10,7 @@
 //! risk measures: anonymization should push success probabilities down.
 
 use crate::blocking::BlockingIndex;
+use vadalog::Value;
 use vadasa_core::dictionary::MetadataDictionary;
 use vadasa_core::model::MicrodataDb;
 use vadasa_core::risk::RiskError;
@@ -72,9 +73,10 @@ pub fn attack(
     let mut total_success = 0.0f64;
     let mut certain = 0usize;
 
-    for (row, target) in qi_rows.iter().enumerate() {
-        let block = index.candidates(target);
-        let respondent_inside = block.iter().any(|&i| oracle.records[i].id == ids[row]);
+    for (row, target) in qi_rows.iter_rows().enumerate() {
+        let target: Vec<Value> = target.into_iter().cloned().collect();
+        let block = index.candidates(&target);
+        let respondent_inside = block.iter().any(|&i| oracle.records[i].id == *ids[row]);
         let success = if respondent_inside && !block.is_empty() {
             1.0 / block.len() as f64
         } else {

@@ -10,6 +10,7 @@
 //! quantify how good the estimate is.
 
 use crate::blocking::BlockingIndex;
+use vadalog::Value;
 use vadasa_core::dictionary::MetadataDictionary;
 use vadasa_core::model::MicrodataDb;
 use vadasa_core::risk::RiskError;
@@ -56,7 +57,13 @@ pub fn kmap(
     let qi_rows = db.project(&qi_names).map_err(RiskError::Model)?;
     let mut index = BlockingIndex::new(oracle);
     Ok(KMapReport {
-        population_frequencies: qi_rows.iter().map(|r| index.candidates(r).len()).collect(),
+        population_frequencies: qi_rows
+            .iter_rows()
+            .map(|r| {
+                let r: Vec<Value> = r.into_iter().cloned().collect();
+                index.candidates(&r).len()
+            })
+            .collect(),
     })
 }
 

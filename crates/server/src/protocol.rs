@@ -142,6 +142,22 @@ fn parse_submit(v: &Json) -> Result<(String, JobSpec), String> {
             other => return Err(format!("unknown granularity {other:?}")),
         };
     }
+    if let Some(b) = v.get("batch").and_then(Json::as_str) {
+        spec.batch = Some(match b {
+            "one-tuple" => vadasa_core::cycle::BatchStrategy::OneTuple,
+            "per-class" => vadasa_core::cycle::BatchStrategy::PerClass,
+            other => match other
+                .strip_prefix("top-")
+                .and_then(|n| n.parse::<usize>().ok())
+            {
+                Some(n) if n > 0 => vadasa_core::cycle::BatchStrategy::TopN(n),
+                _ => return Err(format!("unknown batch strategy {other:?}")),
+            },
+        });
+    }
+    if let Some(n) = v.get("risk_threads").and_then(Json::as_f64) {
+        spec.risk_threads = (n as usize).max(1);
+    }
     if let Some(n) = v.get("snapshot_every").and_then(Json::as_f64) {
         spec.snapshot_every = Some(n as u32);
     }

@@ -18,7 +18,7 @@
 use std::path::Path;
 use std::time::Duration;
 use vadasa_core::categorize::{Categorizer, ExperienceBase};
-use vadasa_core::cycle::{CycleConfig, StepGranularity, TupleOrder};
+use vadasa_core::cycle::{BatchStrategy, CycleConfig, StepGranularity, TupleOrder};
 use vadasa_core::dictionary::{Category, MetadataDictionary};
 use vadasa_core::faults::ServerFault;
 use vadasa_core::io::{read_csv, write_csv};
@@ -131,6 +131,13 @@ pub struct JobSpec {
     pub tuple_order: TupleOrder,
     /// Iteration granularity.
     pub granularity: StepGranularity,
+    /// Batched iteration heuristic (`None` = classic per-granularity
+    /// stepping). Part of the journal fingerprint: recovery resumes a
+    /// job under the exact strategy that wrote its journal.
+    pub batch: Option<BatchStrategy>,
+    /// Risk-evaluation shard count (bit-identical at any value, so it is
+    /// *not* part of the fingerprint and may differ across restarts).
+    pub risk_threads: usize,
     /// Null semantics for risk-group formation.
     pub semantics: NullSemantics,
     /// Iteration cap for the cycle.
@@ -172,6 +179,8 @@ impl JobSpec {
             threshold: 0.5,
             tuple_order: TupleOrder::default(),
             granularity: StepGranularity::default(),
+            batch: None,
+            risk_threads: 1,
             semantics: NullSemantics::default(),
             max_iterations: 10_000,
             deadline: None,
@@ -241,6 +250,8 @@ impl JobSpec {
             threshold: self.threshold,
             tuple_order: self.tuple_order,
             granularity: self.granularity,
+            batch: self.batch,
+            risk_threads: self.risk_threads,
             semantics: self.semantics,
             max_iterations: self.max_iterations,
             deadline: self.deadline,
@@ -291,6 +302,16 @@ impl JobSpec {
                 .into(),
             ),
         ));
+        members.push((
+            "batch".into(),
+            match self.batch {
+                None => Json::Null,
+                Some(BatchStrategy::OneTuple) => Json::Str("one-tuple".into()),
+                Some(BatchStrategy::PerClass) => Json::Str("per-class".into()),
+                Some(BatchStrategy::TopN(n)) => Json::Str(format!("top-{n}")),
+            },
+        ));
+        members.push(("risk_threads".into(), Json::Num(self.risk_threads as f64)));
         members.push((
             "semantics".into(),
             Json::Str(
@@ -366,6 +387,20 @@ impl JobSpec {
             Some("one-tuple") => StepGranularity::OneTuplePerIteration,
             _ => StepGranularity::AllRiskyPerIteration,
         };
+        let batch = match v.get("batch").and_then(Json::as_str) {
+            None => None,
+            Some("one-tuple") => Some(BatchStrategy::OneTuple),
+            Some("per-class") => Some(BatchStrategy::PerClass),
+            Some(s) => match s.strip_prefix("top-").and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) => Some(BatchStrategy::TopN(n)),
+                None => return Err(err(format!("unknown batch strategy {s:?}"))),
+            },
+        };
+        let risk_threads = v
+            .get("risk_threads")
+            .and_then(Json::as_f64)
+            .map(|n| (n as usize).max(1))
+            .unwrap_or(1);
         let semantics = match v.get("semantics").and_then(Json::as_str) {
             Some("standard") => NullSemantics::Standard,
             _ => NullSemantics::MaybeMatch,
@@ -398,6 +433,8 @@ impl JobSpec {
             threshold,
             tuple_order,
             granularity,
+            batch,
+            risk_threads,
             semantics,
             max_iterations,
             deadline,
@@ -572,6 +609,8 @@ mod tests {
         s.threshold = 0.25;
         s.tuple_order = TupleOrder::MostRiskyFirst;
         s.granularity = StepGranularity::OneTuplePerIteration;
+        s.batch = Some(BatchStrategy::TopN(64));
+        s.risk_threads = 4;
         s.semantics = NullSemantics::Standard;
         s.max_iterations = 77;
         s.deadline = Some(Duration::from_millis(1500));
@@ -587,6 +626,8 @@ mod tests {
         assert_eq!(back.threshold, s.threshold);
         assert_eq!(back.tuple_order, s.tuple_order);
         assert_eq!(back.granularity, s.granularity);
+        assert_eq!(back.batch, s.batch);
+        assert_eq!(back.risk_threads, s.risk_threads);
         assert_eq!(back.semantics, s.semantics);
         assert_eq!(back.max_iterations, s.max_iterations);
         assert_eq!(back.deadline, s.deadline);

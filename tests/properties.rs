@@ -63,15 +63,17 @@ proptest! {
         col in 0usize..3,
     ) {
         let target = target % rows.len();
-        let view_before = MicrodataView {
-            qi_names: vec!["a".into(), "b".into(), "c".into()],
-            qi_rows: rows.clone(),
-            weights: None,
-            semantics: NullSemantics::MaybeMatch,
-        };
+        let qi_names: Vec<String> = vec!["a".into(), "b".into(), "c".into()];
+        let view_before = MicrodataView::from_rows(
+            qi_names.clone(),
+            rows.clone(),
+            None,
+            NullSemantics::MaybeMatch,
+        );
         let mut after_rows = rows.clone();
         after_rows[target][col] = Value::Null(99);
-        let view_after = MicrodataView { qi_rows: after_rows, ..view_before.clone() };
+        let view_after =
+            MicrodataView::from_rows(qi_names, after_rows, None, NullSemantics::MaybeMatch);
 
         let before = KAnonymity::new(2).evaluate(&view_before).unwrap();
         let after = KAnonymity::new(2).evaluate(&view_after).unwrap();
@@ -89,12 +91,12 @@ proptest! {
     #[test]
     fn msus_are_sound_and_minimal(rows in qi_table(14, 4, false)) {
         use vadasa_core::maybe_match::group_stats_on;
-        let view = MicrodataView {
-            qi_names: (0..4).map(|i| format!("q{i}")).collect(),
-            qi_rows: rows.clone(),
-            weights: None,
-            semantics: NullSemantics::Standard,
-        };
+        let view = MicrodataView::from_rows(
+            (0..4).map(|i| format!("q{i}")).collect(),
+            rows.clone(),
+            None,
+            NullSemantics::Standard,
+        );
         let msus = minimal_sample_uniques(&view, None);
         for (row, set) in msus.iter().enumerate() {
             for &mask in &set.masks {
@@ -116,12 +118,12 @@ proptest! {
     /// has at least one MSU.
     #[test]
     fn unique_rows_have_an_msu(rows in qi_table(14, 3, false)) {
-        let view = MicrodataView {
-            qi_names: (0..3).map(|i| format!("q{i}")).collect(),
-            qi_rows: rows.clone(),
-            weights: None,
-            semantics: NullSemantics::Standard,
-        };
+        let view = MicrodataView::from_rows(
+            (0..3).map(|i| format!("q{i}")).collect(),
+            rows.clone(),
+            None,
+            NullSemantics::Standard,
+        );
         let stats = group_stats(&rows, None, NullSemantics::Standard);
         let msus = minimal_sample_uniques(&view, None);
         for (i, &c) in stats.count.iter().enumerate() {
@@ -231,12 +233,12 @@ proptest! {
     #[test]
     fn presence_risk_bounds(weights in proptest::collection::vec(1.0f64..100.0, 1..20)) {
         let rows: Vec<Vec<Value>> = weights.iter().map(|_| vec![Value::str("same")]).collect();
-        let view = MicrodataView {
-            qi_names: vec!["q".into()],
-            qi_rows: rows,
-            weights: Some(weights.clone()),
-            semantics: NullSemantics::MaybeMatch,
-        };
+        let view = MicrodataView::from_rows(
+            vec!["q".into()],
+            rows,
+            Some(weights.clone()),
+            NullSemantics::MaybeMatch,
+        );
         let report = PresenceRisk.evaluate(&view).unwrap();
         let total: f64 = weights.iter().sum();
         for (r, w) in report.risks.iter().zip(weights.iter()) {
