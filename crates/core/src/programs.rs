@@ -381,6 +381,31 @@ pub struct DeclarativeCycleOutcome {
     /// The anonymized quasi-identifier table: per row, `(attr, value)`
     /// pairs where suppressed cells hold labelled nulls.
     pub anonymized_rows: Vec<Vec<(String, Value)>>,
+    /// Risk evaluations answered goal-directed (magic-sets restricted to
+    /// the rows whose groups last suppression touched).
+    pub goal_evals: usize,
+    /// Risk evaluations over the full program (the first iteration is
+    /// always one; magic refusals add more).
+    pub full_evals: usize,
+    /// Goal-directed evaluations where the rewrite refused and the cycle
+    /// fell back, documented-cold, to a full evaluation.
+    pub goal_fallbacks: usize,
+}
+
+/// Options for [`run_declarative_cycle_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeclarativeCycleOptions {
+    /// After the first full risk evaluation, answer subsequent rounds'
+    /// risk queries goal-directed: only rows whose quasi-identifier group
+    /// was touched by the previous suppression are re-evaluated (their
+    /// old group lost members, their new group gained them); every other
+    /// row keeps its previous risk, which is sound because its group is
+    /// unchanged. The goal set is closed under group equality by
+    /// construction, so the magic rewrite runs with
+    /// [`vadalog::MagicOptions::closed_groups`] and aggregate groups stay
+    /// complete. Results are bit-identical with the full evaluation; the
+    /// cycle falls back cold whenever the rewrite refuses.
+    pub goal_directed: bool,
 }
 
 /// The anonymization cycle exactly as Algorithm 2 stages it: risk
@@ -406,6 +431,24 @@ pub fn run_declarative_cycle(
     k: usize,
     max_iterations: usize,
 ) -> Result<DeclarativeCycleOutcome, ProgramError> {
+    run_declarative_cycle_with(
+        db,
+        dict,
+        k,
+        max_iterations,
+        DeclarativeCycleOptions::default(),
+    )
+}
+
+/// [`run_declarative_cycle`] with explicit options — see
+/// [`DeclarativeCycleOptions::goal_directed`] for the warm-start path.
+pub fn run_declarative_cycle_with(
+    db: &MicrodataDb,
+    dict: &MetadataDictionary,
+    k: usize,
+    max_iterations: usize,
+    options: DeclarativeCycleOptions,
+) -> Result<DeclarativeCycleOutcome, ProgramError> {
     use crate::maybe_match::{group_stats, NullSemantics};
 
     let qi_names = dict
@@ -423,12 +466,22 @@ pub fn run_declarative_cycle(
     let m = Value::str(&db.name);
     let mut nulls_injected = 0usize;
     let mut iterations = 0usize;
+    let mut goal_evals = 0usize;
+    let mut full_evals = 0usize;
+    let mut goal_fallbacks = 0usize;
 
     let risk_program = parse_program(&format!("{}{}", ALG2_TUPLE_REIFICATION, alg4_kanonymity(k)))?;
     let suppress_program = parse_program(&format!(
         "{}{}",
         ALG2_TUPLE_REIFICATION, ALG7_LOCAL_SUPPRESSION
     ))?;
+
+    // Engine risks carry over between rounds so the goal-directed path
+    // can update only the rows whose groups changed.
+    let mut risks = vec![0.0f64; rows.len()];
+    // Rows whose risk must be re-derived this round; `None` means all
+    // (the first round, goal-directed off, or a magic fallback).
+    let mut pending_goals: Option<std::collections::BTreeSet<usize>> = None;
 
     loop {
         // --- extensional component from the current state ---
@@ -454,13 +507,72 @@ pub fn run_declarative_cycle(
         // The engine groups VSets by equality; the maybe-match widening is
         // applied on the host side over the reified rows, exactly like the
         // =⊥ grouping semantics of §4.3 extends plain equality.
-        let result = Engine::new().run(&risk_program, facts.clone())?;
-        let mut risks = vec![0.0f64; rows.len()];
-        for r in result.db.rows("riskOutput") {
-            if let (Some(Value::Int(i)), Some(v)) = (r.first(), r.get(1)) {
-                if let Some(x) = v.as_f64() {
-                    risks[*i as usize] = x;
+        fn apply_risks(db: &Database, risks: &mut [f64]) {
+            for r in db.rows("riskOutput") {
+                if let (Some(Value::Int(i)), Some(v)) = (r.first(), r.get(1)) {
+                    if let Some(x) = v.as_f64() {
+                        if let Some(slot) = risks.get_mut(*i as usize) {
+                            *slot = x;
+                        }
+                    }
                 }
+            }
+        }
+        match &pending_goals {
+            Some(goal_rows) => {
+                // Goal-directed warm round: derive risk only for the rows
+                // whose groups the last suppression touched. Every other
+                // row's group — and therefore its engine risk — is
+                // unchanged and carried over.
+                let goals: Vec<vadalog::Atom> = goal_rows
+                    .iter()
+                    .map(|&i| {
+                        vadalog::Atom::new(
+                            "riskOutput",
+                            vec![
+                                vadalog::Term::Const(Value::Int(i as i64)),
+                                vadalog::Term::Var("R".to_string()),
+                            ],
+                        )
+                    })
+                    .collect();
+                let run = Engine::new().run_with_goals(
+                    &risk_program,
+                    facts.clone(),
+                    &goals,
+                    vadalog::MagicOptions {
+                        closed_groups: true,
+                    },
+                )?;
+                if run.magic.applied {
+                    goal_evals += 1;
+                    for &i in goal_rows {
+                        risks[i] = 0.0;
+                    }
+                    for r in run.result.db.rows("riskOutput") {
+                        if let (Some(Value::Int(i)), Some(v)) = (r.first(), r.get(1)) {
+                            if goal_rows.contains(&(*i as usize)) {
+                                if let Some(x) = v.as_f64() {
+                                    risks[*i as usize] = x;
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    // Documented cold fallback: the rewrite could not
+                    // promise the goal slice, and the engine already ran
+                    // the full program in its place.
+                    goal_fallbacks += usize::from(run.magic.fallback.is_some());
+                    full_evals += 1;
+                    risks.fill(0.0);
+                    apply_risks(&run.result.db, &mut risks);
+                }
+            }
+            None => {
+                full_evals += 1;
+                let result = Engine::new().run(&risk_program, facts.clone())?;
+                risks.fill(0.0);
+                apply_risks(&result.db, &mut risks);
             }
         }
         // maybe-match correction: a tuple the engine flags may still reach
@@ -488,10 +600,22 @@ pub fn run_declarative_cycle(
                 nulls_injected,
                 final_risks: risks,
                 anonymized_rows: rows,
+                goal_evals,
+                full_evals,
+                goal_fallbacks,
             });
         }
 
         // --- #anonymize: assert the trigger facts, let Algorithm 7 chase ---
+        // Remember the flagged rows' pre-suppression signatures: their old
+        // groups lose a member, so those groups must be re-evaluated too.
+        let old_sigs: Option<std::collections::BTreeSet<Vec<Value>>> =
+            options.goal_directed.then(|| {
+                risky
+                    .iter()
+                    .map(|&i| rows[i].iter().map(|(_, v)| v.clone()).collect())
+                    .collect()
+            });
         let mut supp_facts = facts;
         for &i in &risky {
             supp_facts.insert("anonymize", vec![Value::Int(i as i64)]);
@@ -545,6 +669,28 @@ pub fn run_declarative_cycle(
                     }
                 }
             }
+        }
+
+        if let Some(mut touched) = old_sigs {
+            // The next round only needs the rows living in a touched
+            // group: the suppressed rows' old groups (lost members) and
+            // their new groups (gained members). Membership is a
+            // predicate of the row's *current* signature, so the set is
+            // closed under group equality — the precondition for
+            // `closed_groups` above.
+            for &i in &risky {
+                touched.insert(rows[i].iter().map(|(_, v)| v.clone()).collect());
+            }
+            pending_goals = Some(
+                rows.iter()
+                    .enumerate()
+                    .filter(|(_, row)| {
+                        let sig: Vec<Value> = row.iter().map(|(_, v)| v.clone()).collect();
+                        touched.contains(&sig)
+                    })
+                    .map(|(i, _)| i)
+                    .collect(),
+            );
         }
         iterations += 1;
     }
@@ -718,6 +864,36 @@ mod tests {
         .run(&db, &dict)
         .unwrap();
         assert_eq!(declarative.nulls_injected, native.nulls_injected);
+    }
+
+    #[test]
+    fn goal_directed_cycle_is_bit_identical_to_full_cycle() {
+        // The tentpole equivalence: goal-directed warm rounds must leave
+        // no observable trace — risks, released rows, iteration count and
+        // null count all match the full evaluation exactly.
+        let (db, dict) = fig5();
+        let full = run_declarative_cycle(&db, &dict, 2, 20).unwrap();
+        let goal = run_declarative_cycle_with(
+            &db,
+            &dict,
+            2,
+            20,
+            DeclarativeCycleOptions {
+                goal_directed: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(goal.iterations, full.iterations);
+        assert_eq!(goal.nulls_injected, full.nulls_injected);
+        assert_eq!(goal.final_risks, full.final_risks, "bit-identical risks");
+        assert_eq!(goal.anonymized_rows, full.anonymized_rows);
+        // and it actually took the warm path: one full eval up front,
+        // goal-directed rounds after (no refusals on ALG2+ALG4)
+        assert_eq!(goal.full_evals, 1);
+        assert!(goal.goal_evals >= 1, "outcome: {goal:?}");
+        assert_eq!(goal.goal_fallbacks, 0);
+        assert_eq!(full.goal_evals, 0);
+        assert_eq!(full.full_evals, full.iterations + 1);
     }
 
     #[test]

@@ -27,6 +27,15 @@
 //!   --reference-join     use the reference nested-loop evaluator instead
 //!                        of planned, hash-indexed joins (for debugging
 //!                        and baseline timing)
+//!   --goal ATOM          goal-directed evaluation (repeatable): rewrite
+//!                        the program with magic sets so only facts
+//!                        relevant to the goal are derived; constants are
+//!                        bound positions, `?` marks a free one, e.g.
+//!                        --goal 'path(1, ?)'. Output is restricted to
+//!                        the goal predicates, filtered to the goal slice
+//!                        — identical to the full run's answers
+//!   --no-magic           with --goal: answer the goals from a full
+//!                        (unrewritten) run — the correctness baseline
 //! ```
 //!
 //! Budgets degrade gracefully: the run still exits 0 and prints whatever
@@ -60,7 +69,7 @@ use vadalog::{
 
 fn usage() -> ! {
     eprintln!(
-        "usage: vadalog PROGRAM.vada [FACTS.vada ...] [--output PRED]... [--trace] [--warded] [--stats] [--profile] [--profile-json PATH] [--trace-out PATH] [--collapsed-out PATH] [--deadline-ms N] [--max-facts N] [--threads N] [--reference-join]"
+        "usage: vadalog PROGRAM.vada [FACTS.vada ...] [--output PRED]... [--trace] [--warded] [--stats] [--profile] [--profile-json PATH] [--trace-out PATH] [--collapsed-out PATH] [--deadline-ms N] [--max-facts N] [--threads N] [--reference-join] [--goal ATOM]... [--no-magic]"
     );
     std::process::exit(2);
 }
@@ -78,6 +87,8 @@ fn main() -> ExitCode {
     let mut budget = Budget::unlimited();
     let mut threads = 1usize;
     let mut join_mode = JoinMode::Indexed;
+    let mut goal_specs: Vec<String> = Vec::new();
+    let mut no_magic = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -115,6 +126,11 @@ fn main() -> ExitCode {
                 _ => usage(),
             },
             "--reference-join" => join_mode = JoinMode::Reference,
+            "--goal" => match args.next() {
+                Some(g) => goal_specs.push(g),
+                None => usage(),
+            },
+            "--no-magic" => no_magic = true,
             "--help" | "-h" => usage(),
             other if other.starts_with("--") => {
                 eprintln!("unknown option {other}");
@@ -198,7 +214,34 @@ fn main() -> ExitCode {
         join_mode,
         ..Default::default()
     });
-    let result = match engine.run(&program, Database::new()) {
+    let mut goals: Vec<vadalog::Atom> = Vec::new();
+    for spec in &goal_specs {
+        match vadalog::parse_goal(spec) {
+            Ok(g) => goals.push(g),
+            Err(e) => {
+                eprintln!("invalid --goal '{spec}': {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut magic_report: Option<vadalog::MagicReport> = None;
+    let run_outcome = if goals.is_empty() || no_magic {
+        engine.run(&program, Database::new())
+    } else {
+        engine
+            .run_with_goals(
+                &program,
+                Database::new(),
+                &goals,
+                vadalog::MagicOptions::default(),
+            )
+            .map(|gr| {
+                magic_report = Some(gr.magic);
+                gr.result
+            })
+    };
+    let result = match run_outcome {
         Ok(r) => r,
         Err(e) => {
             eprintln!("evaluation failed: {e}");
@@ -258,26 +301,69 @@ fn main() -> ExitCode {
         }
     }
 
-    // default outputs: all head predicates
-    let outputs: BTreeSet<String> = if outputs.is_empty() {
-        program
-            .rules
-            .iter()
-            .filter_map(|r| match &r.head {
-                Head::Atoms(atoms) => Some(atoms.iter().map(|a| a.pred.clone())),
-                Head::Equality(_, _) => None,
-            })
-            .flatten()
-            .collect()
-    } else {
-        outputs.into_iter().collect()
-    };
+    if let Some(report) = &magic_report {
+        if report.applied {
+            println!(
+                "% magic: applied — {} goal seed(s), {} guarded rule(s), {} seed rule(s), {} rule(s) pruned",
+                report.stats.goal_seeds,
+                report.stats.guarded_rules,
+                report.stats.seed_rules,
+                report.stats.pruned_rules
+            );
+        } else if report.degenerate {
+            println!("% magic: degenerate goal (no bound argument) — full evaluation");
+        } else if let Some(reason) = &report.fallback {
+            println!("% magic: fell back to full evaluation — {reason}");
+        }
+    }
 
-    for pred in &outputs {
-        let mut rows = result.db.rows(pred);
-        rows.sort();
-        for row in rows {
-            println!("{}", Fact::new(pred.clone(), row));
+    if !goals.is_empty() {
+        // Goal-directed output: the goal slices, identically whether the
+        // rewrite ran (--goal) or not (--goal --no-magic). An explicit
+        // --output list narrows which goal predicates are shown.
+        let show: BTreeSet<String> = if outputs.is_empty() {
+            goals.iter().map(|g| g.pred.clone()).collect()
+        } else {
+            outputs.into_iter().collect()
+        };
+        let mut rows_by_pred: std::collections::BTreeMap<String, BTreeSet<Vec<vadalog::Value>>> =
+            Default::default();
+        for goal in &goals {
+            if !show.contains(&goal.pred) {
+                continue;
+            }
+            rows_by_pred
+                .entry(goal.pred.clone())
+                .or_default()
+                .extend(vadalog::goal_slice(&result.db, goal));
+        }
+        for (pred, rows) in &rows_by_pred {
+            for row in rows {
+                println!("{}", Fact::new(pred.clone(), row.clone()));
+            }
+        }
+    } else {
+        // default outputs: all head predicates
+        let outputs: BTreeSet<String> = if outputs.is_empty() {
+            program
+                .rules
+                .iter()
+                .filter_map(|r| match &r.head {
+                    Head::Atoms(atoms) => Some(atoms.iter().map(|a| a.pred.clone())),
+                    Head::Equality(_, _) => None,
+                })
+                .flatten()
+                .collect()
+        } else {
+            outputs.into_iter().collect()
+        };
+
+        for pred in &outputs {
+            let mut rows = result.db.rows(pred);
+            rows.sort();
+            for row in rows {
+                println!("{}", Fact::new(pred.clone(), row));
+            }
         }
     }
 

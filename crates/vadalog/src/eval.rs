@@ -327,6 +327,38 @@ pub struct ReasoningResult {
     pub termination: Termination,
 }
 
+/// How a goal-directed run ([`Engine::run_with_goals`]) handled its
+/// goals: rewritten, degenerate, or fallen back to the full program.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MagicReport {
+    /// The magic-sets rewrite was applied: only goal-relevant facts were
+    /// derived and the `magic#…` scaffolding was stripped afterwards.
+    pub applied: bool,
+    /// No goal carried a bound argument on a derived predicate, so the
+    /// original program ran byte for byte.
+    pub degenerate: bool,
+    /// The rewrite refused (or the rewritten program failed to
+    /// stratify): the soundness argument, with the full program run in
+    /// its place.
+    pub fallback: Option<String>,
+    /// What the rewrite did, when applied.
+    pub stats: crate::magic::MagicStats,
+}
+
+/// Result of [`Engine::run_with_goals`]: the reasoning result plus how
+/// the magic machinery behaved.
+#[derive(Debug)]
+pub struct GoalRun {
+    /// The reasoning result. When the rewrite applied, the goal
+    /// predicates hold a *superset* of the goal slice of the full
+    /// fixpoint (magic sets widen transitively); filter by the goal
+    /// constants (see [`crate::query::goal_slice`]) before comparing
+    /// against a full run.
+    pub result: ReasoningResult,
+    /// What the goal-directed machinery did.
+    pub magic: MagicReport,
+}
+
 /// Result of a warm-start re-evaluation pass (see [`Engine::run_warm`]):
 /// the incremental statistics/profile of the pass, not cumulative totals.
 #[derive(Debug)]
@@ -503,6 +535,93 @@ impl Engine {
             profile,
             trace,
             termination,
+        })
+    }
+
+    /// Goal-directed run: rewrite `program` with magic sets for `goals`
+    /// (see [`crate::magic`]) and evaluate the restricted program, so
+    /// only goal-relevant facts are ever derived.
+    ///
+    /// The contract mirrors the rewrite's: when the rewrite applies, the
+    /// goal predicates hold a superset of the goal slice of the full
+    /// fixpoint and every fact in them is a fact of the full fixpoint.
+    /// When the goals are degenerate (no bound argument on a derived
+    /// predicate) the original program runs byte for byte. When the
+    /// rewrite refuses — or the rewritten program unexpectedly fails
+    /// stratification — the engine falls back to the full program,
+    /// counts a `magic_fallbacks` in the profile and records the reason
+    /// in [`MagicReport::fallback`]; it never silently under-derives.
+    /// The `magic#…` scaffolding relations are stripped from the result
+    /// before it is returned.
+    pub fn run_with_goals(
+        &self,
+        program: &Program,
+        db: Database,
+        goals: &[Atom],
+        options: crate::magic::MagicOptions,
+    ) -> Result<GoalRun, EngineError> {
+        use crate::magic::{is_magic_pred, rewrite, MagicRewrite};
+
+        let (rewritten, stats) = match rewrite(program, goals, options) {
+            Ok(MagicRewrite::Degenerate) => {
+                let result = self.run(program, db)?;
+                return Ok(GoalRun {
+                    result,
+                    magic: MagicReport {
+                        degenerate: true,
+                        ..MagicReport::default()
+                    },
+                });
+            }
+            Ok(MagicRewrite::Rewritten { program, stats }) => (program, stats),
+            Err(refusal) => {
+                let mut result = self.run(program, db)?;
+                result.profile.magic_fallbacks += 1;
+                return Ok(GoalRun {
+                    result,
+                    magic: MagicReport {
+                        fallback: Some(refusal.reason),
+                        ..MagicReport::default()
+                    },
+                });
+            }
+        };
+        // The rewrite preserves stratifiability on its supported
+        // fragment; a failure here means a blind spot in the analysis,
+        // so fall back to the (known-stratified) full program rather
+        // than erroring out of a sound query.
+        if let Err(e) = stratify(&rewritten) {
+            let mut result = self.run(program, db)?;
+            result.profile.magic_fallbacks += 1;
+            return Ok(GoalRun {
+                result,
+                magic: MagicReport {
+                    fallback: Some(format!("rewritten program does not stratify: {e}")),
+                    ..MagicReport::default()
+                },
+            });
+        }
+        let mut result = self.run(&rewritten, db)?;
+        let scaffolding: Vec<String> = result
+            .db
+            .relation_names()
+            .filter(|p| is_magic_pred(p))
+            .map(|p| p.to_string())
+            .collect();
+        for pred in scaffolding {
+            result.db.remove_relation(&pred);
+        }
+        result.profile.magic_goal_seeds = stats.goal_seeds;
+        result.profile.magic_guarded_rules = stats.guarded_rules;
+        result.profile.magic_seed_rules = stats.seed_rules;
+        result.profile.magic_pruned_rules = stats.pruned_rules;
+        Ok(GoalRun {
+            result,
+            magic: MagicReport {
+                applied: true,
+                stats,
+                ..MagicReport::default()
+            },
         })
     }
 
@@ -794,6 +913,13 @@ impl Engine {
             if self.config.join_mode == JoinMode::Indexed {
                 for (plan_set, &(_, rule)) in plans.iter().zip(rules) {
                     for plan in plan_set {
+                        if plan.dead {
+                            // Semi-join prune: the plan reads an empty
+                            // relation and cannot bind; skip its index
+                            // builds here and its joins in phase 2.
+                            profile.planner_prunes += 1;
+                            continue;
+                        }
                         if plan.reordered {
                             profile.planner_reorders += 1;
                         }
@@ -1057,6 +1183,11 @@ impl Engine {
             let mut counters = JoinCounters::default();
             let mut bindings = Vec::new();
             for plan in plans {
+                if plan.dead {
+                    // Pruned in planning: an empty input relation makes
+                    // this pass vacuous.
+                    continue;
+                }
                 let mut binding = Binding::new();
                 self.join_step(
                     rule,
@@ -1331,6 +1462,12 @@ impl Engine {
         } else {
             plan_rule(rule, db, None, 0)
         };
+        if plan.dead {
+            // Semi-join prune: some positive literal reads an empty
+            // relation, so there are no bindings to enumerate.
+            profile.planner_prunes += 1;
+            return Ok(Vec::new());
+        }
         if plan.reordered {
             profile.planner_reorders += 1;
         }
@@ -1954,6 +2091,115 @@ mod tests {
              path(X, Y) :- edge(X, Y).\n\
              path(X, Y) :- edge(X, Z), path(Z, Y).");
         assert_eq!(r.db.rows("path").len(), 6);
+    }
+
+    #[test]
+    fn goal_run_restricts_derivation_and_strips_scaffolding() {
+        let p = parse_program(
+            "edge(1, 2). edge(2, 3). edge(10, 11). edge(11, 12).\n\
+             path(X, Y) :- edge(X, Y).\n\
+             path(X, Z) :- edge(X, Y), path(Y, Z).",
+        )
+        .unwrap();
+        let goal = crate::parser::parse_rule("g() :- path(1, Y).").unwrap();
+        let Literal::Pos(goal_atom) = goal.body[0].clone() else {
+            unreachable!()
+        };
+        let out = Engine::new()
+            .run_with_goals(
+                &p,
+                Database::new(),
+                &[goal_atom],
+                crate::magic::MagicOptions::default(),
+            )
+            .unwrap();
+        assert!(out.magic.applied);
+        assert_eq!(out.magic.fallback, None);
+        // Only the component reachable from node 1 is derived.
+        let mut paths = out.result.db.rows("path");
+        paths.sort();
+        assert_eq!(
+            paths,
+            vec![
+                vec![Value::Int(1), Value::Int(2)],
+                vec![Value::Int(1), Value::Int(3)],
+                vec![Value::Int(2), Value::Int(3)],
+            ]
+        );
+        // magic# relations are stripped before the result is returned
+        assert!(out
+            .result
+            .db
+            .relation_names()
+            .all(|p| !crate::magic::is_magic_pred(p)));
+        assert!(out.result.profile.magic_goal_seeds > 0);
+    }
+
+    #[test]
+    fn goal_run_falls_back_on_refusal_and_matches_full_run() {
+        // `r` feeds the goal predicate while reading it with no bound
+        // argument, so the rewrite refuses; the fallback must equal the
+        // plain run.
+        let src = "e(1, 2). e(2, 3).\n\
+             p(X, Y) :- e(X, Y).\n\
+             p(X, Z) :- p(X, Y), r(Y, Z).\n\
+             r(Y, Z) :- p(U, V), e(Y, Z).";
+        let p = parse_program(src).unwrap();
+        let goal = crate::parser::parse_rule("g() :- p(1, Y).").unwrap();
+        let Literal::Pos(goal_atom) = goal.body[0].clone() else {
+            unreachable!()
+        };
+        let out = Engine::new()
+            .run_with_goals(
+                &p,
+                Database::new(),
+                &[goal_atom],
+                crate::magic::MagicOptions::default(),
+            )
+            .unwrap();
+        assert!(!out.magic.applied);
+        assert!(out.magic.fallback.is_some());
+        assert_eq!(out.result.profile.magic_fallbacks, 1);
+        let full = run(src);
+        assert_eq!(out.result.db.rows("p"), full.db.rows("p"));
+        assert_eq!(out.result.db.rows("r"), full.db.rows("r"));
+    }
+
+    #[test]
+    fn unbound_goal_runs_the_original_program() {
+        let src = "e(1, 2).\n\
+             t(X, Y) :- e(X, Y).";
+        let p = parse_program(src).unwrap();
+        let goal = crate::parser::parse_rule("g() :- t(X, Y).").unwrap();
+        let Literal::Pos(goal_atom) = goal.body[0].clone() else {
+            unreachable!()
+        };
+        let out = Engine::new()
+            .run_with_goals(
+                &p,
+                Database::new(),
+                &[goal_atom],
+                crate::magic::MagicOptions::default(),
+            )
+            .unwrap();
+        assert!(out.magic.degenerate);
+        assert!(!out.magic.applied);
+        let full = run(src);
+        assert_eq!(out.result.db.rows("t"), full.db.rows("t"));
+        assert_eq!(out.result.profile.magic_fallbacks, 0);
+    }
+
+    #[test]
+    fn empty_input_relation_prunes_plans() {
+        // `q` never receives rows, so every round's plan for the second
+        // rule is dead and must be counted as a planner prune.
+        let r = run("e(1, 2). e(2, 3).\n\
+             t(X, Y) :- e(X, Y).\n\
+             dead(X) :- e(X, Y), q(Y).");
+        assert!(r.db.rows("q").is_empty());
+        assert!(r.db.rows("dead").is_empty());
+        assert_eq!(r.db.rows("t").len(), 2);
+        assert!(r.profile.planner_prunes > 0);
     }
 
     #[test]

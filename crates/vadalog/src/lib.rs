@@ -43,6 +43,7 @@ pub mod builtins;
 pub mod eval;
 pub mod governor;
 pub mod intern;
+pub mod magic;
 pub mod module;
 pub mod parser;
 pub mod plan;
@@ -62,20 +63,23 @@ pub use vadasa_obs as obs;
 pub use ast::{AggFunc, Atom, Expr, Fact, Head, Literal, Program, Rule, Term};
 pub use builtins::{eval_expr, Binding, EvalError};
 pub use eval::{
-    EgdPolicy, EgdViolation, Engine, EngineConfig, EngineError, EvalStats, JoinMode,
-    ReasoningResult, TraceEntry,
+    EgdPolicy, EgdViolation, Engine, EngineConfig, EngineError, EvalStats, GoalRun, JoinMode,
+    MagicReport, ReasoningResult, TraceEntry,
 };
 pub use governor::{Budget, BudgetKind, CancelToken, Termination};
 pub use intern::{intern, InternStats};
+pub use magic::{
+    is_magic_pred, rewrite as magic_rewrite, MagicOptions, MagicRefusal, MagicRewrite, MagicStats,
+};
 pub use module::{Module, ModuleError, ModuleRegistry};
 pub use parser::{parse_program, parse_rule, ParseError};
 pub use plan::{plan_rule, JoinPlan, PlanStep};
 pub use printer::{print_expr, print_program, print_rule};
 pub use profile::{EngineProfile, RoundProfile, RuleProfile, StratumProfile};
-pub use query::{answers, AnswerMode};
+pub use query::{answers, goal_slice, parse_goal, AnswerMode};
 pub use routing::{AscendingBy, DescendingBy, Fifo, Router};
 pub use session::{EngineSession, FactPatch, PatchOutcome, SessionStats};
 pub use storage::{Database, Relation};
-pub use stratify::{stratify, Stratification, StratifyError};
+pub use stratify::{idb_predicates, stratify, Stratification, StratifyError};
 pub use value::{NullId, Value};
 pub use warded::{analyze as warded_analyze, WardedReport};

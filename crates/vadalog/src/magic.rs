@@ -1,0 +1,843 @@
+//! Goal-directed evaluation: the magic-sets rewrite.
+//!
+//! Given goal atoms whose constant arguments describe the bindings a
+//! caller actually needs (`riskOutput(17, R)` — "risk for respondent
+//! 17"), [`rewrite`] transforms a stratified program so the fixpoint
+//! derives only goal-relevant facts:
+//!
+//! * every predicate backward-reachable from a goal gets, per distinct
+//!   **adornment** (a bound/free mask, written `b`/`f` per position), a
+//!   guarded copy of each of its rules — the guard is a `magic#p#bf`-style
+//!   atom joined on the bound head positions;
+//! * **magic seed rules** push bindings sideways: for each positive body
+//!   occurrence of a restricted predicate, a rule derives its magic facts
+//!   from the caller rule's guard plus the body prefix before the
+//!   occurrence (sideways information passing in source order, which
+//!   `check_safety` already guarantees binds every prefix variable);
+//! * the goal constants themselves become **seed facts** of the goal
+//!   predicate's magic relation;
+//! * rules that cannot reach any goal predicate are dropped.
+//!
+//! The rewrite refuses (so callers fall back to the full program —
+//! never silently under-derives) when restriction would be unsound:
+//! EGDs, existential (null-inventing) rules, goals reachable only
+//! through negation, or aggregate heads bound on non-group-key
+//! positions. Predicates read under negation, read by unguarded rules,
+//! or feeding aggregates (unless [`MagicOptions::closed_groups`] attests
+//! the goal set is closed under equivalence classes) stay **full** —
+//! derived without restriction — which keeps every remaining guard
+//! sound.
+//!
+//! Guarantee: for every goal, the goal-constant slice of the rewritten
+//! fixpoint equals the same slice of the full fixpoint. Restricted
+//! relations may hold a *subset* of the full relation outside the slice
+//! (and the magic set may transitively widen it back, e.g. transitive
+//! closure), so equivalence checks must compare slices, not whole
+//! relations. See DESIGN.md §14.
+
+use crate::ast::{Atom, Fact, Head, Literal, Program, Rule, Term};
+use crate::stratify::idb_predicates;
+use crate::value::Value;
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::fmt;
+
+/// Prefix of every generated magic predicate. `#` cannot appear in a
+/// parsed identifier, so generated names never collide with user
+/// predicates; [`is_magic_pred`] is the one test callers should use.
+pub const MAGIC_PREFIX: &str = "magic#";
+
+/// Is `pred` a generated magic predicate?
+pub fn is_magic_pred(pred: &str) -> bool {
+    pred.starts_with(MAGIC_PREFIX)
+}
+
+/// Name of the magic predicate for `pred` under a bound/free mask.
+fn magic_name(pred: &str, mask: &[bool]) -> String {
+    let adornment: String = mask.iter().map(|b| if *b { 'b' } else { 'f' }).collect();
+    format!("{MAGIC_PREFIX}{pred}#{adornment}")
+}
+
+/// Caller-side options for the rewrite.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MagicOptions {
+    /// The caller attests that the goal binding set is **closed under
+    /// equivalence classes**: whenever a goal row contributes to an
+    /// aggregate group, every other contributor of that group is also a
+    /// goal. Under that contract the inputs of guarded aggregate rules
+    /// may stay restricted (each surviving group is still complete),
+    /// which is what makes per-respondent risk re-scoring prune. Without
+    /// it, aggregate inputs are kept full — always sound, rarely fast.
+    pub closed_groups: bool,
+}
+
+/// Rewrite statistics, surfaced in [`crate::EngineProfile`] as the
+/// `magic_*` counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MagicStats {
+    /// Goal constants turned into magic seed facts.
+    pub goal_seeds: u64,
+    /// Rule copies that received a magic guard atom.
+    pub guarded_rules: u64,
+    /// Generated sideways-information-passing seed rules.
+    pub seed_rules: u64,
+    /// Original rules dropped as unreachable from every goal.
+    pub pruned_rules: u64,
+}
+
+/// Outcome of a successful [`rewrite`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MagicRewrite {
+    /// No goal carries a bound argument on an IDB predicate: the
+    /// original program is already as restricted as it can get. Callers
+    /// must evaluate the *unrewritten* program, byte for byte.
+    Degenerate,
+    /// The goal-directed program plus rewrite statistics.
+    Rewritten {
+        /// The rewritten program (guards, seed rules, seed facts).
+        program: Program,
+        /// What the rewrite did, for profiling.
+        stats: MagicStats,
+    },
+}
+
+/// The rewrite declined: evaluating the rewritten program could
+/// under-derive the goal slice, so the caller must run the full
+/// program instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MagicRefusal {
+    /// Human-readable soundness argument for the refusal.
+    pub reason: String,
+}
+
+impl fmt::Display for MagicRefusal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "magic-sets rewrite refused: {}", self.reason)
+    }
+}
+
+impl std::error::Error for MagicRefusal {}
+
+fn refuse(reason: impl Into<String>) -> MagicRefusal {
+    MagicRefusal {
+        reason: reason.into(),
+    }
+}
+
+/// Group-key variables of an aggregate rule, mirroring
+/// `apply_aggregate_rule`: head variables that are neither existential
+/// nor bound by the aggregate/`Let` suffix.
+fn aggregate_group_vars(rule: &Rule) -> HashSet<String> {
+    let first_agg = rule
+        .body
+        .iter()
+        .position(|l| matches!(l, Literal::Agg { .. }))
+        .unwrap_or(rule.body.len());
+    let suffix = &rule.body[first_agg..];
+    let ex = rule.existential_vars();
+    let suffix_vars: HashSet<&str> = suffix
+        .iter()
+        .filter_map(|l| match l {
+            Literal::Agg { var, .. } | Literal::Let { var, .. } => Some(var.as_str()),
+            _ => None,
+        })
+        .collect();
+    let mut group = HashSet::new();
+    if let Head::Atoms(atoms) = &rule.head {
+        for a in atoms {
+            for v in a.vars() {
+                if !ex.contains(v) && !suffix_vars.contains(v) {
+                    group.insert(v.to_string());
+                }
+            }
+        }
+    }
+    group
+}
+
+/// Bound/free mask of `atom` given the currently bound variables:
+/// constants and already-bound variables are bound positions.
+fn occurrence_mask(atom: &Atom, bound_vars: &HashSet<String>) -> Vec<bool> {
+    atom.args
+        .iter()
+        .map(|t| match t {
+            Term::Const(_) => true,
+            Term::Var(v) => bound_vars.contains(v),
+        })
+        .collect()
+}
+
+/// Project `args` onto the bound positions of `mask`.
+fn bound_args(args: &[Term], mask: &[bool]) -> Vec<Term> {
+    args.iter()
+        .zip(mask)
+        .filter(|(_, b)| **b)
+        .map(|(t, _)| t.clone())
+        .collect()
+}
+
+/// Working state of the adornment / restriction fixpoint.
+struct Analysis<'a> {
+    program: &'a Program,
+    options: MagicOptions,
+    idb: BTreeSet<String>,
+    /// Rule indices whose heads are backward-reachable from a goal.
+    relevant_rules: Vec<usize>,
+    /// Restricted predicates: each carries the set of adornments it is
+    /// evaluated under (one guarded rule copy per adornment).
+    adorn: BTreeMap<String, BTreeSet<Vec<bool>>>,
+    /// Predicates that must be derived without restriction, with the
+    /// soundness reason that forced them (for refusal messages).
+    full: BTreeMap<String, String>,
+}
+
+impl<'a> Analysis<'a> {
+    /// Move `pred` out of the restricted set for `reason`. Returns true
+    /// if anything changed.
+    fn demote(&mut self, pred: &str, reason: &str) -> bool {
+        let newly_full = !self.full.contains_key(pred);
+        if newly_full {
+            self.full.insert(pred.to_string(), reason.to_string());
+        }
+        let had_adornments = self.adorn.remove(pred).is_some();
+        newly_full || had_adornments
+    }
+
+    fn restricted(&self, pred: &str) -> bool {
+        self.adorn.contains_key(pred) && !self.full.contains_key(pred)
+    }
+
+    /// Record that `pred` is read under adornment `mask`. Returns true
+    /// if the adornment set grew.
+    fn observe(&mut self, pred: &str, mask: Vec<bool>) -> bool {
+        if self.full.contains_key(pred) || !self.idb.contains(pred) {
+            return false;
+        }
+        if mask.iter().all(|b| !b) {
+            // An all-free occurrence needs the complete relation.
+            return self.demote(pred, "it is read with no bound argument");
+        }
+        self.adorn.entry(pred.to_string()).or_default().insert(mask)
+    }
+
+    /// Is this relevant rule guarded — single atom head whose predicate
+    /// is restricted?
+    fn guarded_head<'r>(&self, rule: &'r Rule) -> Option<&'r Atom> {
+        match &rule.head {
+            Head::Atoms(atoms) if atoms.len() == 1 && self.restricted(&atoms[0].pred) => {
+                Some(&atoms[0])
+            }
+            _ => None,
+        }
+    }
+
+    /// One pass of adornment propagation and demotion over every
+    /// relevant rule. Returns true if the state changed.
+    fn pass(&mut self) -> Result<bool, MagicRefusal> {
+        let mut changed = false;
+        for &ri in &self.relevant_rules.clone() {
+            let rule = &self.program.rules[ri];
+            let Some(head_atom) = self.guarded_head(rule) else {
+                // Unguarded relevant rules evaluate at full strength, so
+                // every IDB predicate they read positively must be
+                // complete too.
+                for lit in &rule.body {
+                    if let Literal::Pos(atom) = lit {
+                        if self.idb.contains(&atom.pred) && self.adorn.contains_key(&atom.pred) {
+                            changed |= self
+                                .demote(&atom.pred, "it feeds a rule that must run unrestricted");
+                        }
+                    }
+                }
+                continue;
+            };
+            let head_atom = head_atom.clone();
+            let pred = head_atom.pred.clone();
+            let masks: Vec<Vec<bool>> = match self.adorn.get(&pred) {
+                Some(set) => set.iter().cloned().collect(),
+                None => continue,
+            };
+            let is_aggregate = rule.has_aggregate();
+            if is_aggregate {
+                let group = aggregate_group_vars(rule);
+                for mask in &masks {
+                    if mask.len() != head_atom.args.len() {
+                        return Err(refuse(format!(
+                            "goal arity does not match the head of a rule deriving '{pred}'"
+                        )));
+                    }
+                    let guardable = head_atom.args.iter().zip(mask).all(|(t, b)| {
+                        !*b || match t {
+                            Term::Const(_) => true,
+                            Term::Var(v) => group.contains(v),
+                        }
+                    });
+                    if !guardable {
+                        changed |= self.demote(
+                            &pred,
+                            "an aggregate rule derives it with a bound non-group-key position",
+                        );
+                        break;
+                    }
+                }
+                if !self.restricted(&pred) {
+                    continue;
+                }
+                if !self.options.closed_groups {
+                    // Guarded groups must still see every contributor;
+                    // without the closed-groups attestation the only safe
+                    // choice is complete aggregate inputs.
+                    for lit in &rule.body {
+                        if let Literal::Pos(atom) = lit {
+                            if self.idb.contains(&atom.pred) && self.adorn.contains_key(&atom.pred)
+                            {
+                                changed |= self.demote(
+                                    &atom.pred,
+                                    "it feeds an aggregate and the goal set is not group-closed",
+                                );
+                            }
+                        }
+                    }
+                }
+                // Aggregate bodies never propagate adornments: in
+                // closed-groups mode the closure contract (not a magic
+                // set) is what keeps their restricted inputs complete.
+                continue;
+            }
+            for mask in &masks {
+                if mask.len() != head_atom.args.len() {
+                    return Err(refuse(format!(
+                        "goal arity does not match the head of a rule deriving '{pred}'"
+                    )));
+                }
+                let mut bound_vars: HashSet<String> = head_atom
+                    .args
+                    .iter()
+                    .zip(mask)
+                    .filter_map(|(t, b)| match (t, b) {
+                        (Term::Var(v), true) => Some(v.clone()),
+                        _ => None,
+                    })
+                    .collect();
+                for lit in &rule.body {
+                    match lit {
+                        Literal::Pos(atom) => {
+                            let m = occurrence_mask(atom, &bound_vars);
+                            changed |= self.observe(&atom.pred, m);
+                            for v in atom.vars() {
+                                bound_vars.insert(v.to_string());
+                            }
+                        }
+                        Literal::Neg(_) | Literal::Cond(_) => {}
+                        Literal::Let { var, .. } | Literal::Agg { var, .. } => {
+                            bound_vars.insert(var.clone());
+                        }
+                    }
+                }
+            }
+        }
+        Ok(changed)
+    }
+}
+
+/// Rewrite `program` for goal-directed evaluation. `goals` are atoms
+/// whose [`Term::Const`] arguments are the bound positions; variables
+/// (including repeated ones) are free. See the module docs for the
+/// guarantee and [`MagicRefusal`] for the fallback contract.
+pub fn rewrite(
+    program: &Program,
+    goals: &[Atom],
+    options: MagicOptions,
+) -> Result<MagicRewrite, MagicRefusal> {
+    let idb = idb_predicates(program);
+    let bound_goals: Vec<&Atom> = goals
+        .iter()
+        .filter(|g| idb.contains(&g.pred) && g.args.iter().any(|t| matches!(t, Term::Const(_))))
+        .collect();
+    if bound_goals.is_empty() {
+        return Ok(MagicRewrite::Degenerate);
+    }
+    if program
+        .rules
+        .iter()
+        .any(|r| matches!(r.head, Head::Equality(_, _)))
+    {
+        return Err(refuse(
+            "the program contains EGDs, which unify labelled nulls globally",
+        ));
+    }
+
+    // Relevance: predicates backward-reachable from any goal, and the
+    // rules deriving them. Everything else is dropped.
+    let mut relevant: BTreeSet<String> = goals.iter().map(|g| g.pred.clone()).collect();
+    loop {
+        let mut grew = false;
+        for rule in &program.rules {
+            if rule.head_preds().iter().any(|p| relevant.contains(*p)) {
+                for (pred, _) in rule.body_preds() {
+                    grew |= relevant.insert(pred.to_string());
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    let relevant_rules: Vec<usize> = program
+        .rules
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.head_preds().iter().any(|p| relevant.contains(*p)))
+        .map(|(i, _)| i)
+        .collect();
+
+    for &ri in &relevant_rules {
+        if !program.rules[ri].existential_vars().is_empty() {
+            return Err(refuse(format!(
+                "a goal-relevant rule invents labelled nulls (existential head variables), \
+                 and null identity is mint-order dependent (rule {ri})"
+            )));
+        }
+    }
+
+    let mut analysis = Analysis {
+        program,
+        options,
+        idb,
+        relevant_rules,
+        adorn: BTreeMap::new(),
+        full: BTreeMap::new(),
+    };
+    // Negated occurrences must see the complete relation; multi-head
+    // rules cannot be guarded by a single magic atom.
+    for &ri in &analysis.relevant_rules.clone() {
+        let rule = &program.rules[ri];
+        for lit in &rule.body {
+            if let Literal::Neg(atom) = lit {
+                if analysis.idb.contains(&atom.pred) {
+                    analysis.demote(&atom.pred, "it is read under negation");
+                }
+            }
+        }
+        if let Head::Atoms(atoms) = &rule.head {
+            if atoms.len() > 1 {
+                for a in atoms {
+                    analysis.demote(&a.pred, "a multi-atom head derives it");
+                }
+            }
+        }
+    }
+    for g in &bound_goals {
+        let mask: Vec<bool> = g.args.iter().map(|t| matches!(t, Term::Const(_))).collect();
+        analysis.observe(&g.pred, mask);
+    }
+    loop {
+        if !analysis.pass()? {
+            break;
+        }
+    }
+
+    // A goal predicate forced out of the restricted set means the goal
+    // bindings cannot be pushed into the program: fall back.
+    for g in &bound_goals {
+        if !analysis.restricted(&g.pred) {
+            let why = analysis
+                .full
+                .get(&g.pred)
+                .cloned()
+                .unwrap_or_else(|| "its bindings cannot be propagated".to_string());
+            return Err(refuse(format!(
+                "goal predicate '{}' cannot be restricted: {why}",
+                g.pred
+            )));
+        }
+    }
+
+    // Generation: guarded copies, seed rules, seed facts.
+    let mut out = Program::new();
+    let mut stats = MagicStats::default();
+    let relevant_set: HashSet<usize> = analysis.relevant_rules.iter().copied().collect();
+    for (ri, rule) in program.rules.iter().enumerate() {
+        if !relevant_set.contains(&ri) {
+            stats.pruned_rules += 1;
+            continue;
+        }
+        let Some(head_atom) = analysis.guarded_head(rule).cloned() else {
+            out.rules.push(rule.clone());
+            continue;
+        };
+        let masks: Vec<Vec<bool>> = match analysis.adorn.get(&head_atom.pred) {
+            Some(set) => set.iter().cloned().collect(),
+            None => {
+                out.rules.push(rule.clone());
+                continue;
+            }
+        };
+        for mask in &masks {
+            let guard = Atom::new(
+                magic_name(&head_atom.pred, mask),
+                bound_args(&head_atom.args, mask),
+            );
+            let mut body = Vec::with_capacity(rule.body.len() + 1);
+            body.push(Literal::Pos(guard.clone()));
+            body.extend(rule.body.iter().cloned());
+            out.rules.push(Rule {
+                head: rule.head.clone(),
+                body,
+                label: rule.label.clone().map(|l| format!("{l} [magic-guarded]")),
+            });
+            stats.guarded_rules += 1;
+            if rule.has_aggregate() {
+                // Aggregate bodies generated no adornments, so no seeds.
+                continue;
+            }
+            // Sideways information passing in source order: each
+            // restricted positive occurrence gets a seed rule deriving
+            // its magic facts from the guard plus the preceding body.
+            let mut prefix: Vec<Literal> = vec![Literal::Pos(guard.clone())];
+            let mut bound_vars: HashSet<String> = head_atom
+                .args
+                .iter()
+                .zip(mask)
+                .filter_map(|(t, b)| match (t, b) {
+                    (Term::Var(v), true) => Some(v.clone()),
+                    _ => None,
+                })
+                .collect();
+            for lit in &rule.body {
+                if let Literal::Pos(atom) = lit {
+                    if analysis.restricted(&atom.pred) {
+                        let m = occurrence_mask(atom, &bound_vars);
+                        let known = analysis
+                            .adorn
+                            .get(&atom.pred)
+                            .map(|s| s.contains(&m))
+                            .unwrap_or(false);
+                        debug_assert!(known, "occurrence adornment missing from fixpoint");
+                        if known && m.iter().any(|b| *b) {
+                            out.rules.push(Rule {
+                                head: Head::Atoms(vec![Atom::new(
+                                    magic_name(&atom.pred, &m),
+                                    bound_args(&atom.args, &m),
+                                )]),
+                                body: prefix.clone(),
+                                label: Some(format!("magic-seed for {} in rule {ri}", atom.pred)),
+                            });
+                            stats.seed_rules += 1;
+                        }
+                    }
+                }
+                match lit {
+                    Literal::Pos(atom) => {
+                        prefix.push(lit.clone());
+                        for v in atom.vars() {
+                            bound_vars.insert(v.to_string());
+                        }
+                    }
+                    // Negations over (always-full) relations and filter
+                    // conditions only shrink the magic set, which is
+                    // sound: every full-rule firing satisfies them.
+                    Literal::Neg(_) | Literal::Cond(_) => prefix.push(lit.clone()),
+                    Literal::Let { var, .. } => {
+                        prefix.push(lit.clone());
+                        bound_vars.insert(var.clone());
+                    }
+                    Literal::Agg { .. } => {}
+                }
+            }
+        }
+    }
+    out.facts = program.facts.clone();
+    for g in &bound_goals {
+        let mask: Vec<bool> = g.args.iter().map(|t| matches!(t, Term::Const(_))).collect();
+        let consts: Vec<Value> = g
+            .args
+            .iter()
+            .filter_map(|t| match t {
+                Term::Const(v) => Some(v.clone()),
+                Term::Var(_) => None,
+            })
+            .collect();
+        out.facts
+            .push(Fact::new(magic_name(&g.pred, &mask), consts));
+        stats.goal_seeds += 1;
+    }
+    Ok(MagicRewrite::Rewritten {
+        program: out,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn atom(pred: &str, args: Vec<Term>) -> Atom {
+        Atom::new(pred, args)
+    }
+
+    fn bound(v: i64) -> Term {
+        Term::Const(Value::Int(v))
+    }
+
+    fn free(name: &str) -> Term {
+        Term::Var(name.to_string())
+    }
+
+    fn tc_program() -> Program {
+        parse_program(
+            "edge(1, 2). edge(2, 3). edge(4, 5).\n\
+             path(X, Y) :- edge(X, Y).\n\
+             path(X, Z) :- edge(X, Y), path(Y, Z).",
+        )
+        .expect("parses")
+    }
+
+    #[test]
+    fn unbound_goal_degenerates() {
+        let p = tc_program();
+        let r = rewrite(
+            &p,
+            &[atom("path", vec![free("X"), free("Y")])],
+            MagicOptions::default(),
+        )
+        .expect("rewrite succeeds");
+        assert_eq!(r, MagicRewrite::Degenerate);
+    }
+
+    #[test]
+    fn edb_goal_degenerates() {
+        let p = tc_program();
+        let r = rewrite(
+            &p,
+            &[atom("edge", vec![bound(1), free("Y")])],
+            MagicOptions::default(),
+        )
+        .expect("rewrite succeeds");
+        assert_eq!(r, MagicRewrite::Degenerate);
+    }
+
+    #[test]
+    fn tc_goal_guards_both_rules_and_seeds_recursion() {
+        let p = tc_program();
+        let MagicRewrite::Rewritten { program, stats } = rewrite(
+            &p,
+            &[atom("path", vec![bound(1), free("Y")])],
+            MagicOptions::default(),
+        )
+        .expect("rewrite succeeds") else {
+            panic!("expected a rewritten program");
+        };
+        assert_eq!(stats.guarded_rules, 2);
+        assert_eq!(stats.goal_seeds, 1);
+        // the recursive occurrence path(Y, Z) after edge(X, Y) yields one
+        // seed rule: magic#path#bf(Y) :- magic#path#bf(X), edge(X, Y)
+        assert_eq!(stats.seed_rules, 1);
+        assert!(program
+            .facts
+            .iter()
+            .any(|f| f.pred == "magic#path#bf" && f.args == vec![Value::Int(1)]));
+    }
+
+    #[test]
+    fn negated_predicate_stays_full_while_goal_restricts() {
+        // Adornments must never propagate *through* a negation: the
+        // check `not tc(...)` needs the complete tc relation, so tc's
+        // rule stays unguarded even though tc is goal-relevant.
+        let p = parse_program(
+            "e(1, 2).\n\
+             tc(X, Y) :- e(X, Y).\n\
+             only(X, Y) :- e(X, Y), not tc(X, Y).",
+        )
+        .expect("parses");
+        let MagicRewrite::Rewritten { program, .. } = rewrite(
+            &p,
+            &[atom("only", vec![bound(1), free("Y")])],
+            MagicOptions::default(),
+        )
+        .expect("rewrite succeeds") else {
+            panic!("expected a rewritten program");
+        };
+        let tc_rules: Vec<_> = program
+            .rules
+            .iter()
+            .filter(|r| r.head_preds() == vec!["tc"])
+            .collect();
+        assert_eq!(tc_rules.len(), 1, "tc keeps its single unguarded rule");
+        assert!(
+            tc_rules[0].body.len() == 1,
+            "tc rule must not gain a guard: {:?}",
+            tc_rules[0].body
+        );
+        assert!(program.rules.iter().any(|r| r.head_preds() == vec!["only"]
+            && matches!(&r.body[0], Literal::Pos(a) if a.pred == "magic#only#bf")));
+    }
+
+    #[test]
+    fn all_free_read_of_goal_predicate_refuses() {
+        // `r` reads the goal predicate with no bound argument, so the
+        // goal bindings cannot be pushed anywhere: refuse and fall back
+        // instead of silently under-deriving `r` (and through it, `p`).
+        let p = parse_program(
+            "e(1, 2). e(2, 3).\n\
+             p(X, Y) :- e(X, Y).\n\
+             p(X, Z) :- p(X, Y), r(Y, Z).\n\
+             r(Y, Z) :- p(U, V), e(Y, Z).",
+        )
+        .expect("parses");
+        let err = rewrite(
+            &p,
+            &[atom("p", vec![bound(1), free("Y")])],
+            MagicOptions::default(),
+        )
+        .expect_err("must refuse");
+        assert!(
+            err.reason.contains("cannot be restricted"),
+            "{}",
+            err.reason
+        );
+    }
+
+    #[test]
+    fn aggregate_result_binding_refuses() {
+        let p = parse_program(
+            "e(1, 2). e(1, 3).\n\
+             cnt(X, C) :- e(X, Y), C = mcount(<Y>).",
+        )
+        .expect("parses");
+        // binding the aggregate *result* position cannot be guarded —
+        // the value only exists after the group is complete
+        let err = rewrite(
+            &p,
+            &[atom("cnt", vec![free("X"), bound(2)])],
+            MagicOptions::default(),
+        )
+        .expect_err("must refuse");
+        assert!(err.reason.contains("group-key"), "{}", err.reason);
+    }
+
+    #[test]
+    fn aggregate_inputs_stay_full_without_closed_groups() {
+        let p = parse_program(
+            "e(1, 2).\n\
+             mid(X, Y) :- e(X, Y).\n\
+             cnt(X, C) :- mid(X, Y), C = mcount(<Y>).",
+        )
+        .expect("parses");
+        let MagicRewrite::Rewritten { program, .. } = rewrite(
+            &p,
+            &[atom("cnt", vec![bound(1), free("C")])],
+            MagicOptions::default(),
+        )
+        .expect("rewrite succeeds") else {
+            panic!("expected a rewritten program");
+        };
+        // `mid` feeds the aggregate: its rule must stay unguarded
+        let mid_rules: Vec<_> = program
+            .rules
+            .iter()
+            .filter(|r| r.head_preds() == vec!["mid"])
+            .collect();
+        assert_eq!(mid_rules.len(), 1);
+        assert_eq!(mid_rules[0].body.len(), 1, "mid must not gain a guard");
+        // while the aggregate rule itself is guarded on its group key
+        let cnt_rules: Vec<_> = program
+            .rules
+            .iter()
+            .filter(|r| r.head_preds() == vec!["cnt"])
+            .collect();
+        assert_eq!(cnt_rules.len(), 1);
+        assert!(matches!(
+            &cnt_rules[0].body[0],
+            Literal::Pos(a) if a.pred == "magic#cnt#bf"
+        ));
+    }
+
+    #[test]
+    fn closed_groups_keeps_aggregate_inputs_restricted() {
+        let p = parse_program(
+            "e(1, 2).\n\
+             mid(X, Y) :- e(X, Y).\n\
+             cnt(X, C) :- mid(X, Y), C = mcount(<Y>).",
+        )
+        .expect("parses");
+        let MagicRewrite::Rewritten { program, .. } = rewrite(
+            &p,
+            &[atom("cnt", vec![bound(1), free("C")])],
+            MagicOptions {
+                closed_groups: true,
+            },
+        )
+        .expect("rewrite succeeds") else {
+            panic!("expected a rewritten program");
+        };
+        // under the closure attestation `mid` keeps the restriction it
+        // gets from... nothing here (no plain rule reads it), so it stays
+        // unguarded — but crucially the rewrite does not *force* it full,
+        // which the risk-shaped test below exercises end to end.
+        assert!(program.rules.iter().any(|r| r.head_preds() == vec!["cnt"]
+            && matches!(
+                &r.body[0],
+                Literal::Pos(a) if a.pred == "magic#cnt#bf"
+            )));
+    }
+
+    #[test]
+    fn irrelevant_rules_are_pruned() {
+        let p = parse_program(
+            "e(1, 2).\n\
+             a(X, Y) :- e(X, Y).\n\
+             b(X, Y) :- e(X, Y).\n\
+             c(X, Y) :- b(X, Y).",
+        )
+        .expect("parses");
+        let MagicRewrite::Rewritten { program, stats } = rewrite(
+            &p,
+            &[atom("a", vec![bound(1), free("Y")])],
+            MagicOptions::default(),
+        )
+        .expect("rewrite succeeds") else {
+            panic!("expected a rewritten program");
+        };
+        assert_eq!(stats.pruned_rules, 2, "b and c are unreachable from a");
+        assert!(program.rules.iter().all(|r| r.head_preds() != vec!["c"]));
+    }
+
+    #[test]
+    fn egd_program_refuses() {
+        let p = parse_program(
+            "d(1, 2). d(1, 3).\n\
+             same(X) :- d(X, Y).\n\
+             Y1 = Y2 :- d(X, Y1), d(X, Y2).",
+        )
+        .expect("parses");
+        let err = rewrite(&p, &[atom("same", vec![bound(1)])], MagicOptions::default())
+            .expect_err("must refuse");
+        assert!(err.reason.contains("EGD"), "{}", err.reason);
+    }
+
+    #[test]
+    fn existential_rule_refuses() {
+        let p = parse_program(
+            "emp(1).\n\
+             dept(E, D) :- emp(E).",
+        )
+        .expect("parses");
+        let err = rewrite(
+            &p,
+            &[atom("dept", vec![bound(1), free("D")])],
+            MagicOptions::default(),
+        )
+        .expect_err("must refuse");
+        assert!(err.reason.contains("null"), "{}", err.reason);
+    }
+
+    #[test]
+    fn magic_names_cannot_collide_with_parsed_predicates() {
+        assert!(is_magic_pred(&magic_name("path", &[true, false])));
+        assert_eq!(magic_name("path", &[true, false]), "magic#path#bf");
+        // '#' is not a legal identifier character, so user programs can
+        // never parse a predicate that satisfies is_magic_pred
+        assert!(parse_program("magic#p#b(1).").is_err());
+    }
+}

@@ -50,6 +50,14 @@ pub struct JoinPlan {
     pub focus: Option<usize>,
     /// Did the planner deviate from source order?
     pub reordered: bool,
+    /// Semi-join short-circuit: some positive, non-focused body literal
+    /// reads an empty relation, so the join cannot produce a single
+    /// binding. The executor skips dead plans whole (no index builds, no
+    /// scans) and counts them as `planner_prunes`. This is what makes
+    /// magic-guarded rules cheap before their magic set first fills, and
+    /// spares the business-control recursion from re-scanning strata
+    /// whose inputs are empty.
+    pub dead: bool,
 }
 
 impl JoinPlan {
@@ -84,6 +92,7 @@ pub fn identity_plan(rule: &Rule, focus: Option<usize>) -> JoinPlan {
             .collect(),
         focus,
         reordered: false,
+        dead: false,
     }
 }
 
@@ -119,6 +128,13 @@ fn bound_positions(args: &[Term], bound_vars: &BTreeSet<&str>) -> Vec<usize> {
 /// `delta_size` estimates the focused literal's cardinality.
 pub fn plan_rule(rule: &Rule, db: &Database, focus: Option<usize>, delta_size: usize) -> JoinPlan {
     let body = &rule.body;
+    // A positive, non-focused literal over an empty relation makes the
+    // whole join vacuous; mark the plan dead so the executor can skip it
+    // without building indexes or scanning anything.
+    let dead = body.iter().enumerate().any(|(i, lit)| match lit {
+        Literal::Pos(a) if Some(i) != focus => relation_size(db, &a.pred) == 0,
+        _ => false,
+    });
     let mut placed = vec![false; body.len()];
     let mut bound_vars: BTreeSet<&str> = BTreeSet::new();
     let mut steps: Vec<PlanStep> = Vec::with_capacity(body.len());
@@ -178,7 +194,7 @@ pub fn plan_rule(rule: &Rule, db: &Database, focus: Option<usize>, delta_size: u
     loop {
         place_ready(body, &mut placed, &mut bound_vars, &mut steps);
         // pick the best unplaced positive literal
-        let mut best: Option<(usize, usize, usize)> = None; // (lit, bound_count, size)
+        let mut best: Option<(usize, bool, usize, usize)> = None; // (lit, fully_bound, bound_count, size)
         for (i, lit) in body.iter().enumerate() {
             if placed[i] {
                 continue;
@@ -186,19 +202,25 @@ pub fn plan_rule(rule: &Rule, db: &Database, focus: Option<usize>, delta_size: u
             let Literal::Pos(a) = lit else { continue };
             let nbound = bound_positions(&a.args, &bound_vars).len();
             let size = relation_size(db, &a.pred);
+            // A literal with every position bound is a pure existence
+            // check (a semi-join filter): it binds nothing new and either
+            // keeps or kills the current binding, so running it before
+            // any widening join subsumes work the join would multiply.
+            let full = !a.args.is_empty() && nbound == a.args.len();
             let better = match &best {
                 None => true,
-                Some((_, bb, bs)) => {
-                    // more bound positions first; then smaller relation;
-                    // then source order (implicit via iteration order)
-                    nbound > *bb || (nbound == *bb && size < *bs)
+                Some((_, bf, bb, bs)) => {
+                    // fully-bound filters first; then more bound
+                    // positions; then smaller relation; then source order
+                    // (implicit via iteration order)
+                    (full, nbound, usize::MAX - size) > (*bf, *bb, usize::MAX - *bs)
                 }
             };
             if better {
-                best = Some((i, nbound, size));
+                best = Some((i, full, nbound, size));
             }
         }
-        let Some((i, _, _)) = best else { break };
+        let Some((i, _, _, _)) = best else { break };
         let Literal::Pos(a) = &body[i] else { break };
         let bound = bound_positions(&a.args, &bound_vars);
         for v in a.vars() {
@@ -227,6 +249,7 @@ pub fn plan_rule(rule: &Rule, db: &Database, focus: Option<usize>, delta_size: u
         steps,
         focus,
         reordered,
+        dead,
     }
 }
 
@@ -297,6 +320,32 @@ mod tests {
         let order: Vec<usize> = plan.steps.iter().map(|s| s.lit).collect();
         assert_eq!(order, vec![0, 1, 2, 3]);
         assert!(!plan.reordered);
+    }
+
+    #[test]
+    fn empty_relation_marks_plan_dead() {
+        let rule = parse_rule("h(X, Y) :- big(X, Z), nothing(Z, Y).").unwrap();
+        let db = db_with(&[("big", 100)]); // `nothing` has no relation
+        let plan = plan_rule(&rule, &db, None, 0);
+        assert!(plan.dead);
+        // the focused literal's emptiness is handled by delta bookkeeping,
+        // not by the dead flag
+        let plan = plan_rule(&rule, &db, Some(1), 0);
+        assert!(!plan.dead);
+    }
+
+    #[test]
+    fn fully_bound_literal_runs_as_early_filter() {
+        // After big(X, Z) is placed, seen(X) is fully bound — a pure
+        // existence check — while wide(X, Z, Y) has *more* bound positions
+        // (two) but still widens the binding set with Y. The hoist must
+        // schedule the semi-join filter first regardless of bound counts.
+        let rule = parse_rule("h(X, Y) :- big(X, Z), seen(X), wide(X, Z, Y).").unwrap();
+        let db = db_with(&[("big", 2), ("seen", 50), ("wide", 5)]);
+        let plan = plan_rule(&rule, &db, None, 0);
+        let order: Vec<usize> = plan.steps.iter().map(|s| s.lit).collect();
+        assert_eq!(order, vec![0, 1, 2], "existence check precedes the join");
+        assert_eq!(plan.steps[1].bound, vec![0]);
     }
 
     #[test]

@@ -16,7 +16,8 @@
 //! injects: after anonymization the attacker's query gains possible
 //! answers but loses certain ones.
 
-use crate::ast::{Atom, Term};
+use crate::ast::{Atom, Literal, Term};
+use crate::parser::{parse_rule, ParseError};
 use crate::storage::Database;
 use crate::value::Value;
 use std::collections::HashMap;
@@ -87,7 +88,7 @@ pub fn answers(db: &Database, query: &Atom, mode: AnswerMode) -> Vec<Vec<Value>>
         }
         let answer: Vec<Value> = var_order
             .iter()
-            .map(|v| (*binding.get(v).expect("bound")).clone())
+            .map(|v| (*binding.get(v).expect("bound")).clone()) // gate-allow: every var in var_order was bound during the row scan
             .collect();
         if mode == AnswerMode::Certain && answer.iter().any(Value::is_null) {
             continue; // a null is not a certain value
@@ -95,6 +96,96 @@ pub fn answers(db: &Database, query: &Atom, mode: AnswerMode) -> Vec<Vec<Value>>
         if !out.contains(&answer) {
             out.push(answer);
         }
+    }
+    out
+}
+
+/// Parse a goal atom for goal-directed evaluation ([`crate::magic`]).
+///
+/// A goal is a single atom whose constant arguments are the bound
+/// positions, e.g. `risk(42, ?)` — `?` marks an explicitly free
+/// position and is replaced by a fresh variable, so CLI users do not
+/// have to invent variable names. A trailing `.` is tolerated.
+pub fn parse_goal(src: &str) -> Result<Atom, ParseError> {
+    let trimmed = src.trim().trim_end_matches('.').trim_end();
+    // Replace `?` placeholders outside string literals with fresh
+    // variables; repeated `?`s stay independent.
+    let mut rewritten = String::with_capacity(trimmed.len() + 8);
+    let mut in_string = false;
+    let mut fresh = 0usize;
+    for ch in trimmed.chars() {
+        match ch {
+            '"' => {
+                in_string = !in_string;
+                rewritten.push(ch);
+            }
+            '?' if !in_string => {
+                rewritten.push_str("__G");
+                rewritten.push_str(&fresh.to_string());
+                fresh += 1;
+            }
+            _ => rewritten.push(ch),
+        }
+    }
+    let rule_src = format!("goal__() :- {rewritten}.");
+    let rule = parse_rule(&rule_src)?;
+    let bad = |message: String| ParseError {
+        message,
+        offset: 0,
+        line: 1,
+    };
+    if rule.body.len() != 1 {
+        return Err(bad(format!(
+            "a goal must be a single atom, got {} literals",
+            rule.body.len()
+        )));
+    }
+    match rule.body.into_iter().next() {
+        Some(Literal::Pos(atom)) => Ok(atom),
+        _ => Err(bad(
+            "a goal must be a positive atom (no negation, conditions or aggregates)".to_string(),
+        )),
+    }
+}
+
+/// The goal slice of `db`: rows of the goal's predicate matching the
+/// goal's constants exactly (and its repeated variables by equality).
+///
+/// This is the filter that turns the *superset* guarantee of a magic
+/// run ([`crate::eval::Engine::run_with_goals`]) into the exact answer:
+/// applying it to both a goal-directed and a full run yields identical
+/// row sets. Nulls compare by label, never by valuation — for certain /
+/// possible semantics use [`answers`] instead.
+pub fn goal_slice(db: &Database, goal: &Atom) -> Vec<Vec<Value>> {
+    let Some(rel) = db.relation(&goal.pred) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    'rows: for row in rel.iter() {
+        if row.len() != goal.args.len() {
+            continue;
+        }
+        let mut binding: HashMap<&str, &Value> = HashMap::new();
+        for (t, v) in goal.args.iter().zip(row.iter()) {
+            match t {
+                Term::Const(c) => {
+                    if c != v {
+                        continue 'rows;
+                    }
+                }
+                Term::Var(name) => match binding.get(name.as_str()) {
+                    None => {
+                        binding.insert(name, v);
+                    }
+                    Some(prev) => {
+                        if *prev != v {
+                            continue 'rows;
+                        }
+                    }
+                },
+            }
+        }
+        out.push(row.to_vec());
     }
     out
 }
@@ -177,6 +268,43 @@ mod tests {
         let db = Database::new();
         let q = atom("nope", vec![var("X")]);
         assert!(answers(&db, &q, AnswerMode::Possible).is_empty());
+    }
+
+    #[test]
+    fn parse_goal_replaces_placeholders_with_fresh_vars() {
+        let g = parse_goal("risk(42, ?).").unwrap();
+        assert_eq!(g.pred, "risk");
+        assert_eq!(g.args[0], c(42i64));
+        assert!(matches!(&g.args[1], Term::Var(v) if v.starts_with("__G")));
+        // `?` inside a string literal is data, not a placeholder
+        let g = parse_goal(r#"t("why?", ?)"#).unwrap();
+        assert_eq!(g.args[0], c("why?"));
+        assert!(matches!(&g.args[1], Term::Var(_)));
+    }
+
+    #[test]
+    fn parse_goal_rejects_non_atomic_goals() {
+        assert!(parse_goal("a(X), b(X)").is_err());
+        assert!(parse_goal("not a(X)").is_err());
+        assert!(parse_goal("").is_err());
+    }
+
+    #[test]
+    fn goal_slice_filters_by_constants_and_repeats() {
+        let mut db = Database::new();
+        db.insert("e", vec![Value::Int(1), Value::Int(1)]);
+        db.insert("e", vec![Value::Int(1), Value::Int(2)]);
+        db.insert("e", vec![Value::Int(2), Value::Int(2)]);
+        let g = parse_goal("e(1, ?)").unwrap();
+        assert_eq!(goal_slice(&db, &g).len(), 2);
+        let diag = atom("e", vec![var("X"), var("X")]);
+        let rows = goal_slice(&db, &diag);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.contains(&vec![Value::Int(1), Value::Int(1)]));
+        // nulls filter by label, not by valuation
+        db.insert("e", vec![Value::Int(1), Value::Null(7)]);
+        let g = parse_goal("e(1, ?)").unwrap();
+        assert_eq!(goal_slice(&db, &g).len(), 3);
     }
 
     #[test]

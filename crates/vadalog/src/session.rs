@@ -101,6 +101,11 @@ pub struct SessionStats {
     /// Approximate bytes of prebuilt hash-index state reused (not rebuilt)
     /// by warm patches, summed over patches.
     pub reused_index_bytes: u64,
+    /// Goal-directed side queries answered ([`EngineSession::evaluate_goals`]).
+    pub goal_evals: u64,
+    /// Goal queries where the magic rewrite refused and the full program
+    /// ran instead.
+    pub goal_fallbacks: u64,
 }
 
 /// A resumable reasoning session over one program. See the module docs.
@@ -195,6 +200,45 @@ impl EngineSession {
             trace: self.trace,
             termination: self.termination,
         }
+    }
+
+    /// Answer a goal-directed side query against the session's *current
+    /// inputs*: run the program goal-restricted via the magic-sets
+    /// rewrite ([`crate::magic`]) over the tracked extensional database.
+    ///
+    /// This is a side computation — the session's warm saturated
+    /// database, indexes and statistics are untouched, so `patch` calls
+    /// can be interleaved freely with goal queries. The result follows
+    /// the [`Engine::run_with_goals`] contract: goal predicates hold a
+    /// superset of the goal slice; filter with
+    /// [`crate::query::goal_slice`] for exact answers.
+    pub fn evaluate_goals(
+        &mut self,
+        goals: &[crate::ast::Atom],
+        options: crate::magic::MagicOptions,
+    ) -> Result<crate::eval::GoalRun, EngineError> {
+        let run = self
+            .engine
+            .run_with_goals(&self.program, self.edb.clone(), goals, options)?;
+        self.session_stats.goal_evals += 1;
+        if run.magic.fallback.is_some() {
+            self.session_stats.goal_fallbacks += 1;
+        }
+        if let Some(collector) = &self.engine.config.collector {
+            let obs = Obs::new(Some(collector.as_ref()));
+            obs.counter(
+                "engine.goal.evals",
+                1,
+                fields!["applied" => run.magic.applied],
+            );
+            obs.counter("engine.goal.seeds", run.magic.stats.goal_seeds, vec![]);
+            obs.counter(
+                "engine.goal.fallbacks",
+                u64::from(run.magic.fallback.is_some()),
+                vec![],
+            );
+        }
+        Ok(run)
     }
 
     /// Apply a fact patch and re-derive its consequences, incrementally
@@ -623,6 +667,62 @@ mod tests {
             stats.reused_index_bytes > 0,
             "warm patch should report reused index bytes, got {stats:?}"
         );
+    }
+
+    #[test]
+    fn goal_query_leaves_warm_state_untouched_and_tracks_patches() {
+        let mut s = tc_session(1);
+        let before = s.db().rows("path");
+        let goal = crate::query::parse_goal("path(1, ?)").unwrap();
+        let run = s
+            .evaluate_goals(
+                std::slice::from_ref(&goal),
+                crate::magic::MagicOptions::default(),
+            )
+            .unwrap();
+        assert!(run.magic.applied);
+        let mut sliced = crate::query::goal_slice(&run.result.db, &goal);
+        sliced.sort();
+        assert_eq!(
+            sliced,
+            vec![
+                vec![Value::Int(1), Value::Int(2)],
+                vec![Value::Int(1), Value::Int(3)],
+            ]
+        );
+        // the warm database is untouched by the side query
+        assert_eq!(s.db().rows("path"), before);
+        assert_eq!(s.session_stats().goal_evals, 1);
+        assert_eq!(s.session_stats().goal_fallbacks, 0);
+
+        // a later patch is visible to subsequent goal queries
+        s.patch(FactPatch::additions(ints("edge", &[(3, 4)])))
+            .unwrap();
+        let run = s
+            .evaluate_goals(
+                std::slice::from_ref(&goal),
+                crate::magic::MagicOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(crate::query::goal_slice(&run.result.db, &goal).len(), 3);
+        assert_eq!(s.session_stats().goal_evals, 2);
+    }
+
+    #[test]
+    fn goal_query_slice_matches_full_run_slice() {
+        let mut s = tc_session(2);
+        let goal = crate::query::parse_goal("path(2, ?)").unwrap();
+        let run = s
+            .evaluate_goals(
+                std::slice::from_ref(&goal),
+                crate::magic::MagicOptions::default(),
+            )
+            .unwrap();
+        let mut magic_slice = crate::query::goal_slice(&run.result.db, &goal);
+        magic_slice.sort();
+        let mut full_slice = crate::query::goal_slice(s.db(), &goal);
+        full_slice.sort();
+        assert_eq!(magic_slice, full_slice);
     }
 
     #[test]

@@ -292,6 +292,13 @@ impl Database {
         self.relations.values().map(|r| r.len()).sum()
     }
 
+    /// Drop a whole relation (rows, dedup set and indexes); returns
+    /// `true` if it existed. Goal-directed evaluation uses this to strip
+    /// the internal `magic#…` relations before handing results back.
+    pub fn remove_relation(&mut self, pred: &str) -> bool {
+        self.relations.remove(pred).is_some()
+    }
+
     /// Remove a fact; returns `true` if it was present. Empty relations
     /// are kept (cheap, and keeps relation names stable for reporting).
     pub fn remove(&mut self, pred: &str, row: &[Value]) -> bool {

@@ -10,8 +10,23 @@
 //! and is applied at the end of the stratum containing the highest of them.
 
 use crate::ast::{Head, Literal, Program, Rule};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
+
+/// Intensional predicates of `program`: every predicate derived by a
+/// rule head. Predicates that only appear in facts or bodies are
+/// extensional (EDB) and need no magic restriction — the goal-directed
+/// rewrite ([`crate::magic`]) uses this split to decide what can be
+/// guarded at all.
+pub fn idb_predicates(program: &Program) -> BTreeSet<String> {
+    let mut idb = BTreeSet::new();
+    for rule in &program.rules {
+        for p in rule.head_preds() {
+            idb.insert(p.to_string());
+        }
+    }
+    idb
+}
 
 /// Stratification failure: a negation/aggregation inside a recursive cycle.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -332,6 +347,19 @@ mod tests {
     fn safety_catches_unbound_condition() {
         let p = parse_program("bad(X) :- p(X), Y > 2.").unwrap();
         assert!(check_safety(&p.rules[0]).is_err());
+    }
+
+    #[test]
+    fn idb_split_separates_derived_from_extensional() {
+        let p = parse_program(
+            "e(1, 2).\n\
+             path(X, Y) :- e(X, Y).\n\
+             path(X, Z) :- e(X, Y), path(Y, Z).",
+        )
+        .unwrap();
+        let idb = idb_predicates(&p);
+        assert!(idb.contains("path"));
+        assert!(!idb.contains("e"));
     }
 
     #[test]
