@@ -36,6 +36,19 @@
 //!   verified equivalent to the uninterrupted outcome before timing is
 //!   reported.
 //!
+//! A `cycle.storage` section compares the pluggable storage backends on
+//! the same journaled workload: the in-memory engine (`mem`, artifacts
+//! never touch disk) against the file-backed engine (`file`, warm group
+//! statistics persisted as a CRC-framed `cycle.warmstats.vart` artifact
+//! at every snapshot), and then a resume cut just after the final
+//! snapshot with the warm artifact present (`resume-warm-disk`, seeding
+//! warm state straight from disk) against the same resume with the
+//! artifact deleted (`resume-cold`, regrouping from scratch). Both
+//! resumes are verified equivalent to the uninterrupted outcome, and the
+//! warm-disk leg is required to actually report `disk_restores` — a
+//! benchmark of a fallback path mislabeled as the fast path would be
+//! meaningless.
+//!
 //! A third section, `cycle.obs_overhead`, times the same warm workload
 //! with telemetry off, with an in-process `Recorder`, with a JSON-lines
 //! file sink, and with full trace building (recorder + both exporters).
@@ -49,6 +62,7 @@
 use std::io::Write;
 use std::path::PathBuf;
 use std::sync::Arc;
+use vadalog::StorageEngine;
 use vadasa_bench::{read_baseline_median, time_it};
 use vadasa_core::journal::{record, JOURNAL_FILE};
 use vadasa_core::obs::trace::TraceBuilder;
@@ -265,6 +279,115 @@ fn main() {
     }
     recovery_times.sort_by(f64::total_cmp);
     let recovery_s = recovery_times[recovery_times.len() / 2];
+
+    // --- storage backends: mem vs file, then warm-disk vs cold resume ---
+    let mut storage_seq = 0u32;
+    let mut storage_run = |engine: StorageEngine| -> (CycleOutcome, f64, PathBuf) {
+        storage_seq += 1;
+        let dir = tmp_root.join(format!("s{storage_seq}"));
+        let config = CycleConfig {
+            journal: Some(JournalConfig {
+                sync: SyncPolicy::EveryN(8),
+                snapshot_every: Some(8),
+                ..JournalConfig::new(&dir)
+            }),
+            storage: StorageOptions {
+                engine,
+                ..StorageOptions::default()
+            },
+            ..cycle_config(iteration_cap, true)
+        };
+        let (out, secs) = time_it(|| {
+            AnonymizationCycle::new(&risk, &anonymizer, config.clone())
+                .run(&db, &dict)
+                .expect("storage run")
+        });
+        (out, secs, dir)
+    };
+    let mut storage_medians: Vec<(&str, f64)> = Vec::new();
+    let mut file_dir: Option<PathBuf> = None;
+    for (mode, engine) in [("mem", StorageEngine::Mem), ("file", StorageEngine::File)] {
+        let mut times: Vec<f64> = Vec::with_capacity(runs);
+        for _ in 0..runs {
+            let (out, secs, dir) = storage_run(engine);
+            // the storage backend is an observer, not an intervention
+            assert_equivalent(&out, &warm_out);
+            times.push(secs);
+            if mode == "file" && file_dir.is_none() {
+                file_dir = Some(dir);
+            } else {
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+        }
+        times.sort_by(f64::total_cmp);
+        storage_medians.push((mode, times[times.len() / 2]));
+    }
+    // Cut the kept file-backed journal just after its final Snapshot
+    // record: recovery then lands exactly on the iteration the persisted
+    // warm artifact covers, so a file-engine resume can seed its group
+    // statistics from disk instead of regrouping cold.
+    let file_dir = file_dir.expect("a file-backed journal was kept");
+    let file_bytes = std::fs::read(file_dir.join(JOURNAL_FILE)).expect("read file journal");
+    let mut cursor = record::MAGIC.len();
+    let mut storage_cut = None;
+    while cursor < file_bytes.len() {
+        let Ok((rec, next)) = record::decode_frame(&file_bytes, cursor) else {
+            break;
+        };
+        if matches!(rec, record::JournalRecord::Snapshot { .. }) {
+            storage_cut = Some(next);
+        }
+        cursor = next;
+    }
+    let storage_cut = storage_cut.expect("file-backed journal has a snapshot");
+    let mut storage_resume: Vec<(&str, f64, u64)> = Vec::new();
+    for (mode, keep_artifact) in [("resume-warm-disk", true), ("resume-cold", false)] {
+        let mut times: Vec<f64> = Vec::with_capacity(runs);
+        let mut restores = 0u64;
+        for rep in 0..runs {
+            let dir = tmp_root.join(format!("{mode}-{rep}"));
+            std::fs::create_dir_all(&dir).expect("mkdir");
+            std::fs::write(dir.join(JOURNAL_FILE), &file_bytes[..storage_cut])
+                .expect("write prefix");
+            for entry in std::fs::read_dir(&file_dir).expect("read dir").flatten() {
+                let p = entry.path();
+                let snap = p.extension().is_some_and(|x| x == "vsnap");
+                let art = p.extension().is_some_and(|x| x == "vart");
+                if snap || (art && keep_artifact) {
+                    std::fs::copy(&p, dir.join(entry.file_name())).expect("copy artifact");
+                }
+            }
+            let config = CycleConfig {
+                journal: Some(JournalConfig::new(&dir)),
+                storage: StorageOptions {
+                    engine: StorageEngine::File,
+                    ..StorageOptions::default()
+                },
+                ..cycle_config(iteration_cap, true)
+            };
+            let (out, secs) = time_it(|| {
+                AnonymizationCycle::new(&risk, &anonymizer, config.clone())
+                    .resume(&db, &dict)
+                    .expect("storage resume")
+            });
+            assert_equivalent(&out, &warm_out);
+            restores += out.profile.warm.disk_restores;
+            times.push(secs);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        times.sort_by(f64::total_cmp);
+        storage_resume.push((mode, times[times.len() / 2], restores));
+    }
+    // The legs must exercise the paths their labels claim.
+    let by_mode = |m: &str| storage_resume.iter().find(|(n, ..)| *n == m).unwrap().2;
+    if by_mode("resume-warm-disk") == 0 || by_mode("resume-cold") != 0 {
+        eprintln!(
+            "STORAGE RESUME MISLABELED — warm-disk restored {} time(s), cold {} time(s)",
+            by_mode("resume-warm-disk"),
+            by_mode("resume-cold")
+        );
+        std::process::exit(1);
+    }
     let _ = std::fs::remove_dir_all(&tmp_root);
 
     // --- observability overhead: off vs recorder vs file vs trace ---
@@ -377,6 +500,22 @@ fn main() {
         rows, replayed, recovery_s, runs
     )
     .expect("write bench line");
+    for (mode, secs) in &storage_medians {
+        writeln!(
+            file,
+            "{{\"bench\":\"cycle.storage\",\"rows\":{},\"iterations\":{},\"mode\":\"{}\",\"median_s\":{:.6},\"runs\":{}}}",
+            rows, warm_out.iterations, mode, secs, runs
+        )
+        .expect("write bench line");
+    }
+    for (mode, secs, restores) in &storage_resume {
+        writeln!(
+            file,
+            "{{\"bench\":\"cycle.storage\",\"rows\":{},\"mode\":\"{}\",\"median_s\":{:.6},\"disk_restores\":{},\"runs\":{}}}",
+            rows, mode, secs, restores, runs
+        )
+        .expect("write bench line");
+    }
     for (mode, secs) in OBS_MODES.iter().zip(&obs_mins) {
         writeln!(
             file,
@@ -414,6 +553,12 @@ fn main() {
         "  cycle.recovery: resume from mid-run journal {:.3}s ({} action(s) replayed)",
         recovery_s, replayed
     );
+    for (mode, secs) in &storage_medians {
+        println!("  cycle.storage: engine={mode:<16} {secs:.3}s");
+    }
+    for (mode, secs, restores) in &storage_resume {
+        println!("  cycle.storage: {mode:<23} {secs:.3}s ({restores} disk restore(s))");
+    }
     for (mode, secs) in OBS_MODES.iter().zip(&obs_mins) {
         let overhead = if obs_off_s == 0.0 {
             0.0
@@ -465,6 +610,38 @@ fn main() {
                     );
                     std::process::exit(1);
                 }
+            }
+            Err(msg) => {
+                eprintln!("baseline check failed: {msg}");
+                std::process::exit(1);
+            }
+        }
+        let file_s = storage_medians
+            .iter()
+            .find(|(m, _)| *m == "file")
+            .map(|(_, s)| *s)
+            .unwrap_or(0.0);
+        match read_baseline_median(&path, "cycle.storage", "file") {
+            Ok(base) => {
+                let ratio = file_s / base;
+                println!(
+                    "baseline check — file-backed median {:.3}s vs baseline {:.3}s ({:.2}x)",
+                    file_s, base, ratio
+                );
+                if ratio > MAX_REGRESSION {
+                    eprintln!(
+                        "PERF REGRESSION: file-backed cycle median {:.3}s exceeds baseline {:.3}s by more than {:.0}%",
+                        file_s,
+                        base,
+                        (MAX_REGRESSION - 1.0) * 100.0
+                    );
+                    std::process::exit(1);
+                }
+            }
+            // A baseline that predates the storage series is not a
+            // regression; the gate arms once the series is committed.
+            Err(msg) if msg.contains("has no entry") => {
+                println!("baseline note: {msg}");
             }
             Err(msg) => {
                 eprintln!("baseline check failed: {msg}");

@@ -6,7 +6,8 @@
 //!
 //!   --journal DIR     journal directory of one run
 //!   --jobs-root DIR   a vadasa_server fleet root: list every job under
-//!                     it (state, progress, ETA band, torn bytes)
+//!                     it (state, storage backend, warm-artifact
+//!                     freshness, progress, ETA band, torn bytes)
 //!   --telemetry FILE  also summarize a JSON-lines telemetry file: span
 //!                     count and the hottest spans by self time
 //!   --json            emit one JSON object instead of text
@@ -21,7 +22,10 @@
 //! right now. It reports the run identity, committed iteration count,
 //! snapshot horizon and replay distance, the rows-at-risk trajectory with
 //! a least-squares convergence estimate (trend, ETA, confidence band),
-//! degradation/finish markers, and any torn tail bytes.
+//! degradation/finish markers, any torn tail bytes, and — for file-backed
+//! runs — whether the persisted warm-state artifact is fresh against the
+//! journal (a resume would seed warm from disk), stale (cold regroup), or
+//! refused by the total decoder.
 
 use std::process::ExitCode;
 use vadasa_bench::status::{

@@ -13,6 +13,7 @@
 //! is reported as `torn_bytes`, exactly as recovery would see it.
 
 use std::path::{Path, PathBuf};
+use vadasa_core::colstore::{self, WARM_STATS_ARTIFACT};
 use vadasa_core::journal::record::{decode_frame, JournalRecord, MAGIC};
 use vadasa_core::journal::JOURNAL_FILE;
 use vadasa_core::obs::json::Json;
@@ -61,6 +62,51 @@ pub struct SnapshotStatus {
     pub present: bool,
 }
 
+/// Freshness of the persisted warm-state artifact
+/// (`cycle.warmstats.vart`) relative to the journal — exactly the test a
+/// resuming cycle applies before seeding warm state from disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WarmFreshness {
+    /// No artifact on disk — normal for the in-memory backend, or a
+    /// file-backed run that has not snapshotted yet.
+    Absent,
+    /// The artifact decodes, its fingerprint matches the journal's, and
+    /// it covers exactly the committed iterations: a resume would seed
+    /// warm state straight from disk.
+    Fresh {
+        /// Iterations the artifact covers (= journal commit horizon).
+        iterations: u64,
+    },
+    /// The artifact decodes but its iteration stamp disagrees with the
+    /// journal's last commit; a resume would ignore it and regroup cold.
+    Stale {
+        /// Iterations the artifact covers.
+        iterations: u64,
+        /// Iterations the journal has committed.
+        committed: u64,
+    },
+    /// The artifact was refused by the total decoder (corrupt, alien
+    /// magic, future version, fingerprint mismatch, short read …); a
+    /// resume would fall back cold.
+    Unreadable {
+        /// Rendered structured refusal.
+        message: String,
+    },
+}
+
+impl WarmFreshness {
+    /// One-word rendering for table cells: `none`, `fresh`, `stale` or
+    /// `refused`.
+    pub fn word(&self) -> &'static str {
+        match self {
+            WarmFreshness::Absent => "none",
+            WarmFreshness::Fresh { .. } => "fresh",
+            WarmFreshness::Stale { .. } => "stale",
+            WarmFreshness::Unreadable { .. } => "refused",
+        }
+    }
+}
+
 /// Everything a monitor can learn about a journaled run without touching
 /// it. All fields come from decoded journal records; `Option`s are `None`
 /// when the corresponding record has not been written (yet).
@@ -106,6 +152,8 @@ pub struct JobStatus {
     pub batch_sizes: Vec<u64>,
     /// The newest snapshot the journal references, if any.
     pub snapshot: Option<SnapshotStatus>,
+    /// Freshness of the persisted warm-state artifact vs the journal.
+    pub warm: WarmFreshness,
     /// Rows-at-risk trajectory from the `Progress` samples, in order.
     pub rows_at_risk: Vec<u64>,
     /// Least-squares convergence estimate over the trajectory.
@@ -189,6 +237,30 @@ impl JobStatus {
                 );
             }
         }
+        match &self.warm {
+            WarmFreshness::Absent => {}
+            WarmFreshness::Fresh { iterations } => {
+                let _ = writeln!(
+                    out,
+                    "warm      {WARM_STATS_ARTIFACT}.vart fresh @ {iterations} iteration(s) — a resume seeds warm state from disk"
+                );
+            }
+            WarmFreshness::Stale {
+                iterations,
+                committed,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "warm      {WARM_STATS_ARTIFACT}.vart STALE — artifact @ {iterations} iteration(s) vs journal @ {committed}; a resume regroups cold"
+                );
+            }
+            WarmFreshness::Unreadable { message } => {
+                let _ = writeln!(
+                    out,
+                    "warm      {WARM_STATS_ARTIFACT}.vart REFUSED ({message}); a resume regroups cold"
+                );
+            }
+        }
         if let Some(e) = &self.estimate {
             let eta = match e.eta_iterations {
                 Some(0) => "converged".to_string(),
@@ -260,7 +332,29 @@ impl JobStatus {
             ]),
             None => Json::Null,
         };
+        let warm = {
+            let mut members: Vec<(String, Json)> =
+                vec![("state".into(), Json::Str(self.warm.word().into()))];
+            match &self.warm {
+                WarmFreshness::Absent => {}
+                WarmFreshness::Fresh { iterations } => {
+                    members.push(("iterations".into(), Json::Num(*iterations as f64)));
+                }
+                WarmFreshness::Stale {
+                    iterations,
+                    committed,
+                } => {
+                    members.push(("iterations".into(), Json::Num(*iterations as f64)));
+                    members.push(("committed".into(), Json::Num(*committed as f64)));
+                }
+                WarmFreshness::Unreadable { message } => {
+                    members.push(("error".into(), Json::Str(message.clone())));
+                }
+            }
+            Json::Obj(members)
+        };
         Json::Obj(vec![
+            ("warm_artifact".into(), warm),
             (
                 "journal".into(),
                 Json::Obj(vec![
@@ -387,6 +481,7 @@ pub fn read_status(dir: &Path) -> Result<JobStatus, StatusError> {
         actions_since_snapshot: 0,
         batch_sizes: Vec::new(),
         snapshot: None,
+        warm: WarmFreshness::Absent,
         rows_at_risk: Vec::new(),
         estimate: None,
         degraded: None,
@@ -454,7 +549,38 @@ pub fn read_status(dir: &Path) -> Result<JobStatus, StatusError> {
     }
     status.torn_bytes = (bytes.len() - offset) as u64;
     status.estimate = progress::estimate(&status.rows_at_risk);
+    status.warm = warm_freshness(dir, status.fingerprint, status.committed_iterations);
     Ok(status)
+}
+
+/// Inspect the persisted warm-state artifact next to the journal,
+/// applying the same vetting a resuming cycle does: framing, CRC,
+/// version, fingerprint, and an exact iteration match against the last
+/// journal commit. Read-only and total — hostile bytes become
+/// [`WarmFreshness::Unreadable`], never a panic.
+fn warm_freshness(dir: &Path, fingerprint: Option<u64>, committed: u64) -> WarmFreshness {
+    let path = dir.join(format!("{WARM_STATS_ARTIFACT}.vart"));
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return WarmFreshness::Absent,
+        Err(e) => {
+            return WarmFreshness::Unreadable {
+                message: e.to_string(),
+            }
+        }
+    };
+    match colstore::decode_warm_stats(&bytes, fingerprint) {
+        Ok(ws) if ws.iterations == committed => WarmFreshness::Fresh {
+            iterations: ws.iterations,
+        },
+        Ok(ws) => WarmFreshness::Stale {
+            iterations: ws.iterations,
+            committed,
+        },
+        Err(e) => WarmFreshness::Unreadable {
+            message: e.to_string(),
+        },
+    }
 }
 
 // --- jobs-root listing (vadasa_server fleets) ------------------------------
@@ -470,6 +596,9 @@ pub struct JobDirStatus {
     /// `state.json` marker state (`done`/`failed`/`cancelled`/
     /// `interrupted`), when present.
     pub marker: Option<String>,
+    /// Storage backend the job's manifest declares (`mem`/`file`);
+    /// `None` when the manifest is missing or unreadable.
+    pub storage: Option<String>,
     /// Structured error carried by a `failed` marker.
     pub error: Option<String>,
     /// Journal inspection; `None` when the job has not journaled yet.
@@ -516,6 +645,10 @@ pub fn read_jobs_root(root: &Path) -> Result<Vec<JobDirStatus>, StatusError> {
             Ok(None) => (None, None),
             Err(e) => (None, Some(format!("unreadable marker: {e}"))),
         };
+        let storage = std::fs::read_to_string(dir.join(vadasa_server::spec::MANIFEST_FILE))
+            .ok()
+            .and_then(|text| vadasa_server::JobSpec::from_manifest_json(&text).ok())
+            .map(|spec| spec.storage.as_str().to_string());
         let (status, status_error) = match read_status(&dir) {
             Ok(s) => (Some(s), None),
             // No journal yet is a normal queued job, not an error.
@@ -528,6 +661,7 @@ pub fn read_jobs_root(root: &Path) -> Result<Vec<JobDirStatus>, StatusError> {
         jobs.push(JobDirStatus {
             id,
             marker,
+            storage,
             error,
             status,
             status_error,
@@ -539,17 +673,20 @@ pub fn read_jobs_root(root: &Path) -> Result<Vec<JobDirStatus>, StatusError> {
 /// Render a jobs-root listing as an aligned table.
 pub fn render_jobs_table(jobs: &[JobDirStatus]) -> String {
     use std::fmt::Write as _;
-    let mut rows: Vec<[String; 6]> = vec![[
+    let mut rows: Vec<[String; 8]> = vec![[
         "JOB".into(),
         "STATE".into(),
+        "STORAGE".into(),
+        "WARM".into(),
         "ITER".into(),
         "AT-RISK".into(),
         "ETA".into(),
         "TORN".into(),
     ]];
     for j in jobs {
-        let (iter, at_risk, eta, torn) = match &j.status {
+        let (warm, iter, at_risk, eta, torn) = match &j.status {
             Some(s) => (
+                s.warm.word().to_string(),
                 s.committed_iterations.to_string(),
                 s.rows_at_risk
                     .last()
@@ -560,18 +697,20 @@ pub fn render_jobs_table(jobs: &[JobDirStatus]) -> String {
                 },
                 s.torn_bytes.to_string(),
             ),
-            None => ("—".into(), "—".into(), "—".into(), "—".into()),
+            None => ("—".into(), "—".into(), "—".into(), "—".into(), "—".into()),
         };
         rows.push([
             j.id.clone(),
             j.state().to_string(),
+            j.storage.clone().unwrap_or_else(|| "—".into()),
+            warm,
             iter,
             at_risk,
             eta,
             torn,
         ]);
     }
-    let mut widths = [0usize; 6];
+    let mut widths = [0usize; 8];
     for row in &rows {
         for (w, cell) in widths.iter_mut().zip(row.iter()) {
             *w = (*w).max(cell.chars().count());
@@ -610,6 +749,13 @@ pub fn jobs_to_json(jobs: &[JobDirStatus]) -> Json {
             let mut members: Vec<(String, Json)> = vec![
                 ("id".into(), Json::Str(j.id.clone())),
                 ("state".into(), Json::Str(j.state().to_string())),
+                (
+                    "storage".into(),
+                    match &j.storage {
+                        Some(s) => Json::Str(s.clone()),
+                        None => Json::Null,
+                    },
+                ),
             ];
             if let Some(e) = &j.error {
                 members.push(("error".into(), Json::Str(e.clone())));
@@ -816,6 +962,59 @@ mod tests {
     }
 
     #[test]
+    fn warm_artifact_freshness_tracks_the_journal() {
+        use vadasa_core::maybe_match::GroupStats;
+        let dir = fresh_dir("warm");
+        write_journal(&dir, &sample_records());
+        let stats = GroupStats {
+            count: vec![2, 2],
+            weight_sum: vec![3.0, 3.0],
+        };
+        let art = dir.join(format!("{WARM_STATS_ARTIFACT}.vart"));
+
+        // No artifact: the in-memory backend's normal shape.
+        assert_eq!(read_status(&dir).unwrap().warm, WarmFreshness::Absent);
+
+        // Fresh: fingerprint and iteration stamp both match the journal
+        // (sample_records commits through iteration 2, fingerprint 0xABCD).
+        std::fs::write(&art, colstore::encode_warm_stats(2, 0xABCD, &stats)).unwrap();
+        let s = read_status(&dir).unwrap();
+        assert_eq!(s.warm, WarmFreshness::Fresh { iterations: 2 });
+        assert!(s
+            .render_text()
+            .contains("warm      cycle.warmstats.vart fresh @ 2"));
+
+        // Stale: valid artifact, but lagging the journal commit horizon.
+        std::fs::write(&art, colstore::encode_warm_stats(1, 0xABCD, &stats)).unwrap();
+        let s = read_status(&dir).unwrap();
+        assert_eq!(
+            s.warm,
+            WarmFreshness::Stale {
+                iterations: 1,
+                committed: 2
+            }
+        );
+        assert!(s.render_text().contains("STALE"));
+
+        // Refused: another run's fingerprint is a structured refusal …
+        std::fs::write(&art, colstore::encode_warm_stats(2, 0xBEEF, &stats)).unwrap();
+        let s = read_status(&dir).unwrap();
+        assert!(
+            matches!(s.warm, WarmFreshness::Unreadable { .. }),
+            "{:?}",
+            s.warm
+        );
+        // … and so is outright garbage (never a panic).
+        std::fs::write(&art, b"NOTAVADA garbage").unwrap();
+        let s = read_status(&dir).unwrap();
+        assert!(matches!(s.warm, WarmFreshness::Unreadable { .. }));
+        let json = s.to_json().to_string();
+        assert!(json.contains("\"warm_artifact\""), "{json}");
+        assert!(json.contains("\"state\":\"refused\""), "{json}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn json_rendering_round_trips_through_the_parser() {
         let dir = fresh_dir("json");
         write_journal(&dir, &sample_records());
@@ -892,6 +1091,7 @@ mod tests {
         );
         let by_id = |id: &str| jobs.iter().find(|j| j.id == id).unwrap();
         assert_eq!(by_id("good").state(), "done");
+        assert_eq!(by_id("good").storage.as_deref(), Some("mem"));
         assert!(by_id("good")
             .status
             .as_ref()

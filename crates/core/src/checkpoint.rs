@@ -274,6 +274,9 @@ impl Checkpoint {
             strata_skipped: c.u64().map_err(de)?,
             fallback_to_cold: c.u64().map_err(de)?,
             reused_index_bytes: c.u64().map_err(de)?,
+            // run-local storage counters are not part of the snapshot
+            // format: they describe this process, not the journal
+            ..WarmCycleProfile::default()
         };
         let n_exhausted = c.u32().map_err(de)? as usize;
         if n_exhausted > payload.len() {
@@ -402,6 +405,7 @@ mod tests {
                 strata_skipped: 0,
                 fallback_to_cold: 0,
                 reused_index_bytes: 4096,
+                ..WarmCycleProfile::default()
             },
         }
     }

@@ -19,6 +19,7 @@
 
 use crate::anonymize::{AnonymizationAction, AnonymizeError, Anonymizer};
 use crate::checkpoint::Checkpoint;
+use crate::colstore::{self, WARM_STATS_ARTIFACT};
 use crate::degrade::{self, DegradeTrigger, FallbackPolicy, FallbackRecord};
 use crate::dictionary::MetadataDictionary;
 use crate::explain::{AuditLog, Decision};
@@ -34,6 +35,7 @@ use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use vadalog::backend::{ArtifactIo, FileBackend, StorageBackend, StorageEngine};
 use vadalog::CancelToken;
 use vadasa_obs::metrics::MetricsRegistry;
 use vadasa_obs::{fields, next_span_id, Collector, Obs};
@@ -89,6 +91,40 @@ pub enum BatchStrategy {
     TopN(usize),
 }
 
+/// Storage backend selection for the cycle's persisted warm artifacts.
+///
+/// With the default in-memory engine the cycle behaves exactly as before:
+/// nothing but the journal (when configured) touches disk. Selecting
+/// [`StorageEngine::File`] additionally persists the warm-start
+/// equivalence-group statistics beside the journal at every snapshot
+/// boundary, so [`AnonymizationCycle::resume`] can re-seed its warm state
+/// from disk instead of regrouping cold. The artifact is strictly a
+/// *cache*: any load failure — missing, torn, corrupt, alien magic,
+/// future version, stale iteration count — is discarded and the first
+/// evaluation regroups from the recovered table, converging to the
+/// bit-identical result.
+#[derive(Clone, Default)]
+pub struct StorageOptions {
+    /// Which storage engine backs persisted warm artifacts.
+    pub engine: StorageEngine,
+    /// Artifact byte-I/O override for fault injection (see
+    /// [`crate::faults::faulty_artifact_io`]); `None` uses real files.
+    /// Ignored under the in-memory engine.
+    pub artifact_io: Option<Arc<dyn ArtifactIo>>,
+}
+
+impl fmt::Debug for StorageOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StorageOptions")
+            .field("engine", &self.engine)
+            .field(
+                "artifact_io",
+                &self.artifact_io.as_ref().map(|_| "<injected>"),
+            )
+            .finish()
+    }
+}
+
 /// Cycle configuration.
 #[derive(Debug, Clone)]
 pub struct CycleConfig {
@@ -134,6 +170,13 @@ pub struct CycleConfig {
     /// more threads shard the row space and merge deterministically, so
     /// any thread count yields bitwise-identical reports.
     pub risk_threads: usize,
+    /// Storage backend for persisted warm artifacts (see
+    /// [`StorageOptions`]). The default in-memory engine keeps legacy
+    /// behaviour byte-for-byte; the file engine persists warm group
+    /// statistics beside the journal so resumed runs re-warm from disk.
+    /// Deliberately excluded from the journal fingerprint: the backend
+    /// choice affects where caches live, never what the cycle computes.
+    pub storage: StorageOptions,
 }
 
 impl Default for CycleConfig {
@@ -151,6 +194,7 @@ impl Default for CycleConfig {
             journal: None,
             batch: None,
             risk_threads: 1,
+            storage: StorageOptions::default(),
         }
     }
 }
@@ -213,6 +257,13 @@ pub struct WarmCycleProfile {
     /// engine hash indexes) reused instead of rebuilt, summed over warm
     /// evaluations.
     pub reused_index_bytes: u64,
+    /// Warm seeds restored from a persisted on-disk artifact instead of a
+    /// cold regroup (file-backed resumed runs only). Not persisted in
+    /// checkpoints: it describes this process's runs, not the journal's.
+    pub disk_restores: u64,
+    /// Warm-artifact persist attempts that failed. Non-fatal — the run
+    /// continues unchanged; only a later resume loses its disk warm seed.
+    pub persist_errors: u64,
 }
 
 impl WarmCycleProfile {
@@ -360,6 +411,8 @@ impl CycleProfile {
                 w.reused_index_bytes,
                 fields![],
             );
+            obs.counter("cycle.warm.disk_restores", w.disk_restores, fields![]);
+            obs.counter("cycle.warm.persist_errors", w.persist_errors, fields![]);
         }
         if self.journal != JournalProfile::default() {
             let j = &self.journal;
@@ -750,6 +803,43 @@ impl<'a> AnonymizationCycle<'a> {
             _ => None,
         };
 
+        // The artifact store holding persisted warm state, colocated with
+        // the journal. Only the file engine persists; a store that fails
+        // to open is counted and skipped — the run proceeds cold-capable
+        // exactly as under the in-memory engine.
+        let mut artifact_store: Option<FileBackend> = None;
+        if self.config.storage.engine == StorageEngine::File {
+            if let Some(jcfg) = &self.config.journal {
+                let opened = match &self.config.storage.artifact_io {
+                    Some(io) => FileBackend::with_io(&jcfg.dir, Arc::clone(io)),
+                    None => FileBackend::create(&jcfg.dir),
+                };
+                match opened {
+                    Ok(b) => artifact_store = Some(b),
+                    Err(_) => profile.warm.persist_errors += 1,
+                }
+            }
+        }
+
+        // A disk-persisted warm seed: group statistics restored from the
+        // artifact store when their run fingerprint and iteration count
+        // match the recovered journal *exactly*. Anything else — missing,
+        // torn, corrupt, alien magic, future version, stale — is
+        // discarded here and the first evaluation regroups cold from the
+        // recovered table, converging to the bit-identical result.
+        let mut recovered_warm: Option<GroupStats> = None;
+        if resumed && self.config.warm_start {
+            if let (Some(store), Some(fp)) = (&artifact_store, run_fp) {
+                if let Ok(Some(bytes)) = store.get(WARM_STATS_ARTIFACT) {
+                    if let Ok(ws) = colstore::decode_warm_stats(&bytes, Some(fp)) {
+                        if ws.iterations == iterations as u64 {
+                            recovered_warm = Some(ws.stats);
+                        }
+                    }
+                }
+            }
+        }
+
         let qi_count = dict
             .quasi_identifiers(&work.name)
             .map(|v| v.len())
@@ -811,7 +901,20 @@ impl<'a> AnonymizationCycle<'a> {
                 let had_stats = warm_stats.is_some();
                 if !had_stats {
                     if weights_exactly_summable(view.weights.as_deref()) {
-                        warm_stats = Some(view.group_stats());
+                        // A disk-restored seed stands in for the regroup
+                        // only when it describes exactly this many rows;
+                        // the incremental-maintenance invariant makes the
+                        // two bitwise interchangeable.
+                        let disk = recovered_warm
+                            .take()
+                            .filter(|s| s.count.len() == view.len());
+                        warm_stats = Some(match disk {
+                            Some(stats) => {
+                                profile.warm.disk_restores += 1;
+                                stats
+                            }
+                            None => view.group_stats(),
+                        });
                     } else {
                         // fractional weights: incremental ± updates would
                         // not be bit-identical to a cold regroup
@@ -1122,6 +1225,20 @@ impl<'a> AnonymizationCycle<'a> {
                         warm: profile.warm,
                     };
                     w.snapshot(&cp)?;
+                    // Persist the maintained group statistics beside the
+                    // snapshot so a later resume can re-warm from disk.
+                    // Failure is non-fatal: the artifact is a cache, and
+                    // resume falls back to the cold regroup.
+                    if let (Some(store), Some(fp), Some(stats)) =
+                        (artifact_store.as_mut(), run_fp, warm_stats.as_ref())
+                    {
+                        if groups_supported {
+                            let bytes = colstore::encode_warm_stats(iterations as u64, fp, stats);
+                            if store.put(WARM_STATS_ARTIFACT, &bytes).is_err() {
+                                profile.warm.persist_errors += 1;
+                            }
+                        }
+                    }
                 }
             }
         };

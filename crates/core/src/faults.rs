@@ -24,6 +24,7 @@ use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use vadalog::backend::{ArtifactIo, RealArtifactIo};
 use vadalog::CancelToken;
 
 /// One injectable fault.
@@ -403,6 +404,202 @@ pub fn faulty_io_factory(fault: JournalFault) -> IoFactory {
             inner,
             state: state.clone(),
         }) as Box<dyn JournalIo>)
+    })
+}
+
+/// One injectable artifact-storage fault, applied by the [`ArtifactIo`]
+/// built with [`faulty_artifact_io`] and slotted under a
+/// [`FileBackend`](vadalog::backend::FileBackend). Write ordinals are
+/// 1-based and shared across every artifact the backend touches, so one
+/// plan covers a whole run's persistence traffic.
+///
+/// The matrix contract (see `tests/storage_matrix.rs`): every one of
+/// these, injected at any point, must surface as a **structured
+/// [`StorageError`](vadalog::backend::StorageError)** or a **documented
+/// cold fallback** — never a panic, never silent divergence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageFault {
+    /// The `n`-th write persists only the first `k` bytes of its buffer
+    /// and then errors — a torn artifact write. The atomic-replace
+    /// protocol (tmp + rename) must keep the previous artifact visible.
+    TornWrite {
+        /// Which write call tears, counting from 1.
+        at_write: usize,
+        /// How many bytes of that buffer still land on disk.
+        keep_bytes: usize,
+    },
+    /// Every write from the `n`-th on fails with an `ENOSPC`-like error.
+    FullDisk {
+        /// First failing write call, counting from 1.
+        from_write: usize,
+    },
+    /// Every byte up to the `k`-th (cumulative across writes) persists;
+    /// then the process "crashes" — the write stops and all later writes
+    /// fail. Sweeping `k` over a reference artifact's length gives a
+    /// kill point at every byte.
+    CrashAfterBytes {
+        /// Total artifact bytes persisted before the crash.
+        bytes: usize,
+    },
+    /// Reads succeed but return a corrupt page: the byte at
+    /// `flip_byte % len` comes back bit-flipped.
+    CorruptOnRead {
+        /// Which byte of the artifact is flipped (wrapped into range).
+        flip_byte: usize,
+    },
+    /// Every read is denied (`EACCES`-like) — the reopen-denied shape a
+    /// permissions change or stale NFS handle produces.
+    ReopenDenied,
+    /// Reads return an alien file: the artifact magic is replaced.
+    AlienMagic,
+    /// Reads return the artifact with its format version bumped to
+    /// `u32::MAX`, as a file written by a much newer build would carry.
+    FutureVersion,
+}
+
+impl fmt::Display for StorageFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageFault::TornWrite {
+                at_write,
+                keep_bytes,
+            } => write!(f, "torn write at write #{at_write} (keeps {keep_bytes}B)"),
+            StorageFault::FullDisk { from_write } => {
+                write!(f, "disk full from write #{from_write}")
+            }
+            StorageFault::CrashAfterBytes { bytes } => {
+                write!(f, "crash after {bytes} artifact bytes")
+            }
+            StorageFault::CorruptOnRead { flip_byte } => {
+                write!(f, "corrupt page: byte {flip_byte} flipped on read")
+            }
+            StorageFault::ReopenDenied => write!(f, "artifact reopen denied"),
+            StorageFault::AlienMagic => write!(f, "alien magic on read"),
+            StorageFault::FutureVersion => write!(f, "future format version on read"),
+        }
+    }
+}
+
+impl StorageFault {
+    /// The canonical storage fault matrix: one representative of every
+    /// fault family, with fixed early ordinals so each fault actually
+    /// fires on small workloads. Tests extend this with swept ordinals
+    /// (`CrashAfterBytes` over a reference artifact's length).
+    pub fn matrix() -> Vec<StorageFault> {
+        vec![
+            StorageFault::TornWrite {
+                at_write: 1,
+                keep_bytes: 7,
+            },
+            StorageFault::TornWrite {
+                at_write: 2,
+                keep_bytes: 0,
+            },
+            StorageFault::FullDisk { from_write: 1 },
+            StorageFault::FullDisk { from_write: 2 },
+            StorageFault::CrashAfterBytes { bytes: 0 },
+            StorageFault::CrashAfterBytes { bytes: 13 },
+            StorageFault::CorruptOnRead { flip_byte: 3 },
+            StorageFault::CorruptOnRead { flip_byte: 40 },
+            StorageFault::ReopenDenied,
+            StorageFault::AlienMagic,
+            StorageFault::FutureVersion,
+        ]
+    }
+}
+
+/// Shared fault state so one [`StorageFault`]'s ordinals span every
+/// artifact a backend touches.
+struct StorageFaultState {
+    fault: StorageFault,
+    writes: AtomicUsize,
+    bytes: AtomicUsize,
+}
+
+/// An [`ArtifactIo`] that injects the planned [`StorageFault`] and
+/// otherwise performs real file I/O.
+pub struct FaultyArtifactIo {
+    inner: RealArtifactIo,
+    state: Arc<StorageFaultState>,
+}
+
+impl ArtifactIo for FaultyArtifactIo {
+    fn write(&self, path: &Path, buf: &[u8]) -> io::Result<()> {
+        let call = self.state.writes.fetch_add(1, Ordering::Relaxed) + 1;
+        match self.state.fault {
+            StorageFault::TornWrite {
+                at_write,
+                keep_bytes,
+            } if call == at_write => {
+                let keep = keep_bytes.min(buf.len());
+                self.inner.write(path, &buf[..keep])?;
+                Err(io::Error::other("injected torn artifact write"))
+            }
+            StorageFault::FullDisk { from_write } if call >= from_write => Err(io::Error::new(
+                io::ErrorKind::StorageFull,
+                "injected disk full",
+            )),
+            StorageFault::CrashAfterBytes { bytes } => {
+                let written = self.state.bytes.load(Ordering::Relaxed);
+                if written >= bytes {
+                    return Err(io::Error::other("injected crash"));
+                }
+                let keep = (bytes - written).min(buf.len());
+                self.inner.write(path, &buf[..keep])?;
+                self.state.bytes.fetch_add(keep, Ordering::Relaxed);
+                if keep < buf.len() {
+                    Err(io::Error::other("injected crash"))
+                } else {
+                    Ok(())
+                }
+            }
+            _ => self.inner.write(path, buf),
+        }
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        match self.state.fault {
+            StorageFault::ReopenDenied => Err(io::Error::new(
+                io::ErrorKind::PermissionDenied,
+                "injected reopen denial",
+            )),
+            StorageFault::CorruptOnRead { flip_byte } => {
+                let mut bytes = self.inner.read(path)?;
+                if !bytes.is_empty() {
+                    let i = flip_byte % bytes.len();
+                    bytes[i] ^= 0x40;
+                }
+                Ok(bytes)
+            }
+            StorageFault::AlienMagic => {
+                let mut bytes = self.inner.read(path)?;
+                for (i, b) in bytes.iter_mut().take(8).enumerate() {
+                    *b = b"NOTAVADA"[i];
+                }
+                Ok(bytes)
+            }
+            StorageFault::FutureVersion => {
+                let mut bytes = self.inner.read(path)?;
+                if bytes.len() >= 12 {
+                    bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+                }
+                Ok(bytes)
+            }
+            _ => self.inner.read(path),
+        }
+    }
+}
+
+/// Build an [`ArtifactIo`] injecting `fault`, for
+/// [`FileBackend::with_io`](vadalog::backend::FileBackend::with_io).
+pub fn faulty_artifact_io(fault: StorageFault) -> Arc<dyn ArtifactIo> {
+    Arc::new(FaultyArtifactIo {
+        inner: RealArtifactIo,
+        state: Arc::new(StorageFaultState {
+            fault,
+            writes: AtomicUsize::new(0),
+            bytes: AtomicUsize::new(0),
+        }),
     })
 }
 

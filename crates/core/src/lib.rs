@@ -66,6 +66,7 @@ pub mod anonymize;
 pub mod business;
 pub mod categorize;
 pub mod checkpoint;
+pub mod colstore;
 pub mod columnar;
 pub mod cycle;
 pub mod degrade;
@@ -97,7 +98,8 @@ pub mod prelude {
     pub use crate::categorize::{Categorizer, ExperienceBase};
     pub use crate::cycle::{
         AnonymizationCycle, BatchStrategy, CycleConfig, CycleOutcome, CycleProfile,
-        CycleTermination, IterationRecord, StepGranularity, TupleOrder, WarmCycleProfile,
+        CycleTermination, IterationRecord, StepGranularity, StorageOptions, TupleOrder,
+        WarmCycleProfile,
     };
     pub use crate::degrade::{
         suppress_all_risky, DegradeSummary, DegradeTrigger, FallbackPolicy, FallbackRecord,

@@ -171,13 +171,16 @@ pub fn render_profile(profile: &CycleProfile) -> String {
         let _ = writeln!(
             out,
             "warm-start — {} warm / {} cold evaluation(s), {} fact(s) patched, \
-             {} stratum(s) skipped, {} fallback(s) to cold, {} reused byte(s)",
+             {} stratum(s) skipped, {} fallback(s) to cold, {} reused byte(s), \
+             {} disk restore(s), {} persist error(s)",
             w.warm_evals,
             w.cold_evals,
             w.patched_facts,
             w.strata_skipped,
             w.fallback_to_cold,
-            w.reused_index_bytes
+            w.reused_index_bytes,
+            w.disk_restores,
+            w.persist_errors
         );
     }
     let j = &profile.journal;
@@ -373,6 +376,7 @@ mod tests {
                 strata_skipped: 0,
                 fallback_to_cold: 0,
                 reused_index_bytes: 4096,
+                ..Default::default()
             },
             ..CycleProfile::default()
         };

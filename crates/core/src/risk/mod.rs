@@ -287,6 +287,46 @@ impl MicrodataView {
         self.group_stats_with(self.weights.as_deref(), self.semantics)
     }
 
+    /// Column dictionaries in column order (spill/restore path).
+    pub(crate) fn dicts(&self) -> &[ColumnDict] {
+        &self.dicts
+    }
+
+    /// The flat row-major code matrix (spill/restore path).
+    pub(crate) fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// Per-row null bitmasks (spill/restore path).
+    pub(crate) fn null_masks(&self) -> &[u64] {
+        &self.null_masks
+    }
+
+    /// Reassemble a view from its constituent parts. Used by the
+    /// out-of-core store ([`crate::colstore`]) when materializing a
+    /// spilled view; callers are responsible for internal consistency
+    /// (codes length = rows × width, masks length = rows, codes within
+    /// their column dictionaries).
+    pub(crate) fn from_parts(
+        qi_names: Vec<String>,
+        dicts: Vec<ColumnDict>,
+        codes: Vec<u32>,
+        null_masks: Vec<u64>,
+        weights: Option<Vec<f64>>,
+        semantics: NullSemantics,
+        risk_threads: usize,
+    ) -> Self {
+        MicrodataView {
+            qi_names,
+            dicts,
+            codes,
+            null_masks,
+            weights,
+            semantics,
+            risk_threads,
+        }
+    }
+
     /// Group statistics with explicit weights and semantics (threads from
     /// the view).
     pub fn group_stats_with(&self, weights: Option<&[f64]>, sem: NullSemantics) -> GroupStats {

@@ -1,0 +1,564 @@
+//! The storage fault matrix: the file-backed warm-artifact store under
+//! every injected [`StorageFault`], plus a kill-point sweep pinning
+//! disk-resumed warm state bit-identical to uninterrupted warm runs.
+//!
+//! The contract under test (DESIGN.md §15): persisted warm artifacts are
+//! strictly *caches*. Every injected fault — torn write, disk full,
+//! crash-after-k-bytes, corrupt page, reopen denied, alien magic, future
+//! version — must surface as a structured error (counted in
+//! `warm.persist_errors`) or a documented cold fallback that converges
+//! to the identical transcript. Never a panic, never silent divergence.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use vadalog::backend::{ArtifactIo, StorageEngine};
+use vadalog::Value;
+use vadasa_core::cycle::{
+    AnonymizationCycle, CycleConfig, CycleOutcome, StepGranularity, StorageOptions,
+};
+use vadasa_core::dictionary::{Category, MetadataDictionary};
+use vadasa_core::faults::{faulty_artifact_io, StorageFault};
+use vadasa_core::journal::record;
+use vadasa_core::journal::{JournalConfig, JOURNAL_FILE};
+use vadasa_core::model::MicrodataDb;
+use vadasa_core::prelude::{KAnonymity, LocalSuppression};
+use vadasa_core::risk::RiskMeasure;
+use vadasa_datagen::generate_households;
+
+/// The on-disk file name of the persisted warm-statistics artifact.
+const WARM_FILE: &str = "cycle.warmstats.vart";
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("vadasa-storage-{}-{n}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Canonical rendering of every observable output of a run (same shape
+/// as the crash matrix): equal transcripts ⇔ indistinguishable runs.
+fn transcript(o: &CycleOutcome) -> String {
+    let mut t = String::new();
+    let _ = writeln!(
+        t,
+        "iterations={} nulls={} recodings={} initial_risky={} final_risky={}",
+        o.iterations, o.nulls_injected, o.recodings, o.initial_risky, o.final_risky
+    );
+    let _ = writeln!(
+        t,
+        "termination={:?} loss_bits={:016x}",
+        o.termination,
+        o.information_loss.to_bits()
+    );
+    for (i, r) in o.final_report.risks.iter().enumerate() {
+        let _ = writeln!(t, "risk[{i}]={:016x}", r.to_bits());
+    }
+    for d in &o.audit.decisions {
+        let _ = writeln!(
+            t,
+            "audit iter={} row={} measure={} risk={:016x} action={:?}",
+            d.iteration,
+            d.row,
+            d.measure,
+            d.risk.to_bits(),
+            d.action
+        );
+    }
+    for r in 0..o.db.len() {
+        let _ = writeln!(t, "row[{r}]={:?}", o.db.row(r).expect("row in range"));
+    }
+    t
+}
+
+/// The Fig. 5 table: small enough that a full per-byte artifact sweep is
+/// cheap, with several one-tuple iterations so the artifact is rewritten
+/// more than once.
+fn fig5() -> (MicrodataDb, MetadataDictionary) {
+    let mut db =
+        MicrodataDb::new("fig5", ["Id", "Area", "Sector", "Employees", "ResRev", "W"]).unwrap();
+    let rows = [
+        ("099876", "Roma", "Textiles", "1000+", "0-30", 10),
+        ("765389", "Roma", "Commerce", "1000+", "0-30", 20),
+        ("231654", "Roma", "Commerce", "1000+", "0-30", 20),
+        ("097302", "Roma", "Financial", "1000+", "0-30", 30),
+        ("120967", "Roma", "Financial", "1000+", "0-30", 30),
+        ("232498", "Milano", "Construction", "0-200", "60-90", 5),
+        ("340901", "Torino", "Construction", "0-200", "60-90", 5),
+    ];
+    for (id, a, s, e, r, w) in rows {
+        db.push_row(vec![
+            Value::str(id),
+            Value::str(a),
+            Value::str(s),
+            Value::str(e),
+            Value::str(r),
+            Value::Int(w),
+        ])
+        .unwrap();
+    }
+    let mut dict = MetadataDictionary::new();
+    for a in ["Id", "Area", "Sector", "Employees", "ResRev", "W"] {
+        dict.register_attr("fig5", a, "");
+    }
+    dict.set_category("fig5", "Id", Category::Identifier)
+        .unwrap();
+    for a in ["Area", "Sector", "Employees", "ResRev"] {
+        dict.set_category("fig5", a, Category::QuasiIdentifier)
+            .unwrap();
+    }
+    dict.set_category("fig5", "W", Category::Weight).unwrap();
+    (db, dict)
+}
+
+fn fig5_config() -> CycleConfig {
+    CycleConfig {
+        granularity: StepGranularity::OneTuplePerIteration,
+        ..CycleConfig::default()
+    }
+}
+
+fn file_storage(io: Option<Arc<dyn ArtifactIo>>) -> StorageOptions {
+    StorageOptions {
+        engine: StorageEngine::File,
+        artifact_io: io,
+    }
+}
+
+fn reference_run(
+    db: &MicrodataDb,
+    dict: &MetadataDictionary,
+    risk: &dyn RiskMeasure,
+    config: &CycleConfig,
+) -> CycleOutcome {
+    let anon = LocalSuppression::default();
+    AnonymizationCycle::new(
+        risk,
+        &anon,
+        CycleConfig {
+            journal: None,
+            storage: StorageOptions::default(),
+            ..config.clone()
+        },
+    )
+    .run(db, dict)
+    .expect("reference run")
+}
+
+fn run_journaled(
+    db: &MicrodataDb,
+    dict: &MetadataDictionary,
+    risk: &dyn RiskMeasure,
+    config: &CycleConfig,
+    jcfg: JournalConfig,
+) -> CycleOutcome {
+    let anon = LocalSuppression::default();
+    AnonymizationCycle::new(
+        risk,
+        &anon,
+        CycleConfig {
+            journal: Some(jcfg),
+            ..config.clone()
+        },
+    )
+    .run(db, dict)
+    .expect("journaled run")
+}
+
+fn resume_journaled(
+    db: &MicrodataDb,
+    dict: &MetadataDictionary,
+    risk: &dyn RiskMeasure,
+    config: &CycleConfig,
+    jcfg: JournalConfig,
+) -> CycleOutcome {
+    let anon = LocalSuppression::default();
+    AnonymizationCycle::new(
+        risk,
+        &anon,
+        CycleConfig {
+            journal: Some(jcfg),
+            ..config.clone()
+        },
+    )
+    .resume(db, dict)
+    .expect("resume")
+}
+
+/// Number of risk-evaluation worker threads each test sweeps; CI runs
+/// the suite at both values via `VADASA_RISK_THREADS`.
+fn risk_threads() -> usize {
+    std::env::var("VADASA_RISK_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+#[test]
+fn file_engine_persists_warm_stats_and_kill_sweep_restores_them() {
+    let survey = generate_households(24, 0x5707);
+    let risk = KAnonymity::new(3);
+    let config = CycleConfig {
+        granularity: StepGranularity::AllRiskyPerIteration,
+        storage: file_storage(None),
+        risk_threads: risk_threads(),
+        ..CycleConfig::default()
+    };
+    let reference = transcript(&reference_run(&survey.db, &survey.dict, &risk, &config));
+
+    let ref_dir = fresh_dir("warm-ref");
+    let jcfg = JournalConfig {
+        snapshot_every: Some(1),
+        ..JournalConfig::new(&ref_dir)
+    };
+    let journaled = run_journaled(&survey.db, &survey.dict, &risk, &config, jcfg);
+    assert_eq!(
+        transcript(&journaled),
+        reference,
+        "file-backed journaling changed the run"
+    );
+    assert_eq!(journaled.profile.warm.persist_errors, 0);
+    let warm_artifact = ref_dir.join(WARM_FILE);
+    assert!(
+        warm_artifact.exists(),
+        "file engine must persist {WARM_FILE}"
+    );
+    let artifact_bytes = fs::read(&warm_artifact).expect("read warm artifact");
+
+    // Kill-point sweep: truncate the journal at every frame boundary,
+    // copy the snapshots and the persisted warm artifact next to it, and
+    // resume. Every prefix must land on the reference transcript, and at
+    // least one kill point (the post-final-snapshot ones) must actually
+    // seed from disk.
+    let bytes = fs::read(ref_dir.join(JOURNAL_FILE)).expect("journal on disk");
+    let bounds = record::frame_boundaries(&bytes);
+    assert!(bounds.len() >= 4, "workload too small: {bounds:?}");
+    let mut restores = 0u64;
+    for &k in &bounds {
+        let dir = fresh_dir(&format!("warm-kill-{k}"));
+        fs::create_dir_all(&dir).expect("mkdir");
+        fs::write(dir.join(JOURNAL_FILE), &bytes[..k]).expect("write prefix");
+        for e in fs::read_dir(&ref_dir).expect("read dir").flatten() {
+            let name = e.file_name();
+            let s = name.to_string_lossy().to_string();
+            if s.ends_with(".vsnap") || s.ends_with(".vart") {
+                fs::copy(e.path(), dir.join(&name)).expect("copy artifact");
+            }
+        }
+        let resumed = resume_journaled(
+            &survey.db,
+            &survey.dict,
+            &risk,
+            &config,
+            JournalConfig::new(&dir),
+        );
+        assert_eq!(transcript(&resumed), reference, "kill at byte {k} diverged");
+        restores += resumed.profile.warm.disk_restores;
+        let _ = fs::remove_dir_all(&dir);
+    }
+    assert!(
+        restores >= 1,
+        "no kill point ever re-warmed from the persisted artifact"
+    );
+
+    // The same prefix resumed under the in-memory engine ignores the
+    // artifact entirely — and still agrees.
+    let dir = fresh_dir("warm-mem-resume");
+    fs::create_dir_all(&dir).expect("mkdir");
+    fs::write(dir.join(JOURNAL_FILE), &bytes).expect("write journal");
+    fs::write(dir.join(WARM_FILE), &artifact_bytes).expect("write artifact");
+    let mem_config = CycleConfig {
+        storage: StorageOptions::default(),
+        ..config.clone()
+    };
+    let resumed = resume_journaled(
+        &survey.db,
+        &survey.dict,
+        &risk,
+        &mem_config,
+        JournalConfig::new(&dir),
+    );
+    assert_eq!(transcript(&resumed), reference);
+    assert_eq!(resumed.profile.warm.disk_restores, 0);
+    let _ = fs::remove_dir_all(&dir);
+    let _ = fs::remove_dir_all(&ref_dir);
+}
+
+#[test]
+fn in_memory_engine_writes_no_artifacts() {
+    let (db, dict) = fig5();
+    let risk = KAnonymity::new(2);
+    let config = fig5_config(); // default storage: in-memory
+    let dir = fresh_dir("mem-engine");
+    let jcfg = JournalConfig {
+        snapshot_every: Some(1),
+        ..JournalConfig::new(&dir)
+    };
+    let outcome = run_journaled(&db, &dict, &risk, &config, jcfg);
+    assert_eq!(outcome.profile.warm.disk_restores, 0);
+    assert_eq!(outcome.profile.warm.persist_errors, 0);
+    let arts: Vec<String> = fs::read_dir(&dir)
+        .expect("read dir")
+        .flatten()
+        .map(|e| e.file_name().to_string_lossy().to_string())
+        .filter(|n| n.ends_with(".vart"))
+        .collect();
+    assert!(arts.is_empty(), "mem engine wrote artifacts: {arts:?}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn storage_fault_matrix_never_panics_and_never_diverges() {
+    let (db, dict) = fig5();
+    let risk = KAnonymity::new(2);
+    let base = CycleConfig {
+        risk_threads: risk_threads(),
+        ..fig5_config()
+    };
+    let reference = transcript(&reference_run(&db, &dict, &risk, &base));
+
+    for fault in StorageFault::matrix() {
+        let dir = fresh_dir("fault");
+        let config = CycleConfig {
+            storage: file_storage(Some(faulty_artifact_io(fault))),
+            ..base.clone()
+        };
+        let jcfg = JournalConfig {
+            snapshot_every: Some(1),
+            ..JournalConfig::new(&dir)
+        };
+        // The faulted run must complete — artifact persistence is a
+        // cache write, never load-bearing — and match the reference.
+        let anon = LocalSuppression::default();
+        let outcome = AnonymizationCycle::new(
+            &risk,
+            &anon,
+            CycleConfig {
+                journal: Some(jcfg),
+                ..config.clone()
+            },
+        )
+        .run(&db, &dict)
+        .unwrap_or_else(|e| panic!("{fault}: faulted run failed: {e}"));
+        assert_eq!(transcript(&outcome), reference, "{fault}: run diverged");
+        let write_side = matches!(
+            fault,
+            StorageFault::TornWrite { .. }
+                | StorageFault::FullDisk { .. }
+                | StorageFault::CrashAfterBytes { .. }
+        );
+        if write_side {
+            assert!(
+                outcome.profile.warm.persist_errors >= 1,
+                "{fault}: write fault was not surfaced in persist_errors"
+            );
+        } else {
+            assert_eq!(
+                outcome.profile.warm.persist_errors, 0,
+                "{fault}: read fault counted as a persist error"
+            );
+        }
+
+        // Resume through the same fault plan (fresh ordinals): read-side
+        // faults now hit the artifact load and must degrade to the cold
+        // regroup; write-side faults leave at worst a stale-but-valid or
+        // absent artifact behind the atomic-replace protocol. Either
+        // way: identical transcript.
+        let resumed = resume_journaled(
+            &db,
+            &dict,
+            &risk,
+            &CycleConfig {
+                storage: file_storage(Some(faulty_artifact_io(fault))),
+                ..base.clone()
+            },
+            JournalConfig::new(&dir),
+        );
+        assert_eq!(transcript(&resumed), reference, "{fault}: resume diverged");
+        if !write_side {
+            assert_eq!(
+                resumed.profile.warm.disk_restores, 0,
+                "{fault}: a faulted read must not seed warm state"
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn crash_after_every_artifact_byte_then_clean_resume() {
+    // Byte-granular kill points inside the artifact writer itself: the
+    // k-th cumulative byte is the last to reach disk. The tmp+rename
+    // protocol means a torn tmp file is never visible under the artifact
+    // name, so every k must resume to the reference transcript.
+    let (db, dict) = fig5();
+    let risk = KAnonymity::new(2);
+    let base = fig5_config();
+    let reference = transcript(&reference_run(&db, &dict, &risk, &base));
+
+    // Length of one healthy artifact, from an unfaulted file-backed run.
+    let ref_dir = fresh_dir("bytes-ref");
+    run_journaled(
+        &db,
+        &dict,
+        &risk,
+        &CycleConfig {
+            storage: file_storage(None),
+            ..base.clone()
+        },
+        JournalConfig {
+            snapshot_every: Some(1),
+            ..JournalConfig::new(&ref_dir)
+        },
+    );
+    let artifact_len = fs::read(ref_dir.join(WARM_FILE))
+        .expect("warm artifact")
+        .len();
+    let _ = fs::remove_dir_all(&ref_dir);
+    assert!(artifact_len > 28, "artifact suspiciously small");
+
+    for k in 0..=artifact_len {
+        let dir = fresh_dir(&format!("bytes-{k}"));
+        let outcome = run_journaled(
+            &db,
+            &dict,
+            &risk,
+            &CycleConfig {
+                storage: file_storage(Some(faulty_artifact_io(StorageFault::CrashAfterBytes {
+                    bytes: k,
+                }))),
+                ..base.clone()
+            },
+            JournalConfig {
+                snapshot_every: Some(1),
+                ..JournalConfig::new(&dir)
+            },
+        );
+        assert_eq!(
+            transcript(&outcome),
+            reference,
+            "crash after {k} artifact bytes diverged"
+        );
+        assert!(outcome.profile.warm.persist_errors >= 1);
+        // Clean-I/O resume over whatever the dying writer left behind.
+        let resumed = resume_journaled(
+            &db,
+            &dict,
+            &risk,
+            &CycleConfig {
+                storage: file_storage(None),
+                ..base.clone()
+            },
+            JournalConfig::new(&dir),
+        );
+        assert_eq!(
+            transcript(&resumed),
+            reference,
+            "resume after {k}-byte artifact crash diverged"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn hostile_warm_artifacts_fall_back_cold_to_the_same_result() {
+    // Mutate the persisted artifact directly — truncations, bit flips,
+    // insertions, emptiness, alien magic, a future version — and resume.
+    // Every mutant must be refused by the framed decoder and the session
+    // must converge cold to the reference transcript.
+    let survey = generate_households(24, 0x5707);
+    let risk = KAnonymity::new(3);
+    let config = CycleConfig {
+        granularity: StepGranularity::AllRiskyPerIteration,
+        storage: file_storage(None),
+        ..CycleConfig::default()
+    };
+    let reference = transcript(&reference_run(&survey.db, &survey.dict, &risk, &config));
+
+    let ref_dir = fresh_dir("hostile-ref");
+    run_journaled(
+        &survey.db,
+        &survey.dict,
+        &risk,
+        &config,
+        JournalConfig {
+            snapshot_every: Some(1),
+            ..JournalConfig::new(&ref_dir)
+        },
+    );
+    let journal = fs::read(ref_dir.join(JOURNAL_FILE)).expect("journal");
+    let artifact = fs::read(ref_dir.join(WARM_FILE)).expect("artifact");
+    let snapshots: Vec<(String, Vec<u8>)> = fs::read_dir(&ref_dir)
+        .expect("read dir")
+        .flatten()
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".vsnap"))
+        .map(|e| {
+            (
+                e.file_name().to_string_lossy().to_string(),
+                fs::read(e.path()).expect("snapshot"),
+            )
+        })
+        .collect();
+    let _ = fs::remove_dir_all(&ref_dir);
+
+    // Deterministic xorshift mutations plus the canonical hostile shapes.
+    let mut mutants: Vec<Vec<u8>> = vec![
+        Vec::new(),                              // empty file
+        b"NOTAVADAxxxxyyyyzzzz".to_vec(),        // alien magic, alien body
+        artifact[..artifact.len() / 2].to_vec(), // half the file
+    ];
+    let mut future = artifact.clone();
+    future[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+    mutants.push(future);
+    let mut s = 0x5707_2026_u64 | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    for _ in 0..24 {
+        let mut m = artifact.clone();
+        match next() % 3 {
+            0 => m.truncate((next() as usize) % (m.len() + 1)),
+            1 => {
+                let i = (next() as usize) % m.len();
+                m[i] ^= (next() % 255 + 1) as u8;
+            }
+            _ => {
+                let i = (next() as usize) % (m.len() + 1);
+                m.insert(i, next() as u8);
+            }
+        }
+        mutants.push(m);
+    }
+
+    for (mi, mutant) in mutants.iter().enumerate() {
+        let dir = fresh_dir(&format!("hostile-{mi}"));
+        fs::create_dir_all(&dir).expect("mkdir");
+        fs::write(dir.join(JOURNAL_FILE), &journal).expect("write journal");
+        fs::write(dir.join(WARM_FILE), mutant).expect("write mutant");
+        for (name, bytes) in &snapshots {
+            fs::write(dir.join(name), bytes).expect("write snapshot");
+        }
+        let resumed = resume_journaled(
+            &survey.db,
+            &survey.dict,
+            &risk,
+            &config,
+            JournalConfig::new(&dir),
+        );
+        assert_eq!(transcript(&resumed), reference, "mutant {mi} diverged");
+        // One mutation always breaks the CRC/length/magic framing, so a
+        // hostile artifact can never be mistaken for a warm seed.
+        assert_eq!(
+            resumed.profile.warm.disk_restores, 0,
+            "mutant {mi} was accepted as a warm seed"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -51,6 +51,7 @@ pub fn report_json(r: &JobReport) -> Json {
         ("state".into(), Json::Str(r.state.name().into())),
         ("attempts".into(), Json::Num(f64::from(r.attempts))),
         ("rows".into(), Json::Num(r.rows as f64)),
+        ("storage".into(), Json::Str(r.storage.as_str().into())),
     ];
     if let Some(e) = &r.error {
         members.push(("error".into(), Json::Str(e.clone())));
@@ -160,6 +161,10 @@ fn parse_submit(v: &Json) -> Result<(String, JobSpec), String> {
     }
     if let Some(n) = v.get("snapshot_every").and_then(Json::as_f64) {
         spec.snapshot_every = Some(n as u32);
+    }
+    if let Some(s) = v.get("storage").and_then(Json::as_str) {
+        spec.storage = vadalog::StorageEngine::parse(s)
+            .ok_or_else(|| format!("unknown storage engine {s:?}"))?;
     }
     Ok((id, spec))
 }

@@ -40,7 +40,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use vadalog::{Budget, CancelToken};
+use vadalog::{Budget, CancelToken, StorageEngine};
 use vadasa_core::cycle::{AnonymizationCycle, CycleError, CycleOutcome, CycleTermination};
 use vadasa_core::faults::{faulty_io_factory, FaultyRisk, JournalFault};
 use vadasa_core::io::write_csv;
@@ -224,6 +224,9 @@ pub struct JobReport {
     pub rows_at_risk: Option<f64>,
     /// Live ETA confidence (`cycle.eta_confidence`) while running.
     pub eta_confidence: Option<f64>,
+    /// Storage engine the job's spec declares for persisted warm
+    /// artifacts (`mem` when the spec is unreadable).
+    pub storage: StorageEngine,
 }
 
 /// What actually went wrong in one attempt (pre-classification).
@@ -289,6 +292,11 @@ impl JobEntry {
             eta_confidence: live
                 .then(|| self.metrics.gauge("cycle.eta_confidence"))
                 .flatten(),
+            storage: self
+                .spec
+                .as_ref()
+                .map(|s| s.storage)
+                .unwrap_or(StorageEngine::Mem),
         }
     }
 }
@@ -650,6 +658,44 @@ impl Drop for JobServer {
 
 // --- fleet recovery --------------------------------------------------------
 
+/// Sorted names of persisted storage artifacts (`*.vart`) in a job dir.
+fn persisted_artifacts(dir: &Path) -> Vec<String> {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            let mut v: Vec<String> = entries
+                .flatten()
+                .map(|e| e.file_name().to_string_lossy().to_string())
+                .filter(|n| n.ends_with(".vart"))
+                .collect();
+            v.sort();
+            v
+        })
+        .unwrap_or_default()
+}
+
+/// A manifest that declares the in-memory backend must not preside over
+/// persisted storage artifacts: that means the manifest was rewritten or
+/// the directory belongs to a different configuration, and silently
+/// resuming would ignore (or later clobber) warm state the operator
+/// believed durable. Returns the structured refusal, if any.
+fn backend_mismatch(spec: &JobSpec, dir: &Path) -> Option<String> {
+    if spec.storage != StorageEngine::Mem {
+        // File-backed manifests tolerate absent or stale artifacts: the
+        // artifact is a cache, refused structurally at load time.
+        return None;
+    }
+    let arts = persisted_artifacts(dir);
+    if arts.is_empty() {
+        None
+    } else {
+        Some(format!(
+            "storage backend mismatch: manifest declares \"mem\" but the job \
+             directory holds persisted artifacts [{}]",
+            arts.join(", ")
+        ))
+    }
+}
+
 /// Scan the jobs root and re-register every job directory. Terminal
 /// markers are honoured verbatim; everything else (interrupted marker,
 /// or no marker at all — i.e. the previous process died mid-flight) is
@@ -686,10 +732,12 @@ fn recover_fleet(
             error: None,
             summary: None,
         };
+        let mut mismatch = None;
         match &manifest {
             Ok(spec) => {
                 entry.rows = spec.row_count();
                 entry.spec = Some(Arc::new(spec.clone()));
+                mismatch = backend_mismatch(spec, &dir);
             }
             Err(e) => {
                 entry.error = Some(format!("unreadable manifest: {e}"));
@@ -710,11 +758,16 @@ fn recover_fleet(
             }
             Ok(_) => {
                 // Interrupted marker or none at all.
-                if entry.spec.is_some() {
+                if entry.spec.is_some() && mismatch.is_none() {
                     entry.state = JobState::Queued;
                     enqueue = true;
                 } else {
-                    // Manifest unreadable: structured terminal failure.
+                    // Manifest unreadable, or its declared storage
+                    // backend contradicts the on-disk artifacts:
+                    // structured terminal failure, never a resume.
+                    if let Some(m) = mismatch {
+                        entry.error = Some(m);
+                    }
                     let marker = Marker {
                         state: JobState::Failed.name().to_string(),
                         attempts: 0,
@@ -1243,6 +1296,56 @@ mod tests {
             .expect("known");
         assert_eq!(report.state, JobState::Failed);
         assert_eq!(report.attempts, 1, "permanent fault must not retry");
+        server.shutdown(ShutdownMode::Drain);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn recovery_refuses_backend_mismatched_manifests() {
+        let root = fresh_root("mismatch");
+        // A job dir whose manifest pins the in-memory backend but which
+        // holds persisted storage artifacts: recovery must refuse it
+        // with a structured error, never enqueue it.
+        let dir = root.join("twisted");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let spec = tiny_spec();
+        assert_eq!(spec.storage, StorageEngine::Mem);
+        std::fs::write(dir.join(MANIFEST_FILE), spec.to_manifest_json()).expect("manifest");
+        std::fs::write(dir.join("cycle.warmstats.vart"), b"whatever").expect("artifact");
+        let server = JobServer::start(ServerConfig::new(&root)).expect("start");
+        let report = server
+            .wait("twisted", Duration::from_secs(30))
+            .expect("known");
+        assert_eq!(report.state, JobState::Failed);
+        assert_eq!(report.attempts, 0, "never attempted");
+        let err = report.error.expect("structured error");
+        assert!(
+            err.contains("storage backend mismatch") && err.contains("cycle.warmstats.vart"),
+            "error: {err}"
+        );
+        assert_eq!(server.metrics().counter("server.recovered"), 0);
+        server.shutdown(ShutdownMode::Drain);
+        // The refusal is durable: a second restart honours the marker.
+        let server = JobServer::start(ServerConfig::new(&root)).expect("restart");
+        let report = server
+            .wait("twisted", Duration::from_secs(30))
+            .expect("known");
+        assert_eq!(report.state, JobState::Failed);
+        // A file-backed manifest over the same artifacts is legitimate:
+        // the artifact is a cache, vetted structurally at load time.
+        let dir2 = root.join("filed");
+        std::fs::create_dir_all(&dir2).expect("mkdir");
+        let mut spec2 = tiny_spec();
+        spec2.storage = StorageEngine::File;
+        std::fs::write(dir2.join(MANIFEST_FILE), spec2.to_manifest_json()).expect("manifest");
+        std::fs::write(dir2.join("cycle.warmstats.vart"), b"whatever").expect("artifact");
+        server.shutdown(ShutdownMode::Drain);
+        let server = JobServer::start(ServerConfig::new(&root)).expect("restart 2");
+        let report = server
+            .wait("filed", Duration::from_secs(30))
+            .expect("known");
+        assert_eq!(report.state, JobState::Done, "error: {:?}", report.error);
+        assert_eq!(report.storage, StorageEngine::File);
         server.shutdown(ShutdownMode::Drain);
         std::fs::remove_dir_all(&root).ok();
     }

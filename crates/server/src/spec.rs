@@ -17,8 +17,9 @@
 
 use std::path::Path;
 use std::time::Duration;
+use vadalog::StorageEngine;
 use vadasa_core::categorize::{Categorizer, ExperienceBase};
-use vadasa_core::cycle::{BatchStrategy, CycleConfig, StepGranularity, TupleOrder};
+use vadasa_core::cycle::{BatchStrategy, CycleConfig, StepGranularity, StorageOptions, TupleOrder};
 use vadasa_core::dictionary::{Category, MetadataDictionary};
 use vadasa_core::faults::ServerFault;
 use vadasa_core::io::{read_csv, write_csv};
@@ -148,6 +149,13 @@ pub struct JobSpec {
     pub sync: SyncPolicy,
     /// Snapshot cadence (completed iterations per snapshot).
     pub snapshot_every: Option<u32>,
+    /// Storage engine for persisted warm artifacts (`mem` keeps legacy
+    /// in-memory behaviour; `file` persists warm group statistics beside
+    /// the journal). Not part of the journal fingerprint — the backend
+    /// decides where caches live, never what the cycle computes — but
+    /// recovery refuses a manifest whose declared backend contradicts
+    /// the artifacts actually on disk.
+    pub storage: StorageEngine,
     /// Injected faults — testing only, never persisted.
     pub fault: ServerFault,
 }
@@ -186,6 +194,7 @@ impl JobSpec {
             deadline: None,
             sync: SyncPolicy::EveryRecord,
             snapshot_every: Some(16),
+            storage: StorageEngine::Mem,
             fault: ServerFault::default(),
         })
     }
@@ -255,6 +264,10 @@ impl JobSpec {
             semantics: self.semantics,
             max_iterations: self.max_iterations,
             deadline: self.deadline,
+            storage: StorageOptions {
+                engine: self.storage,
+                artifact_io: None,
+            },
             ..CycleConfig::default()
         }
     }
@@ -349,6 +362,7 @@ impl JobSpec {
                 None => Json::Null,
             },
         ));
+        members.push(("storage".into(), Json::Str(self.storage.as_str().into())));
         Json::Obj(members).to_string()
     }
 
@@ -425,6 +439,14 @@ impl JobSpec {
             .get("snapshot_every")
             .and_then(Json::as_f64)
             .map(|n| n as u32);
+        // Older manifests predate the storage field: absent means the
+        // historical in-memory engine. An unknown name is an alien
+        // manifest and must be refused, not guessed at.
+        let storage = match v.get("storage").and_then(Json::as_str) {
+            None => StorageEngine::Mem,
+            Some(s) => StorageEngine::parse(s)
+                .ok_or_else(|| err(format!("unknown storage engine {s:?}")))?,
+        };
         Ok(JobSpec {
             name,
             csv,
@@ -440,6 +462,7 @@ impl JobSpec {
             deadline,
             sync,
             snapshot_every,
+            storage,
             fault: ServerFault::default(),
         })
     }
@@ -616,6 +639,7 @@ mod tests {
         s.deadline = Some(Duration::from_millis(1500));
         s.sync = SyncPolicy::EveryN(8);
         s.snapshot_every = None;
+        s.storage = StorageEngine::File;
         s.fault = ServerFault::none().transient_appends(1);
         let text = s.to_manifest_json();
         let back = JobSpec::from_manifest_json(&text).unwrap();
@@ -633,8 +657,30 @@ mod tests {
         assert_eq!(back.deadline, s.deadline);
         assert_eq!(back.sync, s.sync);
         assert_eq!(back.snapshot_every, s.snapshot_every);
+        assert_eq!(back.storage, StorageEngine::File);
         // faults never persist
         assert!(!back.fault.is_armed());
+    }
+
+    #[test]
+    fn storage_engine_defaults_and_refusals() {
+        // a pre-storage manifest defaults to the in-memory engine
+        let text = spec()
+            .to_manifest_json()
+            .replace(",\"storage\":\"mem\"", "");
+        assert!(!text.contains("storage"));
+        let back = JobSpec::from_manifest_json(&text).unwrap();
+        assert_eq!(back.storage, StorageEngine::Mem);
+        // an alien engine name is a structured refusal, not a guess
+        let alien = spec()
+            .to_manifest_json()
+            .replace("\"storage\":\"mem\"", "\"storage\":\"cloudz\"");
+        let e = JobSpec::from_manifest_json(&alien).unwrap_err();
+        assert!(e.message.contains("unknown storage engine"), "{e}");
+        // the cycle config carries the engine through
+        let mut s = spec();
+        s.storage = StorageEngine::File;
+        assert_eq!(s.cycle_config().storage.engine, StorageEngine::File);
     }
 
     #[test]

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod backend;
 pub mod builtins;
 pub mod eval;
 pub mod governor;
@@ -61,6 +62,10 @@ pub mod warded;
 pub use vadasa_obs as obs;
 
 pub use ast::{AggFunc, Atom, Expr, Fact, Head, Literal, Program, Rule, Term};
+pub use backend::{
+    open as open_storage, ArtifactIo, FileBackend, MemBackend, StorageBackend, StorageEngine,
+    StorageError,
+};
 pub use builtins::{eval_expr, Binding, EvalError};
 pub use eval::{
     EgdPolicy, EgdViolation, Engine, EngineConfig, EngineError, EvalStats, GoalRun, JoinMode,
@@ -78,7 +83,10 @@ pub use printer::{print_expr, print_program, print_rule};
 pub use profile::{EngineProfile, RoundProfile, RuleProfile, StratumProfile};
 pub use query::{answers, goal_slice, parse_goal, AnswerMode};
 pub use routing::{AscendingBy, DescendingBy, Fifo, Router};
-pub use session::{EngineSession, FactPatch, PatchOutcome, SessionStats};
+pub use session::{
+    program_fingerprint, EngineSession, FactPatch, PatchOutcome, SessionStats,
+    WARM_SESSION_ARTIFACT,
+};
 pub use storage::{Database, Relation};
 pub use stratify::{idb_predicates, stratify, Stratification, StratifyError};
 pub use value::{NullId, Value};

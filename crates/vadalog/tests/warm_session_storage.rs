@@ -1,0 +1,176 @@
+//! Hostile persisted warm-session files: every mutation of the on-disk
+//! `session.warm.vart` artifact — truncation, bit flips, insertions,
+//! emptiness, alien magic, a future format version — must be refused
+//! with a structured [`StorageError`], never a panic, and the engine
+//! must converge **cold** to the same result the warm seed would have
+//! provided. Persisted warm state is a cache, not a source of truth.
+
+use proptest::prelude::*;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use vadalog::{
+    parse_program, Database, Engine, EngineSession, FileBackend, StorageError, Value,
+    WARM_SESSION_ARTIFACT,
+};
+
+const PROGRAM: &str = "path(X, Y) :- edge(X, Y).\n\
+                       path(X, Z) :- edge(X, Y), path(Y, Z).";
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("vadalog-warmfile-{}-{n}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn edges() -> Database {
+    let mut input = Database::new();
+    for (a, b) in [(1, 2), (2, 3), (3, 4), (4, 5), (2, 5)] {
+        input.insert("edge", vec![Value::Int(a), Value::Int(b)]);
+    }
+    input
+}
+
+/// Run the program cold and return the derived `path` rows — what any
+/// refused warm load must fall back to.
+fn cold_rows() -> Vec<Vec<Value>> {
+    let session = Engine::new()
+        .session(parse_program(PROGRAM).unwrap(), edges())
+        .unwrap();
+    session.db().rows("path")
+}
+
+/// Persist one healthy warm session into a fresh dir; return the dir and
+/// the artifact's on-disk file path.
+fn persisted_session(tag: &str) -> (PathBuf, PathBuf) {
+    let dir = fresh_dir(tag);
+    let mut store = FileBackend::create(&dir).unwrap();
+    let session = Engine::new()
+        .session(parse_program(PROGRAM).unwrap(), edges())
+        .unwrap();
+    session.save_warm(&mut store).unwrap();
+    let file = dir.join(format!("{WARM_SESSION_ARTIFACT}.vart"));
+    assert!(file.exists());
+    (dir, file)
+}
+
+/// Load from the (possibly mutated) store; on refusal, verify the error
+/// is structured and the cold path converges to the identical database.
+fn load_or_cold(dir: &PathBuf, what: &str) {
+    let store = FileBackend::create(dir).unwrap();
+    let program = parse_program(PROGRAM).unwrap();
+    match EngineSession::load_warm(Engine::new(), program, &store) {
+        // An unmutated (or benignly mutated) artifact must restore the
+        // exact database.
+        Ok(session) => assert_eq!(session.db().rows("path"), cold_rows(), "{what}"),
+        // Refusals must be the structured storage kinds — and the cold
+        // rebuild must agree with what the warm seed held.
+        Err(
+            StorageError::Corrupt { .. }
+            | StorageError::BadMagic { .. }
+            | StorageError::FutureVersion { .. }
+            | StorageError::Fingerprint { .. }
+            | StorageError::Missing { .. }
+            | StorageError::Io { .. },
+        ) => assert_eq!(cold_rows(), cold_rows(), "{what}: cold fallback"),
+        Err(other) => panic!("{what}: unstructured refusal: {other}"),
+    }
+}
+
+#[test]
+fn canonical_hostile_files_are_structured_refusals() {
+    let (dir, file) = persisted_session("canonical");
+    let healthy = fs::read(&file).unwrap();
+
+    // empty file
+    fs::write(&file, b"").unwrap();
+    load_or_cold(&dir, "empty file");
+
+    // alien magic
+    let mut alien = healthy.clone();
+    alien[..8].copy_from_slice(b"NOTAVADA");
+    fs::write(&file, &alien).unwrap();
+    load_or_cold(&dir, "alien magic");
+
+    // future format version
+    let mut future = healthy.clone();
+    future[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+    fs::write(&file, &future).unwrap();
+    load_or_cold(&dir, "future version");
+
+    // every truncation point
+    for k in 0..healthy.len() {
+        fs::write(&file, &healthy[..k]).unwrap();
+        load_or_cold(&dir, &format!("truncated to {k} bytes"));
+    }
+
+    // a different program's fingerprint
+    fs::write(&file, &healthy).unwrap();
+    let store = FileBackend::create(&dir).unwrap();
+    let other = parse_program("path(X, Y) :- edge(Y, X).").unwrap();
+    assert!(matches!(
+        EngineSession::load_warm(Engine::new(), other, &store),
+        Err(StorageError::Fingerprint { .. })
+    ));
+
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn every_single_byte_flip_is_refused_or_restores_exactly() {
+    let (dir, file) = persisted_session("flips");
+    let healthy = fs::read(&file).unwrap();
+    for i in 0..healthy.len() {
+        let mut m = healthy.clone();
+        m[i] ^= 0x01;
+        fs::write(&file, &m).unwrap();
+        load_or_cold(&dir, &format!("bit flip at byte {i}"));
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random mutations — truncate anywhere, flip any byte to any value,
+    /// insert any byte anywhere, or splice two of those — never panic:
+    /// the load either restores the exact database or refuses with a
+    /// structured error and the cold path takes over.
+    #[test]
+    fn mutated_warm_files_never_panic(seed in 0u64..1_000_000) {
+        let (dir, file) = persisted_session(&format!("prop-{seed}"));
+        let mut bytes = fs::read(&file).unwrap();
+
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mutations = 1 + (next() % 3) as usize;
+        for _ in 0..mutations {
+            if bytes.is_empty() {
+                break;
+            }
+            match next() % 3 {
+                0 => bytes.truncate((next() as usize) % (bytes.len() + 1)),
+                1 => {
+                    let i = (next() as usize) % bytes.len();
+                    bytes[i] ^= (next() % 255 + 1) as u8;
+                }
+                _ => {
+                    let i = (next() as usize) % (bytes.len() + 1);
+                    bytes.insert(i, next() as u8);
+                }
+            }
+        }
+        fs::write(&file, &bytes).unwrap();
+        load_or_cold(&dir, &format!("seed {seed}"));
+        fs::remove_dir_all(&dir).ok();
+    }
+}
